@@ -1,0 +1,130 @@
+// Command cogdiff drives the interpreter-guided differential JIT testing
+// framework from the command line.
+//
+// Usage:
+//
+//	cogdiff instructions                 list every testable VM instruction
+//	cogdiff explore <instruction>        concolically explore one instruction (Table 1 format)
+//	cogdiff difftest <instruction> <compiler>
+//	                                     differentially test one instruction
+//	                                     (compilers: native, simple, stacktoregister, registerallocating)
+//	cogdiff campaign [-pristine]         run the full evaluation and print every table and figure
+//	cogdiff table1                       reproduce Table 1 (primAdd byte-code)
+//	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cogdiff"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "instructions":
+		for _, name := range cogdiff.Instructions() {
+			fmt.Println(name)
+		}
+	case "explore":
+		fs := flag.NewFlagSet("explore", flag.ExitOnError)
+		jsonOut := fs.String("o", "", "write the exploration as JSON to this file (reusable by difftest -cache)")
+		exitOn(fs.Parse(args))
+		if fs.NArg() != 1 {
+			usage()
+			os.Exit(2)
+		}
+		if *jsonOut != "" {
+			data, err := cogdiff.ExploreJSON(fs.Arg(0))
+			exitOn(err)
+			exitOn(os.WriteFile(*jsonOut, data, 0o644))
+			fmt.Printf("exploration of %s written to %s\n", fs.Arg(0), *jsonOut)
+			return
+		}
+		out, err := cogdiff.ExploreReport(fs.Arg(0))
+		exitOn(err)
+		fmt.Print(out)
+	case "table1":
+		out, err := cogdiff.ExploreReport("primAdd")
+		exitOn(err)
+		fmt.Print(out)
+	case "difftest":
+		fs := flag.NewFlagSet("difftest", flag.ExitOnError)
+		cache := fs.String("cache", "", "reuse a cached exploration (JSON written by explore -o)")
+		exitOn(fs.Parse(args))
+		var res *cogdiff.InstructionResult
+		var err error
+		if *cache != "" {
+			if fs.NArg() != 1 {
+				usage()
+				os.Exit(2)
+			}
+			data, rerr := os.ReadFile(*cache)
+			exitOn(rerr)
+			res, err = cogdiff.TestInstructionCached(data, fs.Arg(0))
+		} else {
+			if fs.NArg() != 2 {
+				usage()
+				os.Exit(2)
+			}
+			res, err = cogdiff.TestInstruction(fs.Arg(0), fs.Arg(1))
+		}
+		exitOn(err)
+		fmt.Printf("%s on %s: %d paths, %d curated, %d differences\n",
+			res.Instruction, res.Compiler, res.Paths, res.Curated, len(res.Differences))
+		for _, d := range res.Differences {
+			fmt.Printf("  [%s] %s: %s\n", d.ISA, d.Family, d.Detail)
+		}
+	case "campaign", "table2", "table3", "fig5", "fig6", "fig7":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		pristine := fs.Bool("pristine", false, "run the defect-free VM configuration")
+		exitOn(fs.Parse(args))
+		sum := cogdiff.RunCampaign(cogdiff.CampaignOptions{Pristine: *pristine})
+		switch cmd {
+		case "table2":
+			fmt.Print(sum.Table2)
+		case "table3":
+			fmt.Print(sum.Table3)
+		case "fig5":
+			fmt.Print(sum.Figure5)
+		case "fig6":
+			fmt.Print(sum.Figure6)
+		case "fig7":
+			fmt.Print(sum.Figure7)
+		default:
+			fmt.Printf("campaign completed in %s\n\n", sum.Duration)
+			fmt.Println(sum.Table2)
+			fmt.Println(sum.Table3)
+			fmt.Println(sum.Figure5)
+			fmt.Println(sum.Figure6)
+			fmt.Println(sum.Figure7)
+			fmt.Println("Deduplicated causes:")
+			fmt.Println(sum.Causes)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cogdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cogdiff instructions
+  cogdiff explore [-o cache.json] <instruction>
+  cogdiff difftest [-cache cache.json] <instruction> <compiler>
+  cogdiff campaign [-pristine]
+  cogdiff table1|table2|table3|fig5|fig6|fig7`)
+}

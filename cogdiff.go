@@ -1,0 +1,311 @@
+// Package cogdiff is an interpreter-guided differential unit-testing
+// framework for JIT compilers, reproducing "Interpreter-guided
+// Differential JIT Compiler Unit Testing" (Polito, Tesone, Ducasse,
+// PLDI 2022) as a self-contained Go system.
+//
+// The framework applies concolic testing to a byte-code interpreter to
+// discover every execution path of each VM instruction together with the
+// path's input constraints, output constraints and exit condition. Each
+// path is then replayed against JIT-compiled code — four compilers, two
+// simulated ISAs — and the observable behaviours are compared.
+//
+// The package exposes three levels of use:
+//
+//   - Explore: concolically enumerate the execution paths of one VM
+//     instruction (paper §2.3, Table 1).
+//   - TestInstruction: differentially test one instruction against one
+//     compiler (paper §2.4).
+//   - RunCampaign: the full evaluation — every instruction, every
+//     compiler, every ISA — producing the paper's Table 2, Table 3 and
+//     Figures 5-7 (paper §5).
+package cogdiff
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/concolic"
+	"cogdiff/internal/core"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+	"cogdiff/internal/report"
+)
+
+// Compiler names accepted by TestInstruction.
+const (
+	CompilerNativeMethods      = "native"
+	CompilerSimple             = "simple"
+	CompilerStackToRegister    = "stacktoregister"
+	CompilerRegisterAllocating = "registerallocating"
+)
+
+// Path is one discovered execution path of an instruction.
+type Path struct {
+	// Exit is the path's exit condition (success, failure, messageSend,
+	// methodReturn, invalidFrame, invalidMemoryAccess).
+	Exit string
+	// Constraints is the recorded semantic constraint path.
+	Constraints string
+	// Witness is the solver model that reaches this path.
+	Witness string
+}
+
+// Exploration is the concolic exploration of one instruction.
+type Exploration struct {
+	Instruction string
+	Kind        string // "bytecode" or "nativeMethod"
+	Paths       []Path
+	CuratedOut  int
+	Iterations  int
+	Duration    time.Duration
+}
+
+// resolveTarget finds an instruction by name among byte-codes and native
+// methods.
+func resolveTarget(name string) (concolic.Target, *primitives.Table, error) {
+	prims := primitives.NewTable()
+	for _, op := range bytecode.AllOpcodes() {
+		d := bytecode.Describe(op)
+		if d.Mnemonic == name && d.Family != bytecode.FamCallPrimitive {
+			return concolic.BytecodeTarget(op), prims, nil
+		}
+	}
+	for _, p := range prims.All() {
+		if p.Name == name {
+			return concolic.NativeMethodTarget(p.Index, p.Name, p.NumArgs), prims, nil
+		}
+	}
+	return concolic.Target{}, nil, fmt.Errorf("cogdiff: unknown instruction %q (see Instructions())", name)
+}
+
+// Instructions lists every testable VM instruction: all byte-codes
+// followed by all native methods.
+func Instructions() []string {
+	var out []string
+	for _, op := range bytecode.AllOpcodes() {
+		d := bytecode.Describe(op)
+		if d.Family != bytecode.FamCallPrimitive {
+			out = append(out, d.Mnemonic)
+		}
+	}
+	prims := primitives.NewTable()
+	for _, p := range prims.All() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Explore concolically enumerates the execution paths of the named
+// instruction.
+func Explore(name string) (*Exploration, error) {
+	target, prims, err := resolveTarget(name)
+	if err != nil {
+		return nil, err
+	}
+	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
+	ex := explorer.Explore(target)
+	out := &Exploration{
+		Instruction: name,
+		Kind:        target.Kind.String(),
+		CuratedOut:  ex.CuratedOut,
+		Iterations:  ex.Iterations,
+		Duration:    ex.Duration,
+	}
+	for _, p := range ex.Paths {
+		out.Paths = append(out.Paths, Path{
+			Exit:        p.Exit.String(),
+			Constraints: p.Path.String(),
+			Witness:     p.Model.String(),
+		})
+	}
+	return out, nil
+}
+
+// ExploreReport renders the exploration of one instruction in the format
+// of the paper's Table 1.
+func ExploreReport(name string) (string, error) {
+	target, prims, err := resolveTarget(name)
+	if err != nil {
+		return "", err
+	}
+	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
+	return report.Table1(explorer.Explore(target)), nil
+}
+
+// Difference describes one discovered behavioural difference.
+type Difference struct {
+	Instruction string
+	Compiler    string
+	ISA         string
+	Family      string
+	Detail      string
+}
+
+// InstructionResult is the differential-testing outcome of one
+// instruction against one compiler.
+type InstructionResult struct {
+	Instruction string
+	Compiler    string
+	Paths       int
+	Curated     int
+	Differences []Difference
+}
+
+func compilerKindOf(name string) (core.CompilerKind, error) {
+	switch name {
+	case CompilerNativeMethods:
+		return core.NativeMethodCompilerKind, nil
+	case CompilerSimple:
+		return core.SimpleBytecodeCompiler, nil
+	case CompilerStackToRegister:
+		return core.StackToRegisterCompiler, nil
+	case CompilerRegisterAllocating:
+		return core.RegisterAllocatingCompiler, nil
+	}
+	return 0, fmt.Errorf("cogdiff: unknown compiler %q", name)
+}
+
+// TestInstruction differentially tests one instruction against one
+// compiler on both simulated ISAs, using the production defect state.
+func TestInstruction(instruction, compiler string) (*InstructionResult, error) {
+	target, prims, err := resolveTarget(instruction)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := compilerKindOf(compiler)
+	if err != nil {
+		return nil, err
+	}
+	sw := defects.ProductionVM()
+	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
+	ex := explorer.Explore(target)
+	tester := core.NewTester(prims, sw)
+
+	res := &InstructionResult{Instruction: instruction, Compiler: compiler, Paths: len(ex.Paths) + ex.CuratedOut}
+	for _, p := range ex.Paths {
+		curated := false
+		for _, isa := range []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like} {
+			v := tester.TestPath(target, ex, p, kind, isa)
+			if !v.Skipped {
+				curated = true
+			}
+			if v.Differs {
+				fam := core.Classify(target, prims, v.InterpExit, v.Observed)
+				res.Differences = append(res.Differences, Difference{
+					Instruction: instruction,
+					Compiler:    compiler,
+					ISA:         isa.String(),
+					Family:      fam.String(),
+					Detail:      v.Detail,
+				})
+			}
+		}
+		if curated {
+			res.Curated++
+		}
+	}
+	return res, nil
+}
+
+// CampaignOptions configures a full evaluation run.
+type CampaignOptions struct {
+	// Pristine runs the defect-free VM configuration (sanity baseline)
+	// instead of the production configuration the evaluation reproduces.
+	Pristine bool
+	// MaxIterations bounds the concolic exploration per instruction
+	// (0 = default).
+	MaxIterations int
+}
+
+// CampaignRow mirrors one row of Table 2.
+type CampaignRow struct {
+	Compiler     string
+	Instructions int
+	Paths        int
+	Curated      int
+	Differences  int
+}
+
+// CampaignSummary is the full evaluation outcome with pre-rendered
+// reports for each of the paper's tables and figures.
+type CampaignSummary struct {
+	Rows             []CampaignRow
+	TotalDifferences int
+	// CausesByFamily mirrors Table 3 (deduplicated root causes).
+	CausesByFamily map[string]int
+	TotalCauses    int
+
+	Table2  string
+	Table3  string
+	Figure5 string
+	Figure6 string
+	Figure7 string
+	Causes  string
+
+	Duration time.Duration
+}
+
+// RunCampaign executes the full evaluation: concolic exploration of every
+// VM instruction followed by differential testing on all four compilers
+// and both ISAs.
+func RunCampaign(opts CampaignOptions) *CampaignSummary {
+	start := time.Now()
+	cfg := core.DefaultConfig()
+	if opts.Pristine {
+		cfg.Defects = defects.Pristine()
+	}
+	if opts.MaxIterations > 0 {
+		cfg.Explore.MaxIterations = opts.MaxIterations
+	}
+	res := core.NewCampaign(cfg).Run()
+
+	out := &CampaignSummary{
+		CausesByFamily: make(map[string]int),
+		Table2:         report.Table2(res),
+		Table3:         report.Table3(res),
+		Figure5:        report.Figure5(res),
+		Figure6:        report.Figure6(res),
+		Figure7:        report.Figure7(res),
+		Causes:         report.Causes(res),
+		Duration:       time.Since(start),
+	}
+	for _, r := range res.Reports {
+		p, c, d := r.Totals()
+		out.Rows = append(out.Rows, CampaignRow{
+			Compiler:     r.Compiler.String(),
+			Instructions: r.TestedInstructions(),
+			Paths:        p,
+			Curated:      c,
+			Differences:  d,
+		})
+		out.TotalDifferences += d
+	}
+	for fam, n := range res.CausesByFamily() {
+		out.CausesByFamily[fam.String()] = n
+	}
+	out.TotalCauses = len(res.Causes)
+	return out
+}
+
+// SeededCauseInventory returns the seeded defect catalog grouped by
+// family, for comparing rediscovered causes against ground truth.
+func SeededCauseInventory() map[string]int {
+	out := make(map[string]int)
+	for fam, n := range defects.CountByFamily(defects.Catalog()) {
+		out[fam.String()] = n
+	}
+	return out
+}
+
+// SortedFamilies returns family names in canonical order.
+func SortedFamilies(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,59 @@
+// Crossisa demonstrates the cross-ISA testing dimension (§5.1): the same
+// byte-code instruction is compiled by the same front-end for the two
+// simulated target ISAs, producing genuinely different machine code —
+// different instruction sequences, different encodings — that must show
+// identical observable behaviour.
+//
+//	go run ./examples/crossisa
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/jit"
+	"cogdiff/internal/machine"
+)
+
+func main() {
+	om := heap.NewBootedObjectMemory()
+	method := &bytecode.Method{Name: "primAdd", Code: []byte{byte(bytecode.OpPrimAdd)}}
+	input := []heap.Word{heap.SmallIntFor(1000000), heap.SmallIntFor(2345)}
+
+	for _, isa := range []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like} {
+		cogit := jit.NewCogit(jit.StackToRegisterCogit, isa, om, defects.ProductionVM())
+		cm, err := cogit.CompileBytecode(method, input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== %s: %d instructions, %d bytes of machine code ====\n",
+			isa, cm.Prog.Len(), len(cm.Code))
+		fmt.Print(cm.Prog.Disassemble())
+
+		// Execute on the simulated CPU.
+		cpu, err := machine.New(om)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpu.Reset()
+		cpu.Regs[machine.SP]--
+		om.Mem.MustWrite(cpu.Regs[machine.SP], machine.SentinelReturn)
+		cpu.Regs[machine.ReceiverResultReg] = om.NilObj
+		cpu.Install(cm.Prog)
+		stop := cpu.Run(1000)
+
+		top, err := cpu.Mem.Read(cpu.Regs[machine.SP])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stopped at %s after %d steps; top of operand stack = %s\n\n",
+			stop, stop.Steps, om.Describe(top))
+	}
+
+	fmt.Println("both ISAs compute 1000000 + 2345 = 1002345 through different machine code;")
+	fmt.Println("the ARM32-like back-end materializes large immediates in a scratch register")
+	fmt.Println("while the x86-like back-end folds them into compare instructions.")
+}

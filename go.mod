@@ -1,0 +1,3 @@
+module cogdiff
+
+go 1.22

@@ -1,0 +1,157 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LiteralKind classifies a compiled-method literal.
+type LiteralKind int
+
+const (
+	LitInt LiteralKind = iota
+	LitFloat
+	LitSelector
+	LitNil
+	LitTrue
+	LitFalse
+	LitString
+)
+
+// Literal is a heap-independent literal description. Literals are resolved
+// to concrete heap values when a frame is constructed, so that methods can
+// be reused across fresh object memories.
+type Literal struct {
+	Kind  LiteralKind
+	Int   int64
+	Float float64
+	Str   string // selector name or string contents
+}
+
+func IntLiteral(v int64) Literal       { return Literal{Kind: LitInt, Int: v} }
+func FloatLiteral(v float64) Literal   { return Literal{Kind: LitFloat, Float: v} }
+func SelectorLiteral(s string) Literal { return Literal{Kind: LitSelector, Str: s} }
+func StringLiteral(s string) Literal   { return Literal{Kind: LitString, Str: s} }
+func NilLiteral() Literal              { return Literal{Kind: LitNil} }
+func TrueLiteral() Literal             { return Literal{Kind: LitTrue} }
+func FalseLiteral() Literal            { return Literal{Kind: LitFalse} }
+
+func (l Literal) String() string {
+	switch l.Kind {
+	case LitInt:
+		return fmt.Sprintf("%d", l.Int)
+	case LitFloat:
+		return fmt.Sprintf("%g", l.Float)
+	case LitSelector:
+		return "#" + l.Str
+	case LitNil:
+		return "nil"
+	case LitTrue:
+		return "true"
+	case LitFalse:
+		return "false"
+	case LitString:
+		return fmt.Sprintf("%q", l.Str)
+	}
+	return "?"
+}
+
+// Method is a compiled method: argument/temporary counts, a literal frame
+// and a byte-code stream. NumTemps counts temporaries in addition to the
+// arguments.
+type Method struct {
+	Name     string
+	NumArgs  int
+	NumTemps int
+	Literals []Literal
+	Code     []byte
+}
+
+// TempCount returns the total temporary frame size (arguments + locals).
+func (m *Method) TempCount() int { return m.NumArgs + m.NumTemps }
+
+// LiteralAt returns literal i, or an error for out-of-range indices.
+func (m *Method) LiteralAt(i int) (Literal, error) {
+	if i < 0 || i >= len(m.Literals) {
+		return Literal{}, fmt.Errorf("method %s: literal index %d out of range (%d literals)", m.Name, i, len(m.Literals))
+	}
+	return m.Literals[i], nil
+}
+
+// FetchOp decodes the instruction at pc: the opcode, its trailing operand
+// bytes, and the pc of the next instruction. Decoding past the end of the
+// code returns ok=false.
+func (m *Method) FetchOp(pc int) (op Op, operands []byte, next int, ok bool) {
+	if pc < 0 || pc >= len(m.Code) {
+		return 0, nil, pc, false
+	}
+	op = Op(m.Code[pc])
+	d := Describe(op)
+	if d.Mnemonic == "" {
+		return op, nil, pc + 1, false
+	}
+	end := pc + 1 + d.OperandBytes
+	if end > len(m.Code) {
+		return op, nil, end, false
+	}
+	return op, m.Code[pc+1 : end], end, true
+}
+
+// Disassemble renders the whole method, one instruction per line.
+func (m *Method) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "method %s (args=%d temps=%d literals=%d)\n", m.Name, m.NumArgs, m.NumTemps, len(m.Literals))
+	for pc := 0; pc < len(m.Code); {
+		op, operands, next, ok := m.FetchOp(pc)
+		if !ok {
+			fmt.Fprintf(&b, "%4d: <invalid %d>\n", pc, byte(op))
+			break
+		}
+		d := Describe(op)
+		fmt.Fprintf(&b, "%4d: %s", pc, d.Mnemonic)
+		for _, o := range operands {
+			fmt.Fprintf(&b, " %d", o)
+		}
+		if n, isSend := ArgCountOfSend(op); isSend {
+			if lit, err := m.LiteralAt(d.Embedded); err == nil {
+				fmt.Fprintf(&b, "   ; send %s/%d", lit.Str, n)
+			}
+		}
+		b.WriteByte('\n')
+		pc = next
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness: decodable stream, literal
+// and temp indices in range, jump targets inside the method.
+func (m *Method) Validate() error {
+	for pc := 0; pc < len(m.Code); {
+		op, operands, next, ok := m.FetchOp(pc)
+		if !ok {
+			return fmt.Errorf("method %s: undecodable instruction at pc %d", m.Name, pc)
+		}
+		d := Describe(op)
+		switch d.Family {
+		case FamPushLiteralConstant, FamSend0Args, FamSend1Arg, FamSend2Args:
+			if _, err := m.LiteralAt(d.Embedded); err != nil {
+				return fmt.Errorf("pc %d: %w", pc, err)
+			}
+		case FamPushTemporaryVariable, FamStoreTemporaryVariable, FamPopIntoTemporaryVariable:
+			if d.Embedded >= m.TempCount() {
+				return fmt.Errorf("method %s pc %d: temp index %d out of range (%d temps)", m.Name, pc, d.Embedded, m.TempCount())
+			}
+		}
+		var operand byte
+		if len(operands) > 0 {
+			operand = operands[0]
+		}
+		if off, _, _, isJump := JumpOffset(op, operand); isJump {
+			if target := next + off; target < 0 || target > len(m.Code) {
+				return fmt.Errorf("method %s pc %d: jump target %d out of range", m.Name, pc, target)
+			}
+		}
+		pc = next
+	}
+	return nil
+}

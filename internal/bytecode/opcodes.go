@@ -1,0 +1,295 @@
+// Package bytecode defines the virtual machine's byte-code instruction
+// set, the compiled-method model, a method builder and a disassembler.
+//
+// The set follows the Pharo/OpenSmalltalk design: most opcodes are members
+// of a family with the operand index embedded in the opcode itself
+// (pushTemporaryVariable 0..11 are twelve distinct byte-codes of one
+// family). Byte-codes are unsafe by design: they assume the operand stack
+// and object shapes were validated by the compiler that produced them.
+package bytecode
+
+import "fmt"
+
+// Op is a byte-code opcode.
+type Op byte
+
+// Family identifies a group of opcodes sharing one implementation with an
+// embedded operand (paper §4.1: 255 byte-codes in 77 families; this VM has
+// a representative subset).
+type Family int
+
+const (
+	FamPushReceiverVariable Family = iota
+	FamPushTemporaryVariable
+	FamStoreReceiverVariable
+	FamPopIntoReceiverVariable
+	FamStoreTemporaryVariable
+	FamPopIntoTemporaryVariable
+	FamPushLiteralConstant
+	FamPushReceiver
+	FamPushConstant
+	FamDuplicateTop
+	FamPopStackTop
+	FamNop
+	FamPushThisContext
+	FamPrimAdd
+	FamPrimSubtract
+	FamPrimMultiply
+	FamPrimDivide
+	FamPrimDiv
+	FamPrimMod
+	FamPrimBitAnd
+	FamPrimBitOr
+	FamPrimBitXor
+	FamPrimBitShift
+	FamPrimLessThan
+	FamPrimGreaterThan
+	FamPrimLessOrEqual
+	FamPrimGreaterOrEqual
+	FamPrimEqual
+	FamPrimNotEqual
+	FamPrimIdentical
+	FamPrimNotIdentical
+	FamPrimClass
+	FamPrimSize
+	FamPrimAt
+	FamPrimAtPut
+	FamShortJump
+	FamShortJumpIfTrue
+	FamShortJumpIfFalse
+	FamLongJumpForward
+	FamReturnSpecial
+	FamReturnTop
+	FamSend0Args
+	FamSend1Arg
+	FamSend2Args
+	FamCallPrimitive
+
+	NumFamilies
+)
+
+var familyNames = [NumFamilies]string{
+	"pushReceiverVariable", "pushTemporaryVariable",
+	"storeReceiverVariable", "popIntoReceiverVariable",
+	"storeTemporaryVariable", "popIntoTemporaryVariable",
+	"pushLiteralConstant", "pushReceiver", "pushConstant",
+	"duplicateTop", "popStackTop", "nop", "pushThisContext",
+	"primAdd", "primSubtract", "primMultiply", "primDivide",
+	"primDiv", "primMod",
+	"primBitAnd", "primBitOr", "primBitXor", "primBitShift",
+	"primLessThan", "primGreaterThan", "primLessOrEqual",
+	"primGreaterOrEqual", "primEqual", "primNotEqual",
+	"primIdentical", "primNotIdentical",
+	"primClass", "primSize", "primAt", "primAtPut",
+	"shortJump", "shortJumpIfTrue", "shortJumpIfFalse",
+	"longJumpForward",
+	"returnSpecial", "returnTop",
+	"sendLiteralSelector0Args", "sendLiteralSelector1Arg",
+	"sendLiteralSelector2Args", "callPrimitive",
+}
+
+func (f Family) String() string {
+	if f >= 0 && f < NumFamilies {
+		return familyNames[f]
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// Opcode base values. Each family occupies a contiguous range.
+const (
+	OpPushReceiverVariable0     Op = 0  // ..15
+	OpPushTemporaryVariable0    Op = 16 // ..27
+	OpStoreReceiverVariable0    Op = 28 // ..35
+	OpPopIntoReceiverVariable0  Op = 36 // ..43
+	OpStoreTemporaryVariable0   Op = 44 // ..51
+	OpPopIntoTemporaryVariable0 Op = 52 // ..59
+	OpPushLiteralConstant0      Op = 60 // ..75
+	OpPushReceiver              Op = 76
+	OpPushConstantTrue          Op = 77
+	OpPushConstantFalse         Op = 78
+	OpPushConstantNil           Op = 79
+	OpPushConstantZero          Op = 80
+	OpPushConstantOne           Op = 81
+	OpPushConstantMinusOne      Op = 82
+	OpPushConstantTwo           Op = 83
+	OpDuplicateTop              Op = 84
+	OpPopStackTop               Op = 85
+	OpNop                       Op = 86
+	OpPushThisContext           Op = 87
+	OpPrimAdd                   Op = 88
+	OpPrimSubtract              Op = 89
+	OpPrimMultiply              Op = 90
+	OpPrimDivide                Op = 91
+	OpPrimDiv                   Op = 92
+	OpPrimMod                   Op = 93
+	OpPrimBitAnd                Op = 94
+	OpPrimBitOr                 Op = 95
+	OpPrimBitXor                Op = 96
+	OpPrimBitShift              Op = 97
+	OpPrimLessThan              Op = 98
+	OpPrimGreaterThan           Op = 99
+	OpPrimLessOrEqual           Op = 100
+	OpPrimGreaterOrEqual        Op = 101
+	OpPrimEqual                 Op = 102
+	OpPrimNotEqual              Op = 103
+	OpPrimIdentical             Op = 104
+	OpPrimNotIdentical          Op = 105
+	OpPrimClass                 Op = 106
+	OpPrimSize                  Op = 107
+	OpPrimAt                    Op = 108
+	OpPrimAtPut                 Op = 109
+	OpShortJump1                Op = 110 // ..117, jump 1..8 bytes forward
+	OpShortJumpIfTrue1          Op = 118 // ..125
+	OpShortJumpIfFalse1         Op = 126 // ..133
+	OpLongJumpForward0          Op = 134 // ..137, offset = base*256 + operand byte
+	OpReturnReceiver            Op = 138
+	OpReturnTrue                Op = 139
+	OpReturnFalse               Op = 140
+	OpReturnNil                 Op = 141
+	OpReturnTop                 Op = 142
+	OpSend0Args0                Op = 143 // ..158, selector literal 0..15
+	OpSend1Arg0                 Op = 159 // ..174
+	OpSend2Args0                Op = 175 // ..182, selector literal 0..7
+	OpCallPrimitive             Op = 183 // two operand bytes: primitive index little-endian
+
+	// NumOpcodes is one past the highest defined opcode.
+	NumOpcodes = 184
+)
+
+// Descriptor describes one opcode: its family, the operand embedded in the
+// opcode value, how many trailing operand bytes it consumes, and its
+// mnemonic.
+type Descriptor struct {
+	Op           Op
+	Family       Family
+	Embedded     int // family-relative index embedded in the opcode value
+	OperandBytes int
+	Mnemonic     string
+}
+
+var descriptors [NumOpcodes]Descriptor
+
+func defineRange(base Op, count int, fam Family, operandBytes int) {
+	for i := 0; i < count; i++ {
+		op := base + Op(i)
+		mn := fam.String()
+		if count > 1 {
+			mn = fmt.Sprintf("%s%d", fam.String(), i)
+		}
+		descriptors[op] = Descriptor{Op: op, Family: fam, Embedded: i, OperandBytes: operandBytes, Mnemonic: mn}
+	}
+}
+
+func define(op Op, fam Family, embedded, operandBytes int, mnemonic string) {
+	descriptors[op] = Descriptor{Op: op, Family: fam, Embedded: embedded, OperandBytes: operandBytes, Mnemonic: mnemonic}
+}
+
+func init() {
+	defineRange(OpPushReceiverVariable0, 16, FamPushReceiverVariable, 0)
+	defineRange(OpPushTemporaryVariable0, 12, FamPushTemporaryVariable, 0)
+	defineRange(OpStoreReceiverVariable0, 8, FamStoreReceiverVariable, 0)
+	defineRange(OpPopIntoReceiverVariable0, 8, FamPopIntoReceiverVariable, 0)
+	defineRange(OpStoreTemporaryVariable0, 8, FamStoreTemporaryVariable, 0)
+	defineRange(OpPopIntoTemporaryVariable0, 8, FamPopIntoTemporaryVariable, 0)
+	defineRange(OpPushLiteralConstant0, 16, FamPushLiteralConstant, 0)
+	define(OpPushReceiver, FamPushReceiver, 0, 0, "pushReceiver")
+	define(OpPushConstantTrue, FamPushConstant, 0, 0, "pushConstantTrue")
+	define(OpPushConstantFalse, FamPushConstant, 1, 0, "pushConstantFalse")
+	define(OpPushConstantNil, FamPushConstant, 2, 0, "pushConstantNil")
+	define(OpPushConstantZero, FamPushConstant, 3, 0, "pushConstantZero")
+	define(OpPushConstantOne, FamPushConstant, 4, 0, "pushConstantOne")
+	define(OpPushConstantMinusOne, FamPushConstant, 5, 0, "pushConstantMinusOne")
+	define(OpPushConstantTwo, FamPushConstant, 6, 0, "pushConstantTwo")
+	define(OpDuplicateTop, FamDuplicateTop, 0, 0, "duplicateTop")
+	define(OpPopStackTop, FamPopStackTop, 0, 0, "popStackTop")
+	define(OpNop, FamNop, 0, 0, "nop")
+	define(OpPushThisContext, FamPushThisContext, 0, 0, "pushThisContext")
+	define(OpPrimAdd, FamPrimAdd, 0, 0, "primAdd")
+	define(OpPrimSubtract, FamPrimSubtract, 0, 0, "primSubtract")
+	define(OpPrimMultiply, FamPrimMultiply, 0, 0, "primMultiply")
+	define(OpPrimDivide, FamPrimDivide, 0, 0, "primDivide")
+	define(OpPrimDiv, FamPrimDiv, 0, 0, "primDiv")
+	define(OpPrimMod, FamPrimMod, 0, 0, "primMod")
+	define(OpPrimBitAnd, FamPrimBitAnd, 0, 0, "primBitAnd")
+	define(OpPrimBitOr, FamPrimBitOr, 0, 0, "primBitOr")
+	define(OpPrimBitXor, FamPrimBitXor, 0, 0, "primBitXor")
+	define(OpPrimBitShift, FamPrimBitShift, 0, 0, "primBitShift")
+	define(OpPrimLessThan, FamPrimLessThan, 0, 0, "primLessThan")
+	define(OpPrimGreaterThan, FamPrimGreaterThan, 0, 0, "primGreaterThan")
+	define(OpPrimLessOrEqual, FamPrimLessOrEqual, 0, 0, "primLessOrEqual")
+	define(OpPrimGreaterOrEqual, FamPrimGreaterOrEqual, 0, 0, "primGreaterOrEqual")
+	define(OpPrimEqual, FamPrimEqual, 0, 0, "primEqual")
+	define(OpPrimNotEqual, FamPrimNotEqual, 0, 0, "primNotEqual")
+	define(OpPrimIdentical, FamPrimIdentical, 0, 0, "primIdentical")
+	define(OpPrimNotIdentical, FamPrimNotIdentical, 0, 0, "primNotIdentical")
+	define(OpPrimClass, FamPrimClass, 0, 0, "primClass")
+	define(OpPrimSize, FamPrimSize, 0, 0, "primSize")
+	define(OpPrimAt, FamPrimAt, 0, 0, "primAt")
+	define(OpPrimAtPut, FamPrimAtPut, 0, 0, "primAtPut")
+	defineRange(OpShortJump1, 8, FamShortJump, 0)
+	defineRange(OpShortJumpIfTrue1, 8, FamShortJumpIfTrue, 0)
+	defineRange(OpShortJumpIfFalse1, 8, FamShortJumpIfFalse, 0)
+	defineRange(OpLongJumpForward0, 4, FamLongJumpForward, 1)
+	define(OpReturnReceiver, FamReturnSpecial, 0, 0, "returnReceiver")
+	define(OpReturnTrue, FamReturnSpecial, 1, 0, "returnTrue")
+	define(OpReturnFalse, FamReturnSpecial, 2, 0, "returnFalse")
+	define(OpReturnNil, FamReturnSpecial, 3, 0, "returnNil")
+	define(OpReturnTop, FamReturnTop, 0, 0, "returnTop")
+	defineRange(OpSend0Args0, 16, FamSend0Args, 0)
+	defineRange(OpSend1Arg0, 16, FamSend1Arg, 0)
+	defineRange(OpSend2Args0, 8, FamSend2Args, 0)
+	define(OpCallPrimitive, FamCallPrimitive, 0, 2, "callPrimitive")
+}
+
+// Describe returns the descriptor for op. Undefined opcodes return a
+// zero-family descriptor with an empty mnemonic.
+func Describe(op Op) Descriptor { return descriptors[op] }
+
+// IsDefined reports whether op is part of the instruction set.
+func IsDefined(op Op) bool {
+	return int(op) < NumOpcodes && descriptors[op].Mnemonic != ""
+}
+
+// AllOpcodes returns every defined opcode in numeric order.
+func AllOpcodes() []Op {
+	var out []Op
+	for op := 0; op < NumOpcodes; op++ {
+		if IsDefined(Op(op)) {
+			out = append(out, Op(op))
+		}
+	}
+	return out
+}
+
+// JumpOffset returns the byte offset a jump opcode encodes relative to the
+// PC after the full instruction (opcode + operand bytes). operand is the
+// trailing operand byte for long jumps, ignored otherwise. ok is false for
+// non-jump opcodes.
+func JumpOffset(op Op, operand byte) (offset int, conditional, jumpOnTrue bool, ok bool) {
+	d := Describe(op)
+	switch d.Family {
+	case FamShortJump:
+		return d.Embedded + 1, false, false, true
+	case FamShortJumpIfTrue:
+		return d.Embedded + 1, true, true, true
+	case FamShortJumpIfFalse:
+		return d.Embedded + 1, true, false, true
+	case FamLongJumpForward:
+		return d.Embedded*256 + int(operand), false, false, true
+	}
+	return 0, false, false, false
+}
+
+// ArgCountOfSend returns the argument count of a send-family opcode, and
+// whether op is a send.
+func ArgCountOfSend(op Op) (int, bool) {
+	switch Describe(op).Family {
+	case FamSend0Args:
+		return 0, true
+	case FamSend1Arg:
+		return 1, true
+	case FamSend2Args:
+		return 2, true
+	}
+	return 0, false
+}

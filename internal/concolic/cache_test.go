@@ -1,0 +1,57 @@
+package concolic
+
+import (
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/primitives"
+)
+
+func TestExplorationRoundTrip(t *testing.T) {
+	prims := primitives.NewTable()
+	explorer := NewExplorer(prims, DefaultOptions())
+	for _, target := range []Target{
+		BytecodeTarget(bytecode.OpPrimAdd),
+		NativeMethodTarget(primitives.PrimIdxAt, "primitiveAt", 1),
+	} {
+		ex := explorer.Explore(target)
+		data, err := MarshalExploration(ex)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", target.Name, err)
+		}
+		back, err := UnmarshalExploration(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", target.Name, err)
+		}
+		if back.Target.Name != ex.Target.Name || back.Target.Kind != ex.Target.Kind {
+			t.Fatalf("%s: target drift: %+v", target.Name, back.Target)
+		}
+		if len(back.Paths) != len(ex.Paths) || back.CuratedOut != ex.CuratedOut {
+			t.Fatalf("%s: %d paths after round trip, want %d", target.Name, len(back.Paths), len(ex.Paths))
+		}
+		if back.Universe.Count() != ex.Universe.Count() {
+			t.Fatalf("%s: universe drift", target.Name)
+		}
+		for i := range ex.Paths {
+			if ex.Paths[i].Exit.Kind != back.Paths[i].Exit.Kind {
+				t.Errorf("%s path %d: exit drift %v -> %v", target.Name, i, ex.Paths[i].Exit.Kind, back.Paths[i].Exit.Kind)
+			}
+			if ex.Paths[i].Model.String() != back.Paths[i].Model.String() {
+				t.Errorf("%s path %d: model drift\n %s\n %s", target.Name, i,
+					ex.Paths[i].Model, back.Paths[i].Model)
+			}
+			if ex.Paths[i].Path.Signature() != back.Paths[i].Path.Signature() {
+				t.Errorf("%s path %d: constraint display drift", target.Name, i)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalExploration([]byte("{")); err == nil {
+		t.Fatal("truncated JSON must error")
+	}
+	if _, err := UnmarshalExploration([]byte(`{"kind": 9}`)); err == nil {
+		t.Fatal("unknown target kind must error")
+	}
+}

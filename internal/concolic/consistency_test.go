@@ -1,0 +1,116 @@
+package concolic
+
+import (
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/primitives"
+	"cogdiff/internal/solver"
+)
+
+// sweepTargets returns a broad mix of byte-code and native-method targets.
+func sweepTargets() []Target {
+	var out []Target
+	for _, op := range bytecode.AllOpcodes() {
+		d := bytecode.Describe(op)
+		if d.Family == bytecode.FamCallPrimitive {
+			continue
+		}
+		out = append(out, BytecodeTarget(op))
+	}
+	for _, p := range primitives.NewTable().All() {
+		out = append(out, NativeMethodTarget(p.Index, p.Name, p.NumArgs))
+	}
+	return out
+}
+
+// TestRefinedModelsReplayTheirPath is the explorer's core soundness
+// property: re-executing the interpreter concretely on a path's stored
+// witness must reproduce exactly the recorded constraint path and exit
+// condition, for every path of every instruction in the VM.
+func TestRefinedModelsReplayTheirPath(t *testing.T) {
+	prims := primitives.NewTable()
+	explorer := NewExplorer(prims, DefaultOptions())
+	for _, target := range sweepTargets() {
+		ex := explorer.Explore(target)
+		for i, p := range ex.Paths {
+			om := heap.NewBootedObjectMemory()
+			b := NewFrameBuilder(om, ex.Universe, p.Model)
+			frame, err := b.BuildFrame(target)
+			if err != nil {
+				t.Errorf("%s path %d: frame build failed: %v", target.Name, i, err)
+				continue
+			}
+			tr := newTracer(ex.Universe, 0)
+			ctx := interp.NewCtx(om, frame, target.Method)
+			ctx.Tracer = tr
+			ctx.Primitives = prims
+			exit := target.run(ctx, prims)
+			if exit.Kind != p.Exit.Kind {
+				t.Errorf("%s path %d: replay exit %v, recorded %v (witness %s)",
+					target.Name, i, exit, p.Exit, p.Model)
+				continue
+			}
+			if got, want := tr.path.Signature(), p.Path.Signature(); got != want {
+				t.Errorf("%s path %d: replay diverged\n got: %s\nwant: %s\nwitness: %s",
+					target.Name, i, got, want, p.Model)
+			}
+		}
+	}
+}
+
+// TestModelsSatisfyTheirConstraints: every stored witness must pass the
+// solver's independent checker against the recorded constraints.
+func TestModelsSatisfyTheirConstraints(t *testing.T) {
+	prims := primitives.NewTable()
+	explorer := NewExplorer(prims, DefaultOptions())
+	for _, target := range sweepTargets() {
+		ex := explorer.Explore(target)
+		for i, p := range ex.Paths {
+			if err := solver.Check(ex.Universe, p.Model, p.Path.Constraints()); !err {
+				t.Errorf("%s path %d: witness %s violates %s", target.Name, i, p.Model, p.Path)
+			}
+		}
+	}
+}
+
+// TestPathsAreDistinct: no two paths of one instruction share a
+// constraint signature.
+func TestPathsAreDistinct(t *testing.T) {
+	prims := primitives.NewTable()
+	explorer := NewExplorer(prims, DefaultOptions())
+	for _, target := range sweepTargets() {
+		ex := explorer.Explore(target)
+		seen := map[string]int{}
+		for i, p := range ex.Paths {
+			sig := p.Path.Signature()
+			if j, dup := seen[sig]; dup {
+				t.Errorf("%s: paths %d and %d share signature %s", target.Name, j, i, sig)
+			}
+			seen[sig] = i
+		}
+	}
+}
+
+// TestExitConditionCoverage: across the whole instruction set the
+// exploration must exercise every exit condition of §3.4.
+func TestExitConditionCoverage(t *testing.T) {
+	prims := primitives.NewTable()
+	explorer := NewExplorer(prims, DefaultOptions())
+	kinds := map[interp.ExitKind]bool{}
+	for _, target := range sweepTargets() {
+		for _, p := range explorer.Explore(target).Paths {
+			kinds[p.Exit.Kind] = true
+		}
+	}
+	for _, want := range []interp.ExitKind{
+		interp.ExitSuccess, interp.ExitFailure, interp.ExitMessageSend,
+		interp.ExitMethodReturn, interp.ExitInvalidFrame, interp.ExitInvalidMemoryAccess,
+	} {
+		if !kinds[want] {
+			t.Errorf("exit condition %v never exercised", want)
+		}
+	}
+}

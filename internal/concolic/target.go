@@ -1,0 +1,95 @@
+// Package concolic implements concolic meta-interpretation of the VM
+// interpreter (§2.3, §3): it executes VM instructions repeatedly with
+// solver-generated inputs, records the semantic path conditions of each
+// execution, and negates conditions to discover every execution path of an
+// instruction. Each discovered path carries copies of the abstract input
+// and output frames plus the instruction's exit condition, which the
+// differential tester (internal/core) replays against the JIT compilers.
+package concolic
+
+import (
+	"fmt"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/interp"
+)
+
+// TargetKind distinguishes the two instruction kinds of §3.1.
+type TargetKind int
+
+const (
+	// TargetBytecode explores a byte-code instruction.
+	TargetBytecode TargetKind = iota
+	// TargetNativeMethod explores a native method (primitive).
+	TargetNativeMethod
+)
+
+func (k TargetKind) String() string {
+	if k == TargetBytecode {
+		return "bytecode"
+	}
+	return "nativeMethod"
+}
+
+// Target is one VM instruction under test.
+type Target struct {
+	Kind TargetKind
+	Name string
+
+	// Method holds the single instruction at PC 0 for byte-code targets.
+	Method *bytecode.Method
+	// Op is the byte-code opcode (byte-code targets).
+	Op bytecode.Op
+
+	// PrimIndex and PrimNumArgs describe native-method targets.
+	PrimIndex   int
+	PrimNumArgs int
+}
+
+// BytecodeTarget synthesizes the test method for one opcode: the method
+// holds exactly that instruction (with operand bytes) and declares enough
+// temporaries and literals for its embedded index to be valid.
+func BytecodeTarget(op bytecode.Op) Target {
+	d := bytecode.Describe(op)
+	m := &bytecode.Method{Name: d.Mnemonic}
+	m.Code = append(m.Code, byte(op))
+	for i := 0; i < d.OperandBytes; i++ {
+		// Long jump offsets of zero keep synthesized methods decodable.
+		m.Code = append(m.Code, 0)
+	}
+	switch d.Family {
+	case bytecode.FamPushTemporaryVariable, bytecode.FamStoreTemporaryVariable, bytecode.FamPopIntoTemporaryVariable:
+		m.NumTemps = d.Embedded + 1
+	case bytecode.FamPushLiteralConstant:
+		for len(m.Literals) <= d.Embedded {
+			m.Literals = append(m.Literals, bytecode.IntLiteral(int64(100+len(m.Literals))))
+		}
+	case bytecode.FamSend0Args, bytecode.FamSend1Arg, bytecode.FamSend2Args:
+		for len(m.Literals) <= d.Embedded {
+			m.Literals = append(m.Literals, bytecode.SelectorLiteral(fmt.Sprintf("selector%d", len(m.Literals))))
+		}
+	case bytecode.FamLongJumpForward:
+		// Give forward jumps somewhere to land.
+		m.Code = append(m.Code, byte(bytecode.OpNop))
+	}
+	// Short jumps need in-range targets too.
+	if off, _, _, isJump := bytecode.JumpOffset(op, 0); isJump {
+		for len(m.Code) < 1+d.OperandBytes+off {
+			m.Code = append(m.Code, byte(bytecode.OpNop))
+		}
+	}
+	return Target{Kind: TargetBytecode, Name: d.Mnemonic, Method: m, Op: op}
+}
+
+// NativeMethodTarget describes a primitive under test.
+func NativeMethodTarget(index int, name string, numArgs int) Target {
+	return Target{Kind: TargetNativeMethod, Name: name, PrimIndex: index, PrimNumArgs: numArgs}
+}
+
+// run executes the target once against ctx and returns the exit condition.
+func (t Target) run(ctx *interp.Ctx, prims interp.PrimitiveTable) interp.Exit {
+	if t.Kind == TargetBytecode {
+		return interp.RunInstruction(ctx)
+	}
+	return interp.RunPrimitive(ctx, prims, t.PrimIndex)
+}

@@ -1,0 +1,31 @@
+package concolic
+
+import (
+	"cogdiff/internal/sym"
+)
+
+// tracer records the path conditions of one concolic execution. It
+// implements interp.Tracer.
+type tracer struct {
+	u       *sym.Universe
+	path    sym.Path
+	assumed int // leading conditions correspond to the explorer's assumptions
+}
+
+func newTracer(u *sym.Universe, assumed int) *tracer {
+	return &tracer{u: u, assumed: assumed}
+}
+
+// Record appends the condition that held on this execution.
+func (t *tracer) Record(held sym.Constraint) {
+	t.path = append(t.path, sym.Condition{C: held, Assumed: len(t.path) < t.assumed})
+}
+
+// SlotVar interns the input variable for a body slot of an input object.
+func (t *tracer) SlotVar(owner sym.ValExpr, index int) (*sym.Var, bool) {
+	ref, ok := owner.(sym.VarRef)
+	if !ok {
+		return nil, false
+	}
+	return t.u.Slot(ref.V, index), true
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/concolic"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// Config parameterizes a testing campaign (§5.1: four experiments — the
+// native-method compiler plus three byte-code compilers — each executed on
+// two target ISAs).
+type Config struct {
+	Defects   defects.Switches
+	Compilers []CompilerKind
+	ISAs      []machine.ISA
+	// Explore tunes the concolic exploration.
+	Explore concolic.Options
+	// BytecodeFilter / PrimitiveFilter restrict the instruction set under
+	// test (nil tests everything).
+	BytecodeFilter  func(op bytecode.Op) bool
+	PrimitiveFilter func(p *primitives.Primitive) bool
+}
+
+// DefaultConfig reproduces the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		Defects: defects.ProductionVM(),
+		Compilers: []CompilerKind{
+			NativeMethodCompilerKind, SimpleBytecodeCompiler,
+			StackToRegisterCompiler, RegisterAllocatingCompiler,
+		},
+		ISAs:    []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like},
+		Explore: concolic.DefaultOptions(),
+	}
+}
+
+// InstructionReport aggregates one instruction's results for one compiler.
+type InstructionReport struct {
+	Target      concolic.Target
+	Paths       int // interpreter paths discovered
+	Curated     int // paths the prototype supports end to end
+	Differences int // curated paths whose behaviour differs (any ISA)
+	ExploreTime time.Duration
+	TestTime    time.Duration
+	Verdicts    []PathVerdict // one per (path, ISA) in path-major order
+}
+
+// CompilerReport is one row of Table 2.
+type CompilerReport struct {
+	Compiler     CompilerKind
+	Instructions []InstructionReport
+}
+
+// TestedInstructions returns the row's instruction count.
+func (r *CompilerReport) TestedInstructions() int { return len(r.Instructions) }
+
+// Totals sums paths, curated paths and differences.
+func (r *CompilerReport) Totals() (paths, curated, diffs int) {
+	for _, ir := range r.Instructions {
+		paths += ir.Paths
+		curated += ir.Curated
+		diffs += ir.Differences
+	}
+	return
+}
+
+// Cause is a deduplicated root cause of one or more path differences.
+type Cause struct {
+	Instruction string
+	Family      defects.Family
+	Paths       int // differing paths attributed to this cause
+	Example     string
+}
+
+// CampaignResult is the complete evaluation outcome: Table 2 rows, the
+// Table 3 cause classification, and the per-instruction data behind
+// Figures 5-7.
+type CampaignResult struct {
+	Reports []CompilerReport
+	Causes  map[string]*Cause // keyed by instruction+family
+	// Explorations preserves every instruction's exploration (Figure 5/6).
+	Explorations map[string]*concolic.Exploration
+}
+
+// TotalDifferences sums differing paths over all compilers.
+func (cr *CampaignResult) TotalDifferences() int {
+	n := 0
+	for _, r := range cr.Reports {
+		_, _, d := r.Totals()
+		n += d
+	}
+	return n
+}
+
+// CausesByFamily aggregates causes like Table 3.
+func (cr *CampaignResult) CausesByFamily() map[defects.Family]int {
+	out := make(map[defects.Family]int)
+	for _, c := range cr.Causes {
+		out[c.Family]++
+	}
+	return out
+}
+
+// Campaign drives the full evaluation: concolic exploration of every
+// instruction, then differential testing against every configured
+// compiler on every ISA.
+type Campaign struct {
+	Config Config
+	Prims  *primitives.Table
+}
+
+// NewCampaign builds a campaign from a config.
+func NewCampaign(cfg Config) *Campaign {
+	return &Campaign{Config: cfg, Prims: primitives.NewTable()}
+}
+
+// BytecodeTargets lists the byte-code instructions under test: every
+// defined opcode except callPrimitive, whose behaviour is the tested
+// native methods'.
+func (c *Campaign) BytecodeTargets() []concolic.Target {
+	var out []concolic.Target
+	for _, op := range bytecode.AllOpcodes() {
+		if bytecode.Describe(op).Family == bytecode.FamCallPrimitive {
+			continue
+		}
+		if c.Config.BytecodeFilter != nil && !c.Config.BytecodeFilter(op) {
+			continue
+		}
+		out = append(out, concolic.BytecodeTarget(op))
+	}
+	return out
+}
+
+// PrimitiveTargets lists the native methods under test.
+func (c *Campaign) PrimitiveTargets() []concolic.Target {
+	var out []concolic.Target
+	for _, p := range c.Prims.All() {
+		if c.Config.PrimitiveFilter != nil && !c.Config.PrimitiveFilter(p) {
+			continue
+		}
+		out = append(out, concolic.NativeMethodTarget(p.Index, p.Name, p.NumArgs))
+	}
+	return out
+}
+
+// Run executes the campaign.
+func (c *Campaign) Run() *CampaignResult {
+	explorer := concolic.NewExplorer(c.Prims, c.exploreOptions())
+	tester := NewTester(c.Prims, c.Config.Defects)
+
+	result := &CampaignResult{
+		Causes:       make(map[string]*Cause),
+		Explorations: make(map[string]*concolic.Exploration),
+	}
+
+	// Step 1: concolic exploration, shared by every compiler (its results
+	// are cached and reused, §5.4).
+	bcTargets := c.BytecodeTargets()
+	nmTargets := c.PrimitiveTargets()
+	for _, t := range append(append([]concolic.Target{}, bcTargets...), nmTargets...) {
+		result.Explorations[explorationKey(t)] = explorer.Explore(t)
+	}
+
+	// Steps 2-4 per compiler.
+	for _, kind := range c.Config.Compilers {
+		targets := bcTargets
+		if kind == NativeMethodCompilerKind {
+			targets = nmTargets
+		}
+		report := CompilerReport{Compiler: kind}
+		for _, target := range targets {
+			ex := result.Explorations[explorationKey(target)]
+			ir := c.testInstruction(tester, result, kind, target, ex)
+			report.Instructions = append(report.Instructions, ir)
+		}
+		result.Reports = append(result.Reports, report)
+	}
+	return result
+}
+
+func (c *Campaign) exploreOptions() concolic.Options {
+	opts := c.Config.Explore
+	opts.InterpreterDefects = interp.DefectSwitches{
+		AsFloatSkipsTypeCheck: c.Config.Defects.AsFloatSkipsTypeCheck,
+	}
+	return opts
+}
+
+func explorationKey(t concolic.Target) string {
+	return fmt.Sprintf("%s/%s", t.Kind, t.Name)
+}
+
+// testInstruction runs every curated path of one instruction against one
+// compiler on every configured ISA.
+func (c *Campaign) testInstruction(tester *Tester, result *CampaignResult, kind CompilerKind, target concolic.Target, ex *concolic.Exploration) InstructionReport {
+	start := time.Now()
+	ir := InstructionReport{
+		Target:      target,
+		Paths:       len(ex.Paths) + ex.CuratedOut,
+		ExploreTime: ex.Duration,
+	}
+	for _, path := range ex.Paths {
+		pathCurated := false
+		pathDiffers := false
+		for _, isa := range c.Config.ISAs {
+			v := tester.TestPath(target, ex, path, kind, isa)
+			ir.Verdicts = append(ir.Verdicts, v)
+			if !v.Skipped || v.Reason == "invalid frame (expected failure)" ||
+				v.Reason == "invalid memory access on unsafe byte-code (expected failure)" {
+				pathCurated = true
+			}
+			if v.Differs {
+				pathDiffers = true
+				c.recordCause(result, target, v)
+			}
+		}
+		if pathCurated {
+			ir.Curated++
+		}
+		if pathDiffers {
+			ir.Differences++
+		}
+	}
+	ir.TestTime = time.Since(start)
+	return ir
+}
+
+// recordCause classifies a difference and deduplicates it into a cause
+// (Table 3 counts a defect once regardless of how many paths it fails).
+func (c *Campaign) recordCause(result *CampaignResult, target concolic.Target, v PathVerdict) {
+	fam := Classify(target, c.Prims, v.InterpExit, v.Observed)
+	key := fmt.Sprintf("%s|%s", target.Name, fam)
+	cause, ok := result.Causes[key]
+	if !ok {
+		cause = &Cause{Instruction: target.Name, Family: fam, Example: v.Detail}
+		result.Causes[key] = cause
+	}
+	cause.Paths++
+}

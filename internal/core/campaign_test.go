@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// TestMiniCampaign runs a restricted campaign end to end and checks the
+// aggregate structure.
+func TestMiniCampaign(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BytecodeFilter = func(op bytecode.Op) bool {
+		return op == bytecode.OpPrimAdd || op == bytecode.OpPushConstantOne || op == bytecode.OpPrimLessThan
+	}
+	cfg.PrimitiveFilter = func(p *primitives.Primitive) bool {
+		switch p.Name {
+		case "primitiveAdd", "primitiveAsFloat", "primitiveFloatAdd", "primitiveBitAnd", "primitiveFFIInt8At", "primitiveFloatTruncated":
+			return true
+		}
+		return false
+	}
+	res := NewCampaign(cfg).Run()
+
+	if len(res.Reports) != 4 {
+		t.Fatalf("expected 4 compiler reports, got %d", len(res.Reports))
+	}
+	for _, r := range res.Reports {
+		paths, curated, diffs := r.Totals()
+		if paths == 0 || curated == 0 {
+			t.Errorf("%s: empty totals (%d paths, %d curated)", r.Compiler, paths, curated)
+		}
+		if curated > paths {
+			t.Errorf("%s: curated %d exceeds paths %d", r.Compiler, curated, paths)
+		}
+		if diffs > curated {
+			t.Errorf("%s: diffs %d exceed curated %d", r.Compiler, diffs, curated)
+		}
+	}
+
+	// The native-method row must dominate the differences (Table 2 shape).
+	nm := res.Reports[0]
+	if nm.Compiler != NativeMethodCompilerKind {
+		t.Fatal("first report should be the native-method compiler")
+	}
+	_, _, nmDiffs := nm.Totals()
+	if nmDiffs == 0 {
+		t.Error("native methods must show differences under the production defects")
+	}
+
+	// All six defect families must be rediscovered by this selection.
+	fams := res.CausesByFamily()
+	for _, want := range []defects.Family{
+		defects.MissingInterpreterTypeCheck,
+		defects.MissingCompiledTypeCheck,
+		defects.OptimizationDifference,
+		defects.BehavioralDifference,
+		defects.MissingFunctionality,
+		defects.SimulationError,
+	} {
+		if fams[want] == 0 {
+			t.Errorf("family %q not rediscovered: %v", want, fams)
+		}
+	}
+}
+
+// TestPristineCampaignOnlyOptimizationDiffs: with every seeded defect
+// corrected, the only remaining differences are the inherent optimisation
+// differences of the byte-code tiers.
+func TestPristineCampaignOnlyOptimizationDiffs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Defects = defects.Pristine()
+	cfg.ISAs = []machine.ISA{machine.ISAAmd64Like}
+	cfg.BytecodeFilter = func(op bytecode.Op) bool {
+		return op == bytecode.OpPrimAdd || op == bytecode.OpPrimBitAnd
+	}
+	cfg.PrimitiveFilter = func(p *primitives.Primitive) bool {
+		switch p.Name {
+		case "primitiveAdd", "primitiveAsFloat", "primitiveFloatAdd", "primitiveBitAnd",
+			"primitiveFFIInt8At", "primitiveFloatTruncated", "primitiveFloatSin":
+			return true
+		}
+		return false
+	}
+	res := NewCampaign(cfg).Run()
+	for _, cause := range res.Causes {
+		if cause.Family != defects.OptimizationDifference {
+			t.Errorf("pristine VM rediscovered %s on %s: %s", cause.Family, cause.Instruction, cause.Example)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"cogdiff/internal/concolic"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/primitives"
+)
+
+// Classify assigns a discovered difference to one of the six defect
+// families of §5.3. The paper performed defect identification by manual
+// inspection of interpreter and compiler sources; this function encodes
+// those inspection rules so the evaluation is reproducible:
+//
+//   - compiled code raising not-yet-implemented  -> missing functionality
+//   - the simulation layer failing               -> simulation error
+//   - compiled code crashing where the
+//     interpreter degrades gracefully            -> missing compiled type check
+//   - a native method succeeding in compiled
+//     form on operands the interpreter rejects   -> missing compiled type check
+//     for float receivers, behavioral difference otherwise
+//   - the interpreter succeeding where the
+//     compiled (checked) version fails           -> missing interpreter type check
+//   - an inlined interpreter fast path that the
+//     compiler sends instead                     -> optimisation difference
+//   - anything else (diverging results)          -> behavioral difference
+func Classify(target concolic.Target, prims *primitives.Table, iExit interp.Exit, obs *CompiledObservation) defects.Family {
+	switch obs.Kind {
+	case CompiledNotImplemented:
+		return defects.MissingFunctionality
+	case CompiledSimulationError:
+		return defects.SimulationError
+	case CompiledCrash, CompiledRunaway:
+		return defects.MissingCompiledTypeCheck
+	}
+
+	if target.Kind == concolic.TargetNativeMethod {
+		prim := prims.Lookup(target.PrimIndex)
+		isFloatPrim := prim != nil && prim.Category == primitives.CatFloat
+		switch {
+		case iExit.Kind == interp.ExitSuccess && obs.Kind == CompiledFailure:
+			// The compiled version checks what the interpreter does not
+			// (primitiveAsFloat, Listing 5).
+			return defects.MissingInterpreterTypeCheck
+		case iExit.Kind == interp.ExitFailure && obs.Kind == CompiledReturned:
+			if isFloatPrim {
+				return defects.MissingCompiledTypeCheck
+			}
+			return defects.BehavioralDifference
+		default:
+			return defects.BehavioralDifference
+		}
+	}
+
+	// Byte-code compilers.
+	if iExit.Kind == interp.ExitSuccess && obs.Kind == CompiledMessageSend {
+		// The interpreter inlined a fast path the compiler does not.
+		return defects.OptimizationDifference
+	}
+	return defects.BehavioralDifference
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/concolic"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/jit"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// maxMachineSteps bounds one compiled execution.
+const maxMachineSteps = 20000
+
+// Tester performs interpreter-guided differential testing of one compiler
+// against the interpreter (Fig. 1, steps 2-4).
+type Tester struct {
+	Prims   *primitives.Table
+	Defects defects.Switches
+}
+
+// NewTester builds a tester with the given native-method table and seeded
+// defect state.
+func NewTester(prims *primitives.Table, sw defects.Switches) *Tester {
+	return &Tester{Prims: prims, Defects: sw}
+}
+
+// interpreterReference re-executes the interpreter concretely for a path
+// on a fresh object memory and returns its exit, frame and input map.
+func (t *Tester) interpreterReference(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult) (interp.Exit, *interp.Frame, *heap.ObjectMemory, map[heap.Word]int, error) {
+	om := heap.NewBootedObjectMemory()
+	b := concolic.NewFrameBuilder(om, ex.Universe, path.Model)
+	frame, err := b.BuildFrame(target)
+	if err != nil {
+		return interp.Exit{}, nil, nil, nil, err
+	}
+	ctx := interp.NewCtx(om, frame, target.Method)
+	ctx.Primitives = t.Prims
+	ctx.InterpreterDefects = interp.DefectSwitches{AsFloatSkipsTypeCheck: t.Defects.AsFloatSkipsTypeCheck}
+	var exit interp.Exit
+	if target.Kind == concolic.TargetBytecode {
+		exit = interp.RunInstruction(ctx)
+	} else {
+		exit = interp.RunPrimitive(ctx, t.Prims, target.PrimIndex)
+	}
+	return exit, frame, om, b.InputObjects(), nil
+}
+
+// TestPath runs one concolic path against one compiler on one ISA and
+// compares the observable behaviour (Fig. 1 steps 2-4).
+func (t *Tester) TestPath(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) PathVerdict {
+	v := PathVerdict{Compiler: kind, ISA: isa}
+
+	// Expected failures of the test runner (§3.4): invalid frames always,
+	// invalid memory accesses for unsafe byte-codes.
+	switch path.Exit.Kind {
+	case interp.ExitInvalidFrame:
+		v.Skipped, v.Reason = true, "invalid frame (expected failure)"
+		return v
+	case interp.ExitInvalidMemoryAccess:
+		if target.Kind == concolic.TargetBytecode {
+			v.Skipped, v.Reason = true, "invalid memory access on unsafe byte-code (expected failure)"
+			return v
+		}
+	case interp.ExitUnsupported:
+		v.Skipped, v.Reason = true, "unsupported instruction"
+		return v
+	}
+	if (kind == NativeMethodCompilerKind) != (target.Kind == concolic.TargetNativeMethod) {
+		v.Skipped, v.Reason = true, "compiler does not apply to this instruction kind"
+		return v
+	}
+
+	interpExit, interpFrame, interpOM, interpInputs, err := t.interpreterReference(target, ex, path)
+	if err != nil {
+		v.Skipped, v.Reason = true, "input construction failed: "+err.Error()
+		return v
+	}
+
+	obs, err := t.runCompiled(target, ex, path, kind, isa)
+	if err != nil {
+		if errors.Is(err, jit.ErrNotCompilable) {
+			v.Skipped, v.Reason = true, "not compilable: "+err.Error()
+			return v
+		}
+		v.Skipped, v.Reason = true, "compilation failed: "+err.Error()
+		return v
+	}
+	v.Observed = obs
+	v.InterpExit = interpExit
+
+	differs, detail := t.compare(target, interpExit, interpFrame, interpOM, interpInputs, obs)
+	v.Differs = differs
+	v.Detail = detail
+	return v
+}
+
+// runCompiled compiles the instruction for a path and executes it on the
+// simulated machine, extracting the observable behaviour.
+func (t *Tester) runCompiled(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) (*CompiledObservation, error) {
+	om := heap.NewBootedObjectMemory()
+	b := concolic.NewFrameBuilder(om, ex.Universe, path.Model)
+	frame, err := b.BuildFrame(target)
+	if err != nil {
+		return nil, err
+	}
+	inputs := b.InputObjects()
+
+	cpu, err := machine.New(om)
+	if err != nil {
+		return nil, err
+	}
+	if t.Defects.SimulationMissingAccessors {
+		cpu.SimDefects.MissingSetters = map[machine.Reg]bool{
+			machine.ExtraReg: true,
+			machine.Arg2Reg:  true,
+		}
+	}
+
+	if kind == NativeMethodCompilerKind {
+		return t.runCompiledNative(target, om, cpu, frame, inputs, isa)
+	}
+	return t.runCompiledBytecode(target, om, cpu, frame, inputs, kind, isa)
+}
+
+func variantOf(kind CompilerKind) jit.Variant {
+	switch kind {
+	case SimpleBytecodeCompiler:
+		return jit.SimpleStackBasedCogit
+	case RegisterAllocatingCompiler:
+		return jit.RegisterAllocatingCogit
+	default:
+		return jit.StackToRegisterCogit
+	}
+}
+
+func (t *Tester) runCompiledBytecode(target concolic.Target, om *heap.ObjectMemory, cpu *machine.CPU, frame *interp.Frame, inputs map[heap.Word]int, kind CompilerKind, isa machine.ISA) (*CompiledObservation, error) {
+	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
+	inputStack := make([]heap.Word, frame.Size())
+	for i, v := range frame.Stack {
+		inputStack[i] = v.W
+	}
+	cm, err := cogit.CompileBytecode(target.Method, inputStack)
+	if err != nil {
+		return nil, err
+	}
+
+	// Frame setup per the compiled calling convention: temporaries pushed
+	// first (temp 0 deepest), then the sentinel return address; the
+	// receiver travels in ReceiverResultReg.
+	cpu.Reset()
+	for _, tv := range frame.Temps {
+		if err := pushWord(cpu, tv.W); err != nil {
+			return nil, err
+		}
+	}
+	if err := pushWord(cpu, machine.SentinelReturn); err != nil {
+		return nil, err
+	}
+	cpu.Regs[machine.ReceiverResultReg] = frame.Receiver.W
+	cpu.Install(cm.Prog)
+	stop := cpu.Run(maxMachineSteps)
+
+	obs := &CompiledObservation{Steps: stop.Steps, CodeBytes: len(cm.Code)}
+	numTemps := target.Method.TempCount()
+
+	readFrameState := func(skipTop int) {
+		fp := cpu.Regs[machine.FP]
+		raw, err := cpu.StackSlice(fp)
+		if err == nil && len(raw) >= skipTop {
+			cells := raw[skipTop:] // top first
+			stackWords := make([]heap.Word, len(cells))
+			for i, w := range cells {
+				stackWords[len(cells)-1-i] = w // bottom first
+			}
+			obs.Stack = CanonicalizeAll(om, stackWords, inputs)
+		}
+		temps := make([]heap.Word, numTemps)
+		for i := 0; i < numTemps; i++ {
+			w, err := cpu.Mem.Read(fp + heap.Word(jit.TempOffset(i, numTemps)))
+			if err == nil {
+				temps[i] = w
+			}
+		}
+		obs.Temps = CanonicalizeAll(om, temps, inputs)
+	}
+
+	switch stop.Kind {
+	case machine.StopBreakpoint:
+		switch stop.BreakID {
+		case jit.BrkEndFall:
+			obs.Kind = CompiledEndFall
+		case jit.BrkJumpTaken:
+			obs.Kind = CompiledJumpTaken
+		default:
+			obs.Kind = CompiledCrash
+			obs.Detail = fmt.Sprintf("unexpected breakpoint %d", stop.BreakID)
+		}
+		readFrameState(0)
+	case machine.StopTrampoline:
+		obs.Kind = CompiledMessageSend
+		sel, ok := cm.SelectorAt(int64(cpu.Regs[machine.ClassSelectorReg]))
+		if ok {
+			obs.Selector, obs.NumArgs = sel.Name, sel.NumArgs
+		}
+		readFrameState(1) // the trampoline call pushed its return address
+	case machine.StopReturned:
+		obs.Kind = CompiledMethodReturn
+		obs.Result = Canonicalize(om, cpu.Regs[machine.ReceiverResultReg], inputs)
+		// After the epilogue the frame is gone; temporaries sit above the
+		// (restored) stack pointer and remain readable.
+		temps := make([]heap.Word, numTemps)
+		for i := 0; i < numTemps; i++ {
+			addr := heap.Word(machine.StackLimit - 1 - i)
+			if w, err := cpu.Mem.Read(addr); err == nil {
+				temps[i] = w
+			}
+		}
+		obs.Temps = CanonicalizeAll(om, temps, inputs)
+	case machine.StopFault:
+		obs.Kind = CompiledCrash
+		obs.Detail = stop.String()
+	case machine.StopSimulationError:
+		obs.Kind = CompiledSimulationError
+		obs.Detail = stop.String()
+	default:
+		obs.Kind = CompiledRunaway
+		obs.Detail = stop.String()
+	}
+	obs.Heap = HeapEffects(om, inputs)
+	return obs, nil
+}
+
+func (t *Tester) runCompiledNative(target concolic.Target, om *heap.ObjectMemory, cpu *machine.CPU, frame *interp.Frame, inputs map[heap.Word]int, isa machine.ISA) (*CompiledObservation, error) {
+	prim := t.Prims.Lookup(target.PrimIndex)
+	if prim == nil {
+		return nil, fmt.Errorf("%w: unknown primitive %d", jit.ErrNotCompilable, target.PrimIndex)
+	}
+	nc := jit.NewNativeMethodCompiler(isa, om, t.Defects)
+	cm, err := nc.CompileNativeMethod(prim)
+	if err != nil {
+		return nil, err
+	}
+
+	cpu.Reset()
+	if err := pushWord(cpu, machine.SentinelReturn); err != nil {
+		return nil, err
+	}
+	cpu.Regs[machine.ReceiverResultReg] = frame.Receiver.W
+	argRegs := []machine.Reg{machine.Arg0Reg, machine.Arg1Reg, machine.Arg2Reg}
+	for i, av := range frame.Temps {
+		if i < len(argRegs) {
+			cpu.Regs[argRegs[i]] = av.W
+		}
+	}
+	cpu.Install(cm.Prog)
+	stop := cpu.Run(maxMachineSteps)
+
+	obs := &CompiledObservation{Steps: stop.Steps, CodeBytes: len(cm.Code)}
+	switch stop.Kind {
+	case machine.StopReturned:
+		obs.Kind = CompiledReturned
+		obs.Result = Canonicalize(om, cpu.Regs[machine.ReceiverResultReg], inputs)
+	case machine.StopBreakpoint:
+		switch stop.BreakID {
+		case jit.BrkNativeFallthrough:
+			obs.Kind = CompiledFailure
+		case jit.BrkNotImplemented:
+			obs.Kind = CompiledNotImplemented
+		default:
+			obs.Kind = CompiledCrash
+			obs.Detail = fmt.Sprintf("unexpected breakpoint %d", stop.BreakID)
+		}
+	case machine.StopFault:
+		obs.Kind = CompiledCrash
+		obs.Detail = stop.String()
+	case machine.StopSimulationError:
+		obs.Kind = CompiledSimulationError
+		obs.Detail = stop.String()
+	default:
+		obs.Kind = CompiledRunaway
+		obs.Detail = stop.String()
+	}
+	obs.Heap = HeapEffects(om, inputs)
+	return obs, nil
+}
+
+func pushWord(cpu *machine.CPU, w heap.Word) error {
+	cpu.Regs[machine.SP]--
+	return cpu.Mem.Write(cpu.Regs[machine.SP], w)
+}
+
+// compare validates the compiled observation against the interpreter
+// reference: exit-condition equivalence first, then frame effects.
+func (t *Tester) compare(target concolic.Target, iExit interp.Exit, iFrame *interp.Frame, iOM *heap.ObjectMemory, iInputs map[heap.Word]int, obs *CompiledObservation) (bool, string) {
+	if obs.Kind == CompiledCrash {
+		return true, fmt.Sprintf("interpreter exits %v but compiled code crashes (%s)", iExit, obs.Detail)
+	}
+	if obs.Kind == CompiledSimulationError {
+		return true, "simulation error while executing compiled code: " + obs.Detail
+	}
+	if obs.Kind == CompiledNotImplemented {
+		return true, fmt.Sprintf("interpreter exits %v but compiled code raises not-yet-implemented", iExit)
+	}
+	if obs.Kind == CompiledRunaway {
+		return true, "compiled code did not terminate: " + obs.Detail
+	}
+
+	if target.Kind == concolic.TargetNativeMethod {
+		return t.compareNative(iExit, iOM, iInputs, obs)
+	}
+	return t.compareBytecode(target, iExit, iFrame, iOM, iInputs, obs)
+}
+
+func (t *Tester) compareNative(iExit interp.Exit, iOM *heap.ObjectMemory, iInputs map[heap.Word]int, obs *CompiledObservation) (bool, string) {
+	switch iExit.Kind {
+	case interp.ExitSuccess:
+		if obs.Kind != CompiledReturned {
+			return true, fmt.Sprintf("interpreter succeeds but compiled code %s", obs.Kind)
+		}
+		want := Canonicalize(iOM, iExit.Result.W, iInputs)
+		if want != obs.Result {
+			return true, fmt.Sprintf("results differ: interpreter %s, compiled %s", want, obs.Result)
+		}
+	case interp.ExitFailure:
+		if obs.Kind != CompiledFailure {
+			return true, fmt.Sprintf("interpreter fails (code %d) but compiled code %s (result %s)", iExit.FailCode, obs.Kind, obs.Result)
+		}
+	default:
+		return true, fmt.Sprintf("interpreter exit %v has no compiled counterpart (%s)", iExit, obs.Kind)
+	}
+	return t.compareHeap(iOM, iInputs, obs)
+}
+
+func (t *Tester) compareBytecode(target concolic.Target, iExit interp.Exit, iFrame *interp.Frame, iOM *heap.ObjectMemory, iInputs map[heap.Word]int, obs *CompiledObservation) (bool, string) {
+	switch iExit.Kind {
+	case interp.ExitSuccess:
+		expected := CompiledEndFall
+		if op, operands, next, ok := target.Method.FetchOp(0); ok {
+			var operand byte
+			if len(operands) > 0 {
+				operand = operands[0]
+			}
+			if off, _, _, isJump := bytecode.JumpOffset(op, operand); isJump && iExit.NextPC != next {
+				_ = off
+				expected = CompiledJumpTaken
+			}
+		}
+		// A jump of length zero lands on the fall-through end either way.
+		if obs.Kind != expected && !(obs.Kind == CompiledEndFall && expected == CompiledJumpTaken && sameTarget(target, iExit)) {
+			return true, fmt.Sprintf("interpreter continues at pc %d but compiled code stops at %s", iExit.NextPC, obs.Kind)
+		}
+		if d, why := t.compareStackAndTemps(iFrame, iOM, iInputs, obs); d {
+			return true, why
+		}
+	case interp.ExitMessageSend:
+		if obs.Kind != CompiledMessageSend {
+			return true, fmt.Sprintf("interpreter sends #%s but compiled code %s", iExit.Selector, obs.Kind)
+		}
+		if obs.Selector != iExit.Selector || obs.NumArgs != iExit.NumArgs {
+			return true, fmt.Sprintf("send mismatch: interpreter #%s/%d, compiled #%s/%d", iExit.Selector, iExit.NumArgs, obs.Selector, obs.NumArgs)
+		}
+		if d, why := t.compareStackAndTemps(iFrame, iOM, iInputs, obs); d {
+			return true, why
+		}
+	case interp.ExitMethodReturn:
+		if obs.Kind != CompiledMethodReturn {
+			return true, fmt.Sprintf("interpreter returns but compiled code %s", obs.Kind)
+		}
+		want := Canonicalize(iOM, iExit.Result.W, iInputs)
+		if want != obs.Result {
+			return true, fmt.Sprintf("return values differ: interpreter %s, compiled %s", want, obs.Result)
+		}
+	default:
+		return true, fmt.Sprintf("interpreter exit %v has no compiled counterpart", iExit)
+	}
+	return t.compareHeap(iOM, iInputs, obs)
+}
+
+// sameTarget reports whether the instruction's jump target coincides with
+// its fall-through successor.
+func sameTarget(target concolic.Target, iExit interp.Exit) bool {
+	op, operands, next, ok := target.Method.FetchOp(0)
+	if !ok {
+		return false
+	}
+	var operand byte
+	if len(operands) > 0 {
+		operand = operands[0]
+	}
+	off, _, _, isJump := bytecode.JumpOffset(op, operand)
+	return isJump && off == 0 && iExit.NextPC == next
+}
+
+func (t *Tester) compareStackAndTemps(iFrame *interp.Frame, iOM *heap.ObjectMemory, iInputs map[heap.Word]int, obs *CompiledObservation) (bool, string) {
+	wantStack := make([]heap.Word, iFrame.Size())
+	for i, v := range iFrame.Stack {
+		wantStack[i] = v.W
+	}
+	want := CanonicalizeAll(iOM, wantStack, iInputs)
+	if !stringSlicesEqual(want, obs.Stack) {
+		return true, fmt.Sprintf("operand stacks differ: interpreter %v, compiled %v", want, obs.Stack)
+	}
+	wantTemps := make([]heap.Word, len(iFrame.Temps))
+	for i, v := range iFrame.Temps {
+		wantTemps[i] = v.W
+	}
+	wt := CanonicalizeAll(iOM, wantTemps, iInputs)
+	if !stringSlicesEqual(wt, obs.Temps) {
+		return true, fmt.Sprintf("temporaries differ: interpreter %v, compiled %v", wt, obs.Temps)
+	}
+	return false, ""
+}
+
+func (t *Tester) compareHeap(iOM *heap.ObjectMemory, iInputs map[heap.Word]int, obs *CompiledObservation) (bool, string) {
+	want := HeapEffects(iOM, iInputs)
+	for rep, body := range want {
+		got, ok := obs.Heap[rep]
+		if !ok {
+			continue // object never materialized on the compiled side
+		}
+		if !stringSlicesEqual(body, got) {
+			return true, fmt.Sprintf("side effects on input object %d differ: interpreter %v, compiled %v", rep, body, got)
+		}
+	}
+	return false, ""
+}

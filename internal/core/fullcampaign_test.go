@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"cogdiff/internal/defects"
+)
+
+// TestFullCampaignShape runs the complete evaluation (all instructions,
+// all compilers, both ISAs) and pins the Table 2 / Table 3 shape this
+// reproduction reports (EXPERIMENTS.md records these against the paper).
+// The campaign is deterministic, so exact counts act as a regression
+// guard over the entire pipeline.
+func TestFullCampaignShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	res := NewCampaign(DefaultConfig()).Run()
+
+	byCompiler := map[CompilerKind][3]int{}
+	for _, r := range res.Reports {
+		p, c, d := r.Totals()
+		byCompiler[r.Compiler] = [3]int{p, c, d}
+	}
+
+	// The byte-code compiler rows must land exactly on the paper's
+	// difference counts: Simple 18, Stack-to-Register 10, Linear-Scan 10.
+	if d := byCompiler[SimpleBytecodeCompiler][2]; d != 18 {
+		t.Errorf("Simple compiler differences = %d, want 18 (paper Table 2)", d)
+	}
+	if d := byCompiler[StackToRegisterCompiler][2]; d != 10 {
+		t.Errorf("Stack-to-Register differences = %d, want 10 (paper Table 2)", d)
+	}
+	if d := byCompiler[RegisterAllocatingCompiler][2]; d != 10 {
+		t.Errorf("Linear-Scan differences = %d, want 10 (paper Table 2)", d)
+	}
+
+	// Native methods dominate the byte-code tiers by an order of
+	// magnitude (paper: 440 vs 18/10/10; here 256 vs 18/10/10).
+	nm := byCompiler[NativeMethodCompilerKind][2]
+	if nm < 10*byCompiler[SimpleBytecodeCompiler][2] {
+		t.Errorf("native methods (%d) must dominate the byte-code tiers", nm)
+	}
+
+	// Table 3: five of six families match the paper exactly; the
+	// optimisation family counts the Simple tier's missing integer fast
+	// paths individually (see EXPERIMENTS.md).
+	fams := res.CausesByFamily()
+	want := map[defects.Family]int{
+		defects.MissingInterpreterTypeCheck: 1,
+		defects.MissingCompiledTypeCheck:    13,
+		defects.BehavioralDifference:        5,
+		defects.MissingFunctionality:        60,
+		defects.SimulationError:             2,
+		defects.OptimizationDifference:      16,
+	}
+	for fam, n := range want {
+		if fams[fam] != n {
+			t.Errorf("family %q: %d causes, want %d", fam, fams[fam], n)
+		}
+	}
+
+	// Per-path difference verdicts must be symmetric across ISAs for
+	// every non-crashing behaviour: a path differing on one ISA differs
+	// on the other (cross-ISA consistency of the compilers themselves).
+	for _, r := range res.Reports {
+		for _, ir := range r.Instructions {
+			for i := 0; i+1 < len(ir.Verdicts); i += 2 {
+				a, b := ir.Verdicts[i], ir.Verdicts[i+1]
+				if a.Skipped || b.Skipped {
+					continue
+				}
+				if a.Differs != b.Differs {
+					t.Errorf("%s/%s: ISA-asymmetric verdict (%v vs %v): %s | %s",
+						r.Compiler, ir.Target.Name, a.Differs, b.Differs, a.Detail, b.Detail)
+				}
+			}
+		}
+	}
+}

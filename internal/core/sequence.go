@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/jit"
+	"cogdiff/internal/machine"
+)
+
+// This file implements byte-code *sequence* testing — the paper's stated
+// future work ("generate minimal and relevant byte-code sequences for
+// unit testing the JIT compiler"): a whole synthesized method is executed
+// by the interpreter and by a whole-method compilation, and the
+// observable behaviour at the first boundary (method return or message
+// send) is compared.
+
+// SeqValue is a concrete input value for a sequence test.
+type SeqValue struct {
+	Kind  SeqKind
+	Int   int64
+	Float float64
+}
+
+// SeqKind enumerates sequence input kinds.
+type SeqKind int
+
+const (
+	SeqInt SeqKind = iota
+	SeqFloat
+	SeqTrue
+	SeqFalse
+	SeqNil
+)
+
+// Int64 builds an integer sequence value.
+func Int64(v int64) SeqValue { return SeqValue{Kind: SeqInt, Int: v} }
+
+// Float64 builds a float sequence value.
+func Float64(v float64) SeqValue { return SeqValue{Kind: SeqFloat, Float: v} }
+
+// Bool builds a boolean sequence value.
+func Bool(b bool) SeqValue {
+	if b {
+		return SeqValue{Kind: SeqTrue}
+	}
+	return SeqValue{Kind: SeqFalse}
+}
+
+// Nil builds the nil sequence value.
+func Nil() SeqValue { return SeqValue{Kind: SeqNil} }
+
+func (v SeqValue) materialize(om *heap.ObjectMemory) (heap.Word, error) {
+	switch v.Kind {
+	case SeqInt:
+		if !heap.IsIntegerValue(v.Int) {
+			return 0, fmt.Errorf("core: %d outside the small integer range", v.Int)
+		}
+		return heap.SmallIntFor(v.Int), nil
+	case SeqFloat:
+		return om.NewFloat(v.Float)
+	case SeqTrue:
+		return om.TrueObj, nil
+	case SeqFalse:
+		return om.FalseObj, nil
+	default:
+		return om.NilObj, nil
+	}
+}
+
+// SequenceInput is the concrete activation of a sequence test.
+type SequenceInput struct {
+	Receiver SeqValue
+	Args     []SeqValue
+}
+
+// SequenceOutcome is the boundary behaviour of one execution.
+type SequenceOutcome struct {
+	// Kind is "return", "send" or an error description.
+	Kind     string
+	Result   string
+	Selector string
+	NumArgs  int
+	Stack    []string
+}
+
+func (o SequenceOutcome) String() string {
+	switch o.Kind {
+	case "return":
+		return "return " + o.Result
+	case "send":
+		return fmt.Sprintf("send #%s/%d stack=%v", o.Selector, o.NumArgs, o.Stack)
+	default:
+		return o.Kind
+	}
+}
+
+// SequenceVerdict compares the two executions.
+type SequenceVerdict struct {
+	Interp   SequenceOutcome
+	Compiled SequenceOutcome
+	Differs  bool
+	Detail   string
+}
+
+// maxSequenceSteps bounds both executions.
+const maxSequenceSteps = 100000
+
+// TestSequence executes method with the given inputs on the interpreter
+// and as whole-method machine code, comparing the first boundary.
+func (t *Tester) TestSequence(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA) (*SequenceVerdict, error) {
+	if kind == NativeMethodCompilerKind {
+		return nil, fmt.Errorf("core: sequence testing applies to byte-code compilers")
+	}
+	iOut, err := t.runSequenceInterp(method, in)
+	if err != nil {
+		return nil, err
+	}
+	cOut, err := t.runSequenceCompiled(method, in, kind, isa)
+	if err != nil {
+		return nil, err
+	}
+	v := &SequenceVerdict{Interp: *iOut, Compiled: *cOut}
+	if iOut.Kind != cOut.Kind {
+		v.Differs = true
+		v.Detail = fmt.Sprintf("boundaries differ: interpreter %s, compiled %s", iOut, cOut)
+		return v, nil
+	}
+	switch iOut.Kind {
+	case "return":
+		if iOut.Result != cOut.Result {
+			v.Differs = true
+			v.Detail = fmt.Sprintf("results differ: interpreter %s, compiled %s", iOut.Result, cOut.Result)
+		}
+	case "send":
+		if iOut.Selector != cOut.Selector || iOut.NumArgs != cOut.NumArgs {
+			v.Differs = true
+			v.Detail = fmt.Sprintf("sends differ: interpreter #%s/%d, compiled #%s/%d",
+				iOut.Selector, iOut.NumArgs, cOut.Selector, cOut.NumArgs)
+		} else if !stringSlicesEqual(iOut.Stack, cOut.Stack) {
+			v.Differs = true
+			v.Detail = fmt.Sprintf("send frames differ: interpreter %v, compiled %v", iOut.Stack, cOut.Stack)
+		}
+	}
+	return v, nil
+}
+
+func buildSequenceFrame(om *heap.ObjectMemory, method *bytecode.Method, in SequenceInput) (*interp.Frame, error) {
+	rcvr, err := in.Receiver.materialize(om)
+	if err != nil {
+		return nil, err
+	}
+	temps := make([]interp.Value, method.TempCount())
+	for i := range temps {
+		temps[i] = interp.Concrete(om.NilObj)
+	}
+	if len(in.Args) > method.TempCount() {
+		return nil, fmt.Errorf("core: %d arguments for %d temporaries", len(in.Args), method.TempCount())
+	}
+	for i, a := range in.Args {
+		w, err := a.materialize(om)
+		if err != nil {
+			return nil, err
+		}
+		temps[i] = interp.Concrete(w)
+	}
+	return interp.NewFrame(interp.Concrete(rcvr), temps, nil), nil
+}
+
+func (t *Tester) runSequenceInterp(method *bytecode.Method, in SequenceInput) (*SequenceOutcome, error) {
+	om := heap.NewBootedObjectMemory()
+	frame, err := buildSequenceFrame(om, method, in)
+	if err != nil {
+		return nil, err
+	}
+	ctx := interp.NewCtx(om, frame, method)
+	ctx.Primitives = t.Prims
+	ctx.InterpreterDefects = interp.DefectSwitches{AsFloatSkipsTypeCheck: t.Defects.AsFloatSkipsTypeCheck}
+	for steps := 0; steps < maxSequenceSteps; steps++ {
+		if ctx.PC >= len(method.Code) {
+			return &SequenceOutcome{Kind: "return", Result: Canonicalize(om, frame.Receiver.W, nil)}, nil
+		}
+		exit := interp.RunInstruction(ctx)
+		switch exit.Kind {
+		case interp.ExitSuccess:
+			continue
+		case interp.ExitMethodReturn:
+			return &SequenceOutcome{Kind: "return", Result: Canonicalize(om, exit.Result.W, nil)}, nil
+		case interp.ExitMessageSend:
+			words := make([]heap.Word, frame.Size())
+			for i, v := range frame.Stack {
+				words[i] = v.W
+			}
+			return &SequenceOutcome{
+				Kind:     "send",
+				Selector: exit.Selector,
+				NumArgs:  exit.NumArgs,
+				Stack:    CanonicalizeAll(om, words, nil),
+			}, nil
+		default:
+			return &SequenceOutcome{Kind: fmt.Sprintf("error: %v", exit)}, nil
+		}
+	}
+	return &SequenceOutcome{Kind: "error: step limit"}, nil
+}
+
+func (t *Tester) runSequenceCompiled(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA) (*SequenceOutcome, error) {
+	om := heap.NewBootedObjectMemory()
+	frame, err := buildSequenceFrame(om, method, in)
+	if err != nil {
+		return nil, err
+	}
+	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
+	cm, err := cogit.CompileMethod(method, nil)
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := machine.New(om)
+	if err != nil {
+		return nil, err
+	}
+	cpu.Reset()
+	for _, tv := range frame.Temps {
+		if err := pushWord(cpu, tv.W); err != nil {
+			return nil, err
+		}
+	}
+	if err := pushWord(cpu, machine.SentinelReturn); err != nil {
+		return nil, err
+	}
+	cpu.Regs[machine.ReceiverResultReg] = frame.Receiver.W
+	cpu.Install(cm.Prog)
+	stop := cpu.Run(maxSequenceSteps)
+
+	switch stop.Kind {
+	case machine.StopReturned:
+		return &SequenceOutcome{Kind: "return", Result: Canonicalize(om, cpu.Regs[machine.ReceiverResultReg], nil)}, nil
+	case machine.StopTrampoline:
+		sel, _ := cm.SelectorAt(int64(cpu.Regs[machine.ClassSelectorReg]))
+		raw, err := cpu.StackSlice(cpu.Regs[machine.FP])
+		if err != nil || len(raw) < 1 {
+			return &SequenceOutcome{Kind: "error: unreadable send frame"}, nil
+		}
+		cells := raw[1:] // skip the trampoline return address
+		words := make([]heap.Word, len(cells))
+		for i, w := range cells {
+			words[len(cells)-1-i] = w
+		}
+		return &SequenceOutcome{
+			Kind:     "send",
+			Selector: sel.Name,
+			NumArgs:  sel.NumArgs,
+			Stack:    CanonicalizeAll(om, words, nil),
+		}, nil
+	default:
+		return &SequenceOutcome{Kind: fmt.Sprintf("error: %v", stop)}, nil
+	}
+}

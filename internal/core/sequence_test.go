@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+func seqTester() *Tester {
+	return NewTester(primitives.NewTable(), defects.ProductionVM())
+}
+
+func allBCCompilers() []CompilerKind {
+	return []CompilerKind{SimpleBytecodeCompiler, StackToRegisterCompiler, RegisterAllocatingCompiler}
+}
+
+func bothISAs() []machine.ISA {
+	return []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like}
+}
+
+func requireSeqAgreement(t *testing.T, m *bytecode.Method, in SequenceInput) {
+	t.Helper()
+	tester := seqTester()
+	for _, kind := range allBCCompilers() {
+		for _, isa := range bothISAs() {
+			v, err := tester.TestSequence(m, in, kind, isa)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", kind, isa, err)
+			}
+			if v.Differs {
+				t.Errorf("%s/%v on %s: %s", kind, isa, m.Name, v.Detail)
+			}
+		}
+	}
+}
+
+func TestSequenceMax(t *testing.T) {
+	// max: other ^self > other ifTrue:[self] ifFalse:[other]
+	m := bytecode.NewBuilder("max:", 1).
+		PushReceiver().PushTemp(0).Op(bytecode.OpPrimGreaterThan).
+		JumpIfTrue("self").
+		PushTemp(0).ReturnTop().
+		Label("self").
+		PushReceiver().ReturnTop().
+		MustMethod()
+	for _, c := range [][2]int64{{3, 5}, {5, 3}, {-7, -7}, {0, 1}} {
+		requireSeqAgreement(t, m, SequenceInput{Receiver: Int64(c[0]), Args: []SeqValue{Int64(c[1])}})
+	}
+}
+
+func TestSequenceArithmeticChain(t *testing.T) {
+	// ^(self + 3) * (self - 1)
+	m := bytecode.NewBuilder("poly", 0).
+		PushReceiver().PushLiteral(bytecode.IntLiteral(3)).Add().
+		PushReceiver().PushInt(1).Subtract().
+		Multiply().ReturnTop().
+		MustMethod()
+	for _, r := range []int64{0, 1, -5, 1000} {
+		requireSeqAgreement(t, m, SequenceInput{Receiver: Int64(r)})
+	}
+}
+
+func TestSequenceTempShuffle(t *testing.T) {
+	// stores, dup and pops across temps
+	m := bytecode.NewBuilder("shuffle:", 1).SetTemps(1).
+		PushTemp(0).Dup().Add().
+		PopIntoTemp(1).
+		PushTemp(1).PushTemp(0).Subtract().
+		ReturnTop().
+		MustMethod()
+	requireSeqAgreement(t, m, SequenceInput{Receiver: Int64(1), Args: []SeqValue{Int64(21)}})
+}
+
+func TestSequenceSendBoundary(t *testing.T) {
+	// ^self foo: 5  — compared at the send boundary
+	m := bytecode.NewBuilder("caller", 0).
+		PushReceiver().PushLiteral(bytecode.IntLiteral(5)).Send("foo:", 1).
+		ReturnTop().
+		MustMethod()
+	tester := seqTester()
+	v, err := tester.TestSequence(m, SequenceInput{Receiver: Int64(3)}, StackToRegisterCompiler, machine.ISAAmd64Like)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Differs {
+		t.Fatalf("send boundary differs: %s", v.Detail)
+	}
+	if v.Interp.Kind != "send" || v.Interp.Selector != "foo:" {
+		t.Fatalf("unexpected boundary %s", v.Interp)
+	}
+}
+
+func TestSequenceFallOffEnd(t *testing.T) {
+	m := bytecode.NewBuilder("noop", 0).Nop().MustMethod()
+	requireSeqAgreement(t, m, SequenceInput{Receiver: Int64(7)})
+}
+
+func TestSequenceBooleanInputs(t *testing.T) {
+	// ^cond ifTrue:[1] ifFalse:[2] over an argument
+	m := bytecode.NewBuilder("pick:", 1).
+		PushTemp(0).
+		JumpIfFalse("two").
+		PushInt(1).ReturnTop().
+		Label("two").
+		PushInt(2).ReturnTop().
+		MustMethod()
+	requireSeqAgreement(t, m, SequenceInput{Receiver: Nil(), Args: []SeqValue{Bool(true)}})
+	requireSeqAgreement(t, m, SequenceInput{Receiver: Nil(), Args: []SeqValue{Bool(false)}})
+}
+
+// genRandomMethod builds a random but well-formed, send-free, float-free
+// byte-code sequence with a tracked stack depth, always ending in a
+// return.
+func genRandomMethod(rng *rand.Rand, numArgs int) *bytecode.Method {
+	b := bytecode.NewBuilder("fuzz", numArgs)
+	depth := 0
+	n := 3 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		switch pick := rng.Intn(10); {
+		case pick < 3: // push a small constant
+			b.PushInt(int64(rng.Intn(2001) - 1000))
+			depth++
+		case pick < 5 && numArgs > 0:
+			b.PushTemp(rng.Intn(numArgs))
+			depth++
+		case pick < 6:
+			b.PushReceiver()
+			depth++
+		case pick < 7 && depth >= 1:
+			b.Dup()
+			depth++
+		case pick < 8 && depth >= 2:
+			switch rng.Intn(3) {
+			case 0:
+				b.Add()
+			case 1:
+				b.Subtract()
+			default:
+				b.Multiply()
+			}
+			depth--
+		case pick < 9 && depth >= 1:
+			b.Pop()
+			depth--
+		default:
+			b.Nop()
+		}
+	}
+	if depth >= 1 {
+		b.ReturnTop()
+	} else {
+		b.ReturnReceiver()
+	}
+	return b.MustMethod()
+}
+
+// TestSequenceFuzzProperty is the whole-pipeline property test: random
+// send-free integer byte-code sequences must behave identically in the
+// interpreter and in all three byte-code compilers on both ISAs.
+func TestSequenceFuzzProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2022))
+	tester := seqTester()
+	for iter := 0; iter < 120; iter++ {
+		numArgs := rng.Intn(3)
+		m := genRandomMethod(rng, numArgs)
+		in := SequenceInput{Receiver: Int64(int64(rng.Intn(200) - 100))}
+		for i := 0; i < numArgs; i++ {
+			in.Args = append(in.Args, Int64(int64(rng.Intn(200)-100)))
+		}
+		for _, kind := range allBCCompilers() {
+			for _, isa := range bothISAs() {
+				v, err := tester.TestSequence(m, in, kind, isa)
+				if err != nil {
+					t.Fatalf("iter %d %s/%v: %v\n%s", iter, kind, isa, err, m.Disassemble())
+				}
+				if v.Differs {
+					t.Fatalf("iter %d %s/%v differs: %s\n%s", iter, kind, isa, v.Detail, m.Disassemble())
+				}
+			}
+		}
+	}
+}
+
+func TestSequenceRejectsNativeCompiler(t *testing.T) {
+	m := bytecode.NewBuilder("x", 0).ReturnReceiver().MustMethod()
+	if _, err := seqTester().TestSequence(m, SequenceInput{Receiver: Nil()}, NativeMethodCompilerKind, machine.ISAAmd64Like); err == nil {
+		t.Fatal("native compiler must be rejected for sequences")
+	}
+}

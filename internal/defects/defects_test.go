@@ -1,0 +1,87 @@
+package defects
+
+import (
+	"testing"
+
+	"cogdiff/internal/primitives"
+)
+
+func TestCatalogMatchesPaperCounts(t *testing.T) {
+	counts := CountByFamily(Catalog())
+	want := map[Family]int{
+		MissingInterpreterTypeCheck: 1,
+		MissingCompiledTypeCheck:    13,
+		OptimizationDifference:      10,
+		BehavioralDifference:        5,
+		MissingFunctionality:        60,
+		SimulationError:             2,
+	}
+	for fam, n := range want {
+		if counts[fam] != n {
+			t.Errorf("%s: catalog has %d causes, paper reports %d", fam, counts[fam], n)
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 91 {
+		t.Errorf("catalog total %d, paper reports 91", total)
+	}
+}
+
+func TestCatalogIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Catalog() {
+		if c.ID == "" || c.Instrument == "" || c.Description == "" {
+			t.Errorf("incomplete cause %+v", c)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate cause id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestProductionVsPristine(t *testing.T) {
+	prod := ProductionVM()
+	if !prod.AsFloatSkipsTypeCheck || !prod.FloatPrimsSkipReceiverCheck ||
+		!prod.BitwisePrimsUnsigned || !prod.FFIMissingInJIT || !prod.SimulationMissingAccessors {
+		t.Error("production VM must enable every seeded defect")
+	}
+	clean := Pristine()
+	if clean != (Switches{}) {
+		t.Error("pristine must be the zero value")
+	}
+}
+
+func TestIsMissingInJIT(t *testing.T) {
+	prod := ProductionVM()
+	if !IsMissingInJIT(prod, "primitiveFFIInt8At", primitives.CatFFI) {
+		t.Error("FFI must be missing under production defects")
+	}
+	if !IsMissingInJIT(prod, "primitiveFloatSin", primitives.CatFloat) {
+		t.Error("libm-backed sin must be missing")
+	}
+	if IsMissingInJIT(prod, "primitiveFloatAdd", primitives.CatFloat) {
+		t.Error("float add has a template")
+	}
+	if IsMissingInJIT(Pristine(), "primitiveFFIInt8At", primitives.CatFFI) {
+		t.Error("pristine VM compiles everything")
+	}
+}
+
+func TestFFIMissingPrimitiveNames(t *testing.T) {
+	names := FFIMissingPrimitiveNames()
+	if len(names) != 60 {
+		t.Fatalf("missing-functionality list has %d entries, paper reports 60", len(names))
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	for f := Family(0); f < NumFamilies; f++ {
+		if f.String() == "" {
+			t.Errorf("family %d has no name", f)
+		}
+	}
+}

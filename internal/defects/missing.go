@@ -1,0 +1,37 @@
+package defects
+
+import "cogdiff/internal/primitives"
+
+// FFIMissingPrimitiveNames lists the native methods that have no template
+// in the 32-bit native-method compiler: the entire FFI acceleration family
+// plus the libm-backed float functions (sin, arctan, ln, exp), which the
+// interpreter implements through the C runtime.
+func FFIMissingPrimitiveNames() []string {
+	var out []string
+	for _, p := range primitives.NewTable().All() {
+		if p.Category == primitives.CatFFI {
+			out = append(out, p.Name)
+		}
+	}
+	out = append(out,
+		"primitiveFloatSin", "primitiveFloatArctan",
+		"primitiveFloatLogN", "primitiveFloatExp",
+	)
+	return out
+}
+
+// IsMissingInJIT reports whether the named native method lacks a compiler
+// template under the given switches.
+func IsMissingInJIT(sw Switches, name string, category primitives.Category) bool {
+	if !sw.FFIMissingInJIT {
+		return false
+	}
+	if category == primitives.CatFFI {
+		return true
+	}
+	switch name {
+	case "primitiveFloatSin", "primitiveFloatArctan", "primitiveFloatLogN", "primitiveFloatExp":
+		return true
+	}
+	return false
+}

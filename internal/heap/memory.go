@@ -1,0 +1,149 @@
+package heap
+
+import "fmt"
+
+// AccessKind distinguishes read and write faults.
+type AccessKind uint8
+
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessExecute
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExecute:
+		return "execute"
+	}
+	return "access"
+}
+
+// Fault is the trap raised by the flat memory on an access outside a
+// mapped region. The simulated machine surfaces it as a segmentation
+// fault; the concolic engine surfaces it as an InvalidMemoryAccess exit.
+type Fault struct {
+	Kind AccessKind
+	Addr Word
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault: invalid %s at %#x", f.Kind, uint64(f.Addr))
+}
+
+// Region is a mapped, contiguous span of words.
+type Region struct {
+	Name     string
+	Base     Word
+	Size     int // in words
+	Writable bool
+	words    []Word
+}
+
+// End returns the first address past the region.
+func (r *Region) End() Word { return r.Base + Word(r.Size) }
+
+// Memory is a flat, word-addressed memory composed of mapped regions.
+// Addresses are word indices (one Word per address unit), which keeps the
+// simulated ISA simple while preserving realistic fault behaviour:
+// unmapped or misprotected accesses return a *Fault.
+type Memory struct {
+	regions []*Region
+}
+
+// NewMemory returns an empty memory with no mapped regions.
+func NewMemory() *Memory { return &Memory{} }
+
+// Map adds a region. Regions must not overlap.
+func (m *Memory) Map(name string, base Word, size int, writable bool) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("memory: region %q has non-positive size %d", name, size)
+	}
+	end := base + Word(size)
+	for _, r := range m.regions {
+		if base < r.End() && r.Base < end {
+			return nil, fmt.Errorf("memory: region %q [%#x,%#x) overlaps %q", name, uint64(base), uint64(end), r.Name)
+		}
+	}
+	r := &Region{Name: name, Base: base, Size: size, Writable: writable, words: make([]Word, size)}
+	m.regions = append(m.regions, r)
+	return r, nil
+}
+
+// RegionAt returns the region containing addr, or nil.
+func (m *Memory) RegionAt(addr Word) *Region {
+	for _, r := range m.regions {
+		if addr >= r.Base && addr < r.End() {
+			return r
+		}
+	}
+	return nil
+}
+
+// Read loads the word at addr, trapping on unmapped addresses.
+func (m *Memory) Read(addr Word) (Word, error) {
+	r := m.RegionAt(addr)
+	if r == nil {
+		return 0, &Fault{Kind: AccessRead, Addr: addr}
+	}
+	return r.words[addr-r.Base], nil
+}
+
+// Write stores w at addr, trapping on unmapped or read-only addresses.
+func (m *Memory) Write(addr, w Word) error {
+	r := m.RegionAt(addr)
+	if r == nil || !r.Writable {
+		return &Fault{Kind: AccessWrite, Addr: addr}
+	}
+	r.words[addr-r.Base] = w
+	return nil
+}
+
+// MustRead is Read for addresses the caller guarantees are mapped
+// (e.g. object bodies the allocator itself produced). It panics on fault,
+// which would indicate a VM bug rather than a guest error.
+func (m *Memory) MustRead(addr Word) Word {
+	w, err := m.Read(addr)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// MustWrite is Write with the same contract as MustRead.
+func (m *Memory) MustWrite(addr, w Word) {
+	if err := m.Write(addr, w); err != nil {
+		panic(err)
+	}
+}
+
+// Snapshot copies the full contents of every region, keyed by region name.
+// Used by tests and by the differential tester to detect stray writes.
+func (m *Memory) Snapshot() map[string][]Word {
+	out := make(map[string][]Word, len(m.regions))
+	for _, r := range m.regions {
+		cp := make([]Word, len(r.words))
+		copy(cp, r.words)
+		out[r.Name] = cp
+	}
+	return out
+}
+
+// Restore writes back a snapshot taken with Snapshot.
+func (m *Memory) Restore(snap map[string][]Word) error {
+	for _, r := range m.regions {
+		saved, ok := snap[r.Name]
+		if !ok {
+			continue
+		}
+		if len(saved) != len(r.words) {
+			return fmt.Errorf("memory: snapshot size mismatch for region %q", r.Name)
+		}
+		copy(r.words, saved)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Package heap implements the object memory substrate of the virtual
+// machine: a flat word-addressed memory with access traps, tagged small
+// integers, boxed floats, and header-described heap objects organized
+// around a class table.
+//
+// The memory model mirrors a 32-bit Pharo-style VM: small integers are
+// 31-bit signed values tagged in the low bit, object references are
+// word-aligned addresses into the flat memory. The flat memory is shared
+// with the simulated machine (internal/machine) so that JIT-compiled code
+// operates on exactly the same heap and stack the interpreter describes.
+package heap
+
+import "fmt"
+
+// Word is the fundamental VM cell. The VM simulates a 32-bit machine, so
+// even though Word is 64 bits wide on the host, all tagged integer values
+// are constrained to the 31-bit SmallInteger range and addresses to the
+// low 4 GiB.
+type Word int64
+
+// SmallInteger tagging. The low bit set marks a tagged immediate integer,
+// matching the Pharo/OpenSmalltalk scheme on 32-bit targets.
+const (
+	SmallIntTagBits = 1
+	SmallIntTag     = 1
+
+	// MinSmallInt and MaxSmallInt delimit the 31-bit signed range of a
+	// tagged SmallInteger on a 32-bit VM.
+	MinSmallInt = -1 << 30
+	MaxSmallInt = 1<<30 - 1
+)
+
+// IsSmallInt reports whether w is a tagged immediate integer.
+func IsSmallInt(w Word) bool { return w&SmallIntTag == SmallIntTag }
+
+// SmallIntValue untags w. The caller must have established IsSmallInt(w);
+// untagging a pointer silently produces garbage, which is exactly the
+// failure mode missing type checks expose (§5.3 of the paper).
+func SmallIntValue(w Word) int64 { return int64(w) >> SmallIntTagBits }
+
+// SmallIntFor tags v as an immediate integer. The caller must have
+// established IsIntegerValue(v).
+func SmallIntFor(v int64) Word { return Word(v<<SmallIntTagBits | SmallIntTag) }
+
+// IsIntegerValue reports whether the untagged value v fits the tagged
+// SmallInteger range. This is the overflow check of the interpreter's
+// arithmetic fast paths.
+func IsIntegerValue(v int64) bool { return v >= MinSmallInt && v <= MaxSmallInt }
+
+// IsObjectRef reports whether w looks like an object reference (an
+// untagged, word-aligned address). Zero is reserved as the null reference
+// and is never a valid object.
+func IsObjectRef(w Word) bool { return w != 0 && w&SmallIntTag == 0 }
+
+// Format describes the body layout of a heap object.
+type Format uint8
+
+const (
+	// FormatFixed objects have only named instance variable slots.
+	FormatFixed Format = iota
+	// FormatPointers objects are variable-sized arrays of object
+	// references (e.g. Array).
+	FormatPointers
+	// FormatWords objects are variable-sized arrays of raw 32-bit words
+	// (e.g. Bitmap, WordArray).
+	FormatWords
+	// FormatBytes objects are variable-sized byte arrays (e.g. String,
+	// ByteArray). Bytes are stored one per slot for simplicity of the
+	// simulated machine's word addressing.
+	FormatBytes
+	// FormatFloat objects box a 64-bit IEEE float in a single raw slot.
+	FormatFloat
+	// FormatCompiledMethod objects reference a method literal frame plus
+	// byte-codes; in this VM methods live outside the heap and the heap
+	// object is a handle.
+	FormatCompiledMethod
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatFixed:
+		return "fixed"
+	case FormatPointers:
+		return "pointers"
+	case FormatWords:
+		return "words"
+	case FormatBytes:
+		return "bytes"
+	case FormatFloat:
+		return "float"
+	case FormatCompiledMethod:
+		return "compiledMethod"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// IsIndexable reports whether objects of this format answer to at:/at:put:.
+func (f Format) IsIndexable() bool {
+	switch f {
+	case FormatPointers, FormatWords, FormatBytes:
+		return true
+	}
+	return false
+}
+
+// Well-known class indices. The class table assigns these on boot; they are
+// stable constants so that both the interpreter and the JIT compilers can
+// emit class checks against literal indices, as Cogit does.
+const (
+	ClassIndexNone           = 0
+	ClassIndexSmallInteger   = 1
+	ClassIndexFloat          = 2
+	ClassIndexUndefinedObj   = 3
+	ClassIndexTrue           = 4
+	ClassIndexFalse          = 5
+	ClassIndexArray          = 6
+	ClassIndexString         = 7
+	ClassIndexObject         = 8
+	ClassIndexContext        = 9
+	ClassIndexMetaclass      = 10
+	ClassIndexByteArray      = 11
+	ClassIndexWordArray      = 12
+	ClassIndexCompiledMethod = 13
+	ClassIndexExternalAddr   = 14 // FFI external address objects
+	ClassIndexExternalStruct = 15 // FFI structure objects
+	ClassIndexPoint          = 16
+	ClassIndexAssociation    = 17
+
+	// FirstUserClassIndex is where dynamically created classes start.
+	FirstUserClassIndex = 32
+)

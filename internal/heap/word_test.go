@@ -1,0 +1,65 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallIntTaggingRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, MinSmallInt, MaxSmallInt, MinSmallInt + 1, MaxSmallInt - 1}
+	for _, v := range cases {
+		w := SmallIntFor(v)
+		if !IsSmallInt(w) {
+			t.Errorf("SmallIntFor(%d) not tagged", v)
+		}
+		if got := SmallIntValue(w); got != v {
+			t.Errorf("roundtrip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestSmallIntTaggingRoundTripProperty(t *testing.T) {
+	f := func(raw int32) bool {
+		v := int64(raw)
+		if !IsIntegerValue(v) {
+			return true // outside the 31-bit range, not a SmallInteger
+		}
+		w := SmallIntFor(v)
+		return IsSmallInt(w) && SmallIntValue(w) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsIntegerValueBounds(t *testing.T) {
+	if !IsIntegerValue(MinSmallInt) || !IsIntegerValue(MaxSmallInt) {
+		t.Fatal("range endpoints must be integer values")
+	}
+	if IsIntegerValue(MinSmallInt-1) || IsIntegerValue(MaxSmallInt+1) {
+		t.Fatal("values outside the range must not be integer values")
+	}
+}
+
+func TestObjectRefsAreNotSmallInts(t *testing.T) {
+	om := NewBootedObjectMemory()
+	for _, w := range []Word{om.NilObj, om.TrueObj, om.FalseObj} {
+		if IsSmallInt(w) {
+			t.Errorf("special object %#x is tagged as integer", uint64(w))
+		}
+		if !IsObjectRef(w) {
+			t.Errorf("special object %#x is not an object ref", uint64(w))
+		}
+	}
+}
+
+func TestFormatStrings(t *testing.T) {
+	for f := FormatFixed; f <= FormatCompiledMethod; f++ {
+		if f.String() == "" {
+			t.Errorf("format %d has empty name", f)
+		}
+	}
+	if !FormatPointers.IsIndexable() || FormatFixed.IsIndexable() {
+		t.Error("indexability misclassified")
+	}
+}

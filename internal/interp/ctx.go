@@ -1,0 +1,270 @@
+package interp
+
+import (
+	"fmt"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/sym"
+)
+
+// Tracer receives the semantic events of an execution. The concolic engine
+// installs one to record path constraints; plain concrete execution leaves
+// it nil.
+type Tracer interface {
+	// Record notes that the constraint held on the executed path.
+	Record(held sym.Constraint)
+	// SlotVar returns the input variable standing for body slot index of
+	// the object bound to owner, or false if owner is not an input object.
+	SlotVar(owner sym.ValExpr, index int) (*sym.Var, bool)
+}
+
+// Ctx is the execution context of the interpreter: the VM state (object
+// memory, frame, method, pc) plus the semantic operations instruction
+// implementations are written against. Every type check, range check,
+// class fetch and stack access goes through Ctx so that one instruction
+// source serves both concrete and concolic execution.
+type Ctx struct {
+	OM     *heap.ObjectMemory
+	Frame  *Frame
+	Method *bytecode.Method
+	PC     int
+
+	Tracer Tracer
+
+	// Primitives dispatches native methods for the callPrimitive
+	// byte-code; nil leaves that byte-code unsupported.
+	Primitives PrimitiveTable
+
+	// InterpreterDefects enables seeded interpreter-side defects (the
+	// paper's "missing interpreter type check" family). The concrete
+	// production interpreter runs with them; see internal/defects.
+	InterpreterDefects DefectSwitches
+
+	maxStackRecorded int
+	literalCache     map[int]Value
+}
+
+// PrimitiveTable dispatches a native method by index.
+type PrimitiveTable interface {
+	// Run executes primitive index against the context. It must finish
+	// with an exit panic or return normally after pushing its result.
+	Run(ctx *Ctx, index int)
+	// Exists reports whether the index is a known native method.
+	Exists(index int) bool
+}
+
+// DefectSwitches carries the interpreter-relevant defect toggles. The
+// zero value is a defect-free interpreter.
+type DefectSwitches struct {
+	// AsFloatSkipsTypeCheck reproduces the paper's primitiveAsFloat bug
+	// (Listing 5): the receiver type assertion is compiled out, so a
+	// pointer receiver is coerced through untagging to a garbage float.
+	AsFloatSkipsTypeCheck bool
+}
+
+// NewCtx builds a context for running method code against frame.
+func NewCtx(om *heap.ObjectMemory, frame *Frame, method *bytecode.Method) *Ctx {
+	return &Ctx{OM: om, Frame: frame, Method: method}
+}
+
+// ---- exits ----
+
+func (c *Ctx) exit(e Exit) { panic(exitSignal{exit: e}) }
+
+// Success terminates the instruction normally; the interpreter loop
+// catches it when running a single instruction.
+func (c *Ctx) success() { c.exit(Exit{Kind: ExitSuccess, NextPC: c.PC}) }
+
+// NormalSend exits to activate a message send (slow paths, explicit sends).
+func (c *Ctx) NormalSend(selector string, numArgs int) {
+	c.exit(Exit{Kind: ExitMessageSend, Selector: selector, NumArgs: numArgs})
+}
+
+// MethodReturn exits returning v to the caller.
+func (c *Ctx) MethodReturn(v Value) {
+	c.exit(Exit{Kind: ExitMethodReturn, Result: v, HasResult: true})
+}
+
+// PrimFail exits a native method with a failure code.
+func (c *Ctx) PrimFail(code int) { c.exit(Exit{Kind: ExitFailure, FailCode: code}) }
+
+// PrimReturn exits a native method successfully with a result.
+func (c *Ctx) PrimReturn(v Value) {
+	c.exit(Exit{Kind: ExitSuccess, NextPC: c.PC, Result: v, HasResult: true})
+}
+
+// Unsupported exits marking the instruction outside prototype coverage.
+func (c *Ctx) Unsupported() { c.exit(Exit{Kind: ExitUnsupported}) }
+
+func (c *Ctx) invalidFrame(neededInputs int) {
+	c.record(sym.Negate(sym.StackSizeAtLeast{N: neededInputs}))
+	c.exit(Exit{Kind: ExitInvalidFrame})
+}
+
+func (c *Ctx) invalidMemory() { c.exit(Exit{Kind: ExitInvalidMemoryAccess}) }
+
+// ---- tracing ----
+
+func (c *Ctx) record(held sym.Constraint) {
+	if c.Tracer == nil || !constraintHasVars(held) {
+		return
+	}
+	c.Tracer.Record(held)
+}
+
+// RecordGuard records a condition that held on this path; native methods
+// use it for guards expressed through the non-recording comparison helpers.
+func (c *Ctx) RecordGuard(held sym.Constraint) { c.record(held) }
+
+// recordOutcome records cond when outcome holds and its negation otherwise,
+// then returns outcome.
+func (c *Ctx) recordOutcome(cond sym.Constraint, outcome bool) bool {
+	if outcome {
+		c.record(cond)
+	} else {
+		c.record(sym.Negate(cond))
+	}
+	return outcome
+}
+
+// ---- operand stack ----
+
+// StackValue reads the value i entries below the top of the operand stack,
+// recording the stack-size requirement and exiting with InvalidFrame on
+// underflow.
+func (c *Ctx) StackValue(i int) Value {
+	v, need, ok := c.Frame.StackValue(i)
+	if !ok {
+		c.invalidFrame(need)
+	}
+	if need > c.maxStackRecorded {
+		c.record(sym.StackSizeAtLeast{N: need})
+		c.maxStackRecorded = need
+	}
+	return v
+}
+
+// Push pushes v.
+func (c *Ctx) Push(v Value) { c.Frame.Push(v) }
+
+// PopN pops n values, exiting with InvalidFrame on underflow.
+func (c *Ctx) PopN(n int) {
+	// Popping requires the cells to exist, same as reading them.
+	if n > 0 {
+		c.StackValue(n - 1)
+	}
+	if need, ok := c.Frame.PopN(n); !ok {
+		c.invalidFrame(need)
+	}
+}
+
+// PopThenPush pops n values and pushes v (the internalPop:thenPush: of the
+// Pharo interpreter).
+func (c *Ctx) PopThenPush(n int, v Value) {
+	c.PopN(n)
+	c.Push(v)
+}
+
+// ---- frame slots ----
+
+// Receiver returns the frame receiver.
+func (c *Ctx) Receiver() Value { return c.Frame.Receiver }
+
+// Temp reads temporary i; a missing temp is a malformed frame.
+func (c *Ctx) Temp(i int) Value {
+	v, ok := c.Frame.Temp(i)
+	if !ok {
+		c.exit(Exit{Kind: ExitInvalidFrame})
+	}
+	return v
+}
+
+// SetTemp writes temporary i.
+func (c *Ctx) SetTemp(i int, v Value) {
+	if !c.Frame.SetTemp(i, v) {
+		c.exit(Exit{Kind: ExitInvalidFrame})
+	}
+}
+
+// Arg returns argument i of a native-method activation (arguments are the
+// leading temporaries).
+func (c *Ctx) Arg(i int) Value { return c.Temp(i) }
+
+// Literal resolves literal index i of the current method to a value.
+func (c *Ctx) Literal(i int) Value {
+	if v, ok := c.literalCache[i]; ok {
+		return v
+	}
+	lit, err := c.Method.LiteralAt(i)
+	if err != nil {
+		c.exit(Exit{Kind: ExitInvalidFrame})
+	}
+	v, err := ResolveLiteral(c.OM, lit)
+	if err != nil {
+		c.exit(Exit{Kind: ExitInvalidFrame})
+	}
+	if c.literalCache == nil {
+		c.literalCache = make(map[int]Value)
+	}
+	c.literalCache[i] = v
+	return v
+}
+
+// ResolveLiteral materializes a method literal in an object memory.
+func ResolveLiteral(om *heap.ObjectMemory, lit bytecode.Literal) (Value, error) {
+	switch lit.Kind {
+	case bytecode.LitInt:
+		if !heap.IsIntegerValue(lit.Int) {
+			return Value{}, fmt.Errorf("interp: literal %d outside small int range", lit.Int)
+		}
+		return Value{W: heap.SmallIntFor(lit.Int), Sym: sym.IntObj{E: sym.IntConst{V: lit.Int}}}, nil
+	case bytecode.LitFloat:
+		oop, err := om.NewFloat(lit.Float)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{W: oop, Sym: sym.FloatObj{E: sym.FloatConst{V: lit.Float}}}, nil
+	case bytecode.LitNil:
+		return Value{W: om.NilObj, Sym: sym.KnownObj{Name: "nil"}}, nil
+	case bytecode.LitTrue:
+		return Value{W: om.TrueObj, Sym: sym.KnownObj{Name: "true"}}, nil
+	case bytecode.LitFalse:
+		return Value{W: om.FalseObj, Sym: sym.KnownObj{Name: "false"}}, nil
+	case bytecode.LitString:
+		oop, err := om.NewString(lit.Str)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{W: oop, Sym: sym.KnownObj{Name: fmt.Sprintf("%q", lit.Str)}}, nil
+	case bytecode.LitSelector:
+		oop, err := om.NewString(lit.Str)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{W: oop, Sym: sym.KnownObj{Name: "#" + lit.Str}}, nil
+	}
+	return Value{}, fmt.Errorf("interp: unknown literal kind %d", lit.Kind)
+}
+
+// ---- well-known values ----
+
+// NilValue, TrueValue, FalseValue construct the special constants.
+func (c *Ctx) NilValue() Value   { return Value{W: c.OM.NilObj, Sym: sym.KnownObj{Name: "nil"}} }
+func (c *Ctx) TrueValue() Value  { return Value{W: c.OM.TrueObj, Sym: sym.KnownObj{Name: "true"}} }
+func (c *Ctx) FalseValue() Value { return Value{W: c.OM.FalseObj, Sym: sym.KnownObj{Name: "false"}} }
+
+// ConstInt builds a small-integer constant value.
+func (c *Ctx) ConstInt(v int64) Value {
+	return Value{W: heap.SmallIntFor(v), Sym: sym.IntObj{E: sym.IntConst{V: v}}}
+}
+
+// BoolValue builds the true/false object for outcome, annotated with the
+// condition that produced it so jump byte-codes can branch symbolically.
+func (c *Ctx) BoolValue(outcome bool, cond sym.Constraint) Value {
+	s := sym.ValExpr(sym.KnownObj{Name: fmt.Sprintf("%t", outcome)})
+	if cond != nil && constraintHasVars(cond) {
+		s = sym.BoolObj{C: cond}
+	}
+	return Value{W: c.OM.BoolObject(outcome), Sym: s}
+}

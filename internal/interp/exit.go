@@ -1,0 +1,95 @@
+// Package interp implements the virtual machine's byte-code interpreter.
+//
+// The interpreter is written once against an execution context (Ctx) whose
+// semantic operations (isSmallInteger, overflow range checks, class index
+// fetches, slot and operand-stack access) optionally report to a Tracer.
+// With a nil tracer the interpreter is the VM's plain concrete execution
+// engine; with the concolic tracer installed the very same instruction
+// source records the path constraints of §3.3, making the interpreter an
+// executable specification in the paper's sense.
+package interp
+
+import "fmt"
+
+// ExitKind models how an instruction execution finished (§3.4).
+type ExitKind int
+
+const (
+	// ExitSuccess is the correct execution of an instruction to its end
+	// (fetchNextBytecode reached, or a native method returning a result).
+	ExitSuccess ExitKind = iota
+	// ExitFailure is a native method failing its operand checks; execution
+	// falls back to the user-defined method body.
+	ExitFailure
+	// ExitMessageSend leaves the instruction to activate a message send
+	// (slow paths of optimized byte-codes, explicit sends, mustBeBoolean).
+	ExitMessageSend
+	// ExitMethodReturn returns to the caller.
+	ExitMethodReturn
+	// ExitInvalidFrame is an access to a non-existing operand stack value;
+	// the concolic engine uses it to grow the abstract frame.
+	ExitInvalidFrame
+	// ExitInvalidMemoryAccess is an out-of-bounds object access: an
+	// expected failure for unsafe byte-codes, an error for native methods.
+	ExitInvalidMemoryAccess
+	// ExitUnsupported marks instructions the testing prototype does not
+	// handle (stack-frame reification, byte-code look-ahead; §4.3). Paths
+	// ending here are curated out of the evaluation.
+	ExitUnsupported
+)
+
+func (k ExitKind) String() string {
+	switch k {
+	case ExitSuccess:
+		return "success"
+	case ExitFailure:
+		return "failure"
+	case ExitMessageSend:
+		return "messageSend"
+	case ExitMethodReturn:
+		return "methodReturn"
+	case ExitInvalidFrame:
+		return "invalidFrame"
+	case ExitInvalidMemoryAccess:
+		return "invalidMemoryAccess"
+	case ExitUnsupported:
+		return "unsupported"
+	}
+	return fmt.Sprintf("ExitKind(%d)", int(k))
+}
+
+// Exit is the full exit condition of one instruction execution.
+type Exit struct {
+	Kind ExitKind
+	// NextPC is the byte-code offset execution continues at (Success).
+	NextPC int
+	// Selector and NumArgs describe the activation for ExitMessageSend.
+	Selector string
+	NumArgs  int
+	// Result is the returned value for ExitMethodReturn and the pushed
+	// result for successful native methods.
+	Result Value
+	// HasResult distinguishes a present zero Result from no result.
+	HasResult bool
+	// FailCode is the primitive failure code for ExitFailure.
+	FailCode int
+}
+
+func (e Exit) String() string {
+	switch e.Kind {
+	case ExitSuccess:
+		return fmt.Sprintf("success(pc=%d)", e.NextPC)
+	case ExitMessageSend:
+		return fmt.Sprintf("messageSend(#%s/%d)", e.Selector, e.NumArgs)
+	case ExitFailure:
+		return fmt.Sprintf("failure(code=%d)", e.FailCode)
+	case ExitMethodReturn:
+		return "methodReturn"
+	default:
+		return e.Kind.String()
+	}
+}
+
+// exitSignal carries an Exit through panic/recover inside the interpreter;
+// deeply nested instruction code terminates by raising it.
+type exitSignal struct{ exit Exit }

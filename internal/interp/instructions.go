@@ -1,0 +1,469 @@
+package interp
+
+import (
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/sym"
+)
+
+// RunInstruction executes exactly one byte-code instruction at ctx.PC and
+// returns its exit condition. Reaching the end of the instruction without
+// an explicit exit is the Success exit (fetchNextBytecode).
+func RunInstruction(ctx *Ctx) (exit Exit) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, ok := r.(exitSignal)
+			if !ok {
+				panic(r)
+			}
+			exit = s.exit
+		}
+	}()
+	op, operands, next, ok := ctx.Method.FetchOp(ctx.PC)
+	if !ok {
+		return Exit{Kind: ExitUnsupported}
+	}
+	ctx.PC = next
+	ctx.dispatch(op, operands)
+	return Exit{Kind: ExitSuccess, NextPC: ctx.PC}
+}
+
+// RunPrimitive executes one native method against ctx and returns its exit
+// condition. Native methods always finish through an explicit exit
+// (PrimReturn, PrimFail, or a frame/memory exit).
+func RunPrimitive(ctx *Ctx, table PrimitiveTable, index int) (exit Exit) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, ok := r.(exitSignal)
+			if !ok {
+				panic(r)
+			}
+			exit = s.exit
+		}
+	}()
+	table.Run(ctx, index)
+	return Exit{Kind: ExitFailure, FailCode: 0}
+}
+
+// dispatch routes an opcode to its family implementation.
+func (c *Ctx) dispatch(op bytecode.Op, operands []byte) {
+	d := bytecode.Describe(op)
+	switch d.Family {
+	case bytecode.FamPushReceiverVariable:
+		c.bcPushReceiverVariable(d.Embedded)
+	case bytecode.FamPushTemporaryVariable:
+		c.Push(c.Temp(d.Embedded))
+	case bytecode.FamStoreReceiverVariable:
+		c.bcStoreReceiverVariable(d.Embedded, false)
+	case bytecode.FamPopIntoReceiverVariable:
+		c.bcStoreReceiverVariable(d.Embedded, true)
+	case bytecode.FamStoreTemporaryVariable:
+		c.SetTemp(d.Embedded, c.StackValue(0))
+	case bytecode.FamPopIntoTemporaryVariable:
+		v := c.StackValue(0)
+		c.PopN(1)
+		c.SetTemp(d.Embedded, v)
+	case bytecode.FamPushLiteralConstant:
+		c.Push(c.Literal(d.Embedded))
+	case bytecode.FamPushReceiver:
+		c.Push(c.Receiver())
+	case bytecode.FamPushConstant:
+		c.bcPushConstant(d.Embedded)
+	case bytecode.FamDuplicateTop:
+		c.Push(c.StackValue(0))
+	case bytecode.FamPopStackTop:
+		c.PopN(1)
+	case bytecode.FamNop:
+		// nothing
+	case bytecode.FamPushThisContext:
+		// Stack-frame reification is outside prototype coverage (§4.3).
+		c.Unsupported()
+	case bytecode.FamPrimAdd:
+		c.bcArithmetic(sym.OpAdd, "+")
+	case bytecode.FamPrimSubtract:
+		c.bcArithmetic(sym.OpSub, "-")
+	case bytecode.FamPrimMultiply:
+		c.bcArithmetic(sym.OpMul, "*")
+	case bytecode.FamPrimDivide:
+		c.bcDivide()
+	case bytecode.FamPrimDiv:
+		c.bcFlooredDivision(sym.OpDiv, "//")
+	case bytecode.FamPrimMod:
+		c.bcFlooredDivision(sym.OpMod, "\\\\")
+	case bytecode.FamPrimBitAnd:
+		c.bcBitwise(sym.OpBitAnd, "bitAnd:")
+	case bytecode.FamPrimBitOr:
+		c.bcBitwise(sym.OpBitOr, "bitOr:")
+	case bytecode.FamPrimBitXor:
+		c.bcBitwise(sym.OpBitXor, "bitXor:")
+	case bytecode.FamPrimBitShift:
+		c.bcBitShift()
+	case bytecode.FamPrimLessThan:
+		c.bcComparison(sym.CmpLT, "<")
+	case bytecode.FamPrimGreaterThan:
+		c.bcComparison(sym.CmpGT, ">")
+	case bytecode.FamPrimLessOrEqual:
+		c.bcComparison(sym.CmpLE, "<=")
+	case bytecode.FamPrimGreaterOrEqual:
+		c.bcComparison(sym.CmpGE, ">=")
+	case bytecode.FamPrimEqual:
+		c.bcComparison(sym.CmpEQ, "=")
+	case bytecode.FamPrimNotEqual:
+		c.bcComparison(sym.CmpNE, "~=")
+	case bytecode.FamPrimIdentical:
+		c.bcIdentical(false)
+	case bytecode.FamPrimNotIdentical:
+		c.bcIdentical(true)
+	case bytecode.FamPrimClass:
+		c.bcClass()
+	case bytecode.FamPrimSize:
+		c.bcSize()
+	case bytecode.FamPrimAt:
+		c.bcAt()
+	case bytecode.FamPrimAtPut:
+		c.bcAtPut()
+	case bytecode.FamShortJump, bytecode.FamShortJumpIfTrue, bytecode.FamShortJumpIfFalse, bytecode.FamLongJumpForward:
+		c.bcJump(op, operands)
+	case bytecode.FamReturnSpecial:
+		c.bcReturnSpecial(d.Embedded)
+	case bytecode.FamReturnTop:
+		v := c.StackValue(0)
+		c.PopN(1)
+		c.MethodReturn(v)
+	case bytecode.FamSend0Args, bytecode.FamSend1Arg, bytecode.FamSend2Args:
+		c.bcSend(op, d.Embedded)
+	case bytecode.FamCallPrimitive:
+		c.bcCallPrimitive(int(operands[0]) | int(operands[1])<<8)
+	default:
+		c.Unsupported()
+	}
+}
+
+func (c *Ctx) bcPushReceiverVariable(i int) {
+	// Byte-codes are unsafe by design: the bounds condition is recorded by
+	// the checked fetch, and an out-of-bounds access exits with
+	// InvalidMemoryAccess (an *expected failure* for byte-codes, §3.4).
+	c.Push(c.FetchSlotChecked(c.Receiver(), i))
+}
+
+func (c *Ctx) bcStoreReceiverVariable(i int, pop bool) {
+	v := c.StackValue(0)
+	if pop {
+		c.PopN(1)
+	}
+	c.StoreSlotChecked(c.Receiver(), i, v)
+}
+
+func (c *Ctx) bcPushConstant(embedded int) {
+	switch embedded {
+	case 0:
+		c.Push(c.TrueValue())
+	case 1:
+		c.Push(c.FalseValue())
+	case 2:
+		c.Push(c.NilValue())
+	case 3:
+		c.Push(c.ConstInt(0))
+	case 4:
+		c.Push(c.ConstInt(1))
+	case 5:
+		c.Push(c.ConstInt(-1))
+	case 6:
+		c.Push(c.ConstInt(2))
+	}
+}
+
+// bcArithmetic is the static-type-prediction arithmetic of Listing 1,
+// extended with the float fast path the Pharo interpreter also inlines
+// (§5.3 "optimization difference"): integers first, then floats, then the
+// message-send slow path.
+func (c *Ctx) bcArithmetic(op sym.BinOp, selector string) {
+	rcvr := c.StackValue(1)
+	arg := c.StackValue(0)
+	if c.AreIntegers(rcvr, arg) {
+		result := c.IntBinOp(op, c.SmallIntValue(rcvr), c.SmallIntValue(arg))
+		if c.IsIntegerValue(result) {
+			c.PopThenPush(2, c.IntObjectOf(result))
+			return // fetchNextBytecode: success
+		}
+	} else if c.AreFloats(rcvr, arg) {
+		result := c.FloatBinOp(op, c.FloatValueOf(rcvr), c.FloatValueOf(arg))
+		c.PopThenPush(2, c.NewFloatValue(result))
+		return
+	}
+	// Slow path, message send.
+	c.NormalSend(selector, 1)
+}
+
+func (c *Ctx) bcDivide() {
+	rcvr := c.StackValue(1)
+	arg := c.StackValue(0)
+	if c.AreIntegers(rcvr, arg) {
+		a, b := c.SmallIntValue(rcvr), c.SmallIntValue(arg)
+		if c.GuardIntCompare(sym.CmpNE, b, IntValue{V: 0}) {
+			// Smalltalk / succeeds on integers only for exact division.
+			rem := c.IntBinOp(sym.OpMod, a, b)
+			if c.GuardIntCompare(sym.CmpEQ, rem, IntValue{V: 0}) {
+				q := c.IntBinOp(sym.OpDiv, a, b)
+				if c.IsIntegerValue(q) {
+					c.PopThenPush(2, c.IntObjectOf(q))
+					return
+				}
+			}
+		}
+	} else if c.AreFloats(rcvr, arg) {
+		result := c.FloatBinOp(sym.OpDiv, c.FloatValueOf(rcvr), c.FloatValueOf(arg))
+		c.PopThenPush(2, c.NewFloatValue(result))
+		return
+	}
+	c.NormalSend("/", 1)
+}
+
+func (c *Ctx) bcFlooredDivision(op sym.BinOp, selector string) {
+	rcvr := c.StackValue(1)
+	arg := c.StackValue(0)
+	if c.AreIntegers(rcvr, arg) {
+		a, b := c.SmallIntValue(rcvr), c.SmallIntValue(arg)
+		if c.GuardIntCompare(sym.CmpNE, b, IntValue{V: 0}) {
+			r := c.IntBinOp(op, a, b)
+			if c.IsIntegerValue(r) {
+				c.PopThenPush(2, c.IntObjectOf(r))
+				return
+			}
+		}
+	}
+	c.NormalSend(selector, 1)
+}
+
+// bcBitwise implements the inlined bitwise byte-codes. The interpreter
+// falls back to library code for negative operands (§5.3 "behavioral
+// difference": compiled code treats them as unsigned instead).
+func (c *Ctx) bcBitwise(op sym.BinOp, selector string) {
+	rcvr := c.StackValue(1)
+	arg := c.StackValue(0)
+	if c.AreIntegers(rcvr, arg) {
+		a, b := c.SmallIntValue(rcvr), c.SmallIntValue(arg)
+		if c.GuardIntCompare(sym.CmpGE, a, IntValue{V: 0}) &&
+			c.GuardIntCompare(sym.CmpGE, b, IntValue{V: 0}) {
+			c.PopThenPush(2, c.IntObjectOf(c.IntBinOp(op, a, b)))
+			return
+		}
+	}
+	c.NormalSend(selector, 1)
+}
+
+func (c *Ctx) bcBitShift() {
+	rcvr := c.StackValue(1)
+	arg := c.StackValue(0)
+	if c.AreIntegers(rcvr, arg) {
+		a, b := c.SmallIntValue(rcvr), c.SmallIntValue(arg)
+		if c.GuardIntCompare(sym.CmpGE, a, IntValue{V: 0}) {
+			if c.GuardIntCompare(sym.CmpGE, b, IntValue{V: 0}) {
+				// Left shift with overflow check; shifts beyond the word
+				// width always overflow.
+				if c.GuardIntCompare(sym.CmpLE, b, IntValue{V: 31}) {
+					r := c.IntBinOp(sym.OpShiftLeft, a, b)
+					if c.IsIntegerValue(r) {
+						c.PopThenPush(2, c.IntObjectOf(r))
+						return
+					}
+				}
+			} else if c.GuardIntCompare(sym.CmpGE, b, IntValue{V: -31}) {
+				neg := c.IntBinOp(sym.OpSub, IntValue{V: 0}, b)
+				r := c.IntBinOp(sym.OpShiftRight, a, neg)
+				c.PopThenPush(2, c.IntObjectOf(r))
+				return
+			}
+		}
+	}
+	c.NormalSend("bitShift:", 1)
+}
+
+func (c *Ctx) bcComparison(op sym.CmpOp, selector string) {
+	rcvr := c.StackValue(1)
+	arg := c.StackValue(0)
+	if c.AreIntegers(rcvr, arg) {
+		outcome, cond := c.IntCompare(op, c.SmallIntValue(rcvr), c.SmallIntValue(arg))
+		c.PopThenPush(2, c.BoolValue(outcome, cond))
+		return
+	}
+	if c.AreFloats(rcvr, arg) {
+		outcome, cond := c.FloatCompare(op, c.FloatValueOf(rcvr), c.FloatValueOf(arg))
+		c.PopThenPush(2, c.BoolValue(outcome, cond))
+		return
+	}
+	c.NormalSend(selector, 1)
+}
+
+func (c *Ctx) bcIdentical(negated bool) {
+	rcvr := c.StackValue(1)
+	arg := c.StackValue(0)
+	outcome := c.IdenticalValues(rcvr, arg)
+	if negated {
+		outcome = !outcome
+	}
+	c.PopThenPush(2, c.BoolValue(outcome, nil))
+}
+
+func (c *Ctx) bcClass() {
+	v := c.StackValue(0)
+	idx := c.OM.ClassIndexOf(v.W)
+	cd := c.OM.ClassAt(idx)
+	if cd == nil {
+		c.NormalSend("class", 0)
+	}
+	c.PopThenPush(1, Value{W: cd.Oop, Sym: sym.KnownObj{Name: "class " + cd.Name}})
+}
+
+func (c *Ctx) bcSize() {
+	v := c.StackValue(0)
+	if c.IsSmallInt(v) {
+		c.NormalSend("size", 0)
+	}
+	if !c.IsIndexable(v) {
+		c.NormalSend("size", 0)
+	}
+	c.PopThenPush(1, c.IntObjectOf(c.SlotCount(v)))
+}
+
+func (c *Ctx) bcAt() {
+	rcvr := c.StackValue(1)
+	idx := c.StackValue(0)
+	if !c.IsSmallInt(idx) || c.IsSmallInt(rcvr) || !c.IsIndexable(rcvr) {
+		c.NormalSend("at:", 1)
+	}
+	i := c.SmallIntValue(idx)
+	if c.GuardIntCompare(sym.CmpGE, i, IntValue{V: 1}) &&
+		c.GuardIntCompare(sym.CmpLE, i, c.SlotCount(rcvr)) {
+		v := c.FetchSlotChecked(rcvr, int(i.V-1))
+		c.PopThenPush(2, v)
+		return
+	}
+	c.NormalSend("at:", 1)
+}
+
+func (c *Ctx) bcAtPut() {
+	rcvr := c.StackValue(2)
+	idx := c.StackValue(1)
+	val := c.StackValue(0)
+	if !c.IsSmallInt(idx) || c.IsSmallInt(rcvr) || !c.IsIndexable(rcvr) {
+		c.NormalSend("at:put:", 2)
+	}
+	f := c.OM.FormatOf(rcvr.W)
+	if f == heap.FormatBytes || f == heap.FormatWords {
+		if !c.IsSmallInt(val) {
+			c.NormalSend("at:put:", 2)
+		}
+	}
+	i := c.SmallIntValue(idx)
+	if c.GuardIntCompare(sym.CmpGE, i, IntValue{V: 1}) &&
+		c.GuardIntCompare(sym.CmpLE, i, c.SlotCount(rcvr)) {
+		c.StoreSlotChecked(rcvr, int(i.V-1), val)
+		c.PopThenPush(3, val)
+		return
+	}
+	c.NormalSend("at:put:", 2)
+}
+
+// branchDecision classifies the popped jump operand.
+type branchDecision int
+
+const (
+	branchTrue branchDecision = iota
+	branchFalse
+	branchNonBoolean
+)
+
+// decideBranch pops the condition value and classifies it, recording the
+// boolean conditions that held.
+func (c *Ctx) decideBranch() branchDecision {
+	v := c.StackValue(0)
+	c.PopN(1)
+	switch s := v.Sym.(type) {
+	case sym.BoolObj:
+		// A boolean derived from an inlined comparison: the branch
+		// condition is the comparison itself.
+		if v.W == c.OM.TrueObj {
+			c.record(s.C)
+			return branchTrue
+		}
+		c.record(sym.Negate(s.C))
+		return branchFalse
+	case sym.VarRef:
+		if v.W == c.OM.TrueObj {
+			c.recordOutcome(sym.TypeIs{V: s.V, Kind: sym.KindTrue}, true)
+			return branchTrue
+		}
+		c.recordOutcome(sym.TypeIs{V: s.V, Kind: sym.KindTrue}, false)
+		if v.W == c.OM.FalseObj {
+			c.recordOutcome(sym.TypeIs{V: s.V, Kind: sym.KindFalse}, true)
+			return branchFalse
+		}
+		c.recordOutcome(sym.TypeIs{V: s.V, Kind: sym.KindFalse}, false)
+		return branchNonBoolean
+	default:
+		switch v.W {
+		case c.OM.TrueObj:
+			return branchTrue
+		case c.OM.FalseObj:
+			return branchFalse
+		default:
+			return branchNonBoolean
+		}
+	}
+}
+
+func (c *Ctx) bcJump(op bytecode.Op, operands []byte) {
+	var operand byte
+	if len(operands) > 0 {
+		operand = operands[0]
+	}
+	off, conditional, onTrue, _ := bytecode.JumpOffset(op, operand)
+	if !conditional {
+		c.PC += off
+		return
+	}
+	switch c.decideBranch() {
+	case branchTrue:
+		if onTrue {
+			c.PC += off
+		}
+	case branchFalse:
+		if !onTrue {
+			c.PC += off
+		}
+	case branchNonBoolean:
+		c.NormalSend("mustBeBoolean", 0)
+	}
+}
+
+func (c *Ctx) bcReturnSpecial(embedded int) {
+	switch embedded {
+	case 0:
+		c.MethodReturn(c.Receiver())
+	case 1:
+		c.MethodReturn(c.TrueValue())
+	case 2:
+		c.MethodReturn(c.FalseValue())
+	case 3:
+		c.MethodReturn(c.NilValue())
+	}
+}
+
+func (c *Ctx) bcSend(op bytecode.Op, literalIndex int) {
+	numArgs, _ := bytecode.ArgCountOfSend(op)
+	lit, err := c.Method.LiteralAt(literalIndex)
+	if err != nil || lit.Kind != bytecode.LitSelector {
+		c.exit(Exit{Kind: ExitInvalidFrame})
+	}
+	// The receiver and arguments must exist on the operand stack.
+	c.StackValue(numArgs)
+	c.NormalSend(lit.Str, numArgs)
+}
+
+func (c *Ctx) bcCallPrimitive(index int) {
+	if c.Primitives == nil || !c.Primitives.Exists(index) {
+		c.Unsupported()
+	}
+	c.Primitives.Run(c, index)
+}

@@ -1,0 +1,379 @@
+package interp
+
+import (
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+)
+
+// run executes a single instruction concretely against the given frame.
+func run(t *testing.T, om *heap.ObjectMemory, m *bytecode.Method, f *Frame) (Exit, *Ctx) {
+	t.Helper()
+	ctx := NewCtx(om, f, m)
+	return RunInstruction(ctx), ctx
+}
+
+func intV(v int64) Value { return Concrete(heap.SmallIntFor(v)) }
+
+func TestAddFastPath(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := bytecode.NewBuilder("t", 0).Add().MustMethod()
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(3), intV(4)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess {
+		t.Fatalf("exit %v", exit)
+	}
+	if f.Size() != 1 || f.Stack[0].W != heap.SmallIntFor(7) {
+		t.Fatalf("stack after add: %v", f.Stack)
+	}
+}
+
+func TestAddOverflowGoesToSend(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := bytecode.NewBuilder("t", 0).Add().MustMethod()
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(heap.MaxSmallInt), intV(1)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitMessageSend || exit.Selector != "+" || exit.NumArgs != 1 {
+		t.Fatalf("overflow should exit to send #+, got %v", exit)
+	}
+	// The slow path leaves the operands on the stack.
+	if f.Size() != 2 {
+		t.Fatalf("operands must stay for the send, stack %v", f.Stack)
+	}
+}
+
+func TestAddNonIntGoesToSend(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	obj := om.MustAllocate(heap.ClassIndexObject, heap.FormatFixed, 0)
+	m := bytecode.NewBuilder("t", 0).Add().MustMethod()
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(1), Concrete(obj)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitMessageSend {
+		t.Fatalf("exit %v", exit)
+	}
+}
+
+func TestAddFloatFastPath(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	f1, _ := om.NewFloat(1.5)
+	f2, _ := om.NewFloat(2.25)
+	m := bytecode.NewBuilder("t", 0).Add().MustMethod()
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{Concrete(f1), Concrete(f2)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess {
+		t.Fatalf("exit %v", exit)
+	}
+	got, _ := om.FloatValueOf(f.Stack[0].W)
+	if got != 3.75 {
+		t.Fatalf("float add gave %g", got)
+	}
+}
+
+func TestAddUnderflowIsInvalidFrame(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := bytecode.NewBuilder("t", 0).Add().MustMethod()
+	f := NewFrame(Concrete(om.NilObj), nil, nil)
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitInvalidFrame {
+		t.Fatalf("exit %v", exit)
+	}
+}
+
+func TestPushConstants(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	cases := []struct {
+		op   bytecode.Op
+		want heap.Word
+	}{
+		{bytecode.OpPushConstantTrue, om.TrueObj},
+		{bytecode.OpPushConstantFalse, om.FalseObj},
+		{bytecode.OpPushConstantNil, om.NilObj},
+		{bytecode.OpPushConstantZero, heap.SmallIntFor(0)},
+		{bytecode.OpPushConstantOne, heap.SmallIntFor(1)},
+		{bytecode.OpPushConstantMinusOne, heap.SmallIntFor(-1)},
+		{bytecode.OpPushConstantTwo, heap.SmallIntFor(2)},
+	}
+	for _, cse := range cases {
+		m := &bytecode.Method{Name: "t", Code: []byte{byte(cse.op)}}
+		f := NewFrame(Concrete(om.NilObj), nil, nil)
+		exit, _ := run(t, om, m, f)
+		if exit.Kind != ExitSuccess || f.Size() != 1 || f.Stack[0].W != cse.want {
+			t.Errorf("op %v: exit %v stack %v", cse.op, exit, f.Stack)
+		}
+	}
+}
+
+func TestTempAccess(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := bytecode.NewBuilder("t", 1).PushTemp(0).MustMethod()
+	f := NewFrame(Concrete(om.NilObj), []Value{intV(9)}, nil)
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Stack[0].W != heap.SmallIntFor(9) {
+		t.Fatalf("pushTemp failed: %v %v", exit, f.Stack)
+	}
+
+	m2 := &bytecode.Method{Name: "t", NumArgs: 1, Code: []byte{byte(bytecode.OpPopIntoTemporaryVariable0)}}
+	f2 := NewFrame(Concrete(om.NilObj), []Value{intV(0)}, []Value{intV(5)})
+	exit2, _ := run(t, om, m2, f2)
+	if exit2.Kind != ExitSuccess || f2.Temps[0].W != heap.SmallIntFor(5) || f2.Size() != 0 {
+		t.Fatalf("popIntoTemp failed: %v", exit2)
+	}
+}
+
+func TestReceiverVariableAccess(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	obj := om.MustAllocate(heap.ClassIndexObject, heap.FormatFixed, 2)
+	om.StoreSlot(obj, 1, heap.SmallIntFor(42))
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPushReceiverVariable0 + 1)}}
+	f := NewFrame(Concrete(obj), nil, nil)
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Stack[0].W != heap.SmallIntFor(42) {
+		t.Fatalf("pushReceiverVariable: %v %v", exit, f.Stack)
+	}
+
+	// Out-of-bounds access is an InvalidMemoryAccess exit.
+	m2 := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPushReceiverVariable0 + 5)}}
+	f2 := NewFrame(Concrete(obj), nil, nil)
+	exit2, _ := run(t, om, m2, f2)
+	if exit2.Kind != ExitInvalidMemoryAccess {
+		t.Fatalf("OOB slot access: %v", exit2)
+	}
+}
+
+func TestComparisonPushesBoolean(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := bytecode.NewBuilder("t", 0).LessThan().MustMethod()
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(3), intV(4)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Stack[0].W != om.TrueObj {
+		t.Fatalf("3 < 4 should push true: %v %v", exit, f.Stack)
+	}
+}
+
+func TestDivideExactAndInexact(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := bytecode.NewBuilder("t", 0).Divide().MustMethod()
+
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(8), intV(2)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Stack[0].W != heap.SmallIntFor(4) {
+		t.Fatalf("8/2: %v %v", exit, f.Stack)
+	}
+
+	f2 := NewFrame(Concrete(om.NilObj), nil, []Value{intV(7), intV(2)})
+	exit2, _ := run(t, om, m, f2)
+	if exit2.Kind != ExitMessageSend {
+		t.Fatalf("7/2 must take the send path: %v", exit2)
+	}
+
+	f3 := NewFrame(Concrete(om.NilObj), nil, []Value{intV(7), intV(0)})
+	exit3, _ := run(t, om, m, f3)
+	if exit3.Kind != ExitMessageSend {
+		t.Fatalf("division by zero must take the send path: %v", exit3)
+	}
+}
+
+func TestBitwiseNegativeFallsBack(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPrimBitAnd)}}
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(6), intV(3)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Stack[0].W != heap.SmallIntFor(2) {
+		t.Fatalf("6 bitAnd 3: %v %v", exit, f.Stack)
+	}
+
+	f2 := NewFrame(Concrete(om.NilObj), nil, []Value{intV(-6), intV(3)})
+	exit2, _ := run(t, om, m, f2)
+	if exit2.Kind != ExitMessageSend {
+		t.Fatalf("negative bitAnd must fall back to a send: %v", exit2)
+	}
+}
+
+func TestBitShift(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPrimBitShift)}}
+
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(3), intV(4)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Stack[0].W != heap.SmallIntFor(48) {
+		t.Fatalf("3 << 4: %v %v", exit, f.Stack)
+	}
+
+	f2 := NewFrame(Concrete(om.NilObj), nil, []Value{intV(48), intV(-4)})
+	exit2, _ := run(t, om, m, f2)
+	if exit2.Kind != ExitSuccess || f2.Stack[0].W != heap.SmallIntFor(3) {
+		t.Fatalf("48 >> 4: %v %v", exit2, f2.Stack)
+	}
+
+	f3 := NewFrame(Concrete(om.NilObj), nil, []Value{intV(1), intV(40)})
+	exit3, _ := run(t, om, m, f3)
+	if exit3.Kind != ExitMessageSend {
+		t.Fatalf("overflowing shift must send: %v", exit3)
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPrimIdentical)}}
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(3), intV(3)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Stack[0].W != om.TrueObj {
+		t.Fatalf("3 == 3: %v", exit)
+	}
+	f2 := NewFrame(Concrete(om.NilObj), nil, []Value{intV(3), Concrete(om.NilObj)})
+	exit2, _ := run(t, om, m, f2)
+	if exit2.Kind != ExitSuccess || f2.Stack[0].W != om.FalseObj {
+		t.Fatalf("3 == nil: %v", exit2)
+	}
+}
+
+func TestSizeAndAt(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	arr, _ := om.NewArray(heap.SmallIntFor(10), heap.SmallIntFor(20))
+
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPrimSize)}}
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{Concrete(arr)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Stack[0].W != heap.SmallIntFor(2) {
+		t.Fatalf("size: %v %v", exit, f.Stack)
+	}
+
+	mAt := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPrimAt)}}
+	f2 := NewFrame(Concrete(om.NilObj), nil, []Value{Concrete(arr), intV(2)})
+	exit2, _ := run(t, om, mAt, f2)
+	if exit2.Kind != ExitSuccess || f2.Stack[0].W != heap.SmallIntFor(20) {
+		t.Fatalf("at: %v %v", exit2, f2.Stack)
+	}
+
+	// Index out of bounds takes the send path (safe fallback).
+	f3 := NewFrame(Concrete(om.NilObj), nil, []Value{Concrete(arr), intV(3)})
+	exit3, _ := run(t, om, mAt, f3)
+	if exit3.Kind != ExitMessageSend {
+		t.Fatalf("at: OOB must send: %v", exit3)
+	}
+}
+
+func TestAtPut(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	arr, _ := om.NewArray(heap.SmallIntFor(10), heap.SmallIntFor(20))
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPrimAtPut)}}
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{Concrete(arr), intV(1), intV(99)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess {
+		t.Fatalf("atPut: %v", exit)
+	}
+	got, _ := om.FetchSlot(arr, 0)
+	if got != heap.SmallIntFor(99) {
+		t.Fatalf("slot not stored: %v", got)
+	}
+	if f.Size() != 1 || f.Stack[0].W != heap.SmallIntFor(99) {
+		t.Fatalf("at:put: must push the stored value: %v", f.Stack)
+	}
+}
+
+func TestJumps(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+
+	// Unconditional jump skips bytes.
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpShortJump1 + 1), 0, 0, byte(bytecode.OpNop)}}
+	f := NewFrame(Concrete(om.NilObj), nil, nil)
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || exit.NextPC != 3 {
+		t.Fatalf("jump: %v", exit)
+	}
+
+	// Conditional jump on true.
+	m2 := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpShortJumpIfTrue1), 0}}
+	f2 := NewFrame(Concrete(om.NilObj), nil, []Value{Concrete(om.TrueObj)})
+	exit2, _ := run(t, om, m2, f2)
+	if exit2.Kind != ExitSuccess || exit2.NextPC != 2 {
+		t.Fatalf("jumpIfTrue taken: %v", exit2)
+	}
+
+	// Conditional jump on false does not branch.
+	f3 := NewFrame(Concrete(om.NilObj), nil, []Value{Concrete(om.FalseObj)})
+	exit3, _ := run(t, om, m2, f3)
+	if exit3.Kind != ExitSuccess || exit3.NextPC != 1 {
+		t.Fatalf("jumpIfTrue not taken: %v", exit3)
+	}
+
+	// Non-boolean condition sends #mustBeBoolean.
+	f4 := NewFrame(Concrete(om.NilObj), nil, []Value{intV(5)})
+	exit4, _ := run(t, om, m2, f4)
+	if exit4.Kind != ExitMessageSend || exit4.Selector != "mustBeBoolean" {
+		t.Fatalf("non-boolean jump: %v", exit4)
+	}
+}
+
+func TestReturns(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpReturnTop)}}
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(5)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitMethodReturn || exit.Result.W != heap.SmallIntFor(5) {
+		t.Fatalf("returnTop: %v", exit)
+	}
+
+	m2 := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpReturnTrue)}}
+	f2 := NewFrame(Concrete(om.NilObj), nil, nil)
+	exit2, _ := run(t, om, m2, f2)
+	if exit2.Kind != ExitMethodReturn || exit2.Result.W != om.TrueObj {
+		t.Fatalf("returnTrue: %v", exit2)
+	}
+}
+
+func TestSendExit(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := bytecode.NewBuilder("t", 0).PushInt(1).PushInt(2).Send("max:", 1).MustMethod()
+	f := NewFrame(Concrete(om.NilObj), nil, nil)
+	ctx := NewCtx(om, f, m)
+	// Run the two pushes then the send.
+	for i := 0; i < 2; i++ {
+		if e := RunInstruction(ctx); e.Kind != ExitSuccess {
+			t.Fatalf("push %d: %v", i, e)
+		}
+	}
+	exit := RunInstruction(ctx)
+	if exit.Kind != ExitMessageSend || exit.Selector != "max:" || exit.NumArgs != 1 {
+		t.Fatalf("send: %v", exit)
+	}
+}
+
+func TestPushThisContextUnsupported(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPushThisContext)}}
+	f := NewFrame(Concrete(om.NilObj), nil, nil)
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitUnsupported {
+		t.Fatalf("pushThisContext: %v", exit)
+	}
+}
+
+func TestDupAndPop(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	m := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpDuplicateTop)}}
+	f := NewFrame(Concrete(om.NilObj), nil, []Value{intV(5)})
+	exit, _ := run(t, om, m, f)
+	if exit.Kind != ExitSuccess || f.Size() != 2 {
+		t.Fatalf("dup: %v %v", exit, f.Stack)
+	}
+
+	mp := &bytecode.Method{Name: "t", Code: []byte{byte(bytecode.OpPopStackTop)}}
+	f2 := NewFrame(Concrete(om.NilObj), nil, nil)
+	exit2, _ := run(t, om, mp, f2)
+	if exit2.Kind != ExitInvalidFrame {
+		t.Fatalf("pop on empty: %v", exit2)
+	}
+}
+
+func TestFrameCloneIndependence(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	f := NewFrame(Concrete(om.NilObj), []Value{intV(1)}, []Value{intV(2)})
+	cp := f.Clone()
+	f.Push(intV(3))
+	f.SetTemp(0, intV(9))
+	if cp.Size() != 1 || cp.Temps[0].W != heap.SmallIntFor(1) {
+		t.Fatal("clone shares state with original")
+	}
+}

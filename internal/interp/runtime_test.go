@@ -1,0 +1,159 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+)
+
+func newRuntime(t *testing.T) (*Runtime, *heap.ObjectMemory) {
+	t.Helper()
+	om := heap.NewBootedObjectMemory()
+	return NewRuntime(om, nil), om
+}
+
+func TestRuntimeSimpleMethod(t *testing.T) {
+	r, om := newRuntime(t)
+	// SmallInteger >> double: ^self + self
+	double := bytecode.NewBuilder("double", 0).
+		PushReceiver().PushReceiver().Add().ReturnTop().MustMethod()
+	r.Install(heap.ClassIndexSmallInteger, "double", double)
+
+	v, err := r.SendInt(21, "double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.W != heap.SmallIntFor(42) {
+		t.Fatalf("double(21) = %s", om.Describe(v.W))
+	}
+}
+
+func TestRuntimeNestedSends(t *testing.T) {
+	r, _ := newRuntime(t)
+	// inc: ^self + 1 ; twiceInc: ^(self inc) inc
+	inc := bytecode.NewBuilder("inc", 0).PushReceiver().PushInt(1).Add().ReturnTop().MustMethod()
+	twice := bytecode.NewBuilder("twiceInc", 0).
+		PushReceiver().Send("inc", 0).Send("inc", 0).ReturnTop().MustMethod()
+	r.Install(heap.ClassIndexSmallInteger, "inc", inc)
+	r.Install(heap.ClassIndexSmallInteger, "twiceInc", twice)
+
+	v, err := r.SendInt(5, "twiceInc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.W != heap.SmallIntFor(7) {
+		t.Fatalf("twiceInc(5) = %v", v.W)
+	}
+}
+
+func TestRuntimeConditional(t *testing.T) {
+	r, _ := newRuntime(t)
+	// max: other  ^self > other ifTrue:[self] ifFalse:[other]
+	max := bytecode.NewBuilder("max:", 1).
+		PushReceiver().PushTemp(0).Op(bytecode.OpPrimGreaterThan).
+		JumpIfTrue("self").
+		PushTemp(0).ReturnTop().
+		Label("self").
+		PushReceiver().ReturnTop().
+		MustMethod()
+	r.Install(heap.ClassIndexSmallInteger, "max:", max)
+
+	for _, c := range []struct{ a, b, want int64 }{{3, 5, 5}, {9, 2, 9}, {-4, -4, -4}} {
+		v, err := r.SendInt(c.a, "max:", c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.W != heap.SmallIntFor(c.want) {
+			t.Fatalf("max(%d,%d) = %v, want %d", c.a, c.b, v.W, c.want)
+		}
+	}
+}
+
+func TestRuntimeRecursion(t *testing.T) {
+	r, _ := newRuntime(t)
+	// fib: ^self < 2 ifTrue:[self] ifFalse:[(self-1) fib + (self-2) fib]
+	fib := bytecode.NewBuilder("fib", 0).
+		PushReceiver().PushInt(2).LessThan().
+		JumpIfFalse("rec").
+		PushReceiver().ReturnTop().
+		Label("rec").
+		PushReceiver().PushInt(1).Subtract().Send("fib", 0).
+		PushReceiver().PushInt(2).Subtract().Send("fib", 0).
+		Add().ReturnTop().
+		MustMethod()
+	r.Install(heap.ClassIndexSmallInteger, "fib", fib)
+
+	v, err := r.SendInt(15, "fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.W != heap.SmallIntFor(610) {
+		t.Fatalf("fib(15) = %v, want 610", v.W)
+	}
+}
+
+func TestRuntimeObjectFallback(t *testing.T) {
+	r, om := newRuntime(t)
+	// Object >> yourself  ^self
+	r.Install(heap.ClassIndexObject, "yourself", bytecode.NewBuilder("yourself", 0).ReturnReceiver().MustMethod())
+	arr, _ := om.NewArray()
+	v, err := r.Send(Concrete(arr), "yourself")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.W != arr {
+		t.Fatal("yourself must answer the receiver")
+	}
+}
+
+func TestRuntimeDoesNotUnderstand(t *testing.T) {
+	r, _ := newRuntime(t)
+	if _, err := r.SendInt(1, "nope"); !errors.Is(err, ErrDoesNotUnderstand) {
+		t.Fatalf("expected doesNotUnderstand, got %v", err)
+	}
+}
+
+func TestRuntimeMustBeBoolean(t *testing.T) {
+	r, _ := newRuntime(t)
+	bad := bytecode.NewBuilder("bad", 0).
+		PushInt(5).JumpIfTrue("x").Nop().Label("x").ReturnReceiver().MustMethod()
+	r.Install(heap.ClassIndexSmallInteger, "bad", bad)
+	if _, err := r.SendInt(1, "bad"); !errors.Is(err, ErrMustBeBoolean) {
+		t.Fatalf("expected mustBeBoolean, got %v", err)
+	}
+}
+
+func TestRuntimeStepLimit(t *testing.T) {
+	r, _ := newRuntime(t)
+	r.MaxSteps = 100
+	// looper: ^self looper
+	loop := bytecode.NewBuilder("looper", 0).PushReceiver().Send("looper", 0).ReturnTop().MustMethod()
+	r.Install(heap.ClassIndexSmallInteger, "looper", loop)
+	if _, err := r.SendInt(1, "looper"); !errors.Is(err, ErrRuntimeLimit) {
+		t.Fatalf("expected runtime limit, got %v", err)
+	}
+}
+
+func TestRuntimeFallOffEndAnswersReceiver(t *testing.T) {
+	r, _ := newRuntime(t)
+	m := bytecode.NewBuilder("noop", 0).Nop().MustMethod()
+	r.Install(heap.ClassIndexSmallInteger, "noop", m)
+	v, err := r.SendInt(7, "noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.W != heap.SmallIntFor(7) {
+		t.Fatalf("implicit return = %v", v.W)
+	}
+}
+
+func TestRuntimeArgCountMismatch(t *testing.T) {
+	r, _ := newRuntime(t)
+	m := bytecode.NewBuilder("one:", 1).PushTemp(0).ReturnTop().MustMethod()
+	r.Install(heap.ClassIndexSmallInteger, "one:", m)
+	if _, err := r.SendInt(1, "one:"); err == nil {
+		t.Fatal("missing argument must error")
+	}
+}

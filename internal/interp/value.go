@@ -1,0 +1,102 @@
+package interp
+
+import (
+	"cogdiff/internal/heap"
+	"cogdiff/internal/sym"
+)
+
+// Value is a VM value flowing through the interpreter: a concrete tagged
+// word plus, in concolic mode, the symbolic expression describing it. In
+// plain concrete execution Sym is nil everywhere.
+type Value struct {
+	W   heap.Word
+	Sym sym.ValExpr
+}
+
+// Concrete wraps a plain word with no symbolic information.
+func Concrete(w heap.Word) Value { return Value{W: w} }
+
+// IntValue is an untagged integer mid-computation.
+type IntValue struct {
+	V   int64
+	Sym sym.IntExpr // nil when fully concrete
+}
+
+// FloatValue is an unboxed float mid-computation.
+type FloatValue struct {
+	F   float64
+	Sym sym.FloatExpr
+}
+
+// intExprOf extracts (or synthesizes) the integer expression describing a
+// value that is known to be a tagged small integer.
+func intExprOf(v Value) sym.IntExpr {
+	switch s := v.Sym.(type) {
+	case sym.VarRef:
+		return sym.IntValueOf{V: s.V}
+	case sym.IntObj:
+		return s.E
+	}
+	return nil
+}
+
+// floatExprOf extracts the float expression of a value known to be a
+// boxed float.
+func floatExprOf(v Value) sym.FloatExpr {
+	switch s := v.Sym.(type) {
+	case sym.VarRef:
+		return sym.FloatValueOf{V: s.V}
+	case sym.FloatObj:
+		return s.E
+	}
+	return nil
+}
+
+// varOf returns the input variable behind a value, if it is one.
+func varOf(v Value) (*sym.Var, bool) {
+	if s, ok := v.Sym.(sym.VarRef); ok {
+		return s.V, true
+	}
+	return nil, false
+}
+
+// constraintHasVars reports whether a constraint mentions any symbolic
+// variable; conditions over fully concrete data are deterministic and are
+// not recorded as path conditions.
+func constraintHasVars(c sym.Constraint) bool {
+	switch n := c.(type) {
+	case sym.TypeIs, sym.ClassIs, sym.FormatIs, sym.SlotCountAtLeast, sym.Identical, sym.StackSizeAtLeast:
+		return true
+	case sym.ICmp:
+		vars := map[int]*sym.Var{}
+		sym.VarsOfInt(n.L, vars)
+		sym.VarsOfInt(n.R, vars)
+		return len(vars) > 0
+	case sym.FCmp:
+		vars := map[int]*sym.Var{}
+		sym.VarsOfFloat(n.L, vars)
+		sym.VarsOfFloat(n.R, vars)
+		return len(vars) > 0
+	case sym.InSmallIntRange:
+		vars := map[int]*sym.Var{}
+		sym.VarsOfInt(n.E, vars)
+		return len(vars) > 0
+	case sym.Not:
+		return constraintHasVars(n.C)
+	case sym.AllOf:
+		for _, e := range n {
+			if constraintHasVars(e) {
+				return true
+			}
+		}
+		return false
+	case sym.AnyOf:
+		for _, e := range n {
+			if constraintHasVars(e) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

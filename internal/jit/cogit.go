@@ -1,0 +1,314 @@
+package jit
+
+import (
+	"fmt"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/machine"
+)
+
+// Cogit is a byte-code JIT compiler front-end plus back-end pair. One
+// Cogit instance compiles methods for one object memory (compile-time
+// constants such as class references and boxed literals are resolved
+// against it, the way Cogit bakes oops into machine code).
+type Cogit struct {
+	Variant Variant
+	ISA     machine.ISA
+	OM      *heap.ObjectMemory
+	Defects defects.Switches
+
+	// per-compilation state
+	asm       *machine.Assembler
+	ss        []ssEntry
+	spilled   int
+	alloc     regAllocator
+	selectors []Selector
+	labelSeq  int
+	numTemps  int
+	usesJump  bool
+	// methodJumpLabel, when non-empty, redirects jump byte-codes to a
+	// per-pc label (whole-method compilation) instead of the single
+	// instruction test schema's "jumpTaken" breakpoint.
+	methodJumpLabel string
+	err             error
+}
+
+// NewCogit builds a compiler of the given variant and ISA over om.
+func NewCogit(v Variant, isa machine.ISA, om *heap.ObjectMemory, sw defects.Switches) *Cogit {
+	c := &Cogit{Variant: v, ISA: isa, OM: om, Defects: sw}
+	return c
+}
+
+func (c *Cogit) reset() {
+	c.asm = machine.NewAssembler(machine.CodeBase)
+	c.ss = c.ss[:0]
+	c.spilled = 0
+	c.selectors = nil
+	c.labelSeq = 0
+	c.usesJump = false
+	c.methodJumpLabel = ""
+	c.err = nil
+	if c.Variant == RegisterAllocatingCogit {
+		c.alloc = newLinearAllocator()
+	} else {
+		c.alloc = newFixedAllocator()
+	}
+}
+
+func (c *Cogit) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *Cogit) newLabel(prefix string) string {
+	c.labelSeq++
+	return fmt.Sprintf("%s_%d", prefix, c.labelSeq)
+}
+
+// addSelector interns a send site and returns its identifier.
+func (c *Cogit) addSelector(name string, numArgs int) int64 {
+	for i, s := range c.selectors {
+		if s.Name == name && s.NumArgs == numArgs {
+			return int64(i)
+		}
+	}
+	c.selectors = append(c.selectors, Selector{Name: name, NumArgs: numArgs})
+	return int64(len(c.selectors) - 1)
+}
+
+// ---- simulation stack ----
+
+// pushConst records a compile-time-known value on the simulation stack.
+// The simple Cogit materializes it immediately (§4.1).
+func (c *Cogit) pushConst(w heap.Word) {
+	if c.Variant == SimpleStackBasedCogit {
+		c.moviBig(machine.ScratchReg, int64(w))
+		c.asm.Push(machine.ScratchReg)
+		c.ss = append(c.ss, ssEntry{kind: ssSpill})
+		c.spilled = len(c.ss)
+		return
+	}
+	c.ss = append(c.ss, ssEntry{kind: ssConst, w: w})
+}
+
+// pushReg records a register-resident value.
+func (c *Cogit) pushReg(r machine.Reg) {
+	if c.Variant == SimpleStackBasedCogit {
+		c.asm.Push(r)
+		c.freeReg(r)
+		c.ss = append(c.ss, ssEntry{kind: ssSpill})
+		c.spilled = len(c.ss)
+		return
+	}
+	c.ss = append(c.ss, ssEntry{kind: ssReg, reg: r})
+}
+
+// flushAll spills every simulation-stack entry to the machine stack
+// (Cogit's ssFlushTo), establishing the canonical frame state before
+// branches, sends and instruction ends.
+func (c *Cogit) flushAll() {
+	for i := c.spilled; i < len(c.ss); i++ {
+		e := c.ss[i]
+		switch e.kind {
+		case ssConst:
+			c.moviBig(machine.ScratchReg, int64(e.w))
+			c.asm.Push(machine.ScratchReg)
+		case ssReg:
+			c.asm.Push(e.reg)
+			c.freeReg(e.reg)
+		}
+		c.ss[i] = ssEntry{kind: ssSpill}
+	}
+	c.spilled = len(c.ss)
+}
+
+// popToReg pops the simulation-stack top into dst, emitting the minimal
+// code for where the value currently lives.
+func (c *Cogit) popToReg(dst machine.Reg) {
+	if len(c.ss) == 0 {
+		c.fail("jit: simulation stack underflow")
+		return
+	}
+	e := c.ss[len(c.ss)-1]
+	c.ss = c.ss[:len(c.ss)-1]
+	switch e.kind {
+	case ssConst:
+		c.moviBig(dst, int64(e.w))
+	case ssReg:
+		if e.reg != dst {
+			c.asm.MovR(dst, e.reg)
+		}
+		c.freeReg(e.reg)
+	case ssSpill:
+		c.asm.Pop(dst)
+		c.spilled--
+	}
+}
+
+// dropTop discards the simulation-stack top.
+func (c *Cogit) dropTop() {
+	if len(c.ss) == 0 {
+		c.fail("jit: simulation stack underflow")
+		return
+	}
+	e := c.ss[len(c.ss)-1]
+	c.ss = c.ss[:len(c.ss)-1]
+	switch e.kind {
+	case ssReg:
+		c.freeReg(e.reg)
+	case ssSpill:
+		c.asm.BinI(machine.OpcAddI, machine.SP, machine.SP, 1)
+		c.spilled--
+	}
+}
+
+// allocReg obtains a scratch register, spilling the simulation stack when
+// the pool is exhausted.
+func (c *Cogit) allocReg() machine.Reg {
+	if r, ok := c.alloc.alloc(); ok {
+		return r
+	}
+	c.flushAll()
+	if r, ok := c.alloc.alloc(); ok {
+		return r
+	}
+	c.fail("jit: out of registers")
+	return machine.ScratchReg
+}
+
+func (c *Cogit) freeReg(r machine.Reg) { c.alloc.free(r) }
+
+// ---- ISA-sensitive lowering helpers ----
+
+// armImmLimit is the largest immediate the ARM32-like back-end folds into
+// an instruction; larger constants are loaded into the scratch register.
+const armImmLimit = 1 << 12
+
+// moviBig loads an immediate, splitting on the fixed-width ISA when the
+// value exceeds its 32-bit field (tagged values always fit).
+func (c *Cogit) moviBig(rd machine.Reg, imm int64) {
+	c.asm.MovI(rd, imm)
+}
+
+// cmpImm compares a register against an immediate. The x86-style back-end
+// folds any immediate; the ARM32-style back-end materializes large ones.
+func (c *Cogit) cmpImm(rs machine.Reg, imm int64) {
+	if c.ISA == machine.ISAArm32Like && (imm >= armImmLimit || imm <= -armImmLimit) {
+		c.asm.MovI(machine.ScratchReg, imm)
+		c.asm.Cmp(rs, machine.ScratchReg)
+		return
+	}
+	c.asm.CmpI(rs, imm)
+}
+
+// ---- common code shapes ----
+
+// checkSmallIntJumpIfNot tests the tag bit of r and branches to label when
+// r is not a tagged integer (Listing 2's checkSmallInteger + jumpzero).
+func (c *Cogit) checkSmallIntJumpIfNot(r machine.Reg, label string) {
+	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, r, 1)
+	c.asm.CmpI(machine.ScratchReg, 1)
+	c.asm.Jump(machine.OpcJne, label)
+}
+
+// untag converts a tagged integer in place.
+func (c *Cogit) untag(r machine.Reg) { c.asm.BinI(machine.OpcSarI, r, r, 1) }
+
+// tag boxes an in-range integer in place.
+func (c *Cogit) tag(r machine.Reg) {
+	c.asm.BinI(machine.OpcShlI, r, r, 1)
+	c.asm.BinI(machine.OpcOrI, r, r, 1)
+}
+
+// rangeCheckJumpIfOut branches to label unless r fits the tagged range
+// (the jumpIfNotOverflow of Listing 2).
+func (c *Cogit) rangeCheckJumpIfOut(r machine.Reg, label string) {
+	c.cmpImm(r, heap.MaxSmallInt)
+	c.asm.Jump(machine.OpcJgt, label)
+	c.cmpImm(r, heap.MinSmallInt)
+	c.asm.Jump(machine.OpcJlt, label)
+}
+
+// loadHeader fetches the object header of obj into dst.
+func (c *Cogit) loadHeader(dst, obj machine.Reg) {
+	c.asm.Load(dst, obj, 0)
+}
+
+// emitSend flushes the frame state and calls the send trampoline with the
+// selector identifier in ClassSelectorReg (mono/poly/mega-morphic inline
+// caches collapse to this single trampoline in the simulated runtime).
+func (c *Cogit) emitSend(selector string, numArgs int) {
+	c.flushAll()
+	id := c.addSelector(selector, numArgs)
+	c.asm.MovI(machine.ClassSelectorReg, id)
+	c.asm.Call(machine.SendTrampoline)
+}
+
+// emitEpilogueReturn tears down the frame and returns to the caller with
+// the result in ReceiverResultReg.
+func (c *Cogit) emitEpilogueReturn() {
+	c.asm.MovR(machine.SP, machine.FP)
+	c.asm.Pop(machine.FP)
+	c.asm.Ret()
+}
+
+// ---- compilation entry points ----
+
+// CompileBytecode compiles the single-instruction test method following
+// the schema of Listing 3: a frame preamble, one literal push per input
+// operand-stack value (bottom first), the instruction itself, and exit
+// breakpoints. inputStack holds the concrete input values the differential
+// tester materialized from the path's input constraints.
+func (c *Cogit) CompileBytecode(m *bytecode.Method, inputStack []heap.Word) (*CompiledMethod, error) {
+	c.reset()
+	c.numTemps = m.TempCount()
+
+	// Frame preamble.
+	c.asm.Push(machine.FP)
+	c.asm.MovR(machine.FP, machine.SP)
+
+	// Push literals to guarantee the shape of the operand stack.
+	for _, w := range inputStack {
+		c.pushConst(w)
+	}
+
+	op, operands, _, ok := m.FetchOp(0)
+	if !ok {
+		return nil, fmt.Errorf("%w: undecodable byte-code", ErrNotCompilable)
+	}
+	c.genBytecode(m, op, operands)
+	if c.err != nil {
+		return nil, c.err
+	}
+
+	// Exit tails: the fall-through end, plus the jump landing site when
+	// the instruction branches.
+	c.flushAll()
+	c.asm.Brk(BrkEndFall)
+	if c.usesJump {
+		c.asm.Label("jumpTaken")
+		c.asm.Brk(BrkJumpTaken)
+	}
+	return c.finish()
+}
+
+func (c *Cogit) finish() (*CompiledMethod, error) {
+	prog, err := c.asm.Finish()
+	if err != nil {
+		return nil, err
+	}
+	code, err := machine.Encode(prog, c.ISA)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledMethod{
+		Prog:      prog,
+		Code:      code,
+		ISA:       c.ISA,
+		Selectors: c.selectors,
+		NumTemps:  c.numTemps,
+	}, nil
+}

@@ -1,0 +1,96 @@
+// Package jit implements the Cogit-style JIT compilers of the VM: three
+// byte-code front-ends (SimpleStackBasedCogit, StackToRegisterCogit,
+// RegisterAllocatingCogit) and the template-based native-method compiler
+// (§4.1). Front-ends parse byte-code through abstract interpretation using
+// a parse-time simulation stack, lower it to machine code through one of
+// two ISA back-end styles, and follow the compilation schemas of §4.2:
+// byte-code tests prepend literal pushes materializing the input operand
+// stack (Listing 3); native-method tests compile only the native behavior
+// and plant a breakpoint to detect fall-through (Listing 4).
+package jit
+
+import (
+	"errors"
+	"fmt"
+
+	"cogdiff/internal/machine"
+)
+
+// Variant selects a byte-code compiler front-end.
+type Variant int
+
+const (
+	// SimpleStackBasedCogit maps pushes and pops one-to-one onto machine
+	// stack operations and compiles fewer inlined fast paths.
+	SimpleStackBasedCogit Variant = iota
+	// StackToRegisterCogit simulates pushes on a parse-time stack and
+	// emits stack traffic only when values are actually consumed.
+	StackToRegisterCogit
+	// RegisterAllocatingCogit extends StackToRegisterCogit with a linear
+	// register allocator over a wider register pool.
+	RegisterAllocatingCogit
+)
+
+func (v Variant) String() string {
+	switch v {
+	case SimpleStackBasedCogit:
+		return "SimpleStackBasedCogit"
+	case StackToRegisterCogit:
+		return "StackToRegisterCogit"
+	case RegisterAllocatingCogit:
+		return "RegisterAllocatingCogit"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Breakpoint identifiers planted by the compilation schemas.
+const (
+	// BrkEndFall marks the end of a compiled byte-code instruction: the
+	// instruction executed to completion without branching.
+	BrkEndFall = 1
+	// BrkJumpTaken marks the landing site of a taken compiled jump.
+	BrkJumpTaken = 2
+	// BrkNativeFallthrough detects a native method falling through to its
+	// byte-code body: the primitive failed its checks (Listing 4).
+	BrkNativeFallthrough = 3
+	// BrkNotImplemented marks native methods without a compiler template
+	// (§5.3 missing functionality).
+	BrkNotImplemented = 4
+)
+
+// Selector describes one send site of a compiled method; its slice index
+// is the identifier the code moves into ClassSelectorReg before calling
+// the send trampoline.
+type Selector struct {
+	Name    string
+	NumArgs int
+}
+
+// CompiledMethod is the output of a compilation: the program, its encoded
+// machine code, and the send-site table.
+type CompiledMethod struct {
+	Prog      *machine.Program
+	Code      []byte
+	ISA       machine.ISA
+	Selectors []Selector
+	NumTemps  int
+}
+
+// SelectorAt resolves a selector identifier from ClassSelectorReg.
+func (cm *CompiledMethod) SelectorAt(id int64) (Selector, bool) {
+	if id < 0 || id >= int64(len(cm.Selectors)) {
+		return Selector{}, false
+	}
+	return cm.Selectors[id], true
+}
+
+// ErrNotCompilable marks instructions a front-end cannot compile (e.g.
+// pushThisContext); the tester curates such cases out.
+var ErrNotCompilable = errors.New("jit: instruction not compilable")
+
+// TempOffset returns the FP-relative offset of temporary i under the
+// compiled frame layout: [FP]=saved FP, [FP+1]=return address, temporaries
+// above (temp 0 pushed first, so deepest).
+func TempOffset(i, numTemps int) int64 {
+	return int64(2 + numTemps - 1 - i)
+}

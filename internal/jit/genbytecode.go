@@ -1,0 +1,790 @@
+package jit
+
+import (
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/machine"
+)
+
+// rawSend emits a trampoline call without flushing: generators flush
+// before branching, so slow paths see the canonical frame already.
+func (c *Cogit) rawSend(selector string, numArgs int) {
+	id := c.addSelector(selector, numArgs)
+	c.asm.MovI(machine.ClassSelectorReg, id)
+	c.asm.Call(machine.SendTrampoline)
+}
+
+// genBytecode emits the IR of one byte-code instruction (abstract
+// interpretation of the byte-code, §4.1).
+func (c *Cogit) genBytecode(m *bytecode.Method, op bytecode.Op, operands []byte) {
+	d := bytecode.Describe(op)
+	switch d.Family {
+	case bytecode.FamPushReceiverVariable:
+		r := c.allocReg()
+		c.asm.Load(r, machine.ReceiverResultReg, heap.HeaderWords+int64(d.Embedded))
+		c.pushReg(r)
+	case bytecode.FamPushTemporaryVariable:
+		r := c.allocReg()
+		c.asm.Load(r, machine.FP, TempOffset(d.Embedded, c.numTemps))
+		c.pushReg(r)
+	case bytecode.FamStoreReceiverVariable:
+		c.genStoreReceiverVariable(d.Embedded, false)
+	case bytecode.FamPopIntoReceiverVariable:
+		c.genStoreReceiverVariable(d.Embedded, true)
+	case bytecode.FamStoreTemporaryVariable:
+		c.genStoreTemp(d.Embedded, false)
+	case bytecode.FamPopIntoTemporaryVariable:
+		c.genStoreTemp(d.Embedded, true)
+	case bytecode.FamPushLiteralConstant:
+		lit, err := m.LiteralAt(d.Embedded)
+		if err != nil {
+			c.fail("jit: %v", err)
+			return
+		}
+		v, err := interp.ResolveLiteral(c.OM, lit)
+		if err != nil {
+			c.fail("jit: %v", err)
+			return
+		}
+		c.pushConst(v.W)
+	case bytecode.FamPushReceiver:
+		r := c.allocReg()
+		c.asm.MovR(r, machine.ReceiverResultReg)
+		c.pushReg(r)
+	case bytecode.FamPushConstant:
+		c.genPushConstant(d.Embedded)
+	case bytecode.FamDuplicateTop:
+		c.genDup()
+	case bytecode.FamPopStackTop:
+		c.dropTop()
+	case bytecode.FamNop:
+		// nothing
+	case bytecode.FamPushThisContext:
+		c.err = ErrNotCompilable
+	case bytecode.FamPrimAdd:
+		c.genTaggedArith(machine.OpcAdd, "+")
+	case bytecode.FamPrimSubtract:
+		c.genTaggedArith(machine.OpcSub, "-")
+	case bytecode.FamPrimMultiply:
+		c.genMultiply()
+	case bytecode.FamPrimDivide:
+		if c.Variant == SimpleStackBasedCogit {
+			c.emitSend("/", 1)
+			return
+		}
+		c.genDivide()
+	case bytecode.FamPrimDiv:
+		if c.Variant == SimpleStackBasedCogit {
+			c.emitSend("//", 1)
+			return
+		}
+		c.genFlooredDivision(true)
+	case bytecode.FamPrimMod:
+		if c.Variant == SimpleStackBasedCogit {
+			c.emitSend("\\\\", 1)
+			return
+		}
+		c.genFlooredDivision(false)
+	case bytecode.FamPrimBitAnd:
+		c.genBitwiseBC(machine.OpcAnd, "bitAnd:")
+	case bytecode.FamPrimBitOr:
+		c.genBitwiseBC(machine.OpcOr, "bitOr:")
+	case bytecode.FamPrimBitXor:
+		c.genBitwiseBC(machine.OpcXor, "bitXor:")
+	case bytecode.FamPrimBitShift:
+		if c.Variant == SimpleStackBasedCogit {
+			c.emitSend("bitShift:", 1)
+			return
+		}
+		c.genBitShift()
+	case bytecode.FamPrimLessThan:
+		c.genComparison(machine.OpcJlt, "<")
+	case bytecode.FamPrimGreaterThan:
+		c.genComparison(machine.OpcJgt, ">")
+	case bytecode.FamPrimLessOrEqual:
+		c.genComparison(machine.OpcJle, "<=")
+	case bytecode.FamPrimGreaterOrEqual:
+		c.genComparison(machine.OpcJge, ">=")
+	case bytecode.FamPrimEqual:
+		c.genComparison(machine.OpcJeq, "=")
+	case bytecode.FamPrimNotEqual:
+		c.genComparison(machine.OpcJne, "~=")
+	case bytecode.FamPrimIdentical:
+		c.genIdentical(false)
+	case bytecode.FamPrimNotIdentical:
+		c.genIdentical(true)
+	case bytecode.FamPrimClass:
+		c.genClass()
+	case bytecode.FamPrimSize:
+		c.genSize()
+	case bytecode.FamPrimAt:
+		c.genAt()
+	case bytecode.FamPrimAtPut:
+		c.genAtPut()
+	case bytecode.FamShortJump, bytecode.FamLongJumpForward:
+		var operand byte
+		if len(operands) > 0 {
+			operand = operands[0]
+		}
+		off, _, _, _ := bytecode.JumpOffset(op, operand)
+		if off != 0 || c.methodJumpLabel != "" {
+			c.flushAll()
+			c.asm.Jump(machine.OpcJmp, c.jumpTakenLabel())
+		}
+	case bytecode.FamShortJumpIfTrue:
+		c.genConditionalJump(true)
+	case bytecode.FamShortJumpIfFalse:
+		c.genConditionalJump(false)
+	case bytecode.FamReturnSpecial:
+		c.genReturnSpecial(d.Embedded)
+	case bytecode.FamReturnTop:
+		c.popToReg(machine.ReceiverResultReg)
+		c.emitEpilogueReturn()
+	case bytecode.FamSend0Args, bytecode.FamSend1Arg, bytecode.FamSend2Args:
+		n, _ := bytecode.ArgCountOfSend(op)
+		lit, err := m.LiteralAt(d.Embedded)
+		if err != nil || lit.Kind != bytecode.LitSelector {
+			c.fail("jit: send without selector literal")
+			return
+		}
+		c.emitSend(lit.Str, n)
+	default:
+		c.err = ErrNotCompilable
+	}
+}
+
+func (c *Cogit) genPushConstant(embedded int) {
+	switch embedded {
+	case 0:
+		c.pushConst(c.OM.TrueObj)
+	case 1:
+		c.pushConst(c.OM.FalseObj)
+	case 2:
+		c.pushConst(c.OM.NilObj)
+	case 3:
+		c.pushConst(heap.SmallIntFor(0))
+	case 4:
+		c.pushConst(heap.SmallIntFor(1))
+	case 5:
+		c.pushConst(heap.SmallIntFor(-1))
+	case 6:
+		c.pushConst(heap.SmallIntFor(2))
+	}
+}
+
+func (c *Cogit) genStoreReceiverVariable(i int, pop bool) {
+	v := c.allocReg()
+	c.popToReg(v)
+	c.asm.Store(machine.ReceiverResultReg, heap.HeaderWords+int64(i), v)
+	if pop {
+		c.freeReg(v)
+	} else {
+		c.pushReg(v)
+	}
+}
+
+func (c *Cogit) genStoreTemp(i int, pop bool) {
+	v := c.allocReg()
+	c.popToReg(v)
+	c.asm.Store(machine.FP, TempOffset(i, c.numTemps), v)
+	if pop {
+		c.freeReg(v)
+	} else {
+		c.pushReg(v)
+	}
+}
+
+func (c *Cogit) genDup() {
+	if len(c.ss) == 0 {
+		c.fail("jit: dup on empty simulation stack")
+		return
+	}
+	top := c.ss[len(c.ss)-1]
+	switch top.kind {
+	case ssConst:
+		c.pushConst(top.w)
+	case ssReg:
+		r := c.allocReg()
+		c.asm.MovR(r, top.reg)
+		c.pushReg(r)
+	case ssSpill:
+		r := c.allocReg()
+		c.asm.Load(r, machine.SP, 0)
+		c.pushReg(r)
+	}
+}
+
+// genTaggedArith compiles + and - with the tagged-arithmetic trick of the
+// production Cogit: (2a+1)+(2b+1)-1 = 2(a+b)+1, so no untagging is needed
+// and the original operands survive for the slow path (Listing 2's shape).
+func (c *Cogit) genTaggedArith(op machine.Opc, selector string) {
+	arg := c.allocReg()
+	c.popToReg(arg)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	after := c.newLabel("after")
+
+	c.checkSmallIntJumpIfNot(rcvr, slow)
+	c.checkSmallIntJumpIfNot(arg, slow)
+	if op == machine.OpcAdd {
+		c.asm.BinI(machine.OpcSubI, res, arg, 1)
+		c.asm.Bin(machine.OpcAdd, res, rcvr, res)
+	} else {
+		c.asm.Bin(machine.OpcSub, res, rcvr, arg)
+		c.asm.BinI(machine.OpcAddI, res, res, 1)
+	}
+	// Overflow check on the tagged result (tagging is monotonic).
+	c.cmpImm(res, int64(heap.SmallIntFor(heap.MaxSmallInt)))
+	c.asm.Jump(machine.OpcJgt, slow)
+	c.cmpImm(res, int64(heap.SmallIntFor(heap.MinSmallInt)))
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(arg)
+	c.rawSend(selector, 1)
+
+	c.asm.Label(after)
+	c.freeReg(arg)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+func (c *Cogit) genMultiply() {
+	arg := c.allocReg()
+	c.popToReg(arg)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	slowRetag := c.newLabel("slowRetag")
+	after := c.newLabel("after")
+
+	c.checkSmallIntJumpIfNot(rcvr, slow)
+	c.checkSmallIntJumpIfNot(arg, slow)
+	c.asm.BinI(machine.OpcSarI, res, rcvr, 1)
+	c.asm.BinI(machine.OpcSarI, arg, arg, 1) // arg untagged in place
+	c.asm.Bin(machine.OpcMul, res, res, arg)
+	c.rangeCheckJumpIfOut(res, slowRetag)
+	c.tag(res)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slowRetag)
+	c.tag(arg) // restore the tagged argument
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(arg)
+	c.rawSend("*", 1)
+
+	c.asm.Label(after)
+	c.freeReg(arg)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+// genDivide compiles Smalltalk /: exact integer division only.
+func (c *Cogit) genDivide() {
+	arg := c.allocReg()
+	c.popToReg(arg)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	slowRetag := c.newLabel("slowRetag")
+	after := c.newLabel("after")
+
+	c.checkSmallIntJumpIfNot(rcvr, slow)
+	c.checkSmallIntJumpIfNot(arg, slow)
+	c.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
+	c.asm.Jump(machine.OpcJeq, slow)
+	c.asm.BinI(machine.OpcSarI, res, rcvr, 1)
+	c.asm.BinI(machine.OpcSarI, arg, arg, 1)
+	// Exactness: truncated remainder zero iff floored remainder zero.
+	c.asm.Bin(machine.OpcMod, machine.ScratchReg, res, arg)
+	c.asm.CmpI(machine.ScratchReg, 0)
+	c.asm.Jump(machine.OpcJne, slowRetag)
+	c.asm.Bin(machine.OpcDiv, res, res, arg)
+	c.rangeCheckJumpIfOut(res, slowRetag) // MinSmallInt / -1 overflows
+	c.tag(res)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slowRetag)
+	c.tag(arg)
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(arg)
+	c.rawSend("/", 1)
+
+	c.asm.Label(after)
+	c.freeReg(arg)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+// genFlooredDivision compiles // (isDiv) and \\ with floored semantics on
+// top of the machine's truncated division.
+func (c *Cogit) genFlooredDivision(isDiv bool) {
+	arg := c.allocReg()
+	c.popToReg(arg)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	slowRetag := c.newLabel("slowRetag")
+	fix := c.newLabel("fixup")
+	done := c.newLabel("done")
+	after := c.newLabel("after")
+	selector := "\\\\"
+	if isDiv {
+		selector = "//"
+	}
+
+	c.checkSmallIntJumpIfNot(rcvr, slow)
+	c.checkSmallIntJumpIfNot(arg, slow)
+	c.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
+	c.asm.Jump(machine.OpcJeq, slow)
+	c.asm.BinI(machine.OpcSarI, res, rcvr, 1) // a
+	c.asm.BinI(machine.OpcSarI, arg, arg, 1)  // b (untagged in place)
+
+	if isDiv {
+		c.asm.Bin(machine.OpcDiv, machine.ScratchReg, res, arg) // q
+		c.asm.Bin(machine.OpcMul, machine.ClassSelectorReg, machine.ScratchReg, arg)
+		c.asm.Bin(machine.OpcSub, machine.ClassSelectorReg, res, machine.ClassSelectorReg) // rem
+		c.asm.CmpI(machine.ClassSelectorReg, 0)
+		c.asm.Jump(machine.OpcJeq, done)
+		c.asm.Bin(machine.OpcXor, machine.ClassSelectorReg, res, arg)
+		c.asm.CmpI(machine.ClassSelectorReg, 0)
+		c.asm.Jump(machine.OpcJge, done)
+		c.asm.BinI(machine.OpcSubI, machine.ScratchReg, machine.ScratchReg, 1)
+		c.asm.Label(done)
+		c.asm.MovR(res, machine.ScratchReg)
+		c.rangeCheckJumpIfOut(res, slowRetag)
+	} else {
+		c.asm.Bin(machine.OpcMod, machine.ScratchReg, res, arg) // truncated rem
+		c.asm.CmpI(machine.ScratchReg, 0)
+		c.asm.Jump(machine.OpcJeq, fix)
+		c.asm.Bin(machine.OpcXor, machine.ClassSelectorReg, res, arg)
+		c.asm.CmpI(machine.ClassSelectorReg, 0)
+		c.asm.Jump(machine.OpcJge, fix)
+		c.asm.Bin(machine.OpcAdd, machine.ScratchReg, machine.ScratchReg, arg)
+		c.asm.Label(fix)
+		c.asm.MovR(res, machine.ScratchReg)
+		c.asm.Label(done)
+	}
+	c.tag(res)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slowRetag)
+	c.tag(arg)
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(arg)
+	c.rawSend(selector, 1)
+
+	c.asm.Label(after)
+	c.freeReg(arg)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+// genBitwiseBC compiles the bitwise byte-codes. Tagged identities keep the
+// operands intact: (2a+1)&(2b+1) = 2(a&b)+1, similarly for | ; ^ clears
+// the tag, which one ORI restores. Like the interpreter, negative operands
+// take the slow send path.
+func (c *Cogit) genBitwiseBC(op machine.Opc, selector string) {
+	if c.Variant == SimpleStackBasedCogit {
+		c.emitSend(selector, 1)
+		return
+	}
+	arg := c.allocReg()
+	c.popToReg(arg)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	after := c.newLabel("after")
+
+	c.checkSmallIntJumpIfNot(rcvr, slow)
+	c.checkSmallIntJumpIfNot(arg, slow)
+	c.asm.CmpI(rcvr, 0)
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.asm.CmpI(arg, 0)
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.asm.Bin(op, res, rcvr, arg)
+	if op == machine.OpcXor {
+		c.asm.BinI(machine.OpcOrI, res, res, 1)
+	}
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(arg)
+	c.rawSend(selector, 1)
+
+	c.asm.Label(after)
+	c.freeReg(arg)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+func (c *Cogit) genBitShift() {
+	arg := c.allocReg()
+	c.popToReg(arg)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	neg := c.newLabel("neg")
+	after := c.newLabel("after")
+
+	c.checkSmallIntJumpIfNot(rcvr, slow)
+	c.checkSmallIntJumpIfNot(arg, slow)
+	c.asm.CmpI(rcvr, 0)
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.asm.CmpI(arg, 0)
+	c.asm.Jump(machine.OpcJlt, neg)
+	// Left shift; amounts beyond 31 always leave the tagged range.
+	c.cmpImm(arg, int64(heap.SmallIntFor(31)))
+	c.asm.Jump(machine.OpcJgt, slow)
+	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, arg, 1)
+	c.asm.BinI(machine.OpcSarI, res, rcvr, 1)
+	c.asm.Bin(machine.OpcShl, res, res, machine.ScratchReg)
+	c.rangeCheckJumpIfOut(res, slow)
+	c.tag(res)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(neg)
+	c.cmpImm(arg, int64(heap.SmallIntFor(-31)))
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, arg, 1)
+	c.asm.MovI(machine.ClassSelectorReg, 0)
+	c.asm.Bin(machine.OpcSub, machine.ScratchReg, machine.ClassSelectorReg, machine.ScratchReg)
+	c.asm.BinI(machine.OpcSarI, res, rcvr, 1)
+	c.asm.Bin(machine.OpcSar, res, res, machine.ScratchReg)
+	c.tag(res)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(arg)
+	c.rawSend("bitShift:", 1)
+
+	c.asm.Label(after)
+	c.freeReg(arg)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+func (c *Cogit) genComparison(jcc machine.Opc, selector string) {
+	arg := c.allocReg()
+	c.popToReg(arg)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	ctrue := c.newLabel("ctrue")
+	cdone := c.newLabel("cdone")
+	after := c.newLabel("after")
+
+	c.checkSmallIntJumpIfNot(rcvr, slow)
+	c.checkSmallIntJumpIfNot(arg, slow)
+	// Tagging is monotonic, so tagged comparison equals value comparison.
+	c.asm.Cmp(rcvr, arg)
+	c.asm.Jump(jcc, ctrue)
+	c.moviBig(res, int64(c.OM.FalseObj))
+	c.asm.Jump(machine.OpcJmp, cdone)
+	c.asm.Label(ctrue)
+	c.moviBig(res, int64(c.OM.TrueObj))
+	c.asm.Label(cdone)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(arg)
+	c.rawSend(selector, 1)
+
+	c.asm.Label(after)
+	c.freeReg(arg)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+func (c *Cogit) genIdentical(negated bool) {
+	arg := c.allocReg()
+	c.popToReg(arg)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	res := c.allocReg()
+
+	eq := c.newLabel("eq")
+	done := c.newLabel("done")
+
+	trueW, falseW := int64(c.OM.TrueObj), int64(c.OM.FalseObj)
+	if negated {
+		trueW, falseW = falseW, trueW
+	}
+	c.asm.Cmp(rcvr, arg)
+	c.asm.Jump(machine.OpcJeq, eq)
+	c.moviBig(res, falseW)
+	c.asm.Jump(machine.OpcJmp, done)
+	c.asm.Label(eq)
+	c.moviBig(res, trueW)
+	c.asm.Label(done)
+	c.freeReg(arg)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+func (c *Cogit) genClass() {
+	obj := c.allocReg()
+	c.popToReg(obj)
+	res := c.allocReg()
+
+	notInt := c.newLabel("notInt")
+	done := c.newLabel("done")
+
+	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, obj, 1)
+	c.asm.CmpI(machine.ScratchReg, 1)
+	c.asm.Jump(machine.OpcJne, notInt)
+	c.moviBig(res, int64(c.OM.ClassAt(heap.ClassIndexSmallInteger).Oop))
+	c.asm.Jump(machine.OpcJmp, done)
+
+	c.asm.Label(notInt)
+	c.loadHeader(machine.ScratchReg, obj)
+	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, machine.ScratchReg, heap.HeaderClassShift)
+	c.asm.MovI(machine.ClassSelectorReg, heap.ClassTableBase)
+	c.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: machine.ClassSelectorReg, Rs2: machine.ScratchReg})
+	c.asm.Label(done)
+	c.freeReg(obj)
+	c.pushReg(res)
+}
+
+// emitIndexableFormatCheck loads the header into hdrReg and branches to
+// slow unless the object's format answers at:/at:put:. The format is left
+// in ScratchReg.
+func (c *Cogit) emitIndexableFormatCheck(obj, hdrReg machine.Reg, slow, ok string) {
+	c.loadHeader(hdrReg, obj)
+	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, hdrReg, heap.HeaderSlotBits)
+	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderFormatMask)
+	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatPointers))
+	c.asm.Jump(machine.OpcJeq, ok)
+	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatWords))
+	c.asm.Jump(machine.OpcJeq, ok)
+	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatBytes))
+	c.asm.Jump(machine.OpcJne, slow)
+	c.asm.Label(ok)
+}
+
+func (c *Cogit) genSize() {
+	obj := c.allocReg()
+	c.popToReg(obj)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	ok := c.newLabel("fmtok")
+	after := c.newLabel("after")
+
+	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, obj, 1)
+	c.asm.CmpI(machine.ScratchReg, 1)
+	c.asm.Jump(machine.OpcJeq, slow)
+	c.emitIndexableFormatCheck(obj, res, slow, ok)
+	c.asm.BinI(machine.OpcAndI, res, res, heap.HeaderSlotMask)
+	c.tag(res)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slow)
+	c.asm.Push(obj)
+	c.rawSend("size", 0)
+
+	c.asm.Label(after)
+	c.freeReg(obj)
+	c.pushReg(res)
+}
+
+func (c *Cogit) genAt() {
+	idx := c.allocReg()
+	c.popToReg(idx)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+	res := c.allocReg()
+
+	slow := c.newLabel("slow")
+	ok := c.newLabel("fmtok")
+	noTag := c.newLabel("noTag")
+	after := c.newLabel("after")
+
+	c.checkSmallIntJumpIfNot(idx, slow)
+	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, rcvr, 1)
+	c.asm.CmpI(machine.ScratchReg, 1)
+	c.asm.Jump(machine.OpcJeq, slow)
+	// Header into ClassSelectorReg; format check leaves format in Scratch.
+	c.emitIndexableFormatCheck(rcvr, machine.ClassSelectorReg, slow, ok)
+	// Bounds: 1 <= i <= slotCount.
+	c.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
+	c.asm.BinI(machine.OpcSarI, res, idx, 1) // untagged index
+	c.asm.CmpI(res, 1)
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.asm.Cmp(res, machine.ClassSelectorReg)
+	c.asm.Jump(machine.OpcJgt, slow)
+	// Fetch: rcvr + HeaderWords + (i-1) == rcvr + i for HeaderWords == 1.
+	c.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: rcvr, Rs2: res})
+	// Raw formats answer the tagged integer.
+	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatPointers))
+	c.asm.Jump(machine.OpcJeq, noTag)
+	c.tag(res)
+	c.asm.Label(noTag)
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(idx)
+	c.rawSend("at:", 1)
+
+	c.asm.Label(after)
+	c.freeReg(idx)
+	c.freeReg(rcvr)
+	c.pushReg(res)
+}
+
+func (c *Cogit) genAtPut() {
+	val := c.allocReg()
+	c.popToReg(val)
+	idx := c.allocReg()
+	c.popToReg(idx)
+	rcvr := c.allocReg()
+	c.popToReg(rcvr)
+	c.flushAll()
+
+	slow := c.newLabel("slow")
+	ok := c.newLabel("fmtok")
+	rawBytes := c.newLabel("rawBytes")
+	rawWords := c.newLabel("rawWords")
+	rawStore := c.newLabel("rawStore")
+	ptrStore := c.newLabel("ptrStore")
+	after := c.newLabel("after")
+
+	c.checkSmallIntJumpIfNot(idx, slow)
+	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, rcvr, 1)
+	c.asm.CmpI(machine.ScratchReg, 1)
+	c.asm.Jump(machine.OpcJeq, slow)
+	c.emitIndexableFormatCheck(rcvr, machine.ClassSelectorReg, slow, ok)
+	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatBytes))
+	c.asm.Jump(machine.OpcJeq, rawBytes)
+	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatWords))
+	c.asm.Jump(machine.OpcJeq, rawWords)
+	c.asm.Jump(machine.OpcJmp, ptrStore)
+
+	c.asm.Label(rawBytes)
+	c.checkSmallIntJumpIfNot(val, slow)
+	c.cmpImm(val, int64(heap.SmallIntFor(0)))
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.cmpImm(val, int64(heap.SmallIntFor(255)))
+	c.asm.Jump(machine.OpcJgt, slow)
+	c.asm.Jump(machine.OpcJmp, rawStore)
+	c.asm.Label(rawWords)
+	c.checkSmallIntJumpIfNot(val, slow)
+
+	c.asm.Label(rawStore)
+	c.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
+	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, idx, 1)
+	c.asm.CmpI(machine.ScratchReg, 1)
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.asm.Cmp(machine.ScratchReg, machine.ClassSelectorReg)
+	c.asm.Jump(machine.OpcJgt, slow)
+	// Store the untagged value.
+	c.asm.BinI(machine.OpcSarI, machine.ClassSelectorReg, val, 1)
+	c.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ClassSelectorReg, Rs1: rcvr, Rs2: machine.ScratchReg})
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(ptrStore)
+	c.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
+	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, idx, 1)
+	c.asm.CmpI(machine.ScratchReg, 1)
+	c.asm.Jump(machine.OpcJlt, slow)
+	c.asm.Cmp(machine.ScratchReg, machine.ClassSelectorReg)
+	c.asm.Jump(machine.OpcJgt, slow)
+	c.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: val, Rs1: rcvr, Rs2: machine.ScratchReg})
+	c.asm.Jump(machine.OpcJmp, after)
+
+	c.asm.Label(slow)
+	c.asm.Push(rcvr)
+	c.asm.Push(idx)
+	c.asm.Push(val)
+	c.rawSend("at:put:", 2)
+
+	c.asm.Label(after)
+	c.freeReg(idx)
+	c.freeReg(rcvr)
+	c.pushReg(val)
+}
+
+// jumpTakenLabel answers the label a taken jump lands on: the per-pc
+// label in whole-method mode, the jumpTaken breakpoint in the
+// single-instruction test schema.
+func (c *Cogit) jumpTakenLabel() string {
+	if c.methodJumpLabel != "" {
+		return c.methodJumpLabel
+	}
+	c.usesJump = true
+	return "jumpTaken"
+}
+
+func (c *Cogit) genConditionalJump(onTrue bool) {
+	cond := c.allocReg()
+	c.popToReg(cond)
+	c.flushAll()
+	taken := c.jumpTakenLabel()
+
+	localEnd := c.newLabel("condEnd")
+
+	c.cmpImm(cond, int64(c.OM.TrueObj))
+	if onTrue {
+		c.asm.Jump(machine.OpcJeq, taken)
+	} else {
+		c.asm.Jump(machine.OpcJeq, localEnd)
+	}
+	c.cmpImm(cond, int64(c.OM.FalseObj))
+	if onTrue {
+		c.asm.Jump(machine.OpcJeq, localEnd)
+	} else {
+		c.asm.Jump(machine.OpcJeq, taken)
+	}
+	// Neither boolean: #mustBeBoolean (the condition stays consumed).
+	c.rawSend("mustBeBoolean", 0)
+	c.asm.Label(localEnd)
+	c.freeReg(cond)
+}
+
+func (c *Cogit) genReturnSpecial(embedded int) {
+	switch embedded {
+	case 0:
+		// returnReceiver: the receiver is already in ReceiverResultReg.
+	case 1:
+		c.moviBig(machine.ReceiverResultReg, int64(c.OM.TrueObj))
+	case 2:
+		c.moviBig(machine.ReceiverResultReg, int64(c.OM.FalseObj))
+	case 3:
+		c.moviBig(machine.ReceiverResultReg, int64(c.OM.NilObj))
+	}
+	c.emitEpilogueReturn()
+}

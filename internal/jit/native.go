@@ -1,0 +1,157 @@
+package jit
+
+import (
+	"fmt"
+
+	"cogdiff/internal/defects"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// NativeMethodCompiler is the hand-written template-based compiler of
+// native methods (§4.1): each primitive index maps to an IR template. The
+// compiled convention is the machine-code side of the hybrid native-method
+// schema (§4.2): receiver in ReceiverResultReg, arguments in Arg0..Arg2,
+// success returns to the caller with the result in ReceiverResultReg,
+// failure jumps to the fall-through breakpoint (Listing 4).
+type NativeMethodCompiler struct {
+	ISA     machine.ISA
+	OM      *heap.ObjectMemory
+	Defects defects.Switches
+
+	asm *machine.Assembler
+	seq int
+}
+
+// NewNativeMethodCompiler builds a native-method compiler over om.
+func NewNativeMethodCompiler(isa machine.ISA, om *heap.ObjectMemory, sw defects.Switches) *NativeMethodCompiler {
+	return &NativeMethodCompiler{ISA: isa, OM: om, Defects: sw}
+}
+
+func (n *NativeMethodCompiler) label(prefix string) string {
+	n.seq++
+	return fmt.Sprintf("%s_%d", prefix, n.seq)
+}
+
+// fallthroughLabel is where every failing check jumps; CompileNativeMethod
+// plants the fall-through breakpoint there.
+const fallthroughLabel = "fallthrough"
+
+// CompileNativeMethod compiles the native behavior of one primitive and
+// appends the stop instruction that detects fall-through cases.
+func (n *NativeMethodCompiler) CompileNativeMethod(p *primitives.Primitive) (*CompiledMethod, error) {
+	n.asm = machine.NewAssembler(machine.CodeBase)
+	n.seq = 0
+
+	if defects.IsMissingInJIT(n.Defects, p.Name, p.Category) {
+		// Never implemented in the 32-bit compiler: the generated stub
+		// raises not-yet-implemented at run time (§5.3).
+		n.asm.Brk(BrkNotImplemented)
+		return n.finish()
+	}
+	if err := n.genTemplate(p); err != nil {
+		return nil, err
+	}
+	n.asm.Label(fallthroughLabel)
+	n.asm.Brk(BrkNativeFallthrough)
+	return n.finish()
+}
+
+func (n *NativeMethodCompiler) finish() (*CompiledMethod, error) {
+	prog, err := n.asm.Finish()
+	if err != nil {
+		return nil, err
+	}
+	code, err := machine.Encode(prog, n.ISA)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledMethod{Prog: prog, Code: code, ISA: n.ISA}, nil
+}
+
+// ---- shared shapes ----
+
+func (n *NativeMethodCompiler) checkSmallIntOrFail(r machine.Reg) {
+	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, r, 1)
+	n.asm.CmpI(machine.ScratchReg, 1)
+	n.asm.Jump(machine.OpcJne, fallthroughLabel)
+}
+
+func (n *NativeMethodCompiler) checkPointerOrFail(r machine.Reg) {
+	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, r, 1)
+	n.asm.CmpI(machine.ScratchReg, 1)
+	n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+}
+
+// checkClassIndexOrFail verifies classIndexOf(r) = idx for a heap object
+// (immediates fail first).
+func (n *NativeMethodCompiler) checkClassIndexOrFail(r machine.Reg, idx int) {
+	n.checkPointerOrFail(r)
+	n.asm.Load(machine.ScratchReg, r, 0)
+	n.asm.BinI(machine.OpcSarI, machine.ScratchReg, machine.ScratchReg, heap.HeaderClassShift)
+	n.asm.CmpI(machine.ScratchReg, int64(idx))
+	n.asm.Jump(machine.OpcJne, fallthroughLabel)
+}
+
+func (n *NativeMethodCompiler) cmpImm(rs machine.Reg, imm int64) {
+	if n.ISA == machine.ISAArm32Like && (imm >= armImmLimit || imm <= -armImmLimit) {
+		n.asm.MovI(machine.ScratchReg, imm)
+		n.asm.Cmp(rs, machine.ScratchReg)
+		return
+	}
+	n.asm.CmpI(rs, imm)
+}
+
+func (n *NativeMethodCompiler) rangeCheckOrFail(r machine.Reg) {
+	n.cmpImm(r, heap.MaxSmallInt)
+	n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+	n.cmpImm(r, heap.MinSmallInt)
+	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+}
+
+func (n *NativeMethodCompiler) tag(r machine.Reg) {
+	n.asm.BinI(machine.OpcShlI, r, r, 1)
+	n.asm.BinI(machine.OpcOrI, r, r, 1)
+}
+
+func (n *NativeMethodCompiler) untag(rd, rs machine.Reg) {
+	n.asm.BinI(machine.OpcSarI, rd, rs, 1)
+}
+
+// retBool returns the boolean object selected by the pending jump opcode.
+func (n *NativeMethodCompiler) retBool(jcc machine.Opc) {
+	t := n.label("true")
+	n.asm.Jump(jcc, t)
+	n.asm.MovI(machine.ReceiverResultReg, int64(n.OM.FalseObj))
+	n.asm.Ret()
+	n.asm.Label(t)
+	n.asm.MovI(machine.ReceiverResultReg, int64(n.OM.TrueObj))
+	n.asm.Ret()
+}
+
+// slotBoundsCheckOrFail leaves the untagged 1-based index in idxOut and
+// the slot count in ScratchReg, failing when the index is out of bounds.
+func (n *NativeMethodCompiler) slotBoundsCheckOrFail(obj, taggedIdx, idxOut machine.Reg) {
+	n.untag(idxOut, taggedIdx)
+	n.asm.CmpI(idxOut, 1)
+	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+	n.asm.Load(machine.ScratchReg, obj, 0)
+	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderSlotMask)
+	n.asm.Cmp(idxOut, machine.ScratchReg)
+	n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+}
+
+// genTemplate dispatches on the primitive index.
+func (n *NativeMethodCompiler) genTemplate(p *primitives.Primitive) error {
+	switch {
+	case p.Index >= primitives.PrimIdxAdd && p.Index <= primitives.PrimIdxAsCharacter:
+		return n.genIntegerTemplate(p)
+	case p.Index >= primitives.PrimIdxAsFloat && p.Index <= primitives.PrimIdxFloatExp:
+		return n.genFloatTemplate(p)
+	case p.Index >= primitives.PrimIdxFFIBase:
+		return n.genFFITemplate(p)
+	default:
+		return n.genObjectTemplate(p)
+	}
+}

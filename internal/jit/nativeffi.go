@@ -1,0 +1,271 @@
+package jit
+
+import (
+	"fmt"
+	"strings"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// genFFITemplate compiles the FFI acceleration native methods. In the
+// production configuration these are never reached (the whole family is
+// stubbed as missing, §5.3); the pristine configuration compiles the full
+// templates below, which the clean-VM sanity tests exercise.
+func (n *NativeMethodCompiler) genFFITemplate(p *primitives.Primitive) error {
+	name := p.Name
+	switch {
+	case strings.HasPrefix(name, "primitiveFFIInt") || strings.HasPrefix(name, "primitiveFFIUint"):
+		signed := strings.HasPrefix(name, "primitiveFFIInt")
+		width := parseWidth(name)
+		if strings.HasSuffix(name, "AtPut") {
+			n.genFFIIntAtPut(width)
+		} else {
+			n.genFFIIntAt(width, signed)
+		}
+	case strings.HasPrefix(name, "primitiveFFIFloat"):
+		width := parseWidth(name)
+		if strings.HasSuffix(name, "AtPut") {
+			n.genFFIFloatAtPut(width)
+		} else {
+			n.genFFIFloatAt(width)
+		}
+	case name == "primitiveFFIPointerAt":
+		n.genFFIIntAt(64, true) // pointer loads answer the tagged raw word
+	case name == "primitiveFFIPointerAtPut":
+		n.genFFIPointerAtPut()
+	case strings.HasPrefix(name, "primitiveFFIStructField"):
+		field, put := parseStructField(name)
+		n.genFFIStructField(field, put)
+	case name == "primitiveFFIAllocate":
+		n.genFFIAllocate()
+	case name == "primitiveFFIFree":
+		n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
+		n.asm.MovI(machine.ReceiverResultReg, int64(n.OM.NilObj))
+		n.asm.Ret()
+	case name == "primitiveFFIStrLen":
+		n.genFFIStrLen()
+	case name == "primitiveFFIAddressOf":
+		n.checkPointerOrFail(machine.ReceiverResultReg)
+		n.asm.BinI(machine.OpcSarI, machine.TempReg, machine.ReceiverResultReg, 0)
+		n.asm.MovI(machine.ScratchReg, 0x3FFFFFFF)
+		n.asm.Bin(machine.OpcAnd, machine.TempReg, machine.TempReg, machine.ScratchReg)
+		n.tag(machine.TempReg)
+		n.asm.MovR(machine.ReceiverResultReg, machine.TempReg)
+		n.asm.Ret()
+	case name == "primitiveFFIMemCopy":
+		n.genFFIMemCopy()
+	case name == "primitiveFFIMemSet":
+		n.genFFIMemSet()
+	default:
+		return fmt.Errorf("%w: no FFI template for %s", ErrNotCompilable, name)
+	}
+	return nil
+}
+
+func parseWidth(name string) uint {
+	for _, w := range []string{"64", "32", "16", "8"} {
+		if strings.Contains(name, w) {
+			switch w {
+			case "64":
+				return 64
+			case "32":
+				return 32
+			case "16":
+				return 16
+			default:
+				return 8
+			}
+		}
+	}
+	return 64
+}
+
+func parseStructField(name string) (field int, put bool) {
+	put = strings.HasSuffix(name, "AtPut")
+	fmt.Sscanf(strings.TrimPrefix(name, "primitiveFFIStructField"), "%d", &field)
+	return field, put
+}
+
+// checkExternalAddressAndIndex validates the (ExternalAddress, tagged
+// index) pair and leaves the untagged index in idxOut.
+func (n *NativeMethodCompiler) checkExternalAddressAndIndex(idxOut machine.Reg) {
+	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
+	n.checkSmallIntOrFail(machine.Arg0Reg)
+	n.slotBoundsCheckOrFail(machine.ReceiverResultReg, machine.Arg0Reg, idxOut)
+}
+
+func (n *NativeMethodCompiler) genFFIIntAt(width uint, signed bool) {
+	res := machine.TempReg
+	n.checkExternalAddressAndIndex(res)
+	n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: machine.ReceiverResultReg, Rs2: res})
+	if width < 64 {
+		n.asm.BinI(machine.OpcShlI, res, res, int64(64-width))
+		if signed {
+			n.asm.BinI(machine.OpcSarI, res, res, int64(64-width))
+		} else {
+			n.asm.MovI(machine.ScratchReg, int64(64-width))
+			n.asm.Emit(machine.Instr{Op: machine.OpcShr, Rd: res, Rs1: res, Rs2: machine.ScratchReg})
+		}
+	}
+	n.rangeCheckOrFail(res)
+	n.tag(res)
+	n.asm.MovR(machine.ReceiverResultReg, res)
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIIntAtPut(width uint) {
+	res := machine.TempReg
+	n.checkExternalAddressAndIndex(res)
+	n.checkSmallIntOrFail(machine.Arg1Reg)
+	n.untag(machine.ExtraReg, machine.Arg1Reg)
+	if width < 64 {
+		// Store the truncated two's-complement representation, sign
+		// preserved for signed widths like the interpreter's coercion.
+		n.asm.BinI(machine.OpcShlI, machine.ExtraReg, machine.ExtraReg, int64(64-width))
+		n.asm.BinI(machine.OpcSarI, machine.ExtraReg, machine.ExtraReg, int64(64-width))
+	}
+	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ExtraReg, Rs1: machine.ReceiverResultReg, Rs2: res})
+	n.asm.MovR(machine.ReceiverResultReg, machine.Arg1Reg)
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIFloatAt(width uint) {
+	res := machine.TempReg
+	n.checkExternalAddressAndIndex(res)
+	n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: machine.ReceiverResultReg, Rs2: res})
+	if width == 32 {
+		n.asm.Emit(machine.Instr{Op: machine.OpcF32To64, Rd: res, Rs1: res})
+	}
+	n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIFloatAtPut(width uint) {
+	res := machine.TempReg
+	n.checkExternalAddressAndIndex(res)
+	n.checkClassIndexOrFail(machine.Arg1Reg, heap.ClassIndexFloat)
+	n.asm.Load(machine.ExtraReg, machine.Arg1Reg, heap.HeaderWords)
+	if width == 32 {
+		n.asm.Emit(machine.Instr{Op: machine.OpcF64To32, Rd: machine.ExtraReg, Rs1: machine.ExtraReg})
+	}
+	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ExtraReg, Rs1: machine.ReceiverResultReg, Rs2: res})
+	n.asm.MovR(machine.ReceiverResultReg, machine.Arg1Reg)
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIPointerAtPut() {
+	res := machine.TempReg
+	n.checkExternalAddressAndIndex(res)
+	// The words-format store keeps the untagged representation the
+	// interpreter's StoreSlotChecked uses.
+	n.untag(machine.ExtraReg, machine.Arg1Reg)
+	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ExtraReg, Rs1: machine.ReceiverResultReg, Rs2: res})
+	n.asm.MovR(machine.ReceiverResultReg, machine.Arg1Reg)
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIStructField(field int, put bool) {
+	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalStruct)
+	// Bounds: the structure must have at least field+1 slots.
+	n.asm.Load(machine.ScratchReg, machine.ReceiverResultReg, 0)
+	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderSlotMask)
+	n.asm.CmpI(machine.ScratchReg, int64(field+1))
+	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+	if put {
+		n.asm.Store(machine.ReceiverResultReg, heap.HeaderWords+int64(field), machine.Arg0Reg)
+		n.asm.MovR(machine.ReceiverResultReg, machine.Arg0Reg)
+	} else {
+		n.asm.Load(machine.TempReg, machine.ReceiverResultReg, heap.HeaderWords+int64(field))
+		n.asm.MovR(machine.ReceiverResultReg, machine.TempReg)
+	}
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIAllocate() {
+	n.checkSmallIntOrFail(machine.ReceiverResultReg)
+	n.asm.CmpI(machine.ReceiverResultReg, int64(heap.SmallIntFor(0)))
+	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+	n.cmpImm(machine.ReceiverResultReg, int64(heap.SmallIntFor(1<<16)))
+	n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+	n.untag(machine.ExtraReg, machine.ReceiverResultReg)
+	n.asm.MovI(machine.TempReg, heap.ClassIndexExternalAddr)
+	n.asm.Emit(machine.Instr{Op: machine.OpcAlloc, Rd: machine.ReceiverResultReg, Rs1: machine.TempReg, Rs2: machine.ExtraReg})
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIStrLen() {
+	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
+	n.asm.Load(machine.ClassSelectorReg, machine.ReceiverResultReg, 0)
+	n.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
+	loop := n.label("scan")
+	done := n.label("done")
+	n.asm.MovI(machine.TempReg, 0) // length counter
+	n.asm.Label(loop)
+	n.asm.Cmp(machine.TempReg, machine.ClassSelectorReg)
+	n.asm.Jump(machine.OpcJge, done)
+	n.asm.BinI(machine.OpcAddI, machine.ScratchReg, machine.TempReg, 1)
+	n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: machine.ScratchReg, Rs1: machine.ReceiverResultReg, Rs2: machine.ScratchReg})
+	n.asm.CmpI(machine.ScratchReg, 0)
+	n.asm.Jump(machine.OpcJeq, done)
+	n.asm.BinI(machine.OpcAddI, machine.TempReg, machine.TempReg, 1)
+	n.asm.Jump(machine.OpcJmp, loop)
+	n.asm.Label(done)
+	n.tag(machine.TempReg)
+	n.asm.MovR(machine.ReceiverResultReg, machine.TempReg)
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIMemCopy() {
+	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
+	n.checkClassIndexOrFail(machine.Arg0Reg, heap.ClassIndexExternalAddr)
+	n.checkSmallIntOrFail(machine.Arg1Reg)
+	n.asm.CmpI(machine.Arg1Reg, int64(heap.SmallIntFor(0)))
+	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+	n.untag(machine.TempReg, machine.Arg1Reg) // n
+	for _, obj := range []machine.Reg{machine.ReceiverResultReg, machine.Arg0Reg} {
+		n.asm.Load(machine.ScratchReg, obj, 0)
+		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderSlotMask)
+		n.asm.Cmp(machine.TempReg, machine.ScratchReg)
+		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+	}
+	loop := n.label("copy")
+	done := n.label("done")
+	n.asm.MovI(machine.ExtraReg, 1) // cursor (1-based body offset)
+	n.asm.Label(loop)
+	n.asm.Cmp(machine.ExtraReg, machine.TempReg)
+	n.asm.Jump(machine.OpcJgt, done)
+	n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: machine.ScratchReg, Rs1: machine.ReceiverResultReg, Rs2: machine.ExtraReg})
+	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ScratchReg, Rs1: machine.Arg0Reg, Rs2: machine.ExtraReg})
+	n.asm.BinI(machine.OpcAddI, machine.ExtraReg, machine.ExtraReg, 1)
+	n.asm.Jump(machine.OpcJmp, loop)
+	n.asm.Label(done)
+	n.asm.MovR(machine.ReceiverResultReg, machine.Arg0Reg)
+	n.asm.Ret()
+}
+
+func (n *NativeMethodCompiler) genFFIMemSet() {
+	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
+	n.checkSmallIntOrFail(machine.Arg0Reg)
+	n.checkSmallIntOrFail(machine.Arg1Reg)
+	n.asm.CmpI(machine.Arg1Reg, int64(heap.SmallIntFor(0)))
+	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+	n.untag(machine.TempReg, machine.Arg1Reg) // n
+	n.asm.Load(machine.ScratchReg, machine.ReceiverResultReg, 0)
+	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderSlotMask)
+	n.asm.Cmp(machine.TempReg, machine.ScratchReg)
+	n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+	n.untag(machine.ClassSelectorReg, machine.Arg0Reg) // raw value
+	loop := n.label("set")
+	done := n.label("done")
+	n.asm.MovI(machine.ExtraReg, 1)
+	n.asm.Label(loop)
+	n.asm.Cmp(machine.ExtraReg, machine.TempReg)
+	n.asm.Jump(machine.OpcJgt, done)
+	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ClassSelectorReg, Rs1: machine.ReceiverResultReg, Rs2: machine.ExtraReg})
+	n.asm.BinI(machine.OpcAddI, machine.ExtraReg, machine.ExtraReg, 1)
+	n.asm.Jump(machine.OpcJmp, loop)
+	n.asm.Label(done)
+	n.asm.Ret()
+}

@@ -1,0 +1,195 @@
+package jit
+
+import (
+	"fmt"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// floatPrimsWithMissingReceiverCheck is the seeded defect set (§5.3): all
+// float arithmetic and comparisons plus truncated, fractionPart, sqrt,
+// exponent and timesTwoPower unbox the receiver without checking it.
+var floatPrimsWithMissingReceiverCheck = map[int]bool{
+	primitives.PrimIdxFloatAdd:           true,
+	primitives.PrimIdxFloatSubtract:      true,
+	primitives.PrimIdxFloatMultiply:      true,
+	primitives.PrimIdxFloatDivide:        true,
+	primitives.PrimIdxFloatLess:          true,
+	primitives.PrimIdxFloatGreater:       true,
+	primitives.PrimIdxFloatLessEq:        true,
+	primitives.PrimIdxFloatGreatEq:       true,
+	primitives.PrimIdxFloatEqual:         true,
+	primitives.PrimIdxFloatNotEqual:      true,
+	primitives.PrimIdxFloatTruncated:     true,
+	primitives.PrimIdxFloatFraction:      true,
+	primitives.PrimIdxFloatSqrt:          true,
+	primitives.PrimIdxFloatExponent:      true,
+	primitives.PrimIdxFloatTimesTwoPower: true,
+}
+
+// unboxReceiverFloat emits the receiver unboxing. With the seeded defect
+// the type check is absent: a tagged-integer receiver dereferences an
+// unmapped address (segmentation fault), a wrong heap object yields
+// garbage bits — exactly the behaviours of §5.3. The destination register
+// choice matters: primitiveFloatTruncated and primitiveFloatFractionPart
+// unbox into the registers whose simulated setters are missing, turning
+// their faults into simulation errors.
+func (n *NativeMethodCompiler) unboxReceiverFloat(p *primitives.Primitive, dst machine.Reg) {
+	if !(n.Defects.FloatPrimsSkipReceiverCheck && floatPrimsWithMissingReceiverCheck[p.Index]) {
+		n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexFloat)
+	}
+	n.asm.Load(dst, machine.ReceiverResultReg, heap.HeaderWords)
+}
+
+// unboxArgFloatOrFail type-checks and unboxes the first argument.
+func (n *NativeMethodCompiler) unboxArgFloatOrFail(dst machine.Reg) {
+	n.checkClassIndexOrFail(machine.Arg0Reg, heap.ClassIndexFloat)
+	n.asm.Load(dst, machine.Arg0Reg, heap.HeaderWords)
+}
+
+// genFloatTemplate compiles the Float native methods.
+func (n *NativeMethodCompiler) genFloatTemplate(p *primitives.Primitive) error {
+	res := machine.TempReg
+
+	switch p.Index {
+	case primitives.PrimIdxAsFloat:
+		// The compiled version is correct: it checks what the interpreter
+		// only asserted (the missing *interpreter* type check, Listing 5).
+		n.checkSmallIntOrFail(machine.ReceiverResultReg)
+		n.untag(res, machine.ReceiverResultReg)
+		n.asm.Emit(machine.Instr{Op: machine.OpcI2F, Rd: res, Rs1: res})
+		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
+		n.asm.Ret()
+
+	case primitives.PrimIdxFloatAdd, primitives.PrimIdxFloatSubtract,
+		primitives.PrimIdxFloatMultiply, primitives.PrimIdxFloatDivide:
+		op := map[int]machine.Opc{
+			primitives.PrimIdxFloatAdd:      machine.OpcFAdd,
+			primitives.PrimIdxFloatSubtract: machine.OpcFSub,
+			primitives.PrimIdxFloatMultiply: machine.OpcFMul,
+			primitives.PrimIdxFloatDivide:   machine.OpcFDiv,
+		}[p.Index]
+		n.unboxReceiverFloat(p, res)
+		n.unboxArgFloatOrFail(machine.ExtraReg)
+		n.asm.Bin(op, res, res, machine.ExtraReg)
+		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
+		n.asm.Ret()
+
+	case primitives.PrimIdxFloatLess, primitives.PrimIdxFloatGreater,
+		primitives.PrimIdxFloatLessEq, primitives.PrimIdxFloatGreatEq,
+		primitives.PrimIdxFloatEqual, primitives.PrimIdxFloatNotEqual:
+		jcc := map[int]machine.Opc{
+			primitives.PrimIdxFloatLess:     machine.OpcJlt,
+			primitives.PrimIdxFloatGreater:  machine.OpcJgt,
+			primitives.PrimIdxFloatLessEq:   machine.OpcJle,
+			primitives.PrimIdxFloatGreatEq:  machine.OpcJge,
+			primitives.PrimIdxFloatEqual:    machine.OpcJeq,
+			primitives.PrimIdxFloatNotEqual: machine.OpcJne,
+		}[p.Index]
+		n.unboxReceiverFloat(p, res)
+		n.unboxArgFloatOrFail(machine.ExtraReg)
+		n.asm.FCmp(res, machine.ExtraReg)
+		n.retBool(jcc)
+
+	case primitives.PrimIdxFloatTruncated:
+		// Unboxes into ExtraReg (r5): one of the two simulated registers
+		// whose fault-recovery setter is missing.
+		n.unboxReceiverFloat(p, machine.ExtraReg)
+		n.asm.Emit(machine.Instr{Op: machine.OpcF2I, Rd: res, Rs1: machine.ExtraReg})
+		n.rangeCheckOrFail(res)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxFloatFraction:
+		// Unboxes into Arg2Reg (r3): the second missing accessor.
+		n.unboxReceiverFloat(p, machine.Arg2Reg)
+		n.asm.Emit(machine.Instr{Op: machine.OpcF2I, Rd: res, Rs1: machine.Arg2Reg})
+		n.asm.Emit(machine.Instr{Op: machine.OpcI2F, Rd: res, Rs1: res})
+		n.asm.Bin(machine.OpcFSub, res, machine.Arg2Reg, res)
+		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
+		n.asm.Ret()
+
+	case primitives.PrimIdxFloatExponent:
+		n.unboxReceiverFloat(p, res)
+		// Zero, NaN and infinity fail like the interpreter.
+		n.asm.BinI(machine.OpcShlI, machine.ScratchReg, res, 1)
+		n.asm.CmpI(machine.ScratchReg, 0)
+		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+		n.asm.BinI(machine.OpcSarI, machine.ScratchReg, res, 52)
+		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, 0x7FF)
+		n.asm.CmpI(machine.ScratchReg, 0x7FF)
+		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+		n.asm.BinI(machine.OpcSubI, res, machine.ScratchReg, 1023)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxFloatTimesTwoPower:
+		n.unboxReceiverFloat(p, res)
+		n.checkSmallIntOrFail(machine.Arg0Reg)
+		n.untag(machine.ExtraReg, machine.Arg0Reg)
+		n.cmpImm(machine.ExtraReg, -1074)
+		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		n.cmpImm(machine.ExtraReg, 1023)
+		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+		// x * 2^k in two steps so denormal scales stay exact:
+		// first clamp the step into the normal exponent range.
+		small := n.label("small")
+		done := n.label("done")
+		n.cmpImm(machine.ExtraReg, -1022)
+		n.asm.Jump(machine.OpcJlt, small)
+		n.asm.BinI(machine.OpcAddI, machine.ScratchReg, machine.ExtraReg, 1023)
+		n.asm.BinI(machine.OpcShlI, machine.ScratchReg, machine.ScratchReg, 52)
+		n.asm.Bin(machine.OpcFMul, res, res, machine.ScratchReg)
+		n.asm.Jump(machine.OpcJmp, done)
+		n.asm.Label(small)
+		// multiply by 2^-1022 (bit pattern 1<<52, built with a shift so
+		// the fixed-width ISA can encode it), then by 2^(k+1022)
+		n.asm.MovI(machine.ScratchReg, 1)
+		n.asm.BinI(machine.OpcShlI, machine.ScratchReg, machine.ScratchReg, 52)
+		n.asm.Bin(machine.OpcFMul, res, res, machine.ScratchReg)
+		n.asm.BinI(machine.OpcAddI, machine.ScratchReg, machine.ExtraReg, 1022+1023)
+		n.asm.BinI(machine.OpcShlI, machine.ScratchReg, machine.ScratchReg, 52)
+		n.asm.Bin(machine.OpcFMul, res, res, machine.ScratchReg)
+		n.asm.Label(done)
+		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
+		n.asm.Ret()
+
+	case primitives.PrimIdxFloatSqrt:
+		n.unboxReceiverFloat(p, res)
+		// Negative receivers fail like the interpreter's guard.
+		n.asm.MovI(machine.ScratchReg, 0)
+		n.asm.FCmp(res, machine.ScratchReg)
+		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		n.asm.Emit(machine.Instr{Op: machine.OpcFSqrt, Rd: res, Rs1: res})
+		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
+		n.asm.Ret()
+
+	case primitives.PrimIdxFloatSin, primitives.PrimIdxFloatArctan,
+		primitives.PrimIdxFloatLogN, primitives.PrimIdxFloatExp:
+		// Only compiled when not marked missing (pristine configuration).
+		op := map[int]machine.Opc{
+			primitives.PrimIdxFloatSin:    machine.OpcFSin,
+			primitives.PrimIdxFloatArctan: machine.OpcFAtan,
+			primitives.PrimIdxFloatLogN:   machine.OpcFLog,
+			primitives.PrimIdxFloatExp:    machine.OpcFExp,
+		}[p.Index]
+		n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexFloat)
+		n.asm.Load(res, machine.ReceiverResultReg, heap.HeaderWords)
+		if p.Index == primitives.PrimIdxFloatLogN {
+			n.asm.MovI(machine.ScratchReg, 0)
+			n.asm.FCmp(res, machine.ScratchReg)
+			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		}
+		n.asm.Emit(machine.Instr{Op: op, Rd: res, Rs1: res})
+		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
+		n.asm.Ret()
+
+	default:
+		return fmt.Errorf("%w: no float template for %s", ErrNotCompilable, p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package jit
+
+import (
+	"fmt"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// genIntegerTemplate compiles the SmallInteger native methods.
+func (n *NativeMethodCompiler) genIntegerTemplate(p *primitives.Primitive) error {
+	rcvr, arg := machine.ReceiverResultReg, machine.Arg0Reg
+	res := machine.TempReg
+
+	switch p.Index {
+	case primitives.PrimIdxAdd, primitives.PrimIdxSubtract:
+		n.checkSmallIntOrFail(rcvr)
+		n.checkSmallIntOrFail(arg)
+		if p.Index == primitives.PrimIdxAdd {
+			n.asm.BinI(machine.OpcSubI, res, arg, 1)
+			n.asm.Bin(machine.OpcAdd, res, rcvr, res)
+		} else {
+			n.asm.Bin(machine.OpcSub, res, rcvr, arg)
+			n.asm.BinI(machine.OpcAddI, res, res, 1)
+		}
+		n.cmpImm(res, int64(heap.SmallIntFor(heap.MaxSmallInt)))
+		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+		n.cmpImm(res, int64(heap.SmallIntFor(heap.MinSmallInt)))
+		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxMultiply:
+		n.checkSmallIntOrFail(rcvr)
+		n.checkSmallIntOrFail(arg)
+		n.untag(res, rcvr)
+		n.untag(machine.ExtraReg, arg)
+		n.asm.Bin(machine.OpcMul, res, res, machine.ExtraReg)
+		n.rangeCheckOrFail(res)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxLess, primitives.PrimIdxGreater, primitives.PrimIdxLessEq,
+		primitives.PrimIdxGreatEq, primitives.PrimIdxEqual, primitives.PrimIdxNotEqual:
+		n.checkSmallIntOrFail(rcvr)
+		n.checkSmallIntOrFail(arg)
+		n.asm.Cmp(rcvr, arg) // tagged comparison preserves order
+		jcc := map[int]machine.Opc{
+			primitives.PrimIdxLess:     machine.OpcJlt,
+			primitives.PrimIdxGreater:  machine.OpcJgt,
+			primitives.PrimIdxLessEq:   machine.OpcJle,
+			primitives.PrimIdxGreatEq:  machine.OpcJge,
+			primitives.PrimIdxEqual:    machine.OpcJeq,
+			primitives.PrimIdxNotEqual: machine.OpcJne,
+		}[p.Index]
+		n.retBool(jcc)
+
+	case primitives.PrimIdxDivide:
+		n.checkSmallIntOrFail(rcvr)
+		n.checkSmallIntOrFail(arg)
+		n.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
+		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+		n.untag(res, rcvr)
+		n.untag(machine.ExtraReg, arg)
+		n.asm.Bin(machine.OpcMod, machine.ScratchReg, res, machine.ExtraReg)
+		n.asm.CmpI(machine.ScratchReg, 0)
+		n.asm.Jump(machine.OpcJne, fallthroughLabel)
+		n.asm.Bin(machine.OpcDiv, res, res, machine.ExtraReg)
+		n.rangeCheckOrFail(res)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxDiv, primitives.PrimIdxMod:
+		n.checkSmallIntOrFail(rcvr)
+		n.checkSmallIntOrFail(arg)
+		n.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
+		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+		n.untag(res, rcvr)             // a
+		n.untag(machine.ExtraReg, arg) // b
+		done := n.label("done")
+		if p.Index == primitives.PrimIdxDiv {
+			n.asm.Bin(machine.OpcDiv, machine.ScratchReg, res, machine.ExtraReg) // q
+			n.asm.Bin(machine.OpcMul, machine.ClassSelectorReg, machine.ScratchReg, machine.ExtraReg)
+			n.asm.Bin(machine.OpcSub, machine.ClassSelectorReg, res, machine.ClassSelectorReg) // rem
+			n.asm.CmpI(machine.ClassSelectorReg, 0)
+			n.asm.Jump(machine.OpcJeq, done)
+			n.asm.Bin(machine.OpcXor, machine.ClassSelectorReg, res, machine.ExtraReg)
+			n.asm.CmpI(machine.ClassSelectorReg, 0)
+			n.asm.Jump(machine.OpcJge, done)
+			n.asm.BinI(machine.OpcSubI, machine.ScratchReg, machine.ScratchReg, 1)
+		} else {
+			n.asm.Bin(machine.OpcMod, machine.ScratchReg, res, machine.ExtraReg)
+			n.asm.CmpI(machine.ScratchReg, 0)
+			n.asm.Jump(machine.OpcJeq, done)
+			n.asm.Bin(machine.OpcXor, machine.ClassSelectorReg, res, machine.ExtraReg)
+			n.asm.CmpI(machine.ClassSelectorReg, 0)
+			n.asm.Jump(machine.OpcJge, done)
+			n.asm.Bin(machine.OpcAdd, machine.ScratchReg, machine.ScratchReg, machine.ExtraReg)
+		}
+		n.asm.Label(done)
+		n.asm.MovR(res, machine.ScratchReg)
+		n.rangeCheckOrFail(res)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxQuo:
+		n.checkSmallIntOrFail(rcvr)
+		n.checkSmallIntOrFail(arg)
+		n.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
+		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+		n.untag(res, rcvr)
+		n.untag(machine.ExtraReg, arg)
+		n.asm.Bin(machine.OpcDiv, res, res, machine.ExtraReg)
+		n.rangeCheckOrFail(res)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxBitAnd, primitives.PrimIdxBitOr, primitives.PrimIdxBitXor:
+		n.checkSmallIntOrFail(rcvr)
+		n.checkSmallIntOrFail(arg)
+		if !n.Defects.BitwisePrimsUnsigned {
+			// The corrected templates mirror the interpreter's negative
+			// operand fallback.
+			n.asm.CmpI(rcvr, 0)
+			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+			n.asm.CmpI(arg, 0)
+			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		}
+		op := map[int]machine.Opc{
+			primitives.PrimIdxBitAnd: machine.OpcAnd,
+			primitives.PrimIdxBitOr:  machine.OpcOr,
+			primitives.PrimIdxBitXor: machine.OpcXor,
+		}[p.Index]
+		n.asm.Bin(op, res, rcvr, arg)
+		if op == machine.OpcXor {
+			n.asm.BinI(machine.OpcOrI, res, res, 1)
+		}
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxBitShift:
+		n.checkSmallIntOrFail(rcvr)
+		n.checkSmallIntOrFail(arg)
+		if !n.Defects.BitwisePrimsUnsigned {
+			n.asm.CmpI(rcvr, 0)
+			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		}
+		neg := n.label("neg")
+		n.asm.CmpI(arg, 0)
+		n.asm.Jump(machine.OpcJlt, neg)
+		n.cmpImm(arg, int64(heap.SmallIntFor(31)))
+		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+		n.untag(machine.ScratchReg, arg)
+		n.untag(res, rcvr)
+		n.asm.Bin(machine.OpcShl, res, res, machine.ScratchReg)
+		n.rangeCheckOrFail(res)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+		n.asm.Label(neg)
+		n.cmpImm(arg, int64(heap.SmallIntFor(-31)))
+		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		n.untag(machine.ScratchReg, arg)
+		n.asm.MovI(machine.ClassSelectorReg, 0)
+		n.asm.Bin(machine.OpcSub, machine.ScratchReg, machine.ClassSelectorReg, machine.ScratchReg)
+		n.untag(res, rcvr)
+		n.asm.Bin(machine.OpcSar, res, res, machine.ScratchReg)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxMakePoint:
+		n.checkSmallIntOrFail(rcvr)
+		// Behavioral defect: the compiled template does not validate the
+		// argument, so any object becomes a point coordinate.
+		if !n.Defects.BitwisePrimsUnsigned {
+			n.checkSmallIntOrFail(arg)
+		}
+		n.asm.MovI(machine.TempReg, heap.ClassIndexPoint)
+		n.asm.MovI(machine.ExtraReg, 2)
+		n.asm.Emit(machine.Instr{Op: machine.OpcAlloc, Rd: res, Rs1: machine.TempReg, Rs2: machine.ExtraReg})
+		n.asm.Store(res, heap.HeaderWords, rcvr)
+		n.asm.Store(res, heap.HeaderWords+1, arg)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+
+	case primitives.PrimIdxAsInteger:
+		intCase := n.label("isInt")
+		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, rcvr, 1)
+		n.asm.CmpI(machine.ScratchReg, 1)
+		n.asm.Jump(machine.OpcJeq, intCase)
+		n.checkClassIndexOrFail(rcvr, heap.ClassIndexFloat)
+		n.asm.Load(res, rcvr, heap.HeaderWords)
+		n.asm.Emit(machine.Instr{Op: machine.OpcF2I, Rd: res, Rs1: res})
+		n.rangeCheckOrFail(res)
+		n.tag(res)
+		n.asm.MovR(machine.ReceiverResultReg, res)
+		n.asm.Ret()
+		n.asm.Label(intCase)
+		n.asm.Ret() // the receiver is already the result
+
+	case primitives.PrimIdxAsCharacter:
+		n.checkSmallIntOrFail(rcvr)
+		n.asm.CmpI(rcvr, int64(heap.SmallIntFor(0)))
+		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		n.cmpImm(rcvr, int64(heap.SmallIntFor(0x10FFFF)))
+		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+		n.asm.Ret()
+
+	default:
+		return fmt.Errorf("%w: no integer template for %s", ErrNotCompilable, p.Name)
+	}
+	return nil
+}

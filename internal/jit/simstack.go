@@ -1,0 +1,116 @@
+package jit
+
+import (
+	"fmt"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/machine"
+)
+
+// ssKind classifies a parse-time simulation-stack entry (the ssPush /
+// ssFlushTo machinery of the Stack-to-Register mapping Cogit).
+type ssKind int
+
+const (
+	ssConst ssKind = iota // a known constant, no code emitted yet
+	ssReg                 // value lives in a register
+	ssSpill               // value lives on the machine stack
+)
+
+type ssEntry struct {
+	kind ssKind
+	w    heap.Word
+	reg  machine.Reg
+}
+
+func (e ssEntry) String() string {
+	switch e.kind {
+	case ssConst:
+		return fmt.Sprintf("const(%d)", e.w)
+	case ssReg:
+		return fmt.Sprintf("reg(%s)", e.reg)
+	default:
+		return "spilled"
+	}
+}
+
+// regAllocator hands out scratch registers during byte-code compilation.
+// The two policies are what distinguishes StackToRegisterCogit from
+// RegisterAllocatingCogit.
+type regAllocator interface {
+	// alloc returns a free register, or ok=false when the pool is
+	// exhausted (the Cogit then spills the simulation stack and retries).
+	alloc() (machine.Reg, bool)
+	free(r machine.Reg)
+	reset()
+}
+
+// fixedAllocator is the StackToRegisterCogit policy: a fixed two-register
+// rotation (TempReg/ExtraReg), spilling eagerly when both are live.
+type fixedAllocator struct {
+	inUse map[machine.Reg]bool
+}
+
+func newFixedAllocator() *fixedAllocator {
+	return &fixedAllocator{inUse: make(map[machine.Reg]bool)}
+}
+
+func (a *fixedAllocator) alloc() (machine.Reg, bool) {
+	for _, r := range []machine.Reg{machine.TempReg, machine.ExtraReg, machine.R1} {
+		if !a.inUse[r] {
+			a.inUse[r] = true
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func (a *fixedAllocator) free(r machine.Reg) { delete(a.inUse, r) }
+func (a *fixedAllocator) reset()             { a.inUse = make(map[machine.Reg]bool) }
+
+// linearAllocator is the RegisterAllocatingCogit policy: a linear scan
+// over the byte-code keeps a wider pool live and reuses the least recently
+// released register, reducing spills.
+type linearAllocator struct {
+	pool  []machine.Reg
+	inUse map[machine.Reg]bool
+	// order tracks allocation sequence for deterministic linear reuse.
+	seq   int
+	birth map[machine.Reg]int
+}
+
+func newLinearAllocator() *linearAllocator {
+	return &linearAllocator{
+		pool:  []machine.Reg{machine.R1, machine.R2, machine.R3, machine.TempReg, machine.ExtraReg},
+		inUse: make(map[machine.Reg]bool),
+		birth: make(map[machine.Reg]int),
+	}
+}
+
+func (a *linearAllocator) alloc() (machine.Reg, bool) {
+	var best machine.Reg
+	bestBirth := -1
+	found := false
+	for _, r := range a.pool {
+		if a.inUse[r] {
+			continue
+		}
+		if !found || a.birth[r] < bestBirth {
+			best, bestBirth, found = r, a.birth[r], true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	a.seq++
+	a.inUse[best] = true
+	a.birth[best] = a.seq
+	return best, true
+}
+
+func (a *linearAllocator) free(r machine.Reg) { delete(a.inUse, r) }
+func (a *linearAllocator) reset() {
+	a.inUse = make(map[machine.Reg]bool)
+	a.birth = make(map[machine.Reg]int)
+	a.seq = 0
+}

@@ -1,0 +1,409 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cogdiff/internal/heap"
+)
+
+// StopKind classifies why execution stopped.
+type StopKind int
+
+const (
+	// StopReturned: RET popped the sentinel return address — the compiled
+	// method returned to its caller.
+	StopReturned StopKind = iota
+	// StopTrampoline: the code called into a runtime trampoline (message
+	// sends); the selector identifier is in ClassSelectorReg.
+	StopTrampoline
+	// StopBreakpoint: a BRK instruction was hit (exit markers,
+	// fall-through detection of native methods, §4.2).
+	StopBreakpoint
+	// StopFault: invalid memory access, division by zero or heap
+	// exhaustion — the simulated segmentation fault.
+	StopFault
+	// StopSimulationError: the simulation environment itself failed while
+	// recovering from a fault (§5.3 "simulation error": a register
+	// accessor of the recovery layer is missing).
+	StopSimulationError
+	// StopStepLimit: runaway execution.
+	StopStepLimit
+	// StopHalt: HLT executed.
+	StopHalt
+)
+
+func (k StopKind) String() string {
+	switch k {
+	case StopReturned:
+		return "returned"
+	case StopTrampoline:
+		return "trampoline"
+	case StopBreakpoint:
+		return "breakpoint"
+	case StopFault:
+		return "fault"
+	case StopSimulationError:
+		return "simulationError"
+	case StopStepLimit:
+		return "stepLimit"
+	case StopHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("StopKind(%d)", int(k))
+}
+
+// Stop describes a finished execution.
+type Stop struct {
+	Kind           StopKind
+	BreakID        int64
+	TrampolineAddr int64
+	Fault          error
+	Steps          int
+}
+
+func (s Stop) String() string {
+	switch s.Kind {
+	case StopBreakpoint:
+		return fmt.Sprintf("breakpoint(%d)", s.BreakID)
+	case StopTrampoline:
+		return fmt.Sprintf("trampoline(%#x)", uint64(s.TrampolineAddr))
+	case StopFault:
+		return fmt.Sprintf("fault(%v)", s.Fault)
+	default:
+		return s.Kind.String()
+	}
+}
+
+// SimulationDefects seeds the simulation-environment errors of §5.3: the
+// fault-recovery layer reflectively calls register setters/getters; a
+// missing accessor turns a recoverable fault into a simulation error.
+type SimulationDefects struct {
+	MissingSetters map[Reg]bool
+}
+
+// CPU is the simulated processor. It executes decoded instructions from a
+// Program against the shared flat memory (stack + heap regions).
+type CPU struct {
+	Mem  *heap.Memory
+	OM   *heap.ObjectMemory
+	Prog *Program
+
+	Regs  [NumRegs]heap.Word
+	PC    int64
+	cmp   int // last comparison: -1, 0, +1
+	Steps int
+
+	SimDefects SimulationDefects
+}
+
+// New prepares a CPU over the given object memory, mapping the machine
+// stack region if it is not mapped yet.
+func New(om *heap.ObjectMemory) (*CPU, error) {
+	mem := om.Mem
+	if mem.RegionAt(StackBase) == nil {
+		if _, err := mem.Map("stack", StackBase, StackSize, true); err != nil {
+			return nil, err
+		}
+	}
+	c := &CPU{Mem: mem, OM: om}
+	c.Reset()
+	return c, nil
+}
+
+// Reset clears registers and points SP at the top of the stack.
+func (c *CPU) Reset() {
+	for i := range c.Regs {
+		c.Regs[i] = 0
+	}
+	c.Regs[SP] = StackLimit
+	c.Regs[FP] = StackLimit
+	c.PC = 0
+	c.cmp = 0
+	c.Steps = 0
+}
+
+// Install loads a program and sets the PC to its base.
+func (c *CPU) Install(p *Program) {
+	c.Prog = p
+	c.PC = p.Base
+}
+
+var errStackOverflow = errors.New("machine: stack overflow")
+
+func (c *CPU) push(w heap.Word) error {
+	c.Regs[SP]--
+	if int64(c.Regs[SP]) < StackBase {
+		return errStackOverflow
+	}
+	return c.Mem.Write(c.Regs[SP], w)
+}
+
+func (c *CPU) pop() (heap.Word, error) {
+	w, err := c.Mem.Read(c.Regs[SP])
+	if err != nil {
+		return 0, err
+	}
+	c.Regs[SP]++
+	return w, nil
+}
+
+// fault builds the stop for a memory error, routing through the simulated
+// register-accessor recovery layer (where the seeded simulation errors
+// live).
+func (c *CPU) fault(err error, destination Reg, isLoad bool) *Stop {
+	if isLoad && c.SimDefects.MissingSetters != nil && c.SimDefects.MissingSetters[destination] {
+		return &Stop{Kind: StopSimulationError, Fault: fmt.Errorf("machine: missing register setter %s while recovering from %v", destination, err), Steps: c.Steps}
+	}
+	return &Stop{Kind: StopFault, Fault: err, Steps: c.Steps}
+}
+
+// Run executes until a stop condition or the step limit.
+func (c *CPU) Run(maxSteps int) *Stop {
+	for c.Steps < maxSteps {
+		stop := c.Step()
+		if stop != nil {
+			stop.Steps = c.Steps
+			return stop
+		}
+	}
+	return &Stop{Kind: StopStepLimit, Steps: c.Steps}
+}
+
+func float(w heap.Word) float64 { return math.Float64frombits(uint64(w)) }
+func bits(f float64) heap.Word  { return heap.Word(math.Float64bits(f)) }
+
+// Step executes one instruction; a non-nil result stops the run.
+func (c *CPU) Step() *Stop {
+	if c.Prog == nil {
+		return &Stop{Kind: StopFault, Fault: errors.New("machine: no program installed")}
+	}
+	ins, ok := c.Prog.At(c.PC)
+	if !ok {
+		return &Stop{Kind: StopFault, Fault: &heap.Fault{Kind: heap.AccessExecute, Addr: heap.Word(c.PC)}}
+	}
+	c.Steps++
+	c.PC++
+
+	switch ins.Op {
+	case OpcNop:
+	case OpcMovR:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1]
+	case OpcMovI:
+		c.Regs[ins.Rd] = heap.Word(ins.Imm)
+	case OpcLoad:
+		w, err := c.Mem.Read(c.Regs[ins.Rs1] + heap.Word(ins.Imm))
+		if err != nil {
+			return c.fault(err, ins.Rd, true)
+		}
+		c.Regs[ins.Rd] = w
+	case OpcStore:
+		if err := c.Mem.Write(c.Regs[ins.Rs1]+heap.Word(ins.Imm), c.Regs[ins.Rs2]); err != nil {
+			return c.fault(err, ins.Rs2, false)
+		}
+	case OpcLoadX:
+		w, err := c.Mem.Read(c.Regs[ins.Rs1] + c.Regs[ins.Rs2])
+		if err != nil {
+			return c.fault(err, ins.Rd, true)
+		}
+		c.Regs[ins.Rd] = w
+	case OpcStoreX:
+		if err := c.Mem.Write(c.Regs[ins.Rs1]+c.Regs[ins.Rs2], c.Regs[ins.Rd]); err != nil {
+			return c.fault(err, ins.Rd, false)
+		}
+	case OpcPush:
+		if err := c.push(c.Regs[ins.Rs1]); err != nil {
+			return c.fault(err, ins.Rs1, false)
+		}
+	case OpcPop:
+		w, err := c.pop()
+		if err != nil {
+			return c.fault(err, ins.Rd, true)
+		}
+		c.Regs[ins.Rd] = w
+	case OpcAdd:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] + c.Regs[ins.Rs2]
+	case OpcSub:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] - c.Regs[ins.Rs2]
+	case OpcMul:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] * c.Regs[ins.Rs2]
+	case OpcDiv, OpcMod:
+		d := int64(c.Regs[ins.Rs2])
+		if d == 0 {
+			return c.fault(errors.New("machine: integer division by zero"), ins.Rd, false)
+		}
+		if ins.Op == OpcDiv {
+			c.Regs[ins.Rd] = heap.Word(int64(c.Regs[ins.Rs1]) / d)
+		} else {
+			c.Regs[ins.Rd] = heap.Word(int64(c.Regs[ins.Rs1]) % d)
+		}
+	case OpcAnd:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] & c.Regs[ins.Rs2]
+	case OpcOr:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] | c.Regs[ins.Rs2]
+	case OpcXor:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] ^ c.Regs[ins.Rs2]
+	case OpcShl:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] << uint(c.Regs[ins.Rs2]&63)
+	case OpcShr:
+		c.Regs[ins.Rd] = heap.Word(uint64(c.Regs[ins.Rs1]) >> uint(c.Regs[ins.Rs2]&63))
+	case OpcSar:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] >> uint(c.Regs[ins.Rs2]&63)
+	case OpcAddI:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] + heap.Word(ins.Imm)
+	case OpcSubI:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] - heap.Word(ins.Imm)
+	case OpcAndI:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] & heap.Word(ins.Imm)
+	case OpcOrI:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] | heap.Word(ins.Imm)
+	case OpcShlI:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] << uint(ins.Imm&63)
+	case OpcSarI:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs1] >> uint(ins.Imm&63)
+	case OpcCmp:
+		c.cmp = compareWords(int64(c.Regs[ins.Rs1]), int64(c.Regs[ins.Rs2]))
+	case OpcCmpI:
+		c.cmp = compareWords(int64(c.Regs[ins.Rs1]), ins.Imm)
+	case OpcFCmp:
+		a, b := float(c.Regs[ins.Rs1]), float(c.Regs[ins.Rs2])
+		switch {
+		case math.IsNaN(a) || math.IsNaN(b):
+			c.cmp = 2 // unordered: only != holds
+		case a < b:
+			c.cmp = -1
+		case a > b:
+			c.cmp = 1
+		default:
+			c.cmp = 0
+		}
+	case OpcJmp:
+		c.PC = ins.Imm
+	case OpcJeq:
+		if c.cmp == 0 {
+			c.PC = ins.Imm
+		}
+	case OpcJne:
+		if c.cmp != 0 {
+			c.PC = ins.Imm
+		}
+	case OpcJlt:
+		if c.cmp == -1 {
+			c.PC = ins.Imm
+		}
+	case OpcJle:
+		if c.cmp == -1 || c.cmp == 0 {
+			c.PC = ins.Imm
+		}
+	case OpcJgt:
+		if c.cmp == 1 {
+			c.PC = ins.Imm
+		}
+	case OpcJge:
+		if c.cmp == 1 || c.cmp == 0 {
+			c.PC = ins.Imm
+		}
+	case OpcCall, OpcCallR:
+		target := ins.Imm
+		if ins.Op == OpcCallR {
+			target = int64(c.Regs[ins.Rs1])
+		}
+		if err := c.push(heap.Word(c.PC)); err != nil {
+			return c.fault(err, SP, false)
+		}
+		if target < CodeBase {
+			// Runtime trampolines live below the code zone.
+			return &Stop{Kind: StopTrampoline, TrampolineAddr: target}
+		}
+		c.PC = target
+	case OpcRet:
+		addr, err := c.pop()
+		if err != nil {
+			return c.fault(err, SP, true)
+		}
+		if int64(addr) == SentinelReturn {
+			return &Stop{Kind: StopReturned}
+		}
+		c.PC = int64(addr)
+	case OpcBrk:
+		return &Stop{Kind: StopBreakpoint, BreakID: ins.Imm}
+	case OpcHlt:
+		return &Stop{Kind: StopHalt}
+	case OpcFAdd:
+		c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) + float(c.Regs[ins.Rs2]))
+	case OpcFSub:
+		c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) - float(c.Regs[ins.Rs2]))
+	case OpcFMul:
+		c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) * float(c.Regs[ins.Rs2]))
+	case OpcFDiv:
+		c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) / float(c.Regs[ins.Rs2]))
+	case OpcI2F:
+		c.Regs[ins.Rd] = bits(float64(int64(c.Regs[ins.Rs1])))
+	case OpcF2I:
+		f := float(c.Regs[ins.Rs1])
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return c.fault(errors.New("machine: float-to-int of non-finite value"), ins.Rd, false)
+		}
+		c.Regs[ins.Rd] = heap.Word(int64(f))
+	case OpcFSqrt:
+		c.Regs[ins.Rd] = bits(math.Sqrt(float(c.Regs[ins.Rs1])))
+	case OpcFSin:
+		c.Regs[ins.Rd] = bits(math.Sin(float(c.Regs[ins.Rs1])))
+	case OpcFAtan:
+		c.Regs[ins.Rd] = bits(math.Atan(float(c.Regs[ins.Rs1])))
+	case OpcFLog:
+		c.Regs[ins.Rd] = bits(math.Log(float(c.Regs[ins.Rs1])))
+	case OpcFExp:
+		c.Regs[ins.Rd] = bits(math.Exp(float(c.Regs[ins.Rs1])))
+	case OpcF64To32:
+		c.Regs[ins.Rd] = bits(float64(float32(float(c.Regs[ins.Rs1]))))
+	case OpcF32To64:
+		c.Regs[ins.Rd] = bits(float64(math.Float32frombits(uint32(c.Regs[ins.Rs1]))))
+	case OpcAllocFloat:
+		oop, err := c.OM.NewFloat(float(c.Regs[ins.Rs1]))
+		if err != nil {
+			return c.fault(err, ins.Rd, false)
+		}
+		c.Regs[ins.Rd] = oop
+	case OpcAlloc:
+		classIdx := int(c.Regs[ins.Rs1])
+		cd := c.OM.ClassAt(classIdx)
+		if cd == nil {
+			return c.fault(fmt.Errorf("machine: allocation of unknown class %d", classIdx), ins.Rd, false)
+		}
+		oop, err := c.OM.Allocate(classIdx, cd.InstanceFormat, int(c.Regs[ins.Rs2]))
+		if err != nil {
+			return c.fault(err, ins.Rd, false)
+		}
+		c.Regs[ins.Rd] = oop
+	default:
+		return &Stop{Kind: StopFault, Fault: fmt.Errorf("machine: illegal instruction %v at %#x", ins.Op, uint64(c.PC-1))}
+	}
+	return nil
+}
+
+func compareWords(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// StackSlice returns the live machine stack contents from SP (top) up to
+// but excluding limit. The differential tester reads the flushed operand
+// stack this way.
+func (c *CPU) StackSlice(limit heap.Word) ([]heap.Word, error) {
+	var out []heap.Word
+	for addr := c.Regs[SP]; addr < limit; addr++ {
+		w, err := c.Mem.Read(addr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+// Package machine implements the simulated target machine the JIT
+// compilers emit code for: a 32-bit-style register machine with
+// word-addressed memory, flags, call/return, trampolines, breakpoints and
+// memory traps. It replaces the Unicorn-based simulation of the paper's
+// testing infrastructure (Fig. 4) and provides the observation points the
+// differential tester needs: sentinel returns, trampoline calls,
+// breakpoint hits and faults.
+package machine
+
+import "fmt"
+
+// Reg names a machine register. R0..R7 are general purpose; SP and FP are
+// the stack and frame pointers.
+type Reg uint8
+
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	SP
+	FP
+	NumRegs
+)
+
+func (r Reg) String() string {
+	if r < 8 {
+		return fmt.Sprintf("r%d", int(r))
+	}
+	switch r {
+	case SP:
+		return "sp"
+	case FP:
+		return "fp"
+	}
+	return fmt.Sprintf("reg%d", int(r))
+}
+
+// Register-usage convention of the JIT compilers (mirroring Cogit's
+// ReceiverResultReg / Arg0Reg / ... naming).
+const (
+	ReceiverResultReg = R0
+	Arg0Reg           = R1
+	Arg1Reg           = R2
+	Arg2Reg           = R3
+	TempReg           = R4
+	ExtraReg          = R5
+	ScratchReg        = R6
+	ClassSelectorReg  = R7
+)
+
+// Opc is a machine opcode.
+type Opc uint8
+
+const (
+	OpcNop    Opc = iota
+	OpcMovR       // rd <- rs1
+	OpcMovI       // rd <- imm
+	OpcLoad       // rd <- [rs1 + imm]
+	OpcStore      // [rs1 + imm] <- rs2
+	OpcLoadX      // rd <- [rs1 + rs2]
+	OpcStoreX     // [rs1 + rs2] <- rd
+	OpcPush       // [--sp] <- rs1
+	OpcPop        // rd <- [sp++]
+	OpcAdd        // rd <- rs1 + rs2
+	OpcSub
+	OpcMul
+	OpcDiv // truncated; divisor 0 faults
+	OpcMod
+	OpcAnd
+	OpcOr
+	OpcXor
+	OpcShl
+	OpcShr  // logical right shift
+	OpcSar  // arithmetic right shift
+	OpcAddI // rd <- rs1 + imm
+	OpcSubI
+	OpcAndI
+	OpcOrI
+	OpcShlI
+	OpcSarI
+	OpcCmp  // flags <- rs1 - rs2
+	OpcCmpI // flags <- rs1 - imm
+	OpcJmp  // pc <- imm
+	OpcJeq
+	OpcJne
+	OpcJlt
+	OpcJle
+	OpcJgt
+	OpcJge
+	OpcCall  // push return; pc <- imm
+	OpcCallR // push return; pc <- rs1
+	OpcRet
+	OpcBrk // breakpoint imm
+	OpcHlt
+
+	// Float operations interpret register contents as IEEE-754 bit
+	// patterns (the simulated FPU).
+	OpcFAdd
+	OpcFSub
+	OpcFMul
+	OpcFDiv
+	OpcFCmp    // flags from float comparison
+	OpcI2F     // rd <- float bits of integer rs1
+	OpcF2I     // rd <- truncated integer of float bits rs1
+	OpcFSqrt   // rd <- sqrt of float bits rs1 (NaN for negative inputs)
+	OpcF64To32 // rd <- rs1 rounded through IEEE single precision
+	OpcF32To64 // rd <- float64 bits of the float32 bit pattern in rs1
+	// Libm trampolines of the runtime, modelled as macro-instructions.
+	OpcFSin
+	OpcFAtan
+	OpcFLog
+	OpcFExp
+
+	// OpcAllocFloat is the inlined allocation sequence of the JIT,
+	// modelled as one macro-instruction: allocate a boxed float whose raw
+	// bits are rs1 and leave its reference in rd. Fails (fault) when the
+	// heap is exhausted.
+	OpcAllocFloat
+	// OpcAlloc allocates an object of class index rs1 (raw) with rs2 body
+	// slots (raw), leaving the reference in rd — the allocation trampoline.
+	OpcAlloc
+
+	NumOpcs
+)
+
+var opcNames = map[Opc]string{
+	OpcNop: "nop", OpcMovR: "mov", OpcMovI: "movi", OpcLoad: "load",
+	OpcStore: "store", OpcLoadX: "loadx", OpcStoreX: "storex",
+	OpcPush: "push", OpcPop: "pop",
+	OpcAdd: "add", OpcSub: "sub", OpcMul: "mul", OpcDiv: "div", OpcMod: "mod",
+	OpcAnd: "and", OpcOr: "or", OpcXor: "xor", OpcShl: "shl", OpcShr: "shr", OpcSar: "sar",
+	OpcAddI: "addi", OpcSubI: "subi", OpcAndI: "andi", OpcOrI: "ori",
+	OpcShlI: "shli", OpcSarI: "sari",
+	OpcCmp: "cmp", OpcCmpI: "cmpi",
+	OpcJmp: "jmp", OpcJeq: "jeq", OpcJne: "jne", OpcJlt: "jlt",
+	OpcJle: "jle", OpcJgt: "jgt", OpcJge: "jge",
+	OpcCall: "call", OpcCallR: "callr", OpcRet: "ret", OpcBrk: "brk", OpcHlt: "hlt",
+	OpcFAdd: "fadd", OpcFSub: "fsub", OpcFMul: "fmul", OpcFDiv: "fdiv",
+	OpcFCmp: "fcmp", OpcI2F: "i2f", OpcF2I: "f2i",
+	OpcFSqrt: "fsqrt", OpcF64To32: "f64to32", OpcF32To64: "f32to64",
+	OpcFSin: "fsin", OpcFAtan: "fatan", OpcFLog: "flog", OpcFExp: "fexp",
+	OpcAllocFloat: "allocfloat", OpcAlloc: "alloc",
+}
+
+func (o Opc) String() string {
+	if n, ok := opcNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("opc%d", int(o))
+}
+
+// Instr is one decoded machine instruction.
+type Instr struct {
+	Op       Opc
+	Rd       Reg
+	Rs1, Rs2 Reg
+	Imm      int64
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpcNop, OpcRet, OpcHlt:
+		return i.Op.String()
+	case OpcMovI:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case OpcMovR:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs1)
+	case OpcLoad:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, i.Rd, i.Rs1, i.Imm)
+	case OpcStore:
+		return fmt.Sprintf("%s [%s%+d], %s", i.Op, i.Rs1, i.Imm, i.Rs2)
+	case OpcPush:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case OpcPop:
+		return fmt.Sprintf("%s %s", i.Op, i.Rd)
+	case OpcAddI, OpcSubI, OpcAndI, OpcOrI, OpcShlI, OpcSarI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case OpcCmp, OpcFCmp:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rs1, i.Rs2)
+	case OpcCmpI:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rs1, i.Imm)
+	case OpcJmp, OpcJeq, OpcJne, OpcJlt, OpcJle, OpcJgt, OpcJge, OpcCall:
+		return fmt.Sprintf("%s %#x", i.Op, uint64(i.Imm))
+	case OpcCallR:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case OpcBrk:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case OpcI2F, OpcF2I:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs1)
+	case OpcAllocFloat:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs1)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+}
+
+// IsJump reports whether the instruction is a (conditional) jump.
+func (i Instr) IsJump() bool {
+	switch i.Op {
+	case OpcJmp, OpcJeq, OpcJne, OpcJlt, OpcJle, OpcJgt, OpcJge:
+		return true
+	}
+	return false
+}
+
+// Memory layout of the simulated machine. The heap (internal/heap) sits at
+// its own base; code and stack are mapped by the machine.
+const (
+	// SentinelReturn is the return address the harness seeds; a RET to it
+	// means the compiled method returned to its caller.
+	SentinelReturn = 0x4
+	// SendTrampoline is the runtime routine compiled sends call; the
+	// selector identifier travels in ClassSelectorReg.
+	SendTrampoline = 0x10
+	// CodeBase is where compiled methods are installed.
+	CodeBase = 0x1000
+	// CodeSize is the capacity of the code zone in instructions.
+	CodeSize = 1 << 14
+	// StackBase and StackSize delimit the machine stack (grows down from
+	// StackLimit).
+	StackBase  = 0xE000
+	StackSize  = 1 << 12
+	StackLimit = StackBase + StackSize
+)

@@ -1,0 +1,25 @@
+package primitives
+
+import (
+	"math"
+
+	"cogdiff/internal/heap"
+)
+
+// wordBitsToFloat decodes a raw word stored by the FFI float accessors.
+// 32-bit loads round-trip through float32 precision, as real foreign
+// memory would.
+func wordBitsToFloat(raw heap.Word, width uint) float64 {
+	if width == 32 {
+		return float64(math.Float32frombits(uint32(raw)))
+	}
+	return math.Float64frombits(uint64(raw))
+}
+
+// floatToWordBits encodes a float for storage at the given width.
+func floatToWordBits(f float64, width uint) heap.Word {
+	if width == 32 {
+		return heap.Word(math.Float32bits(float32(f)))
+	}
+	return heap.Word(math.Float64bits(f))
+}

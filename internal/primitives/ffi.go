@@ -1,0 +1,346 @@
+package primitives
+
+import (
+	"fmt"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/sym"
+)
+
+// FFI native methods accelerate foreign memory and structure accesses.
+// Their indices start at PrimIdxFFIBase. The paper found that this whole
+// family was never implemented in the 32-bit JIT compiler (§5.3 "missing
+// functionality", 60 causes); the interpreter implementations below are
+// complete, while the native-method compiler has no templates for them.
+const (
+	PrimIdxFFIBase = 560
+
+	ffiIntAccessors    = 16 // {8,16,32,64} x {signed,unsigned} x {get,put}
+	ffiFloatAccessors  = 4  // {32,64} x {get,put}
+	ffiPtrAccessors    = 2  // pointerAt, pointerAtPut
+	ffiStructAccessors = 28 // field 0..13 x {get,put}
+	ffiMiscCount       = 6
+
+	// FFIPrimitiveCount is the size of the FFI family.
+	FFIPrimitiveCount = ffiIntAccessors + ffiFloatAccessors + ffiPtrAccessors + ffiStructAccessors + ffiMiscCount
+)
+
+func (t *Table) registerFFIPrimitives() {
+	idx := PrimIdxFFIBase
+
+	// Integer accessors over ExternalAddress objects.
+	for _, width := range []uint{8, 16, 32, 64} {
+		for _, signed := range []bool{true, false} {
+			prefix := "Uint"
+			if signed {
+				prefix = "Int"
+			}
+			w, s := width, signed
+			t.register(&Primitive{
+				Index: idx, Name: fmt.Sprintf("primitiveFFI%s%dAt", prefix, width), NumArgs: 1, Category: CatFFI,
+				Fn: func(c *interp.Ctx, p *Primitive) { ffiIntAt(c, w, s) },
+			})
+			idx++
+			t.register(&Primitive{
+				Index: idx, Name: fmt.Sprintf("primitiveFFI%s%dAtPut", prefix, width), NumArgs: 2, Category: CatFFI,
+				Fn: func(c *interp.Ctx, p *Primitive) { ffiIntAtPut(c, w, s) },
+			})
+			idx++
+		}
+	}
+
+	// Float accessors.
+	for _, width := range []uint{32, 64} {
+		w := width
+		t.register(&Primitive{
+			Index: idx, Name: fmt.Sprintf("primitiveFFIFloat%dAt", width), NumArgs: 1, Category: CatFFI,
+			Fn: func(c *interp.Ctx, p *Primitive) { ffiFloatAt(c, w) },
+		})
+		idx++
+		t.register(&Primitive{
+			Index: idx, Name: fmt.Sprintf("primitiveFFIFloat%dAtPut", width), NumArgs: 2, Category: CatFFI,
+			Fn: func(c *interp.Ctx, p *Primitive) { ffiFloatAtPut(c, w) },
+		})
+		idx++
+	}
+
+	// Pointer accessors.
+	t.register(&Primitive{
+		Index: idx, Name: "primitiveFFIPointerAt", NumArgs: 1, Category: CatFFI,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr, i := ffiAddressAndIndex(c)
+			c.PrimReturn(c.FetchSlotChecked(rcvr, int(i.V-1)))
+		},
+	})
+	idx++
+	t.register(&Primitive{
+		Index: idx, Name: "primitiveFFIPointerAtPut", NumArgs: 2, Category: CatFFI,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr, i := ffiAddressAndIndex(c)
+			v := c.Arg(1)
+			c.StoreSlotChecked(rcvr, int(i.V-1), v)
+			c.PrimReturn(v)
+		},
+	})
+	idx++
+
+	// Structure field accessors.
+	for field := 0; field < 14; field++ {
+		f := field
+		t.register(&Primitive{
+			Index: idx, Name: fmt.Sprintf("primitiveFFIStructField%dAt", field), NumArgs: 0, Category: CatFFI,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				rcvr := ffiStructReceiver(c)
+				if !c.GuardIntCompare(sym.CmpGE, c.SlotCount(rcvr), interp.IntValue{V: int64(f + 1)}) {
+					c.PrimFail(FailBadIndex)
+				}
+				c.PrimReturn(c.FetchSlotChecked(rcvr, f))
+			},
+		})
+		idx++
+		t.register(&Primitive{
+			Index: idx, Name: fmt.Sprintf("primitiveFFIStructField%dAtPut", field), NumArgs: 1, Category: CatFFI,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				rcvr := ffiStructReceiver(c)
+				if !c.GuardIntCompare(sym.CmpGE, c.SlotCount(rcvr), interp.IntValue{V: int64(f + 1)}) {
+					c.PrimFail(FailBadIndex)
+				}
+				v := c.Arg(0)
+				c.StoreSlotChecked(rcvr, f, v)
+				c.PrimReturn(v)
+			},
+		})
+		idx++
+	}
+
+	// Miscellaneous accelerated memory operations.
+	t.register(&Primitive{
+		Index: idx, Name: "primitiveFFIAllocate", NumArgs: 0, Category: CatFFI,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if !c.IsSmallInt(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			n := c.SmallIntValue(rcvr)
+			if !c.GuardIntCompare(sym.CmpGE, n, interp.IntValue{V: 0}) ||
+				!c.GuardIntCompare(sym.CmpLE, n, interp.IntValue{V: 1 << 16}) {
+				c.PrimFail(FailOutOfRange)
+			}
+			oop, err := c.OM.Allocate(heap.ClassIndexExternalAddr, heap.FormatWords, int(n.V))
+			if err != nil {
+				c.PrimFail(FailUnsupported)
+			}
+			c.PrimReturn(interp.Value{W: oop, Sym: sym.KnownObj{Name: "anExternalAddress"}})
+		},
+	})
+	idx++
+	t.register(&Primitive{
+		Index: idx, Name: "primitiveFFIFree", NumArgs: 0, Category: CatFFI,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if !c.ClassIndexIs(rcvr, heap.ClassIndexExternalAddr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			c.PrimReturn(c.NilValue())
+		},
+	})
+	idx++
+	t.register(&Primitive{
+		Index: idx, Name: "primitiveFFIStrLen", NumArgs: 0, Category: CatFFI,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if !c.ClassIndexIs(rcvr, heap.ClassIndexExternalAddr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			n := c.OM.SlotCountOf(rcvr.W)
+			length := n
+			for i := 0; i < n; i++ {
+				w, err := c.OM.FetchSlot(rcvr.W, i)
+				if err != nil {
+					c.PrimFail(FailBadReceiver)
+				}
+				if w == 0 {
+					length = i
+					break
+				}
+			}
+			c.PrimReturn(c.IntObjectOf(interp.IntValue{V: int64(length)}))
+		},
+	})
+	idx++
+	t.register(&Primitive{
+		Index: idx, Name: "primitiveFFIAddressOf", NumArgs: 0, Category: CatFFI,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if c.IsSmallInt(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			c.PrimReturn(c.IntObjectOf(interp.IntValue{V: int64(rcvr.W) & 0x3FFFFFFF}))
+		},
+	})
+	idx++
+	t.register(&Primitive{
+		Index: idx, Name: "primitiveFFIMemCopy", NumArgs: 2, Category: CatFFI,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			src := c.Receiver()
+			if !c.ClassIndexIs(src, heap.ClassIndexExternalAddr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			dst := c.Arg(0)
+			if !c.ClassIndexIs(dst, heap.ClassIndexExternalAddr) {
+				c.PrimFail(FailBadArgument)
+			}
+			cnt := c.Arg(1)
+			if !c.IsSmallInt(cnt) {
+				c.PrimFail(FailBadArgument)
+			}
+			n := c.SmallIntValue(cnt)
+			if !c.GuardIntCompare(sym.CmpGE, n, interp.IntValue{V: 0}) ||
+				!c.GuardIntCompare(sym.CmpLE, n, c.SlotCount(src)) ||
+				!c.GuardIntCompare(sym.CmpLE, n, c.SlotCount(dst)) {
+				c.PrimFail(FailOutOfRange)
+			}
+			for i := 0; i < int(n.V); i++ {
+				w, err := c.OM.FetchSlot(src.W, i)
+				if err != nil {
+					c.PrimFail(FailBadReceiver)
+				}
+				if err := c.OM.StoreSlot(dst.W, i, w); err != nil {
+					c.PrimFail(FailBadArgument)
+				}
+			}
+			c.PrimReturn(dst)
+		},
+	})
+	idx++
+	t.register(&Primitive{
+		Index: idx, Name: "primitiveFFIMemSet", NumArgs: 2, Category: CatFFI,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if !c.ClassIndexIs(rcvr, heap.ClassIndexExternalAddr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			val := c.Arg(0)
+			if !c.IsSmallInt(val) {
+				c.PrimFail(FailBadArgument)
+			}
+			cnt := c.Arg(1)
+			if !c.IsSmallInt(cnt) {
+				c.PrimFail(FailBadArgument)
+			}
+			n := c.SmallIntValue(cnt)
+			if !c.GuardIntCompare(sym.CmpGE, n, interp.IntValue{V: 0}) ||
+				!c.GuardIntCompare(sym.CmpLE, n, c.SlotCount(rcvr)) {
+				c.PrimFail(FailOutOfRange)
+			}
+			raw := heap.SmallIntValue(val.W)
+			for i := 0; i < int(n.V); i++ {
+				if err := c.OM.StoreSlot(rcvr.W, i, heap.Word(raw)); err != nil {
+					c.PrimFail(FailBadReceiver)
+				}
+			}
+			c.PrimReturn(rcvr)
+		},
+	})
+	idx++
+
+	if got := idx - PrimIdxFFIBase; got != FFIPrimitiveCount {
+		panic(fmt.Sprintf("primitives: FFI family has %d members, expected %d", got, FFIPrimitiveCount))
+	}
+}
+
+// ffiAddressAndIndex validates an (ExternalAddress, 1-based index) pair.
+func ffiAddressAndIndex(c *interp.Ctx) (interp.Value, interp.IntValue) {
+	rcvr := c.Receiver()
+	if !c.ClassIndexIs(rcvr, heap.ClassIndexExternalAddr) {
+		c.PrimFail(FailBadReceiver)
+	}
+	idx := c.Arg(0)
+	if !c.IsSmallInt(idx) {
+		c.PrimFail(FailBadIndex)
+	}
+	i := c.SmallIntValue(idx)
+	if !c.GuardIntCompare(sym.CmpGE, i, interp.IntValue{V: 1}) ||
+		!c.GuardIntCompare(sym.CmpLE, i, c.SlotCount(rcvr)) {
+		c.PrimFail(FailBadIndex)
+	}
+	return rcvr, i
+}
+
+// ffiStructReceiver validates an ExternalStructure receiver.
+func ffiStructReceiver(c *interp.Ctx) interp.Value {
+	rcvr := c.Receiver()
+	if !c.ClassIndexIs(rcvr, heap.ClassIndexExternalStruct) {
+		c.PrimFail(FailBadReceiver)
+	}
+	return rcvr
+}
+
+// truncateToWidth coerces a raw word to an integer of the given width.
+func truncateToWidth(v int64, width uint, signed bool) int64 {
+	if width >= 64 {
+		return v
+	}
+	mask := int64(1)<<width - 1
+	v &= mask
+	if signed && v&(1<<(width-1)) != 0 {
+		v -= 1 << width
+	}
+	return v
+}
+
+// ffiIntAt reads slot index as an integer of the given width.
+func ffiIntAt(c *interp.Ctx, width uint, signed bool) {
+	rcvr, i := ffiAddressAndIndex(c)
+	raw, err := c.OM.FetchSlot(rcvr.W, int(i.V-1))
+	if err != nil {
+		c.PrimFail(FailBadIndex)
+	}
+	v := truncateToWidth(int64(raw), width, signed)
+	if !heap.IsIntegerValue(v) {
+		c.PrimFail(FailOutOfRange)
+	}
+	c.PrimReturn(c.IntObjectOf(interp.IntValue{V: v}))
+}
+
+// ffiIntAtPut stores an integer of the given width into slot index.
+func ffiIntAtPut(c *interp.Ctx, width uint, signed bool) {
+	rcvr, i := ffiAddressAndIndex(c)
+	val := c.Arg(1)
+	if !c.IsSmallInt(val) {
+		c.PrimFail(FailBadArgument)
+	}
+	v := c.SmallIntValue(val)
+	stored := truncateToWidth(v.V, width, signed)
+	if err := c.OM.StoreSlot(rcvr.W, int(i.V-1), heap.Word(stored)); err != nil {
+		c.PrimFail(FailBadIndex)
+	}
+	c.PrimReturn(val)
+}
+
+// ffiFloatAt reads slot index as a float of the given width (stored as
+// float64 bits in this simulated foreign memory).
+func ffiFloatAt(c *interp.Ctx, width uint) {
+	rcvr, i := ffiAddressAndIndex(c)
+	raw, err := c.OM.FetchSlot(rcvr.W, int(i.V-1))
+	if err != nil {
+		c.PrimFail(FailBadIndex)
+	}
+	f := wordBitsToFloat(raw, width)
+	c.PrimReturn(c.NewFloatValue(interp.FloatValue{F: f}))
+}
+
+// ffiFloatAtPut stores a float into slot index.
+func ffiFloatAtPut(c *interp.Ctx, width uint) {
+	rcvr, i := ffiAddressAndIndex(c)
+	val := c.Arg(1)
+	if !c.IsFloatObject(val) {
+		c.PrimFail(FailBadArgument)
+	}
+	fv := c.FloatValueOf(val)
+	if err := c.OM.StoreSlot(rcvr.W, int(i.V-1), floatToWordBits(fv.F, width)); err != nil {
+		c.PrimFail(FailBadIndex)
+	}
+	c.PrimReturn(val)
+}

@@ -1,0 +1,205 @@
+package primitives
+
+import (
+	"math"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/sym"
+)
+
+// Float native-method indices.
+const (
+	PrimIdxAsFloat            = 40
+	PrimIdxFloatAdd           = 41
+	PrimIdxFloatSubtract      = 42
+	PrimIdxFloatLess          = 43
+	PrimIdxFloatGreater       = 44
+	PrimIdxFloatLessEq        = 45
+	PrimIdxFloatGreatEq       = 46
+	PrimIdxFloatEqual         = 47
+	PrimIdxFloatNotEqual      = 48
+	PrimIdxFloatMultiply      = 49
+	PrimIdxFloatDivide        = 50
+	PrimIdxFloatTruncated     = 51
+	PrimIdxFloatFraction      = 52
+	PrimIdxFloatExponent      = 53
+	PrimIdxFloatTimesTwoPower = 54
+	PrimIdxFloatSqrt          = 55
+	PrimIdxFloatSin           = 56
+	PrimIdxFloatArctan        = 57
+	PrimIdxFloatLogN          = 58
+	PrimIdxFloatExp           = 59
+)
+
+func (t *Table) registerFloatPrimitives() {
+	// primitiveAsFloat: SmallInteger >> asFloat. The production interpreter
+	// carries the paper's Listing 5 defect: the receiver type check is an
+	// assertion removed at compile time, so pointer receivers are coerced
+	// through untagging into garbage floats. The defect is toggled per
+	// context so tests can also exercise the corrected semantics.
+	t.register(&Primitive{
+		Index: PrimIdxAsFloat, Name: "primitiveAsFloat", NumArgs: 0, Category: CatFloat,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if !c.InterpreterDefects.AsFloatSkipsTypeCheck {
+				if !c.IsSmallInt(rcvr) {
+					c.PrimFail(FailBadReceiver)
+				}
+			}
+			// self assert: (objectMemory isIntegerObject: rcvr). -- removed
+			iv := c.UnsafeIntValue(rcvr)
+			c.PrimReturn(c.NewFloatValue(c.IntToFloat(iv)))
+		},
+	})
+
+	arith := []struct {
+		idx  int
+		name string
+		op   sym.BinOp
+	}{
+		{PrimIdxFloatAdd, "primitiveFloatAdd", sym.OpAdd},
+		{PrimIdxFloatSubtract, "primitiveFloatSubtract", sym.OpSub},
+		{PrimIdxFloatMultiply, "primitiveFloatMultiply", sym.OpMul},
+		{PrimIdxFloatDivide, "primitiveFloatDivide", sym.OpDiv},
+	}
+	for _, a := range arith {
+		op := a.op
+		t.register(&Primitive{
+			Index: a.idx, Name: a.name, NumArgs: 1, Category: CatFloat,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				rcvr, arg := checkTwoFloats(c)
+				c.PrimReturn(c.NewFloatValue(c.FloatBinOp(op, rcvr, arg)))
+			},
+		})
+	}
+
+	cmps := []struct {
+		idx  int
+		name string
+		op   sym.CmpOp
+	}{
+		{PrimIdxFloatLess, "primitiveFloatLessThan", sym.CmpLT},
+		{PrimIdxFloatGreater, "primitiveFloatGreaterThan", sym.CmpGT},
+		{PrimIdxFloatLessEq, "primitiveFloatLessOrEqual", sym.CmpLE},
+		{PrimIdxFloatGreatEq, "primitiveFloatGreaterOrEqual", sym.CmpGE},
+		{PrimIdxFloatEqual, "primitiveFloatEqual", sym.CmpEQ},
+		{PrimIdxFloatNotEqual, "primitiveFloatNotEqual", sym.CmpNE},
+	}
+	for _, cm := range cmps {
+		op := cm.op
+		t.register(&Primitive{
+			Index: cm.idx, Name: cm.name, NumArgs: 1, Category: CatFloat,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				rcvr, arg := checkTwoFloats(c)
+				outcome, cond := c.FloatCompare(op, rcvr, arg)
+				c.PrimReturn(c.BoolValue(outcome, cond))
+			},
+		})
+	}
+
+	t.register(&Primitive{
+		Index: PrimIdxFloatTruncated, Name: "primitiveFloatTruncated", NumArgs: 0, Category: CatFloat,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			fv := checkFloatReceiver(c)
+			tr := math.Trunc(fv.F)
+			if math.IsNaN(tr) || math.IsInf(tr, 0) || !heap.IsIntegerValue(int64(tr)) {
+				c.PrimFail(FailOutOfRange)
+			}
+			c.PrimReturn(c.IntObjectOf(interp.IntValue{V: int64(tr)}))
+		},
+	})
+	t.register(&Primitive{
+		Index: PrimIdxFloatFraction, Name: "primitiveFloatFractionPart", NumArgs: 0, Category: CatFloat,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			fv := checkFloatReceiver(c)
+			_, frac := math.Modf(fv.F)
+			c.PrimReturn(c.NewFloatValue(interp.FloatValue{F: frac}))
+		},
+	})
+	t.register(&Primitive{
+		Index: PrimIdxFloatExponent, Name: "primitiveFloatExponent", NumArgs: 0, Category: CatFloat,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			fv := checkFloatReceiver(c)
+			if fv.F == 0 || math.IsNaN(fv.F) || math.IsInf(fv.F, 0) {
+				c.PrimFail(FailOutOfRange)
+			}
+			exp := int64(math.Ilogb(fv.F))
+			c.PrimReturn(c.IntObjectOf(interp.IntValue{V: exp}))
+		},
+	})
+	t.register(&Primitive{
+		Index: PrimIdxFloatTimesTwoPower, Name: "primitiveFloatTimesTwoPower", NumArgs: 1, Category: CatFloat,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			fv := checkFloatReceiver(c)
+			arg := c.Arg(0)
+			if !c.IsSmallInt(arg) {
+				c.PrimFail(FailBadArgument)
+			}
+			k := c.SmallIntValue(arg)
+			if !c.GuardIntCompare(sym.CmpGE, k, interp.IntValue{V: -1074}) ||
+				!c.GuardIntCompare(sym.CmpLE, k, interp.IntValue{V: 1023}) {
+				c.PrimFail(FailOutOfRange)
+			}
+			c.PrimReturn(c.NewFloatValue(interp.FloatValue{F: math.Ldexp(fv.F, int(k.V))}))
+		},
+	})
+
+	unary := []struct {
+		idx               int
+		name              string
+		fn                func(float64) float64
+		domainNonNegative bool
+	}{
+		{PrimIdxFloatSqrt, "primitiveFloatSquareRoot", math.Sqrt, true},
+		{PrimIdxFloatSin, "primitiveFloatSin", math.Sin, false},
+		{PrimIdxFloatArctan, "primitiveFloatArctan", math.Atan, false},
+		{PrimIdxFloatLogN, "primitiveFloatLogN", math.Log, true},
+		{PrimIdxFloatExp, "primitiveFloatExp", math.Exp, false},
+	}
+	for _, un := range unary {
+		fn, nonNeg := un.fn, un.domainNonNegative
+		t.register(&Primitive{
+			Index: un.idx, Name: un.name, NumArgs: 0, Category: CatFloat,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				fv := checkFloatReceiver(c)
+				if nonNeg {
+					outcome, cond := c.FloatCompare(sym.CmpGE, fv, interp.FloatValue{F: 0})
+					if cond != nil {
+						if outcome {
+							c.RecordGuard(cond)
+						} else {
+							c.RecordGuard(sym.Negate(cond))
+						}
+					}
+					if !outcome {
+						c.PrimFail(FailBadReceiver)
+					}
+				}
+				c.PrimReturn(c.NewFloatValue(interp.FloatValue{F: fn(fv.F)}))
+			},
+		})
+	}
+}
+
+// checkFloatReceiver validates and unboxes the float receiver.
+func checkFloatReceiver(c *interp.Ctx) interp.FloatValue {
+	rcvr := c.Receiver()
+	if !c.IsFloatObject(rcvr) {
+		c.PrimFail(FailBadReceiver)
+	}
+	return c.FloatValueOf(rcvr)
+}
+
+// checkTwoFloats validates and unboxes a float (receiver, argument) pair.
+func checkTwoFloats(c *interp.Ctx) (rcvr, arg interp.FloatValue) {
+	r := c.Receiver()
+	if !c.IsFloatObject(r) {
+		c.PrimFail(FailBadReceiver)
+	}
+	a := c.Arg(0)
+	if !c.IsFloatObject(a) {
+		c.PrimFail(FailBadArgument)
+	}
+	return c.FloatValueOf(r), c.FloatValueOf(a)
+}

@@ -1,0 +1,252 @@
+package primitives
+
+import (
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/sym"
+)
+
+// Native-method indices follow the OpenSmalltalk numbering where a
+// counterpart exists.
+const (
+	PrimIdxAdd         = 1
+	PrimIdxSubtract    = 2
+	PrimIdxLess        = 3
+	PrimIdxGreater     = 4
+	PrimIdxLessEq      = 5
+	PrimIdxGreatEq     = 6
+	PrimIdxEqual       = 7
+	PrimIdxNotEqual    = 8
+	PrimIdxMultiply    = 9
+	PrimIdxDivide      = 10
+	PrimIdxMod         = 11
+	PrimIdxDiv         = 12
+	PrimIdxQuo         = 13
+	PrimIdxBitAnd      = 14
+	PrimIdxBitOr       = 15
+	PrimIdxBitXor      = 16
+	PrimIdxBitShift    = 17
+	PrimIdxMakePoint   = 18
+	PrimIdxAsInteger   = 19
+	PrimIdxAsCharacter = 20
+)
+
+func (t *Table) registerIntegerPrimitives() {
+	arith := []struct {
+		idx  int
+		name string
+		op   sym.BinOp
+	}{
+		{PrimIdxAdd, "primitiveAdd", sym.OpAdd},
+		{PrimIdxSubtract, "primitiveSubtract", sym.OpSub},
+		{PrimIdxMultiply, "primitiveMultiply", sym.OpMul},
+	}
+	for _, a := range arith {
+		op := a.op
+		t.register(&Primitive{
+			Index: a.idx, Name: a.name, NumArgs: 1, Category: CatIntegerArithmetic,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				rcvr, arg := checkTwoIntegers(c)
+				r := c.IntBinOp(op, rcvr, arg)
+				if !c.IsIntegerValue(r) {
+					c.PrimFail(FailOutOfRange)
+				}
+				c.PrimReturn(c.IntObjectOf(r))
+			},
+		})
+	}
+
+	cmps := []struct {
+		idx  int
+		name string
+		op   sym.CmpOp
+	}{
+		{PrimIdxLess, "primitiveLessThan", sym.CmpLT},
+		{PrimIdxGreater, "primitiveGreaterThan", sym.CmpGT},
+		{PrimIdxLessEq, "primitiveLessOrEqual", sym.CmpLE},
+		{PrimIdxGreatEq, "primitiveGreaterOrEqual", sym.CmpGE},
+		{PrimIdxEqual, "primitiveEqual", sym.CmpEQ},
+		{PrimIdxNotEqual, "primitiveNotEqual", sym.CmpNE},
+	}
+	for _, cm := range cmps {
+		op := cm.op
+		t.register(&Primitive{
+			Index: cm.idx, Name: cm.name, NumArgs: 1, Category: CatIntegerComparison,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				rcvr, arg := checkTwoIntegers(c)
+				outcome, cond := c.IntCompare(op, rcvr, arg)
+				c.PrimReturn(c.BoolValue(outcome, cond))
+			},
+		})
+	}
+
+	t.register(&Primitive{
+		Index: PrimIdxDivide, Name: "primitiveDivide", NumArgs: 1, Category: CatIntegerArithmetic,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr, arg := checkTwoIntegers(c)
+			if !c.GuardIntCompare(sym.CmpNE, arg, interp.IntValue{V: 0}) {
+				c.PrimFail(FailBadArgument)
+			}
+			rem := c.IntBinOp(sym.OpMod, rcvr, arg)
+			if !c.GuardIntCompare(sym.CmpEQ, rem, interp.IntValue{V: 0}) {
+				c.PrimFail(FailBadArgument)
+			}
+			q := c.IntBinOp(sym.OpDiv, rcvr, arg)
+			if !c.IsIntegerValue(q) {
+				c.PrimFail(FailOutOfRange)
+			}
+			c.PrimReturn(c.IntObjectOf(q))
+		},
+	})
+
+	floored := []struct {
+		idx  int
+		name string
+		op   sym.BinOp
+	}{
+		{PrimIdxMod, "primitiveMod", sym.OpMod},
+		{PrimIdxDiv, "primitiveDiv", sym.OpDiv},
+		{PrimIdxQuo, "primitiveQuo", sym.OpQuo},
+	}
+	for _, fd := range floored {
+		op := fd.op
+		t.register(&Primitive{
+			Index: fd.idx, Name: fd.name, NumArgs: 1, Category: CatIntegerArithmetic,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				rcvr, arg := checkTwoIntegers(c)
+				if !c.GuardIntCompare(sym.CmpNE, arg, interp.IntValue{V: 0}) {
+					c.PrimFail(FailBadArgument)
+				}
+				r := c.IntBinOp(op, rcvr, arg)
+				if !c.IsIntegerValue(r) {
+					c.PrimFail(FailOutOfRange)
+				}
+				c.PrimReturn(c.IntObjectOf(r))
+			},
+		})
+	}
+
+	bits := []struct {
+		idx  int
+		name string
+		op   sym.BinOp
+	}{
+		{PrimIdxBitAnd, "primitiveBitAnd", sym.OpBitAnd},
+		{PrimIdxBitOr, "primitiveBitOr", sym.OpBitOr},
+		{PrimIdxBitXor, "primitiveBitXor", sym.OpBitXor},
+	}
+	for _, b := range bits {
+		op := b.op
+		t.register(&Primitive{
+			Index: b.idx, Name: b.name, NumArgs: 1, Category: CatIntegerArithmetic,
+			Fn: func(c *interp.Ctx, p *Primitive) {
+				rcvr, arg := checkTwoIntegers(c)
+				// The interpreter's native bitwise methods fail on negative
+				// operands and fall back to large-integer library code
+				// (§5.3: compiled code instead treats them as unsigned).
+				if !c.GuardIntCompare(sym.CmpGE, rcvr, interp.IntValue{V: 0}) ||
+					!c.GuardIntCompare(sym.CmpGE, arg, interp.IntValue{V: 0}) {
+					c.PrimFail(FailBadArgument)
+				}
+				r := c.IntBinOp(op, rcvr, arg)
+				c.PrimReturn(c.IntObjectOf(interp.IntValue{V: r.V}))
+			},
+		})
+	}
+
+	t.register(&Primitive{
+		Index: PrimIdxBitShift, Name: "primitiveBitShift", NumArgs: 1, Category: CatIntegerArithmetic,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr, arg := checkTwoIntegers(c)
+			if !c.GuardIntCompare(sym.CmpGE, rcvr, interp.IntValue{V: 0}) {
+				c.PrimFail(FailBadArgument)
+			}
+			if c.GuardIntCompare(sym.CmpGE, arg, interp.IntValue{V: 0}) {
+				if !c.GuardIntCompare(sym.CmpLE, arg, interp.IntValue{V: 31}) {
+					c.PrimFail(FailOutOfRange)
+				}
+				r := c.IntBinOp(sym.OpShiftLeft, rcvr, arg)
+				if !c.IsIntegerValue(interp.IntValue{V: r.V}) {
+					c.PrimFail(FailOutOfRange)
+				}
+				c.PrimReturn(c.IntObjectOf(interp.IntValue{V: r.V}))
+			}
+			if !c.GuardIntCompare(sym.CmpGE, arg, interp.IntValue{V: -31}) {
+				c.PrimFail(FailOutOfRange)
+			}
+			neg := c.IntBinOp(sym.OpSub, interp.IntValue{V: 0}, arg)
+			r := c.IntBinOp(sym.OpShiftRight, rcvr, neg)
+			c.PrimReturn(c.IntObjectOf(interp.IntValue{V: r.V}))
+		},
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxMakePoint, Name: "primitiveMakePoint", NumArgs: 1, Category: CatAllocation,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if !c.IsSmallInt(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			arg := c.Arg(0)
+			if !c.IsSmallInt(arg) {
+				c.PrimFail(FailBadArgument)
+			}
+			oop, err := c.OM.Allocate(heap.ClassIndexPoint, heap.FormatFixed, 2)
+			if err != nil {
+				c.PrimFail(FailUnsupported)
+			}
+			c.OM.StoreSlot(oop, 0, rcvr.W)
+			c.OM.StoreSlot(oop, 1, arg.W)
+			c.PrimReturn(interp.Value{W: oop, Sym: sym.KnownObj{Name: "aPoint"}})
+		},
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxAsInteger, Name: "primitiveAsInteger", NumArgs: 0, Category: CatIntegerArithmetic,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if c.IsSmallInt(rcvr) {
+				c.PrimReturn(rcvr)
+			}
+			if !c.IsFloatObject(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			fv := c.FloatValueOf(rcvr)
+			truncated := int64(fv.F)
+			if !heap.IsIntegerValue(truncated) {
+				c.PrimFail(FailOutOfRange)
+			}
+			c.PrimReturn(c.IntObjectOf(interp.IntValue{V: truncated}))
+		},
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxAsCharacter, Name: "primitiveAsCharacter", NumArgs: 0, Category: CatIntegerArithmetic,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if !c.IsSmallInt(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			v := c.SmallIntValue(rcvr)
+			if !c.GuardIntCompare(sym.CmpGE, v, interp.IntValue{V: 0}) ||
+				!c.GuardIntCompare(sym.CmpLE, v, interp.IntValue{V: 0x10FFFF}) {
+				c.PrimFail(FailOutOfRange)
+			}
+			c.PrimReturn(c.IntObjectOf(v))
+		},
+	})
+}
+
+// checkTwoIntegers validates the (receiver, first argument) pair of an
+// integer native method, failing with the proper code.
+func checkTwoIntegers(c *interp.Ctx) (rcvr, arg interp.IntValue) {
+	r := c.Receiver()
+	if !c.IsSmallInt(r) {
+		c.PrimFail(FailBadReceiver)
+	}
+	a := c.Arg(0)
+	if !c.IsSmallInt(a) {
+		c.PrimFail(FailBadArgument)
+	}
+	return c.SmallIntValue(r), c.SmallIntValue(a)
+}

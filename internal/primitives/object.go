@@ -1,0 +1,279 @@
+package primitives
+
+import (
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/sym"
+)
+
+// Object access and identity native-method indices.
+const (
+	PrimIdxAt           = 60
+	PrimIdxAtPut        = 61
+	PrimIdxSize         = 62
+	PrimIdxStringAt     = 63
+	PrimIdxStringAtPut  = 64
+	PrimIdxBasicNew     = 70
+	PrimIdxBasicNewWith = 71
+	PrimIdxInstVarAt    = 73
+	PrimIdxInstVarAtPut = 74
+	PrimIdxIdentityHash = 75
+	PrimIdxShallowCopy  = 77
+	PrimIdxIdentical    = 110
+	PrimIdxClass        = 111
+	PrimIdxNotIdentical = 112
+)
+
+func (t *Table) registerObjectPrimitives() {
+	t.register(&Primitive{
+		Index: PrimIdxAt, Name: "primitiveAt", NumArgs: 1, Category: CatObjectAccess,
+		Fn: func(c *interp.Ctx, p *Primitive) { primAt(c, false) },
+	})
+	t.register(&Primitive{
+		Index: PrimIdxStringAt, Name: "primitiveStringAt", NumArgs: 1, Category: CatObjectAccess,
+		Fn: func(c *interp.Ctx, p *Primitive) { primAt(c, true) },
+	})
+	t.register(&Primitive{
+		Index: PrimIdxAtPut, Name: "primitiveAtPut", NumArgs: 2, Category: CatObjectAccess,
+		Fn: func(c *interp.Ctx, p *Primitive) { primAtPut(c, false) },
+	})
+	t.register(&Primitive{
+		Index: PrimIdxStringAtPut, Name: "primitiveStringAtPut", NumArgs: 2, Category: CatObjectAccess,
+		Fn: func(c *interp.Ctx, p *Primitive) { primAtPut(c, true) },
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxSize, Name: "primitiveSize", NumArgs: 0, Category: CatObjectAccess,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if c.IsSmallInt(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			if !c.IsIndexable(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			c.PrimReturn(c.IntObjectOf(c.SlotCount(rcvr)))
+		},
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxBasicNew, Name: "primitiveBasicNew", NumArgs: 0, Category: CatAllocation,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			cd := classReceiver(c)
+			oop, err := c.OM.Allocate(cd.Index, cd.InstanceFormat, cd.FixedSlots)
+			if err != nil {
+				c.PrimFail(FailUnsupported)
+			}
+			c.PrimReturn(interp.Value{W: oop, Sym: sym.KnownObj{Name: "new " + cd.Name}})
+		},
+	})
+	t.register(&Primitive{
+		Index: PrimIdxBasicNewWith, Name: "primitiveBasicNewWithArg", NumArgs: 1, Category: CatAllocation,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			cd := classReceiver(c)
+			if !cd.InstanceFormat.IsIndexable() {
+				c.PrimFail(FailBadReceiver)
+			}
+			arg := c.Arg(0)
+			if !c.IsSmallInt(arg) {
+				c.PrimFail(FailBadArgument)
+			}
+			n := c.SmallIntValue(arg)
+			if !c.GuardIntCompare(sym.CmpGE, n, interp.IntValue{V: 0}) ||
+				!c.GuardIntCompare(sym.CmpLE, n, interp.IntValue{V: 1 << 20}) {
+				c.PrimFail(FailOutOfRange)
+			}
+			oop, err := c.OM.Allocate(cd.Index, cd.InstanceFormat, cd.FixedSlots+int(n.V))
+			if err != nil {
+				c.PrimFail(FailUnsupported)
+			}
+			c.PrimReturn(interp.Value{W: oop, Sym: sym.KnownObj{Name: "new " + cd.Name}})
+		},
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxInstVarAt, Name: "primitiveInstVarAt", NumArgs: 1, Category: CatObjectAccess,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if c.IsSmallInt(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			idx := c.Arg(0)
+			if !c.IsSmallInt(idx) {
+				c.PrimFail(FailBadIndex)
+			}
+			i := c.SmallIntValue(idx)
+			if !c.GuardIntCompare(sym.CmpGE, i, interp.IntValue{V: 1}) ||
+				!c.GuardIntCompare(sym.CmpLE, i, c.SlotCount(rcvr)) {
+				c.PrimFail(FailBadIndex)
+			}
+			c.PrimReturn(c.FetchSlotChecked(rcvr, int(i.V-1)))
+		},
+	})
+	t.register(&Primitive{
+		Index: PrimIdxInstVarAtPut, Name: "primitiveInstVarAtPut", NumArgs: 2, Category: CatObjectAccess,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if c.IsSmallInt(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			idx := c.Arg(0)
+			if !c.IsSmallInt(idx) {
+				c.PrimFail(FailBadIndex)
+			}
+			i := c.SmallIntValue(idx)
+			if !c.GuardIntCompare(sym.CmpGE, i, interp.IntValue{V: 1}) ||
+				!c.GuardIntCompare(sym.CmpLE, i, c.SlotCount(rcvr)) {
+				c.PrimFail(FailBadIndex)
+			}
+			v := c.Arg(1)
+			c.StoreSlotChecked(rcvr, int(i.V-1), v)
+			c.PrimReturn(v)
+		},
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxIdentityHash, Name: "primitiveIdentityHash", NumArgs: 0, Category: CatIdentity,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if c.IsSmallInt(rcvr) {
+				c.PrimFail(FailBadReceiver)
+			}
+			// The identity hash of this VM is derived from the object
+			// address, truncated into the small-int range.
+			h := int64(rcvr.W>>1) & 0x3FFFFFFF
+			c.PrimReturn(c.IntObjectOf(interp.IntValue{V: h}))
+		},
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxShallowCopy, Name: "primitiveShallowCopy", NumArgs: 0, Category: CatAllocation,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			if c.IsSmallInt(rcvr) {
+				c.PrimReturn(rcvr)
+			}
+			ci := c.OM.ClassIndexOf(rcvr.W)
+			f := c.OM.FormatOf(rcvr.W)
+			n := c.OM.SlotCountOf(rcvr.W)
+			oop, err := c.OM.Allocate(ci, f, n)
+			if err != nil {
+				c.PrimFail(FailUnsupported)
+			}
+			for i := 0; i < n; i++ {
+				w, err := c.OM.FetchSlot(rcvr.W, i)
+				if err != nil {
+					c.PrimFail(FailBadReceiver)
+				}
+				c.OM.StoreSlot(oop, i, w)
+			}
+			c.PrimReturn(interp.Value{W: oop, Sym: sym.KnownObj{Name: "aCopy"}})
+		},
+	})
+
+	t.register(&Primitive{
+		Index: PrimIdxIdentical, Name: "primitiveIdentical", NumArgs: 1, Category: CatIdentity,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			outcome := c.IdenticalValues(c.Receiver(), c.Arg(0))
+			c.PrimReturn(c.BoolValue(outcome, nil))
+		},
+	})
+	t.register(&Primitive{
+		Index: PrimIdxNotIdentical, Name: "primitiveNotIdentical", NumArgs: 1, Category: CatIdentity,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			outcome := !c.IdenticalValues(c.Receiver(), c.Arg(0))
+			c.PrimReturn(c.BoolValue(outcome, nil))
+		},
+	})
+	t.register(&Primitive{
+		Index: PrimIdxClass, Name: "primitiveClass", NumArgs: 0, Category: CatIdentity,
+		Fn: func(c *interp.Ctx, p *Primitive) {
+			rcvr := c.Receiver()
+			idx := c.OM.ClassIndexOf(rcvr.W)
+			cd := c.OM.ClassAt(idx)
+			if cd == nil {
+				c.PrimFail(FailBadReceiver)
+			}
+			c.PrimReturn(interp.Value{W: cd.Oop, Sym: sym.KnownObj{Name: "class " + cd.Name}})
+		},
+	})
+}
+
+// primAt implements at: (stringVariant restricts to byte receivers).
+func primAt(c *interp.Ctx, stringVariant bool) {
+	rcvr := c.Receiver()
+	if c.IsSmallInt(rcvr) {
+		c.PrimFail(FailBadReceiver)
+	}
+	if stringVariant {
+		if !c.FormatOfIs(rcvr, heap.FormatBytes) {
+			c.PrimFail(FailBadReceiver)
+		}
+	} else if !c.IsIndexable(rcvr) {
+		c.PrimFail(FailBadReceiver)
+	}
+	idx := c.Arg(0)
+	if !c.IsSmallInt(idx) {
+		c.PrimFail(FailBadIndex)
+	}
+	i := c.SmallIntValue(idx)
+	if !c.GuardIntCompare(sym.CmpGE, i, interp.IntValue{V: 1}) ||
+		!c.GuardIntCompare(sym.CmpLE, i, c.SlotCount(rcvr)) {
+		c.PrimFail(FailBadIndex)
+	}
+	c.PrimReturn(c.FetchSlotChecked(rcvr, int(i.V-1)))
+}
+
+// primAtPut implements at:put:.
+func primAtPut(c *interp.Ctx, stringVariant bool) {
+	rcvr := c.Receiver()
+	if c.IsSmallInt(rcvr) {
+		c.PrimFail(FailBadReceiver)
+	}
+	if stringVariant {
+		if !c.FormatOfIs(rcvr, heap.FormatBytes) {
+			c.PrimFail(FailBadReceiver)
+		}
+	} else if !c.IsIndexable(rcvr) {
+		c.PrimFail(FailBadReceiver)
+	}
+	idx := c.Arg(0)
+	if !c.IsSmallInt(idx) {
+		c.PrimFail(FailBadIndex)
+	}
+	val := c.Arg(1)
+	f := c.OM.FormatOf(rcvr.W)
+	if f == heap.FormatBytes || f == heap.FormatWords {
+		if !c.IsSmallInt(val) {
+			c.PrimFail(FailBadArgument)
+		}
+		if f == heap.FormatBytes {
+			b := c.SmallIntValue(val)
+			if !c.GuardIntCompare(sym.CmpGE, b, interp.IntValue{V: 0}) ||
+				!c.GuardIntCompare(sym.CmpLE, b, interp.IntValue{V: 255}) {
+				c.PrimFail(FailBadArgument)
+			}
+		}
+	}
+	i := c.SmallIntValue(idx)
+	if !c.GuardIntCompare(sym.CmpGE, i, interp.IntValue{V: 1}) ||
+		!c.GuardIntCompare(sym.CmpLE, i, c.SlotCount(rcvr)) {
+		c.PrimFail(FailBadIndex)
+	}
+	c.StoreSlotChecked(rcvr, int(i.V-1), val)
+	c.PrimReturn(val)
+}
+
+// classReceiver validates that the receiver is a class object and returns
+// its description.
+func classReceiver(c *interp.Ctx) *heap.ClassDescription {
+	rcvr := c.Receiver()
+	if !c.ClassIndexIs(rcvr, heap.ClassIndexMetaclass) {
+		c.PrimFail(FailBadReceiver)
+	}
+	cd := c.OM.ClassByOop(rcvr.W)
+	if cd == nil {
+		c.PrimFail(FailBadReceiver)
+	}
+	return cd
+}

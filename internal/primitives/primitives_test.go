@@ -1,0 +1,343 @@
+package primitives
+
+import (
+	"math"
+	"testing"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+)
+
+// callPrim runs a native method concretely.
+func callPrim(t *testing.T, om *heap.ObjectMemory, tbl *Table, index int, receiver interp.Value, args ...interp.Value) interp.Exit {
+	t.Helper()
+	p := tbl.Lookup(index)
+	if p == nil {
+		t.Fatalf("no primitive %d", index)
+	}
+	f := interp.NewFrame(receiver, args, nil)
+	ctx := interp.NewCtx(om, f, nil)
+	return interp.RunPrimitive(ctx, tbl, index)
+}
+
+func intv(v int64) interp.Value { return interp.Concrete(heap.SmallIntFor(v)) }
+
+func TestTableRegistration(t *testing.T) {
+	tbl := NewTable()
+	if tbl.Count() < 110 {
+		t.Fatalf("only %d native methods registered", tbl.Count())
+	}
+	all := tbl.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Index >= all[i].Index {
+			t.Fatal("All() not ordered")
+		}
+	}
+	counts := map[Category]int{}
+	for _, p := range all {
+		counts[p.Category]++
+		if p.Name == "" || p.Fn == nil {
+			t.Errorf("primitive %d incomplete", p.Index)
+		}
+	}
+	if counts[CatFFI] != FFIPrimitiveCount {
+		t.Errorf("FFI family has %d members, want %d", counts[CatFFI], FFIPrimitiveCount)
+	}
+	if !tbl.Exists(PrimIdxAdd) || tbl.Exists(999) {
+		t.Error("Exists misreports")
+	}
+}
+
+func TestIntegerAdd(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+
+	exit := callPrim(t, om, tbl, PrimIdxAdd, intv(2), intv(3))
+	if exit.Kind != interp.ExitSuccess || exit.Result.W != heap.SmallIntFor(5) {
+		t.Fatalf("2+3: %v", exit)
+	}
+
+	exit = callPrim(t, om, tbl, PrimIdxAdd, intv(heap.MaxSmallInt), intv(1))
+	if exit.Kind != interp.ExitFailure || exit.FailCode != FailOutOfRange {
+		t.Fatalf("overflow must fail: %v", exit)
+	}
+
+	exit = callPrim(t, om, tbl, PrimIdxAdd, interp.Concrete(om.NilObj), intv(1))
+	if exit.Kind != interp.ExitFailure || exit.FailCode != FailBadReceiver {
+		t.Fatalf("bad receiver must fail: %v", exit)
+	}
+}
+
+func TestIntegerDivideExactness(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	if e := callPrim(t, om, tbl, PrimIdxDivide, intv(8), intv(4)); e.Kind != interp.ExitSuccess || e.Result.W != heap.SmallIntFor(2) {
+		t.Fatalf("8/4: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxDivide, intv(7), intv(2)); e.Kind != interp.ExitFailure {
+		t.Fatalf("7/2 must fail: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxDivide, intv(7), intv(0)); e.Kind != interp.ExitFailure {
+		t.Fatalf("7/0 must fail: %v", e)
+	}
+}
+
+func TestIntegerFlooredDivMod(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	if e := callPrim(t, om, tbl, PrimIdxDiv, intv(-7), intv(2)); e.Result.W != heap.SmallIntFor(-4) {
+		t.Fatalf("-7//2: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxMod, intv(-7), intv(2)); e.Result.W != heap.SmallIntFor(1) {
+		t.Fatalf("-7\\\\2: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxQuo, intv(-7), intv(2)); e.Result.W != heap.SmallIntFor(-3) {
+		t.Fatalf("-7 quo: 2: %v", e)
+	}
+}
+
+func TestBitwiseNegativeFails(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	if e := callPrim(t, om, tbl, PrimIdxBitAnd, intv(6), intv(3)); e.Result.W != heap.SmallIntFor(2) {
+		t.Fatalf("6&3: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxBitAnd, intv(-6), intv(3)); e.Kind != interp.ExitFailure {
+		t.Fatalf("negative bitAnd must fail: %v", e)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	if e := callPrim(t, om, tbl, PrimIdxLess, intv(1), intv(2)); e.Result.W != om.TrueObj {
+		t.Fatalf("1<2: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxGreatEq, intv(1), intv(2)); e.Result.W != om.FalseObj {
+		t.Fatalf("1>=2: %v", e)
+	}
+}
+
+func TestFloatPrimitives(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	f1, _ := om.NewFloat(2.5)
+	f2, _ := om.NewFloat(0.5)
+
+	e := callPrim(t, om, tbl, PrimIdxFloatAdd, interp.Concrete(f1), interp.Concrete(f2))
+	if e.Kind != interp.ExitSuccess {
+		t.Fatalf("float add: %v", e)
+	}
+	if got, _ := om.FloatValueOf(e.Result.W); got != 3.0 {
+		t.Fatalf("2.5+0.5 = %g", got)
+	}
+
+	// Type-checked: integer receiver fails.
+	if e := callPrim(t, om, tbl, PrimIdxFloatAdd, intv(1), interp.Concrete(f2)); e.Kind != interp.ExitFailure {
+		t.Fatalf("float add with int receiver must fail: %v", e)
+	}
+
+	if e := callPrim(t, om, tbl, PrimIdxFloatTruncated, interp.Concrete(f1)); e.Result.W != heap.SmallIntFor(2) {
+		t.Fatalf("2.5 truncated: %v", e)
+	}
+
+	fneg, _ := om.NewFloat(-4.0)
+	if e := callPrim(t, om, tbl, PrimIdxFloatSqrt, interp.Concrete(fneg)); e.Kind != interp.ExitFailure {
+		t.Fatalf("sqrt(-4) must fail: %v", e)
+	}
+	f4, _ := om.NewFloat(4.0)
+	e = callPrim(t, om, tbl, PrimIdxFloatSqrt, interp.Concrete(f4))
+	if got, _ := om.FloatValueOf(e.Result.W); got != 2.0 {
+		t.Fatalf("sqrt(4) = %g", got)
+	}
+}
+
+func TestAsFloatDefect(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+
+	// With the seeded defect the primitive coerces a pointer receiver into
+	// a garbage float instead of failing (Listing 5).
+	obj := om.MustAllocate(heap.ClassIndexObject, heap.FormatFixed, 0)
+	f := interp.NewFrame(interp.Concrete(obj), nil, nil)
+	ctx := interp.NewCtx(om, f, nil)
+	ctx.InterpreterDefects.AsFloatSkipsTypeCheck = true
+	e := interp.RunPrimitive(ctx, tbl, PrimIdxAsFloat)
+	if e.Kind != interp.ExitSuccess {
+		t.Fatalf("defective asFloat should succeed with garbage: %v", e)
+	}
+	got, _ := om.FloatValueOf(e.Result.W)
+	if got != float64(heap.SmallIntValue(obj)) {
+		t.Fatalf("expected pointer-coerced garbage, got %g", got)
+	}
+
+	// Without the defect, the type check fails properly.
+	f2 := interp.NewFrame(interp.Concrete(obj), nil, nil)
+	ctx2 := interp.NewCtx(om, f2, nil)
+	e2 := interp.RunPrimitive(ctx2, tbl, PrimIdxAsFloat)
+	if e2.Kind != interp.ExitFailure {
+		t.Fatalf("corrected asFloat must fail: %v", e2)
+	}
+}
+
+func TestObjectAtPrimitives(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	arr, _ := om.NewArray(heap.SmallIntFor(7), heap.SmallIntFor(8))
+
+	if e := callPrim(t, om, tbl, PrimIdxAt, interp.Concrete(arr), intv(2)); e.Result.W != heap.SmallIntFor(8) {
+		t.Fatalf("at: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxAt, interp.Concrete(arr), intv(0)); e.Kind != interp.ExitFailure {
+		t.Fatalf("at: 0 must fail: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxAt, interp.Concrete(arr), intv(3)); e.Kind != interp.ExitFailure {
+		t.Fatalf("at: beyond bounds must fail: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxAtPut, interp.Concrete(arr), intv(1), intv(5)); e.Kind != interp.ExitSuccess {
+		t.Fatalf("atPut: %v", e)
+	}
+	if w, _ := om.FetchSlot(arr, 0); w != heap.SmallIntFor(5) {
+		t.Fatal("atPut did not store")
+	}
+	if e := callPrim(t, om, tbl, PrimIdxSize, interp.Concrete(arr)); e.Result.W != heap.SmallIntFor(2) {
+		t.Fatalf("size: %v", e)
+	}
+}
+
+func TestBasicNew(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	arrayClass := om.ClassAt(heap.ClassIndexArray)
+
+	e := callPrim(t, om, tbl, PrimIdxBasicNewWith, interp.Concrete(arrayClass.Oop), intv(3))
+	if e.Kind != interp.ExitSuccess {
+		t.Fatalf("basicNew: 3: %v", e)
+	}
+	if om.SlotCountOf(e.Result.W) != 3 || om.ClassIndexOf(e.Result.W) != heap.ClassIndexArray {
+		t.Fatal("allocated array wrong shape")
+	}
+
+	// Non-class receiver fails.
+	if e := callPrim(t, om, tbl, PrimIdxBasicNew, intv(1)); e.Kind != interp.ExitFailure {
+		t.Fatalf("basicNew on int must fail: %v", e)
+	}
+}
+
+func TestIdentityPrimitives(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	if e := callPrim(t, om, tbl, PrimIdxIdentical, intv(3), intv(3)); e.Result.W != om.TrueObj {
+		t.Fatalf("3==3: %v", e)
+	}
+	if e := callPrim(t, om, tbl, PrimIdxNotIdentical, intv(3), intv(4)); e.Result.W != om.TrueObj {
+		t.Fatalf("3~~4: %v", e)
+	}
+	e := callPrim(t, om, tbl, PrimIdxClass, intv(3))
+	if e.Kind != interp.ExitSuccess || om.ClassByOop(e.Result.W).Index != heap.ClassIndexSmallInteger {
+		t.Fatalf("class of 3: %v", e)
+	}
+}
+
+func TestFFIIntAccessors(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	ea := om.MustAllocate(heap.ClassIndexExternalAddr, heap.FormatWords, 4)
+	om.StoreSlot(ea, 0, heap.Word(0xFF)) // 255
+
+	// int8At: 1 reads 255 as signed 8-bit = -1.
+	int8At := findPrim(t, tbl, "primitiveFFIInt8At")
+	e := callPrim(t, om, tbl, int8At.Index, interp.Concrete(ea), intv(1))
+	if e.Kind != interp.ExitSuccess || e.Result.W != heap.SmallIntFor(-1) {
+		t.Fatalf("int8At: %v", e)
+	}
+	// uint8At: 1 reads 255.
+	uint8At := findPrim(t, tbl, "primitiveFFIUint8At")
+	e = callPrim(t, om, tbl, uint8At.Index, interp.Concrete(ea), intv(1))
+	if e.Result.W != heap.SmallIntFor(255) {
+		t.Fatalf("uint8At: %v", e)
+	}
+	// Out of bounds fails (native methods validate, §3.4).
+	if e := callPrim(t, om, tbl, int8At.Index, interp.Concrete(ea), intv(5)); e.Kind != interp.ExitFailure {
+		t.Fatalf("OOB must fail: %v", e)
+	}
+	// Wrong receiver class fails.
+	if e := callPrim(t, om, tbl, int8At.Index, intv(5), intv(1)); e.Kind != interp.ExitFailure {
+		t.Fatalf("bad receiver must fail: %v", e)
+	}
+}
+
+func TestFFIFloatAccessors(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	ea := om.MustAllocate(heap.ClassIndexExternalAddr, heap.FormatWords, 2)
+	fv, _ := om.NewFloat(1.25)
+
+	put := findPrim(t, tbl, "primitiveFFIFloat64AtPut")
+	if e := callPrim(t, om, tbl, put.Index, interp.Concrete(ea), intv(1), interp.Concrete(fv)); e.Kind != interp.ExitSuccess {
+		t.Fatalf("float64AtPut: %v", e)
+	}
+	get := findPrim(t, tbl, "primitiveFFIFloat64At")
+	e := callPrim(t, om, tbl, get.Index, interp.Concrete(ea), intv(1))
+	if got, _ := om.FloatValueOf(e.Result.W); got != 1.25 {
+		t.Fatalf("float64At: %g", got)
+	}
+}
+
+func TestFFIStrLen(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	ea := om.MustAllocate(heap.ClassIndexExternalAddr, heap.FormatWords, 5)
+	om.StoreSlot(ea, 0, 'h')
+	om.StoreSlot(ea, 1, 'i')
+	om.StoreSlot(ea, 2, 0)
+	p := findPrim(t, tbl, "primitiveFFIStrLen")
+	e := callPrim(t, om, tbl, p.Index, interp.Concrete(ea))
+	if e.Result.W != heap.SmallIntFor(2) {
+		t.Fatalf("strlen: %v", e)
+	}
+}
+
+func TestTruncateToWidth(t *testing.T) {
+	cases := []struct {
+		v      int64
+		width  uint
+		signed bool
+		want   int64
+	}{
+		{0xFF, 8, true, -1},
+		{0xFF, 8, false, 255},
+		{0x8000, 16, true, -32768},
+		{0x8000, 16, false, 32768},
+		{1 << 40, 32, false, 0},
+		{-1, 64, true, -1},
+	}
+	for _, c := range cases {
+		if got := truncateToWidth(c.v, c.width, c.signed); got != c.want {
+			t.Errorf("truncate(%#x,%d,%t) = %d, want %d", c.v, c.width, c.signed, got, c.want)
+		}
+	}
+}
+
+func TestFloatWordBits(t *testing.T) {
+	if got := wordBitsToFloat(floatToWordBits(1.5, 64), 64); got != 1.5 {
+		t.Fatalf("64-bit roundtrip: %g", got)
+	}
+	// 32-bit roundtrip loses precision beyond float32.
+	v := 1.1
+	got := wordBitsToFloat(floatToWordBits(v, 32), 32)
+	if got == v || math.Abs(got-v) > 1e-6 {
+		t.Fatalf("32-bit roundtrip: %g", got)
+	}
+}
+
+func findPrim(t *testing.T, tbl *Table, name string) *Primitive {
+	t.Helper()
+	for _, p := range tbl.All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("primitive %s not found", name)
+	return nil
+}

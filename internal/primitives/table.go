@@ -1,0 +1,119 @@
+// Package primitives implements the VM's native methods: primitive
+// operations exposed as methods (§3.1). Native methods are safe by design:
+// they check the types and shapes of all their operands and fail with a
+// failure code when an operand is incorrect, falling back to user-defined
+// code. Like the byte-codes, they are written against the interp.Ctx
+// semantic operations, so the concolic engine explores them unchanged.
+package primitives
+
+import (
+	"fmt"
+	"sort"
+
+	"cogdiff/internal/interp"
+)
+
+// Category groups native methods the way the evaluation reports them.
+type Category int
+
+const (
+	CatIntegerArithmetic Category = iota
+	CatIntegerComparison
+	CatFloat
+	CatObjectAccess
+	CatIdentity
+	CatAllocation
+	CatFFI
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatIntegerArithmetic:
+		return "integer-arithmetic"
+	case CatIntegerComparison:
+		return "integer-comparison"
+	case CatFloat:
+		return "float"
+	case CatObjectAccess:
+		return "object-access"
+	case CatIdentity:
+		return "identity"
+	case CatAllocation:
+		return "allocation"
+	case CatFFI:
+		return "ffi"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Failure codes native methods fail with.
+const (
+	FailBadReceiver = 1
+	FailBadArgument = 2
+	FailBadIndex    = 3
+	FailOutOfRange  = 4
+	FailUnsupported = 5
+)
+
+// Primitive describes one native method.
+type Primitive struct {
+	Index    int
+	Name     string
+	NumArgs  int
+	Category Category
+	Fn       func(*interp.Ctx, *Primitive)
+}
+
+// Table is the native-method registry; it implements interp.PrimitiveTable.
+type Table struct {
+	byIndex map[int]*Primitive
+}
+
+// NewTable builds the full native-method table of this VM.
+func NewTable() *Table {
+	t := &Table{byIndex: make(map[int]*Primitive)}
+	t.registerIntegerPrimitives()
+	t.registerFloatPrimitives()
+	t.registerObjectPrimitives()
+	t.registerFFIPrimitives()
+	return t
+}
+
+func (t *Table) register(p *Primitive) {
+	if _, dup := t.byIndex[p.Index]; dup {
+		panic(fmt.Sprintf("primitives: duplicate index %d (%s)", p.Index, p.Name))
+	}
+	t.byIndex[p.Index] = p
+}
+
+// Exists reports whether index names a native method.
+func (t *Table) Exists(index int) bool { return t.byIndex[index] != nil }
+
+// Lookup returns the primitive registered at index, or nil.
+func (t *Table) Lookup(index int) *Primitive { return t.byIndex[index] }
+
+// Run executes native method index against ctx. The primitive finishes by
+// panicking with an exit (PrimReturn/PrimFail) or, on a malformed frame,
+// through the frame accessors.
+func (t *Table) Run(ctx *interp.Ctx, index int) {
+	p := t.byIndex[index]
+	if p == nil {
+		ctx.Unsupported()
+	}
+	p.Fn(ctx, p)
+	// A native method must produce an explicit exit.
+	ctx.PrimFail(FailUnsupported)
+}
+
+// All returns every registered primitive ordered by index.
+func (t *Table) All() []*Primitive {
+	out := make([]*Primitive, 0, len(t.byIndex))
+	for _, p := range t.byIndex {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Count returns the number of registered native methods.
+func (t *Table) Count() int { return len(t.byIndex) }

@@ -1,0 +1,136 @@
+package solver
+
+import (
+	"cogdiff/internal/heap"
+	"cogdiff/internal/sym"
+)
+
+// Check reports whether a model satisfies a conjunction of constraints.
+// It is the independent soundness oracle for Solve: every model returned
+// by Solve must Check against the constraints it was solved for.
+func Check(u *sym.Universe, m *sym.Model, cs []sym.Constraint) bool {
+	for _, c := range cs {
+		if !checkOne(u, m, lower(c)) {
+			return false
+		}
+	}
+	return true
+}
+
+func modelKind(m *sym.Model, v *sym.Var) (sym.TypeKind, sym.TypedValue) {
+	if tv, ok := m.ValueOf(v); ok {
+		return tv.Kind, tv
+	}
+	// Unconstrained variables materialize as plain objects.
+	return sym.KindPointer, sym.TypedValue{Kind: sym.KindPointer, ClassIndex: heap.ClassIndexObject, Format: heap.FormatFixed}
+}
+
+func modelAssignment(m *sym.Model) *assignment {
+	a := &assignment{
+		ints:   make(map[int]int64),
+		slots:  make(map[int]int64),
+		floats: make(map[int]float64),
+		rep:    m.Rep,
+	}
+	for id, tv := range m.Values {
+		switch tv.Kind {
+		case sym.KindSmallInt:
+			a.ints[id] = tv.Int
+		case sym.KindFloat:
+			a.floats[id] = tv.Float
+			a.slots[id] = 1
+		case sym.KindPointer:
+			a.slots[id] = int64(tv.SlotCount)
+		}
+	}
+	return a
+}
+
+func checkOne(u *sym.Universe, m *sym.Model, c sym.Constraint) bool {
+	switch n := c.(type) {
+	case sym.Bool:
+		return n.B
+	case sym.Not:
+		return !checkOne(u, m, n.C)
+	case sym.AllOf:
+		for _, e := range n {
+			if !checkOne(u, m, e) {
+				return false
+			}
+		}
+		return true
+	case sym.AnyOf:
+		for _, e := range n {
+			if checkOne(u, m, e) {
+				return true
+			}
+		}
+		return false
+	case sym.TypeIs:
+		k, _ := modelKind(m, n.V)
+		return k == n.Kind
+	case sym.ClassIs:
+		k, tv := modelKind(m, n.V)
+		switch k {
+		case sym.KindSmallInt:
+			return n.ClassIndex == heap.ClassIndexSmallInteger
+		case sym.KindFloat:
+			return n.ClassIndex == heap.ClassIndexFloat
+		case sym.KindNil:
+			return n.ClassIndex == heap.ClassIndexUndefinedObj
+		case sym.KindTrue:
+			return n.ClassIndex == heap.ClassIndexTrue
+		case sym.KindFalse:
+			return n.ClassIndex == heap.ClassIndexFalse
+		default:
+			return tv.ClassIndex == n.ClassIndex
+		}
+	case sym.FormatIs:
+		k, tv := modelKind(m, n.V)
+		if k == sym.KindFloat {
+			return n.F == heap.FormatFloat
+		}
+		if k != sym.KindPointer {
+			return false
+		}
+		return tv.Format == n.F
+	case sym.StackSizeAtLeast:
+		return m.StackSize >= n.N
+	case sym.SlotCountAtLeast:
+		k, tv := modelKind(m, n.V)
+		switch k {
+		case sym.KindPointer:
+			return tv.SlotCount >= n.N
+		case sym.KindFloat:
+			return 1 >= n.N
+		default:
+			return n.N <= 0
+		}
+	case sym.Identical:
+		ka, tva := modelKind(m, n.A)
+		kb, tvb := modelKind(m, n.B)
+		if m.Rep(n.A.ID) == m.Rep(n.B.ID) {
+			return true
+		}
+		// Immediates and singletons are identical by value.
+		if ka != kb {
+			return false
+		}
+		switch ka {
+		case sym.KindNil, sym.KindTrue, sym.KindFalse:
+			return true
+		case sym.KindSmallInt:
+			return tva.Int == tvb.Int
+		}
+		return false // distinct heap objects
+	case sym.ICmp:
+		a := modelAssignment(m)
+		ok, deferred := a.checkICmp(n)
+		return ok && !deferred
+	case sym.FCmp:
+		a := modelAssignment(m)
+		ok, deferred := a.checkFCmp(n)
+		return ok && !deferred
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package solver
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/sym"
+)
+
+// bruteSatisfiable decides satisfiability of a constraint set over two
+// variables by brute force over a small but representative witness space:
+// every semantic kind, and small integers plus range endpoints.
+func bruteSatisfiable(u *sym.Universe, a, b *sym.Var, cs []sym.Constraint) bool {
+	candidates := []sym.TypedValue{
+		{Kind: sym.KindNil}, {Kind: sym.KindTrue}, {Kind: sym.KindFalse},
+		{Kind: sym.KindFloat, Float: 1.5},
+		{Kind: sym.KindPointer, ClassIndex: heap.ClassIndexObject, Format: heap.FormatFixed, SlotCount: 0},
+		{Kind: sym.KindPointer, ClassIndex: heap.ClassIndexArray, Format: heap.FormatPointers, SlotCount: 3},
+	}
+	for _, v := range []int64{-3, -1, 0, 1, 2, 5, heap.MinSmallInt, heap.MaxSmallInt} {
+		candidates = append(candidates, sym.TypedValue{Kind: sym.KindSmallInt, Int: v})
+	}
+	for _, va := range candidates {
+		for _, vb := range candidates {
+			m := sym.NewModel()
+			m.StackSize = 2
+			m.Set(a.ID, va)
+			m.Set(b.ID, vb)
+			if Check(u, m, cs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestSolverCompletenessProperty compares Solve against the brute-force
+// decision procedure on random constraint sets: whenever brute force finds
+// a witness in its small space, Solve must find one too (and Solve's
+// witness must check). The reverse implication does not hold — Solve
+// searches a much larger space — so only brute-sat cases are asserted.
+func TestSolverCompletenessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kinds := []sym.TypeKind{sym.KindSmallInt, sym.KindFloat, sym.KindPointer, sym.KindNil, sym.KindTrue, sym.KindFalse}
+	for iter := 0; iter < 400; iter++ {
+		u := sym.NewUniverse()
+		a, b := u.Stack(0), u.Stack(1)
+		vars := []*sym.Var{a, b}
+		var cs []sym.Constraint
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			v := vars[rng.Intn(2)]
+			switch rng.Intn(5) {
+			case 0:
+				cs = append(cs, sym.TypeIs{V: v, Kind: kinds[rng.Intn(len(kinds))]})
+			case 1:
+				cs = append(cs, sym.Not{C: sym.TypeIs{V: v, Kind: kinds[rng.Intn(len(kinds))]}})
+			case 2:
+				cs = append(cs, sym.AllOf{
+					sym.TypeIs{V: v, Kind: sym.KindSmallInt},
+					sym.ICmp{Op: sym.CmpOp(rng.Intn(6)), L: sym.IntValueOf{V: v}, R: sym.IntConst{V: int64(rng.Intn(11) - 5)}},
+				})
+			case 3:
+				cs = append(cs, sym.AllOf{
+					sym.TypeIs{V: a, Kind: sym.KindSmallInt},
+					sym.TypeIs{V: b, Kind: sym.KindSmallInt},
+					sym.ICmp{Op: sym.CmpOp(rng.Intn(6)), L: sym.IntValueOf{V: a}, R: sym.IntValueOf{V: b}},
+				})
+			case 4:
+				sum := sym.IntBin{Op: sym.OpAdd, L: sym.IntValueOf{V: a}, R: sym.IntValueOf{V: b}}
+				c := sym.Constraint(sym.InSmallIntRange{E: sum})
+				if rng.Intn(2) == 0 {
+					c = sym.Negate(c)
+				}
+				cs = append(cs, sym.AllOf{
+					sym.TypeIs{V: a, Kind: sym.KindSmallInt},
+					sym.TypeIs{V: b, Kind: sym.KindSmallInt},
+					c,
+				})
+			}
+		}
+
+		bruteSat := bruteSatisfiable(u, a, b, cs)
+		m, err := Solve(u, cs)
+		switch {
+		case err == nil:
+			if !Check(u, m, cs) {
+				t.Fatalf("iter %d: unsound model %s for %v", iter, m, cs)
+			}
+		case errors.Is(err, ErrUnsat):
+			if bruteSat {
+				t.Fatalf("iter %d: Solve says unsat but brute force found a witness for %v", iter, cs)
+			}
+		default:
+			t.Fatalf("iter %d: unexpected solver error %v for %v", iter, err, cs)
+		}
+	}
+}

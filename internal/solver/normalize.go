@@ -1,0 +1,190 @@
+// Package solver implements the constraint solver behind the concolic
+// exploration. It is the from-scratch substitute for the Z3-style solver
+// the paper uses, specialized to the semantic constraint language of
+// internal/sym: type-domain atoms, linear integer and float comparisons,
+// and structural frame/object constraints.
+//
+// Mirroring the paper's solver limitations (§4.3), integer reasoning is
+// capped at 56-bit precision and there is no bitwise theory: constraints
+// containing bitwise operators are rejected with ErrUnsupported.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/sym"
+)
+
+// ErrUnsupported marks constraints outside the solver's theory (bitwise
+// operators). The concolic explorer curates such paths out, exactly as the
+// paper curates paths its solver cannot handle (§5.2).
+var ErrUnsupported = errors.New("solver: unsupported constraint")
+
+// ErrTooComplex is returned when normalization exceeds the clause budget.
+var ErrTooComplex = errors.New("solver: constraint too complex")
+
+// maxDNFClauses bounds the disjunctive normal form expansion.
+const maxDNFClauses = 4096
+
+// IntPrecisionBits mirrors the paper's 56-bit solver integer precision.
+const IntPrecisionBits = 56
+
+// lower rewrites compound atoms into the core language: InSmallIntRange
+// becomes a conjunction of two comparisons so that its negation produces
+// the paper's disjunction (Fig. 2).
+func lower(c sym.Constraint) sym.Constraint {
+	switch n := c.(type) {
+	case sym.InSmallIntRange:
+		return sym.AllOf{
+			sym.ICmp{Op: sym.CmpGE, L: n.E, R: sym.IntConst{V: heap.MinSmallInt}},
+			sym.ICmp{Op: sym.CmpLE, L: n.E, R: sym.IntConst{V: heap.MaxSmallInt}},
+		}
+	case sym.Not:
+		return sym.Not{C: lower(n.C)}
+	case sym.AllOf:
+		out := make(sym.AllOf, len(n))
+		for i, e := range n {
+			out[i] = lower(e)
+		}
+		return out
+	case sym.AnyOf:
+		out := make(sym.AnyOf, len(n))
+		for i, e := range n {
+			out[i] = lower(e)
+		}
+		return out
+	default:
+		return c
+	}
+}
+
+// nnf pushes negations down to atoms.
+func nnf(c sym.Constraint) sym.Constraint {
+	switch n := c.(type) {
+	case sym.AllOf:
+		out := make(sym.AllOf, len(n))
+		for i, e := range n {
+			out[i] = nnf(e)
+		}
+		return out
+	case sym.AnyOf:
+		out := make(sym.AnyOf, len(n))
+		for i, e := range n {
+			out[i] = nnf(e)
+		}
+		return out
+	case sym.Not:
+		switch inner := n.C.(type) {
+		case sym.Not:
+			return nnf(inner.C)
+		case sym.AllOf, sym.AnyOf, sym.ICmp, sym.FCmp, sym.Bool:
+			return nnf(sym.Negate(inner))
+		default:
+			return n // negated atom stays as a literal
+		}
+	default:
+		return c
+	}
+}
+
+// clause is a conjunction of literals (atoms or negated atoms).
+type clause []sym.Constraint
+
+// dnf expands an NNF constraint into disjunctive normal form.
+func dnf(c sym.Constraint) ([]clause, error) {
+	switch n := c.(type) {
+	case sym.AllOf:
+		acc := []clause{{}}
+		for _, e := range n {
+			sub, err := dnf(e)
+			if err != nil {
+				return nil, err
+			}
+			var next []clause
+			for _, a := range acc {
+				for _, b := range sub {
+					merged := make(clause, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, merged)
+				}
+			}
+			if len(next) > maxDNFClauses {
+				return nil, fmt.Errorf("%w: DNF exceeds %d clauses", ErrTooComplex, maxDNFClauses)
+			}
+			acc = next
+		}
+		return acc, nil
+	case sym.AnyOf:
+		var acc []clause
+		for _, e := range n {
+			sub, err := dnf(e)
+			if err != nil {
+				return nil, err
+			}
+			acc = append(acc, sub...)
+			if len(acc) > maxDNFClauses {
+				return nil, fmt.Errorf("%w: DNF exceeds %d clauses", ErrTooComplex, maxDNFClauses)
+			}
+		}
+		return acc, nil
+	default:
+		return []clause{{c}}, nil
+	}
+}
+
+// normalize lowers, NNFs and DNF-expands a conjunction of path conditions.
+func normalize(cs []sym.Constraint) ([]clause, error) {
+	all := make(sym.AllOf, len(cs))
+	for i, c := range cs {
+		all[i] = lower(c)
+	}
+	return dnf(nnf(all))
+}
+
+// checkSupported rejects constraints containing bitwise arithmetic, which
+// the solver has no theory for.
+func checkSupported(cs []sym.Constraint) error {
+	var visit func(c sym.Constraint) error
+	var visitInt func(e sym.IntExpr) error
+	visitInt = func(e sym.IntExpr) error {
+		if sym.HasBitwise(e) {
+			return fmt.Errorf("%w: bitwise operator in %s", ErrUnsupported, e)
+		}
+		return nil
+	}
+	visit = func(c sym.Constraint) error {
+		switch n := c.(type) {
+		case sym.ICmp:
+			if err := visitInt(n.L); err != nil {
+				return err
+			}
+			return visitInt(n.R)
+		case sym.Not:
+			return visit(n.C)
+		case sym.AllOf:
+			for _, e := range n {
+				if err := visit(e); err != nil {
+					return err
+				}
+			}
+		case sym.AnyOf:
+			for _, e := range n {
+				if err := visit(e); err != nil {
+					return err
+				}
+			}
+		case sym.InSmallIntRange:
+			return visitInt(n.E)
+		}
+		return nil
+	}
+	for _, c := range cs {
+		if err := visit(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/sym"
+)
+
+// searchBudget caps the number of numeric search nodes per clause.
+const searchBudget = 200000
+
+// solver integer precision bound (§4.3: the paper's solver handles 56-bit
+// integers, which is why evaluation was restricted to 32-bit builds).
+const (
+	solverIntMin = -(1 << (IntPrecisionBits - 1))
+	solverIntMax = 1<<(IntPrecisionBits-1) - 1
+)
+
+type numVar struct {
+	rep    int
+	isSlot bool
+	lo, hi int64
+}
+
+func collectIntVarIDs(e sym.IntExpr, ints, slots map[int]bool, rep func(int) int) {
+	switch n := e.(type) {
+	case sym.IntValueOf:
+		ints[rep(n.V.ID)] = true
+	case sym.SlotCountOf:
+		slots[rep(n.V.ID)] = true
+	case sym.IntBin:
+		collectIntVarIDs(n.L, ints, slots, rep)
+		collectIntVarIDs(n.R, ints, slots, rep)
+	}
+}
+
+func collectIntConsts(e sym.IntExpr, into map[int64]bool) {
+	switch n := e.(type) {
+	case sym.IntConst:
+		into[n.V] = true
+	case sym.IntBin:
+		collectIntConsts(n.L, into)
+		collectIntConsts(n.R, into)
+	}
+}
+
+// searchNumeric finds integer and slot-count values satisfying the clause's
+// integer atoms via candidate-based backtracking with bound propagation.
+func (st *clauseState) searchNumeric(reps []int, kinds map[int]sym.TypeKind, atoms []sym.ICmp) (*assignment, error) {
+	asg := &assignment{
+		ints:   make(map[int]int64),
+		slots:  make(map[int]int64),
+		floats: make(map[int]float64),
+		rep:    st.find,
+	}
+
+	intSet, slotSet := make(map[int]bool), make(map[int]bool)
+	consts := map[int64]bool{0: true, 1: true, -1: true, 2: true}
+	for _, a := range atoms {
+		collectIntVarIDs(a.L, intSet, slotSet, st.find)
+		collectIntVarIDs(a.R, intSet, slotSet, st.find)
+		collectIntConsts(a.L, consts)
+		collectIntConsts(a.R, consts)
+	}
+	// Float atoms can reference integers through intToFloat conversions.
+	for _, a := range st.floatAtoms {
+		var walk func(e sym.FloatExpr)
+		walk = func(e sym.FloatExpr) {
+			switch n := e.(type) {
+			case sym.IntToFloat:
+				collectIntVarIDs(n.E, intSet, slotSet, st.find)
+				collectIntConsts(n.E, consts)
+			case sym.FloatBin:
+				walk(n.L)
+				walk(n.R)
+			}
+		}
+		walk(a.L)
+		walk(a.R)
+	}
+
+	var vars []numVar
+	for rep := range intSet {
+		if kinds[rep] != sym.KindSmallInt {
+			return nil, ErrUnsat // an intValueOf over a non-integer kind
+		}
+		vars = append(vars, numVar{rep: rep, lo: heap.MinSmallInt, hi: heap.MaxSmallInt})
+	}
+	for rep := range slotSet {
+		lo := int64(st.minSlots[rep])
+		hi := int64(64)
+		if max, ok := st.maxSlots[rep]; ok {
+			hi = int64(max)
+		}
+		vars = append(vars, numVar{rep: rep, isSlot: true, lo: lo, hi: hi})
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if vars[i].isSlot != vars[j].isSlot {
+			return !vars[i].isSlot
+		}
+		return vars[i].rep < vars[j].rep
+	})
+
+	// Bound propagation for single-variable vs constant comparisons.
+	for _, a := range atoms {
+		st.propagate(a, vars)
+	}
+	for i := range vars {
+		if vars[i].lo > vars[i].hi {
+			return nil, ErrUnsat
+		}
+	}
+
+	// Candidate values: small integers, atom constants (±1), bounds, and
+	// halves of constants (useful for sum-overflow witnesses).
+	candList := make([]int64, 0, len(consts)*3+8)
+	for c := range consts {
+		candList = append(candList, c, c-1, c+1, c/2)
+	}
+	sort.Slice(candList, func(i, j int) bool { return abs64(candList[i]) < abs64(candList[j]) })
+
+	budget := searchBudget
+	var dfs func(i int) error
+	dfs = func(i int) error {
+		if budget <= 0 {
+			return fmt.Errorf("%w: numeric search budget exhausted", ErrTooComplex)
+		}
+		if i == len(vars) {
+			for _, a := range atoms {
+				ok, deferred := asg.checkICmp(a)
+				if deferred || !ok {
+					return ErrUnsat
+				}
+			}
+			return nil
+		}
+		v := vars[i]
+		tried := make(map[int64]bool)
+		try := func(val int64) error {
+			if val < v.lo || val > v.hi || tried[val] {
+				return ErrUnsat
+			}
+			tried[val] = true
+			budget--
+			if v.isSlot {
+				asg.slots[v.rep] = val
+			} else {
+				asg.ints[v.rep] = val
+			}
+			// Prune on already-decidable atoms.
+			for _, a := range atoms {
+				if ok, deferred := asg.checkICmp(a); !deferred && !ok {
+					return ErrUnsat
+				}
+			}
+			return dfs(i + 1)
+		}
+		for _, val := range candList {
+			if err := try(val); err == nil {
+				return nil
+			} else if _, tc := errIsBudget(err); tc {
+				return err
+			}
+		}
+		for _, val := range []int64{v.lo, v.lo + 1, v.hi - 1, v.hi, (v.lo + v.hi) / 2} {
+			if err := try(val); err == nil {
+				return nil
+			} else if _, tc := errIsBudget(err); tc {
+				return err
+			}
+		}
+		if v.isSlot {
+			delete(asg.slots, v.rep)
+		} else {
+			delete(asg.ints, v.rep)
+		}
+		return ErrUnsat
+	}
+	if err := dfs(0); err != nil {
+		return nil, err
+	}
+	return asg, nil
+}
+
+func errIsBudget(err error) (error, bool) {
+	if err == nil {
+		return nil, false
+	}
+	return err, !isUnsat(err)
+}
+
+func isUnsat(err error) bool { return err == ErrUnsat }
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// propagate tightens a variable's bounds for atoms of the shape
+// var CMP const or const CMP var.
+func (st *clauseState) propagate(a sym.ICmp, vars []numVar) {
+	varIdx := func(e sym.IntExpr) int {
+		var rep int
+		var slot bool
+		switch n := e.(type) {
+		case sym.IntValueOf:
+			rep = st.find(n.V.ID)
+		case sym.SlotCountOf:
+			rep, slot = st.find(n.V.ID), true
+		default:
+			return -1
+		}
+		for i := range vars {
+			if vars[i].rep == rep && vars[i].isSlot == slot {
+				return i
+			}
+		}
+		return -1
+	}
+	constOf := func(e sym.IntExpr) (int64, bool) {
+		c, ok := e.(sym.IntConst)
+		return c.V, ok
+	}
+
+	if i := varIdx(a.L); i >= 0 {
+		if c, ok := constOf(a.R); ok {
+			tighten(&vars[i], a.Op, c)
+			return
+		}
+	}
+	if i := varIdx(a.R); i >= 0 {
+		if c, ok := constOf(a.L); ok {
+			// c OP var  ==  var OP' c with the mirrored operator.
+			tighten(&vars[i], mirror(a.Op), c)
+		}
+	}
+}
+
+func mirror(op sym.CmpOp) sym.CmpOp {
+	switch op {
+	case sym.CmpLT:
+		return sym.CmpGT
+	case sym.CmpLE:
+		return sym.CmpGE
+	case sym.CmpGT:
+		return sym.CmpLT
+	case sym.CmpGE:
+		return sym.CmpLE
+	}
+	return op
+}
+
+func tighten(v *numVar, op sym.CmpOp, c int64) {
+	switch op {
+	case sym.CmpEQ:
+		if c > v.lo {
+			v.lo = c
+		}
+		if c < v.hi {
+			v.hi = c
+		}
+	case sym.CmpLT:
+		if c-1 < v.hi {
+			v.hi = c - 1
+		}
+	case sym.CmpLE:
+		if c < v.hi {
+			v.hi = c
+		}
+	case sym.CmpGT:
+		if c+1 > v.lo {
+			v.lo = c + 1
+		}
+	case sym.CmpGE:
+		if c > v.lo {
+			v.lo = c
+		}
+	}
+}
+
+// searchFloats assigns float variables satisfying the clause's float atoms.
+// Integer sub-expressions are already fixed by the numeric search.
+func (st *clauseState) searchFloats(reps []int, kinds map[int]sym.TypeKind, asg *assignment) error {
+	fset := make(map[int]bool)
+	var collect func(e sym.FloatExpr)
+	consts := map[float64]bool{0: true, 1: true, -1: true, 1.5: true, -2.5: true, 0.5: true, 1e10: true, -1e10: true}
+	collect = func(e sym.FloatExpr) {
+		switch n := e.(type) {
+		case sym.FloatValueOf:
+			fset[st.find(n.V.ID)] = true
+		case sym.FloatConst:
+			consts[n.V] = true
+		case sym.FloatBin:
+			collect(n.L)
+			collect(n.R)
+		}
+	}
+	for _, a := range st.floatAtoms {
+		collect(a.L)
+		collect(a.R)
+	}
+	if len(st.floatAtoms) == 0 {
+		return nil
+	}
+	var fvars []int
+	for rep := range fset {
+		if kinds[rep] != sym.KindFloat {
+			return ErrUnsat
+		}
+		fvars = append(fvars, rep)
+	}
+	sort.Ints(fvars)
+
+	candList := make([]float64, 0, len(consts)*3)
+	for c := range consts {
+		candList = append(candList, c, c-1, c+1, c/2, c*2)
+	}
+	sort.Float64s(candList)
+
+	budget := searchBudget
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if budget <= 0 {
+			return false
+		}
+		if i == len(fvars) {
+			for _, a := range st.floatAtoms {
+				if ok, deferred := asg.checkFCmp(a); deferred || !ok {
+					return false
+				}
+			}
+			return true
+		}
+		for _, val := range candList {
+			budget--
+			asg.floats[fvars[i]] = val
+			good := true
+			for _, a := range st.floatAtoms {
+				if ok, deferred := asg.checkFCmp(a); !deferred && !ok {
+					good = false
+					break
+				}
+			}
+			if good && dfs(i+1) {
+				return true
+			}
+		}
+		delete(asg.floats, fvars[i])
+		return false
+	}
+	if !dfs(0) {
+		return ErrUnsat
+	}
+	return nil
+}

@@ -1,0 +1,487 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/sym"
+)
+
+// ErrUnsat reports that the constraint conjunction has no model.
+var ErrUnsat = errors.New("solver: unsatisfiable")
+
+// Solve finds a model for the conjunction of constraints, or ErrUnsat.
+// It enumerates DNF clauses and solves each with type-domain enumeration,
+// structural bound merging, and a bounded numeric search.
+func Solve(u *sym.Universe, cs []sym.Constraint) (*sym.Model, error) {
+	if err := checkSupported(cs); err != nil {
+		return nil, err
+	}
+	clauses, err := normalize(cs)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error = ErrUnsat
+	for _, cl := range clauses {
+		m, err := solveClause(u, cl)
+		if err == nil {
+			return m, nil
+		}
+		if !errors.Is(err, ErrUnsat) {
+			lastErr = err
+		}
+	}
+	return nil, lastErr
+}
+
+// kind bitmask helpers.
+type kindSet uint8
+
+const allKinds kindSet = 1<<sym.NumTypeKinds - 1
+
+func kindBit(k sym.TypeKind) kindSet      { return 1 << k }
+func (s kindSet) has(k sym.TypeKind) bool { return s&kindBit(k) != 0 }
+
+// classKind maps a class index to the semantic kind its instances have.
+func classKind(idx int) sym.TypeKind {
+	switch idx {
+	case heap.ClassIndexSmallInteger:
+		return sym.KindSmallInt
+	case heap.ClassIndexFloat:
+		return sym.KindFloat
+	case heap.ClassIndexUndefinedObj:
+		return sym.KindNil
+	case heap.ClassIndexTrue:
+		return sym.KindTrue
+	case heap.ClassIndexFalse:
+		return sym.KindFalse
+	}
+	return sym.KindPointer
+}
+
+// clauseState is the analysis of one DNF clause.
+type clauseState struct {
+	u *sym.Universe
+
+	parent map[int]int // union-find over var IDs (Identical)
+
+	domains      map[int]kindSet
+	reqClass     map[int]int
+	exclClasses  map[int]map[int]bool
+	reqFormat    map[int]heap.Format
+	hasReqFormat map[int]bool
+	exclFormats  map[int]map[heap.Format]bool
+	minSlots     map[int]int
+	maxSlots     map[int]int
+
+	minStack int
+	maxStack int
+
+	intAtoms   []sym.ICmp
+	floatAtoms []sym.FCmp
+	distinct   [][2]int // rep pairs that must not be identical
+}
+
+func newClauseState(u *sym.Universe) *clauseState {
+	return &clauseState{
+		u:            u,
+		parent:       make(map[int]int),
+		domains:      make(map[int]kindSet),
+		reqClass:     make(map[int]int),
+		exclClasses:  make(map[int]map[int]bool),
+		reqFormat:    make(map[int]heap.Format),
+		hasReqFormat: make(map[int]bool),
+		exclFormats:  make(map[int]map[heap.Format]bool),
+		minSlots:     make(map[int]int),
+		maxSlots:     make(map[int]int),
+		maxStack:     1 << 30,
+	}
+}
+
+func (st *clauseState) find(id int) int {
+	p, ok := st.parent[id]
+	if !ok || p == id {
+		return id
+	}
+	r := st.find(p)
+	st.parent[id] = r
+	return r
+}
+
+func (st *clauseState) union(a, b int) {
+	ra, rb := st.find(a), st.find(b)
+	if ra != rb {
+		st.parent[rb] = ra
+	}
+}
+
+func (st *clauseState) domain(rep int) kindSet {
+	if d, ok := st.domains[rep]; ok {
+		return d
+	}
+	return allKinds
+}
+
+func (st *clauseState) restrict(id int, allowed kindSet) {
+	rep := st.find(id)
+	st.domains[rep] = st.domain(rep) & allowed
+}
+
+// restrictExprVars applies implicit kind restrictions from expression
+// structure: intValueOf implies SmallInteger, floatValueOf implies Float,
+// slotCountOf implies a heap object.
+func (st *clauseState) restrictIntExpr(e sym.IntExpr) {
+	switch n := e.(type) {
+	case sym.IntValueOf:
+		st.restrict(n.V.ID, kindBit(sym.KindSmallInt))
+	case sym.SlotCountOf:
+		st.restrict(n.V.ID, kindBit(sym.KindPointer))
+	case sym.IntBin:
+		st.restrictIntExpr(n.L)
+		st.restrictIntExpr(n.R)
+	}
+}
+
+func (st *clauseState) restrictFloatExpr(e sym.FloatExpr) {
+	switch n := e.(type) {
+	case sym.FloatValueOf:
+		st.restrict(n.V.ID, kindBit(sym.KindFloat))
+	case sym.IntToFloat:
+		st.restrictIntExpr(n.E)
+	case sym.FloatBin:
+		st.restrictFloatExpr(n.L)
+		st.restrictFloatExpr(n.R)
+	}
+}
+
+// analyze classifies every literal of the clause. Identical literals must
+// be processed before var references, so analysis runs in two passes.
+func (st *clauseState) analyze(cl clause) error {
+	for _, lit := range cl {
+		if id, ok := lit.(sym.Identical); ok {
+			st.union(id.A.ID, id.B.ID)
+		}
+	}
+	for _, lit := range cl {
+		if err := st.analyzeLiteral(lit, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *clauseState) analyzeLiteral(lit sym.Constraint, negated bool) error {
+	switch n := lit.(type) {
+	case sym.Not:
+		return st.analyzeLiteral(n.C, !negated)
+	case sym.Bool:
+		if n.B == negated {
+			return ErrUnsat
+		}
+	case sym.TypeIs:
+		if negated {
+			st.restrict(n.V.ID, allKinds&^kindBit(n.Kind))
+		} else {
+			st.restrict(n.V.ID, kindBit(n.Kind))
+		}
+	case sym.ClassIs:
+		k := classKind(n.ClassIndex)
+		rep := st.find(n.V.ID)
+		if negated {
+			if k == sym.KindPointer {
+				if st.exclClasses[rep] == nil {
+					st.exclClasses[rep] = make(map[int]bool)
+				}
+				st.exclClasses[rep][n.ClassIndex] = true
+			} else {
+				st.restrict(n.V.ID, allKinds&^kindBit(k))
+			}
+		} else {
+			st.restrict(n.V.ID, kindBit(k))
+			if k == sym.KindPointer {
+				if prev, ok := st.reqClass[rep]; ok && prev != n.ClassIndex {
+					return ErrUnsat
+				}
+				st.reqClass[rep] = n.ClassIndex
+			}
+		}
+	case sym.FormatIs:
+		rep := st.find(n.V.ID)
+		if negated {
+			if st.exclFormats[rep] == nil {
+				st.exclFormats[rep] = make(map[heap.Format]bool)
+			}
+			st.exclFormats[rep][n.F] = true
+		} else {
+			if st.hasReqFormat[rep] && st.reqFormat[rep] != n.F {
+				return ErrUnsat
+			}
+			st.reqFormat[rep] = n.F
+			st.hasReqFormat[rep] = true
+			if n.F == heap.FormatFloat {
+				st.restrict(n.V.ID, kindBit(sym.KindFloat))
+			} else {
+				st.restrict(n.V.ID, kindBit(sym.KindPointer))
+			}
+		}
+	case sym.StackSizeAtLeast:
+		if negated {
+			if n.N-1 < st.maxStack {
+				st.maxStack = n.N - 1
+			}
+		} else if n.N > st.minStack {
+			st.minStack = n.N
+		}
+	case sym.SlotCountAtLeast:
+		rep := st.find(n.V.ID)
+		if negated {
+			cur, ok := st.maxSlots[rep]
+			if !ok || n.N-1 < cur {
+				st.maxSlots[rep] = n.N - 1
+			}
+		} else {
+			if n.N > st.minSlots[rep] {
+				st.minSlots[rep] = n.N
+			}
+			if n.N > 0 {
+				st.restrict(n.V.ID, kindBit(sym.KindPointer)|kindBit(sym.KindFloat))
+			}
+		}
+	case sym.Identical:
+		if negated {
+			st.distinct = append(st.distinct, [2]int{st.find(n.A.ID), st.find(n.B.ID)})
+		}
+		// positive case already merged in the first pass
+	case sym.ICmp:
+		st.restrictIntExpr(n.L)
+		st.restrictIntExpr(n.R)
+		st.intAtoms = append(st.intAtoms, n)
+	case sym.FCmp:
+		st.restrictFloatExpr(n.L)
+		st.restrictFloatExpr(n.R)
+		st.floatAtoms = append(st.floatAtoms, n)
+	default:
+		return fmt.Errorf("solver: unexpected literal %T", lit)
+	}
+	return nil
+}
+
+// solveClause attempts one DNF clause.
+func solveClause(u *sym.Universe, cl clause) (*sym.Model, error) {
+	st := newClauseState(u)
+	if err := st.analyze(cl); err != nil {
+		return nil, err
+	}
+	if st.minStack > st.maxStack {
+		return nil, ErrUnsat
+	}
+	for rep, max := range st.maxSlots {
+		if max < 0 || st.minSlots[rep] > max {
+			return nil, ErrUnsat
+		}
+	}
+
+	// Collect representatives with constrained domains or numeric roles.
+	repSet := make(map[int]bool)
+	for id := range st.domains {
+		repSet[st.find(id)] = true
+	}
+	for rep := range st.minSlots {
+		repSet[rep] = true
+	}
+	for rep := range st.maxSlots {
+		repSet[rep] = true
+	}
+	for rep := range st.reqClass {
+		repSet[rep] = true
+	}
+	for _, p := range st.distinct {
+		repSet[p[0]] = true
+		repSet[p[1]] = true
+	}
+	reps := make([]int, 0, len(repSet))
+	for rep := range repSet {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+
+	for _, rep := range reps {
+		if st.domain(rep) == 0 {
+			return nil, ErrUnsat
+		}
+	}
+
+	// Enumerate kind assignments in preference order.
+	prefer := []sym.TypeKind{sym.KindSmallInt, sym.KindPointer, sym.KindFloat, sym.KindNil, sym.KindTrue, sym.KindFalse}
+	kinds := make(map[int]sym.TypeKind, len(reps))
+	budget := 50000
+
+	var tryKinds func(i int) (*sym.Model, error)
+	tryKinds = func(i int) (*sym.Model, error) {
+		if budget <= 0 {
+			return nil, fmt.Errorf("%w: kind enumeration budget exhausted", ErrTooComplex)
+		}
+		if i == len(reps) {
+			budget--
+			return st.solveWithKinds(reps, kinds)
+		}
+		rep := reps[i]
+		dom := st.domain(rep)
+		for _, k := range prefer {
+			if !dom.has(k) {
+				continue
+			}
+			if st.minSlots[rep] > 0 && k != sym.KindPointer && k != sym.KindFloat {
+				continue
+			}
+			kinds[rep] = k
+			m, err := tryKinds(i + 1)
+			if err == nil {
+				return m, nil
+			}
+			if errors.Is(err, ErrTooComplex) || errors.Is(err, ErrUnsupported) {
+				return nil, err
+			}
+		}
+		delete(kinds, rep)
+		return nil, ErrUnsat
+	}
+	return tryKinds(0)
+}
+
+// solveWithKinds finishes a clause once every representative has a kind:
+// identity checks, numeric search, model construction.
+func (st *clauseState) solveWithKinds(reps []int, kinds map[int]sym.TypeKind) (*sym.Model, error) {
+	// Distinctness between singleton kinds fails immediately.
+	extraNE := make([]sym.ICmp, 0)
+	for _, p := range st.distinct {
+		if p[0] == p[1] {
+			return nil, ErrUnsat
+		}
+		ka, kb := kinds[p[0]], kinds[p[1]]
+		if ka != kb {
+			continue // different kinds are always distinct
+		}
+		switch ka {
+		case sym.KindNil, sym.KindTrue, sym.KindFalse:
+			return nil, ErrUnsat
+		case sym.KindSmallInt:
+			// SmallInteger identity is value identity.
+			extraNE = append(extraNE, sym.ICmp{
+				Op: sym.CmpNE,
+				L:  sym.IntValueOf{V: st.u.ByID(p[0])},
+				R:  sym.IntValueOf{V: st.u.ByID(p[1])},
+			})
+		}
+		// Two pointer/float variables materialize as separate objects.
+	}
+
+	intAtoms := append(append([]sym.ICmp(nil), st.intAtoms...), extraNE...)
+	asg, err := st.searchNumeric(reps, kinds, intAtoms)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.searchFloats(reps, kinds, asg); err != nil {
+		return nil, err
+	}
+
+	m := sym.NewModel()
+	m.StackSize = st.minStack
+	for id := range st.parent {
+		if rep := st.find(id); rep != id {
+			m.Alias[id] = rep
+		}
+	}
+	for _, rep := range reps {
+		tv, err := st.buildValue(rep, kinds[rep], asg)
+		if err != nil {
+			return nil, err
+		}
+		m.Set(rep, tv)
+	}
+	return m, nil
+}
+
+// candidateClasses lists boot classes in witness-preference order.
+var candidateClasses = func() []heap.BootClass {
+	order := []int{
+		heap.ClassIndexObject, heap.ClassIndexArray, heap.ClassIndexString,
+		heap.ClassIndexWordArray, heap.ClassIndexByteArray, heap.ClassIndexPoint,
+		heap.ClassIndexAssociation, heap.ClassIndexExternalStruct,
+		heap.ClassIndexExternalAddr, heap.ClassIndexContext,
+	}
+	byIdx := make(map[int]heap.BootClass)
+	for _, bc := range heap.BootClasses() {
+		byIdx[bc.Index] = bc
+	}
+	out := make([]heap.BootClass, 0, len(order))
+	for _, idx := range order {
+		out = append(out, byIdx[idx])
+	}
+	return out
+}()
+
+// buildValue constructs the TypedValue for one representative.
+func (st *clauseState) buildValue(rep int, kind sym.TypeKind, asg *assignment) (sym.TypedValue, error) {
+	switch kind {
+	case sym.KindSmallInt:
+		v := asg.ints[rep] // zero default is a valid witness
+		return sym.TypedValue{Kind: sym.KindSmallInt, Int: v}, nil
+	case sym.KindFloat:
+		v, ok := asg.floats[rep]
+		if !ok {
+			v = 1.5
+		}
+		return sym.TypedValue{Kind: sym.KindFloat, Float: v, ClassIndex: heap.ClassIndexFloat, Format: heap.FormatFloat, SlotCount: 1}, nil
+	case sym.KindNil:
+		return sym.TypedValue{Kind: sym.KindNil}, nil
+	case sym.KindTrue:
+		return sym.TypedValue{Kind: sym.KindTrue}, nil
+	case sym.KindFalse:
+		return sym.TypedValue{Kind: sym.KindFalse}, nil
+	}
+
+	// Pointer: choose a class honoring class/format requirements.
+	slots := int(asg.slots[rep])
+	if slots < st.minSlots[rep] {
+		slots = st.minSlots[rep]
+	}
+	excludedC := st.exclClasses[rep]
+	excludedF := st.exclFormats[rep]
+	pick := func(bc heap.BootClass) (sym.TypedValue, bool) {
+		if excludedC[bc.Index] || excludedF[bc.Format] {
+			return sym.TypedValue{}, false
+		}
+		if st.hasReqFormat[rep] && bc.Format != st.reqFormat[rep] {
+			return sym.TypedValue{}, false
+		}
+		n := slots
+		if bc.FixedSlots > n {
+			n = bc.FixedSlots
+		}
+		if max, ok := st.maxSlots[rep]; ok && n > max {
+			return sym.TypedValue{}, false
+		}
+		return sym.TypedValue{Kind: sym.KindPointer, ClassIndex: bc.Index, Format: bc.Format, SlotCount: n}, true
+	}
+	if cls, ok := st.reqClass[rep]; ok {
+		for _, bc := range heap.BootClasses() {
+			if bc.Index == cls {
+				if tv, ok := pick(bc); ok {
+					return tv, nil
+				}
+				return sym.TypedValue{}, ErrUnsat
+			}
+		}
+		// A required class outside the boot table: trust the constraint.
+		return sym.TypedValue{Kind: sym.KindPointer, ClassIndex: cls, Format: heap.FormatFixed, SlotCount: slots}, nil
+	}
+	for _, bc := range candidateClasses {
+		if tv, ok := pick(bc); ok {
+			return tv, nil
+		}
+	}
+	return sym.TypedValue{}, ErrUnsat
+}

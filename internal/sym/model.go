@@ -1,0 +1,92 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cogdiff/internal/heap"
+)
+
+// TypedValue is a solver assignment for one variable: a semantic type
+// plus enough structure to materialize a concrete VM value from it.
+type TypedValue struct {
+	Kind       TypeKind
+	Int        int64   // value for KindSmallInt
+	Float      float64 // value for KindFloat
+	ClassIndex int     // class for KindPointer
+	Format     heap.Format
+	SlotCount  int // body slots for KindPointer
+}
+
+func (tv TypedValue) String() string {
+	switch tv.Kind {
+	case KindSmallInt:
+		return fmt.Sprintf("%d", tv.Int)
+	case KindFloat:
+		return fmt.Sprintf("%g", tv.Float)
+	case KindNil:
+		return "nil"
+	case KindTrue:
+		return "true"
+	case KindFalse:
+		return "false"
+	case KindPointer:
+		return fmt.Sprintf("obj(class=%d,%s,slots=%d)", tv.ClassIndex, tv.Format, tv.SlotCount)
+	}
+	return "?"
+}
+
+// Model is a satisfying assignment produced by the constraint solver. The
+// differential tester interprets it together with the abstract frame
+// structure to build a concrete VM input frame (§3.2).
+type Model struct {
+	// StackSize is the number of operand stack entries the input frame
+	// must materialize.
+	StackSize int
+	// Values assigns a typed value to each constrained variable (by ID).
+	// Unconstrained variables materialize as plain objects.
+	Values map[int]TypedValue
+	// Alias maps a variable ID to the representative variable ID whose
+	// object it must share (from Identical constraints).
+	Alias map[int]int
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{Values: make(map[int]TypedValue), Alias: make(map[int]int)}
+}
+
+// Rep returns the representative ID for id following alias links.
+func (m *Model) Rep(id int) int {
+	for {
+		next, ok := m.Alias[id]
+		if !ok || next == id {
+			return id
+		}
+		id = next
+	}
+}
+
+// ValueOf returns the assignment for a variable, following aliases.
+func (m *Model) ValueOf(v *Var) (TypedValue, bool) {
+	tv, ok := m.Values[m.Rep(v.ID)]
+	return tv, ok
+}
+
+// Set assigns a value to a variable ID.
+func (m *Model) Set(id int, tv TypedValue) { m.Values[id] = tv }
+
+func (m *Model) String() string {
+	ids := make([]int, 0, len(m.Values))
+	for id := range m.Values {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids)+1)
+	parts = append(parts, fmt.Sprintf("stackSize=%d", m.StackSize))
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("v%d=%s", id, m.Values[id]))
+	}
+	return strings.Join(parts, " ")
+}
