@@ -1,0 +1,45 @@
+# Verify tiers for the cogdiff reproduction.
+#
+#   tier 1: make build test      — full suite, serial semantics pinned
+#   tier 2: make test-race       — reduced campaign config under -race,
+#                                  guarding the parallel campaign engine
+#
+# `make ci` runs what .github/workflows/ci.yml runs.
+
+GO ?= go
+
+.PHONY: all build vet test test-short test-race bench fuzz golden-update ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Race-detector tier: the campaign tests run their reduced (-short)
+# configuration, which still shards exploration and differential testing
+# across 4 and GOMAXPROCS workers.
+test-race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Explore random byte-code sequences across all three compilers and both
+# ISAs (30s smoke run; raise -fuzztime for a real session).
+fuzz:
+	$(GO) test -fuzz=FuzzSequenceDiff -fuzztime=30s ./internal/core/
+
+# Re-capture the CLI golden files after an intentional format change.
+golden-update:
+	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
+
+ci: build vet test test-race

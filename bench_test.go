@@ -12,6 +12,7 @@ package cogdiff
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -58,6 +59,29 @@ func BenchmarkTable2Campaign(b *testing.B) {
 	}
 	b.StopTimer()
 	b.Logf("\n%s", report.Table2(res))
+}
+
+// BenchmarkCampaignParallel measures the parallel campaign engine: the
+// full Table 2 campaign sharded over 1, 2 and GOMAXPROCS workers. The
+// deterministic merge keeps every variant's output byte-identical; only
+// wall-clock changes. EXPERIMENTS.md records serial-vs-parallel numbers.
+func BenchmarkCampaignParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=2", 2},
+		{fmt.Sprintf("workers=gomaxprocs(%d)", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = bc.workers
+			for i := 0; i < b.N; i++ {
+				core.NewCampaign(cfg).Run()
+			}
+		})
+	}
 }
 
 // BenchmarkTable3DefectFamilies regenerates Table 3: difference causes

@@ -8,123 +8,163 @@
 //	cogdiff difftest <instruction> <compiler>
 //	                                     differentially test one instruction
 //	                                     (compilers: native, simple, stacktoregister, registerallocating)
-//	cogdiff campaign [-pristine]         run the full evaluation and print every table and figure
+//	cogdiff campaign [-pristine] [-workers n] [-progress]
+//	                                     run the full evaluation and print every table and figure
 //	cogdiff table1                       reproduce Table 1 (primAdd byte-code)
 //	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
+//
+// Campaign commands shard their work over -workers goroutines (default:
+// GOMAXPROCS); every table and figure is byte-identical for any worker
+// count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cogdiff"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one CLI invocation, writing results to stdout and errors
+// and progress to stderr. It is the testable core of the command: the
+// golden-file tests drive it directly.
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := argv[0], argv[1:]
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "cogdiff:", err)
+		return 1
+	}
 	switch cmd {
 	case "instructions":
 		for _, name := range cogdiff.Instructions() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
 	case "explore":
-		fs := flag.NewFlagSet("explore", flag.ExitOnError)
+		fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+		fs.SetOutput(stderr)
 		jsonOut := fs.String("o", "", "write the exploration as JSON to this file (reusable by difftest -cache)")
-		exitOn(fs.Parse(args))
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
 		if fs.NArg() != 1 {
-			usage()
-			os.Exit(2)
+			usage(stderr)
+			return 2
 		}
 		if *jsonOut != "" {
 			data, err := cogdiff.ExploreJSON(fs.Arg(0))
-			exitOn(err)
-			exitOn(os.WriteFile(*jsonOut, data, 0o644))
-			fmt.Printf("exploration of %s written to %s\n", fs.Arg(0), *jsonOut)
-			return
+			if err != nil {
+				return fail(err)
+			}
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "exploration of %s written to %s\n", fs.Arg(0), *jsonOut)
+			return 0
 		}
 		out, err := cogdiff.ExploreReport(fs.Arg(0))
-		exitOn(err)
-		fmt.Print(out)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, out)
 	case "table1":
 		out, err := cogdiff.ExploreReport("primAdd")
-		exitOn(err)
-		fmt.Print(out)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, out)
 	case "difftest":
-		fs := flag.NewFlagSet("difftest", flag.ExitOnError)
+		fs := flag.NewFlagSet("difftest", flag.ContinueOnError)
+		fs.SetOutput(stderr)
 		cache := fs.String("cache", "", "reuse a cached exploration (JSON written by explore -o)")
-		exitOn(fs.Parse(args))
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
 		var res *cogdiff.InstructionResult
 		var err error
 		if *cache != "" {
 			if fs.NArg() != 1 {
-				usage()
-				os.Exit(2)
+				usage(stderr)
+				return 2
 			}
 			data, rerr := os.ReadFile(*cache)
-			exitOn(rerr)
+			if rerr != nil {
+				return fail(rerr)
+			}
 			res, err = cogdiff.TestInstructionCached(data, fs.Arg(0))
 		} else {
 			if fs.NArg() != 2 {
-				usage()
-				os.Exit(2)
+				usage(stderr)
+				return 2
 			}
 			res, err = cogdiff.TestInstruction(fs.Arg(0), fs.Arg(1))
 		}
-		exitOn(err)
-		fmt.Printf("%s on %s: %d paths, %d curated, %d differences\n",
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "%s on %s: %d paths, %d curated, %d differences\n",
 			res.Instruction, res.Compiler, res.Paths, res.Curated, len(res.Differences))
 		for _, d := range res.Differences {
-			fmt.Printf("  [%s] %s: %s\n", d.ISA, d.Family, d.Detail)
+			fmt.Fprintf(stdout, "  [%s] %s: %s\n", d.ISA, d.Family, d.Detail)
 		}
 	case "campaign", "table2", "table3", "fig5", "fig6", "fig7":
-		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		fs.SetOutput(stderr)
 		pristine := fs.Bool("pristine", false, "run the defect-free VM configuration")
-		exitOn(fs.Parse(args))
-		sum := cogdiff.RunCampaign(cogdiff.CampaignOptions{Pristine: *pristine})
+		workers := fs.Int("workers", 0, "worker goroutines for the campaign (0 = GOMAXPROCS, 1 = serial)")
+		progress := fs.Bool("progress", false, "report per-instruction progress on stderr")
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
+		opts := cogdiff.CampaignOptions{Pristine: *pristine, Workers: *workers}
+		if *progress {
+			opts.OnInstructionDone = func(compiler, instruction string, done, total int) {
+				fmt.Fprintf(stderr, "[%d/%d] %s: %s\n", done, total, compiler, instruction)
+			}
+		}
+		sum := cogdiff.RunCampaign(opts)
 		switch cmd {
 		case "table2":
-			fmt.Print(sum.Table2)
+			fmt.Fprint(stdout, sum.Table2)
 		case "table3":
-			fmt.Print(sum.Table3)
+			fmt.Fprint(stdout, sum.Table3)
 		case "fig5":
-			fmt.Print(sum.Figure5)
+			fmt.Fprint(stdout, sum.Figure5)
 		case "fig6":
-			fmt.Print(sum.Figure6)
+			fmt.Fprint(stdout, sum.Figure6)
 		case "fig7":
-			fmt.Print(sum.Figure7)
+			fmt.Fprint(stdout, sum.Figure7)
 		default:
-			fmt.Printf("campaign completed in %s\n\n", sum.Duration)
-			fmt.Println(sum.Table2)
-			fmt.Println(sum.Table3)
-			fmt.Println(sum.Figure5)
-			fmt.Println(sum.Figure6)
-			fmt.Println(sum.Figure7)
-			fmt.Println("Deduplicated causes:")
-			fmt.Println(sum.Causes)
+			fmt.Fprintf(stdout, "campaign completed in %s\n\n", sum.Duration)
+			fmt.Fprintln(stdout, sum.Table2)
+			fmt.Fprintln(stdout, sum.Table3)
+			fmt.Fprintln(stdout, sum.Figure5)
+			fmt.Fprintln(stdout, sum.Figure6)
+			fmt.Fprintln(stdout, sum.Figure7)
+			fmt.Fprintln(stdout, "Deduplicated causes:")
+			fmt.Fprintln(stdout, sum.Causes)
 		}
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
+	return 0
 }
 
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cogdiff:", err)
-		os.Exit(1)
-	}
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   cogdiff instructions
   cogdiff explore [-o cache.json] <instruction>
   cogdiff difftest [-cache cache.json] <instruction> <compiler>
-  cogdiff campaign [-pristine]
-  cogdiff table1|table2|table3|fig5|fig6|fig7`)
+  cogdiff campaign [-pristine] [-workers n] [-progress]
+  cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n]`)
 }

@@ -1,0 +1,72 @@
+package main
+
+// Golden-file tests pin the CLI's table output — report formatting and
+// campaign counts — against regressions. Regenerate after an intentional
+// format change with:
+//
+//	go test ./cmd/cogdiff/ -run TestGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("cogdiff %v exited %d: %s", args, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden file %s\n--- golden ---\n%s\n--- got ---\n%s", name, path, want, got)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	checkGolden(t, "table1.golden", runCLI(t, "table1"))
+}
+
+func TestGoldenCampaignTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign goldens skipped in -short mode")
+	}
+	// The same golden must match at every worker count: this is the
+	// deterministic-merge guarantee observed from the CLI.
+	checkGolden(t, "table2.golden", runCLI(t, "table2", "-workers", "1"))
+	checkGolden(t, "table2.golden", runCLI(t, "table2", "-workers", "4"))
+	checkGolden(t, "table3.golden", runCLI(t, "table3", "-workers", "0"))
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+	if code := run([]string{"explore", "noSuchInstruction"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown instruction: exit %d, want 1", code)
+	}
+}

@@ -218,6 +218,13 @@ type CampaignOptions struct {
 	// MaxIterations bounds the concolic exploration per instruction
 	// (0 = default).
 	MaxIterations int
+	// Workers shards the campaign over this many goroutines
+	// (0 = GOMAXPROCS, 1 = serial). Campaign results and all rendered
+	// tables are byte-identical for any worker count.
+	Workers int
+	// OnInstructionDone, when non-nil, receives a serialized progress
+	// callback after each (compiler, instruction) test unit completes.
+	OnInstructionDone func(compiler, instruction string, done, total int)
 }
 
 // CampaignRow mirrors one row of Table 2.
@@ -259,6 +266,12 @@ func RunCampaign(opts CampaignOptions) *CampaignSummary {
 	}
 	if opts.MaxIterations > 0 {
 		cfg.Explore.MaxIterations = opts.MaxIterations
+	}
+	cfg.Workers = opts.Workers
+	if opts.OnInstructionDone != nil {
+		cfg.OnInstructionDone = func(ev core.InstructionDone) {
+			opts.OnInstructionDone(ev.Compiler.String(), ev.Instruction, ev.Done, ev.Total)
+		}
 	}
 	res := core.NewCampaign(cfg).Run()
 

@@ -8,14 +8,29 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"runtime"
 
 	"cogdiff"
 )
 
 func main() {
-	fmt.Println("running the full differential-testing campaign (4 compilers x 2 ISAs)...")
-	sum := cogdiff.RunCampaign(cogdiff.CampaignOptions{})
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker goroutines (1 = serial)")
+	flag.Parse()
+
+	fmt.Printf("running the full differential-testing campaign (4 compilers x 2 ISAs, %d workers)...\n", *workers)
+	sum := cogdiff.RunCampaign(cogdiff.CampaignOptions{
+		Workers: *workers,
+		OnInstructionDone: func(compiler, instruction string, done, total int) {
+			// Liveness on long campaigns: overwrite one status line.
+			fmt.Fprintf(os.Stderr, "\r%4d/%d %-34s %-28s", done, total, compiler, instruction)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
 	fmt.Printf("done in %s\n\n", sum.Duration)
 
 	fmt.Println(sum.Table2)
@@ -28,7 +43,7 @@ func main() {
 	}
 
 	fmt.Println("\nSanity baseline: the pristine (defect-free) VM")
-	clean := cogdiff.RunCampaign(cogdiff.CampaignOptions{Pristine: true})
+	clean := cogdiff.RunCampaign(cogdiff.CampaignOptions{Pristine: true, Workers: *workers})
 	fmt.Printf("pristine differences: %d (all from the byte-code tiers' missing\n", clean.TotalDifferences)
 	fmt.Println("float-inlining, the inherent optimisation differences)")
 	for fam, n := range clean.CausesByFamily {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cogdiff/internal/bytecode"
@@ -25,6 +26,26 @@ type Config struct {
 	// test (nil tests everything).
 	BytecodeFilter  func(op bytecode.Op) bool
 	PrimitiveFilter func(p *primitives.Primitive) bool
+	// Workers is the number of goroutines the campaign spreads its work
+	// units over (one unit per instruction during exploration, one per
+	// compiler x instruction during testing). 0 means runtime.GOMAXPROCS(0);
+	// 1 runs strictly serially. Results are byte-identical for any value.
+	Workers int
+	// OnInstructionDone, when non-nil, is called after each (compiler,
+	// instruction) test unit finishes, so long campaigns can report
+	// liveness. Calls are serialized; Done counts completed units in
+	// completion order, which varies with scheduling.
+	OnInstructionDone func(ev InstructionDone)
+}
+
+// InstructionDone is the progress event for one completed test unit.
+type InstructionDone struct {
+	Compiler    CompilerKind
+	Instruction string
+	Done        int // completed test units so far, including this one
+	Total       int // total test units in the campaign
+	Differences int
+	TestTime    time.Duration
 }
 
 // DefaultConfig reproduces the paper's evaluation setup.
@@ -149,8 +170,18 @@ func (c *Campaign) PrimitiveTargets() []concolic.Target {
 	return out
 }
 
-// Run executes the campaign.
+// Run executes the campaign, sharding it over Config.Workers goroutines.
+//
+// The work splits into independent units — one per instruction for the
+// concolic exploration, one per (compiler, instruction) pair for the
+// differential testing — and each unit owns its substrate instances
+// (object memory, CPU, JIT front-end). Unit results land in
+// pre-allocated slots indexed by configuration order, and causes are
+// recorded in a serial post-pass over that canonical order, so reports,
+// verdict ordering and the Table 2/3 rows are byte-identical to a
+// serial run regardless of worker count or completion order.
 func (c *Campaign) Run() *CampaignResult {
+	workers := c.workerCount()
 	explorer := concolic.NewExplorer(c.Prims, c.exploreOptions())
 	tester := NewTester(c.Prims, c.Config.Defects)
 
@@ -160,26 +191,77 @@ func (c *Campaign) Run() *CampaignResult {
 	}
 
 	// Step 1: concolic exploration, shared by every compiler (its results
-	// are cached and reused, §5.4).
+	// are cached and reused, §5.4). Each instruction explores in its own
+	// universe, so units never contend.
 	bcTargets := c.BytecodeTargets()
 	nmTargets := c.PrimitiveTargets()
-	for _, t := range append(append([]concolic.Target{}, bcTargets...), nmTargets...) {
-		result.Explorations[explorationKey(t)] = explorer.Explore(t)
+	allTargets := append(append([]concolic.Target{}, bcTargets...), nmTargets...)
+	explorations := make([]*concolic.Exploration, len(allTargets))
+	runUnits(workers, len(allTargets), func(i int) {
+		explorations[i] = explorer.Explore(allTargets[i])
+	})
+	for i, t := range allTargets {
+		result.Explorations[explorationKey(t)] = explorations[i]
 	}
 
-	// Steps 2-4 per compiler.
-	for _, kind := range c.Config.Compilers {
+	// Steps 2-4: one test unit per (compiler, instruction). Units write
+	// into their own report slot; the shared explorations are read-only
+	// here (frame builders intern through the universe's lock).
+	type testUnit struct{ compiler, target int }
+	targetsByCompiler := make([][]concolic.Target, len(c.Config.Compilers))
+	result.Reports = make([]CompilerReport, len(c.Config.Compilers))
+	var units []testUnit
+	for ci, kind := range c.Config.Compilers {
 		targets := bcTargets
 		if kind == NativeMethodCompilerKind {
 			targets = nmTargets
 		}
-		report := CompilerReport{Compiler: kind}
-		for _, target := range targets {
-			ex := result.Explorations[explorationKey(target)]
-			ir := c.testInstruction(tester, result, kind, target, ex)
-			report.Instructions = append(report.Instructions, ir)
+		targetsByCompiler[ci] = targets
+		result.Reports[ci] = CompilerReport{
+			Compiler:     kind,
+			Instructions: make([]InstructionReport, len(targets)),
 		}
-		result.Reports = append(result.Reports, report)
+		for ti := range targets {
+			units = append(units, testUnit{compiler: ci, target: ti})
+		}
+	}
+
+	var progressMu sync.Mutex
+	done := 0
+	runUnits(workers, len(units), func(i int) {
+		u := units[i]
+		target := targetsByCompiler[u.compiler][u.target]
+		ex := result.Explorations[explorationKey(target)]
+		ir := c.testInstruction(tester, result.Reports[u.compiler].Compiler, target, ex)
+		result.Reports[u.compiler].Instructions[u.target] = ir
+		if cb := c.Config.OnInstructionDone; cb != nil {
+			progressMu.Lock()
+			done++
+			cb(InstructionDone{
+				Compiler:    result.Reports[u.compiler].Compiler,
+				Instruction: target.Name,
+				Done:        done,
+				Total:       len(units),
+				Differences: ir.Differences,
+				TestTime:    ir.TestTime,
+			})
+			progressMu.Unlock()
+		}
+	})
+
+	// Deterministic merge: attribute causes walking the reports in
+	// canonical (compiler, instruction, path, ISA) order — exactly the
+	// order the serial loop used to record them in.
+	for ri := range result.Reports {
+		r := &result.Reports[ri]
+		for ii := range r.Instructions {
+			ir := &r.Instructions[ii]
+			for _, v := range ir.Verdicts {
+				if v.Differs {
+					c.recordCause(result, ir.Target, v)
+				}
+			}
+		}
 	}
 	return result
 }
@@ -197,8 +279,10 @@ func explorationKey(t concolic.Target) string {
 }
 
 // testInstruction runs every curated path of one instruction against one
-// compiler on every configured ISA.
-func (c *Campaign) testInstruction(tester *Tester, result *CampaignResult, kind CompilerKind, target concolic.Target, ex *concolic.Exploration) InstructionReport {
+// compiler on every configured ISA. It touches no campaign-wide state, so
+// any number of instances may run concurrently; cause attribution happens
+// in Run's serial merge pass.
+func (c *Campaign) testInstruction(tester *Tester, kind CompilerKind, target concolic.Target, ex *concolic.Exploration) InstructionReport {
 	start := time.Now()
 	ir := InstructionReport{
 		Target:      target,
@@ -217,7 +301,6 @@ func (c *Campaign) testInstruction(tester *Tester, result *CampaignResult, kind 
 			}
 			if v.Differs {
 				pathDiffers = true
-				c.recordCause(result, target, v)
 			}
 		}
 		if pathCurated {

@@ -1,0 +1,53 @@
+package core
+
+// FuzzSequenceDiff is the native fuzz entry for whole-pipeline sequence
+// testing: random well-formed byte-code sequences (the generator behind
+// TestSequenceFuzzProperty) must behave identically in the interpreter
+// and in all three byte-code compilers on both ISAs. Run a session with:
+//
+//	go test -fuzz=FuzzSequenceDiff ./internal/core/
+//
+// The seed corpus lives under testdata/fuzz/FuzzSequenceDiff/.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fuzzClamp folds an arbitrary fuzzed int64 into a small-integer-safe
+// range while keeping sign and low bits.
+func fuzzClamp(v int64) int64 {
+	return v % (1 << 20)
+}
+
+func FuzzSequenceDiff(f *testing.F) {
+	f.Add(int64(2022), int64(7), int64(-3), int64(100))
+	f.Add(int64(1), int64(0), int64(0), int64(0))
+	f.Add(int64(-9000), int64(-100), int64(99), int64(-1))
+	f.Add(int64(424242), int64(1<<19), int64(-(1 << 19)), int64(13))
+
+	tester := seqTester()
+	f.Fuzz(func(t *testing.T, seed, receiver, arg0, arg1 int64) {
+		rng := rand.New(rand.NewSource(seed))
+		numArgs := rng.Intn(3)
+		m := genRandomMethod(rng, numArgs)
+
+		in := SequenceInput{Receiver: Int64(fuzzClamp(receiver))}
+		fuzzedArgs := []int64{arg0, arg1}
+		for i := 0; i < numArgs; i++ {
+			in.Args = append(in.Args, Int64(fuzzClamp(fuzzedArgs[i])))
+		}
+
+		for _, kind := range allBCCompilers() {
+			for _, isa := range bothISAs() {
+				v, err := tester.TestSequence(m, in, kind, isa)
+				if err != nil {
+					t.Fatalf("%s/%v: %v\n%s", kind, isa, err, m.Disassemble())
+				}
+				if v.Differs {
+					t.Fatalf("%s/%v differs: %s\n%s", kind, isa, v.Detail, m.Disassemble())
+				}
+			}
+		}
+	})
+}

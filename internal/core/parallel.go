@@ -1,0 +1,60 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount resolves Config.Workers: 0 defaults to runtime.GOMAXPROCS(0),
+// anything else is clamped to at least 1.
+func (c *Campaign) workerCount() int {
+	w := c.Config.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runUnits executes fn(0..n-1) over a pool of worker goroutines. Units are
+// claimed from a shared atomic counter, so scheduling is work-stealing-ish:
+// a worker that drew a cheap unit immediately claims the next one. With
+// workers <= 1 it degenerates to a plain loop on the calling goroutine —
+// the strictly serial mode the determinism tests compare against.
+//
+// runUnits establishes a happens-before edge between every fn call and its
+// return (via WaitGroup), so callers may read unit results without further
+// synchronization.
+func runUnits(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

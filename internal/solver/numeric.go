@@ -119,7 +119,16 @@ func (st *clauseState) searchNumeric(reps []int, kinds map[int]sym.TypeKind, ato
 	for c := range consts {
 		candList = append(candList, c, c-1, c+1, c/2)
 	}
-	sort.Slice(candList, func(i, j int) bool { return abs64(candList[i]) < abs64(candList[j]) })
+	// Total order (magnitude, then positive first): candidates come from a
+	// map, so ties must break deterministically or witnesses — and every
+	// campaign artifact derived from them — would vary run to run.
+	sort.Slice(candList, func(i, j int) bool {
+		ai, aj := abs64(candList[i]), abs64(candList[j])
+		if ai != aj {
+			return ai < aj
+		}
+		return candList[i] > candList[j]
+	})
 
 	budget := searchBudget
 	var dfs func(i int) error

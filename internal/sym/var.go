@@ -9,7 +9,10 @@
 // solver needs no bitwise theory (mirroring the paper's solver limits).
 package sym
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // RoleKind identifies what a symbolic variable stands for inside the
 // abstract input frame.
@@ -75,7 +78,14 @@ func (v *Var) String() string {
 }
 
 // Universe interns symbolic variables by role.
+//
+// A universe is safe for concurrent use. Exploration itself is
+// single-goroutine, but the parallel campaign engine shares one cached
+// exploration — and therefore its universe — across concurrent
+// differential-test units, whose frame builders intern variables on
+// demand.
 type Universe struct {
+	mu     sync.RWMutex
 	vars   []*Var
 	byRole map[Role]*Var
 }
@@ -87,10 +97,18 @@ func NewUniverse() *Universe {
 
 // Of returns the variable for role, creating it on first use.
 func (u *Universe) Of(role Role) *Var {
+	u.mu.RLock()
+	v, ok := u.byRole[role]
+	u.mu.RUnlock()
+	if ok {
+		return v
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	if v, ok := u.byRole[role]; ok {
 		return v
 	}
-	v := &Var{ID: len(u.vars), Role: role}
+	v = &Var{ID: len(u.vars), Role: role}
 	u.vars = append(u.vars, v)
 	u.byRole[role] = v
 	return v
@@ -115,14 +133,26 @@ func (u *Universe) Slot(owner *Var, i int) *Var {
 
 // ByID returns the variable with the given ID, or nil.
 func (u *Universe) ByID(id int) *Var {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	if id < 0 || id >= len(u.vars) {
 		return nil
 	}
 	return u.vars[id]
 }
 
-// Vars returns all interned variables in creation order.
-func (u *Universe) Vars() []*Var { return u.vars }
+// Vars returns all interned variables in creation order. The returned
+// slice is a stable snapshot: variables interned later never mutate the
+// elements it covers.
+func (u *Universe) Vars() []*Var {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.vars
+}
 
 // Count returns the number of interned variables.
-func (u *Universe) Count() int { return len(u.vars) }
+func (u *Universe) Count() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.vars)
+}
