@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench fuzz golden-update ci
+.PHONY: all build vet test test-short test-race bench fuzz fuzz-smoke golden-update ci
 
 all: build vet test
 
@@ -38,8 +38,14 @@ bench:
 fuzz:
 	$(GO) test -fuzz=FuzzSequenceDiff -fuzztime=30s ./internal/core/
 
+# Coverage-guided fuzzing smoke run: fixed seed, small budget, minimized
+# differences — deterministic, finishes well inside 30s.
+fuzz-smoke:
+	$(GO) run ./cmd/cogdiff fuzz -seed 2022 -budget 2000 -workers 0 \
+		-seed-corpus internal/core/testdata/fuzz/FuzzSequenceDiff
+
 # Re-capture the CLI golden files after an intentional format change.
 golden-update:
 	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
 
-ci: build vet test test-race
+ci: build vet test test-race fuzz-smoke

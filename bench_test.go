@@ -19,6 +19,7 @@ import (
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/concolic"
 	"cogdiff/internal/core"
+	"cogdiff/internal/fuzzer"
 	"cogdiff/internal/heap"
 	"cogdiff/internal/interp"
 	"cogdiff/internal/primitives"
@@ -80,6 +81,30 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.NewCampaign(cfg).Run()
 			}
+		})
+	}
+}
+
+// BenchmarkFuzzThroughput measures the coverage-guided sequence fuzzing
+// engine in executions per second, serial and sharded over GOMAXPROCS
+// workers. The deterministic batch merge keeps the discovered differences
+// identical across variants; only wall-clock changes.
+func BenchmarkFuzzThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=gomaxprocs(%d)", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			const budget = 256
+			for i := 0; i < b.N; i++ {
+				if _, err := fuzzer.Run(fuzzer.Options{Seed: 2022, Budget: budget, Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(budget)*float64(b.N)/b.Elapsed().Seconds(), "execs/s")
 		})
 	}
 }

@@ -12,6 +12,8 @@
 //	                                     run the full evaluation and print every table and figure
 //	cogdiff table1                       reproduce Table 1 (primAdd byte-code)
 //	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
+//	cogdiff fuzz [-seed n] [-budget n]   coverage-guided sequence fuzzing with
+//	                                     difference minimization
 //
 // Campaign commands shard their work over -workers goroutines (default:
 // GOMAXPROCS); every table and figure is byte-identical for any worker
@@ -23,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"time"
 
 	"cogdiff"
 )
@@ -116,6 +120,45 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		for _, d := range res.Differences {
 			fmt.Fprintf(stdout, "  [%s] %s: %s\n", d.ISA, d.Family, d.Detail)
 		}
+	case "fuzz":
+		fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		seed := fs.Int64("seed", 2022, "engine RNG seed; same seed + budget reproduce the run exactly")
+		workers := fs.Int("workers", 0, "worker goroutines per batch (0 = GOMAXPROCS, 1 = serial)")
+		budget := fs.String("budget", "1000", "execution budget: an iteration count or a duration like 30s")
+		corpus := fs.String("corpus", "", "JSON corpus file to load before and persist after the run")
+		seedCorpus := fs.String("seed-corpus", "", "`go test fuzz v1` seed directory (FuzzSequenceDiff corpus)")
+		minimize := fs.Bool("minimize", true, "reduce every difference to a 1-minimal sequence")
+		emitTests := fs.String("emit-tests", "", "write reduced differences to this path as a Go test file")
+		progress := fs.Bool("progress", false, "report batch progress on stderr")
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
+		opts := cogdiff.FuzzOptions{
+			Seed:          *seed,
+			Workers:       *workers,
+			Minimize:      *minimize,
+			CorpusPath:    *corpus,
+			SeedCorpusDir: *seedCorpus,
+			EmitTests:     *emitTests,
+		}
+		if n, err := strconv.Atoi(*budget); err == nil {
+			opts.Budget = n
+		} else if d, derr := time.ParseDuration(*budget); derr == nil {
+			opts.Duration = d
+		} else {
+			return fail(fmt.Errorf("-budget %q is neither an iteration count nor a duration", *budget))
+		}
+		if *progress {
+			opts.OnProgress = func(done, total, corpusSize, causes int) {
+				fmt.Fprintf(stderr, "[%d/%d] corpus %d, causes %d\n", done, total, corpusSize, causes)
+			}
+		}
+		sum, err := cogdiff.Fuzz(opts)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, sum.Report)
 	case "campaign", "table2", "table3", "fig5", "fig6", "fig7":
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		fs.SetOutput(stderr)
@@ -166,5 +209,7 @@ func usage(w io.Writer) {
   cogdiff explore [-o cache.json] <instruction>
   cogdiff difftest [-cache cache.json] <instruction> <compiler>
   cogdiff campaign [-pristine] [-workers n] [-progress]
-  cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n]`)
+  cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n]
+  cogdiff fuzz [-seed n] [-budget n|30s] [-workers n] [-corpus file.json]
+               [-seed-corpus dir] [-minimize] [-emit-tests file_test.go] [-progress]`)
 }

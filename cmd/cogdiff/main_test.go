@@ -58,6 +58,38 @@ func TestGoldenCampaignTables(t *testing.T) {
 	checkGolden(t, "table3.golden", runCLI(t, "table3", "-workers", "0"))
 }
 
+func TestGoldenFuzzReport(t *testing.T) {
+	// The fuzz report is golden-pinned AND must match at every worker
+	// count: the canonical-order merge means the report never depends on
+	// scheduling.
+	args := []string{"fuzz", "-seed", "2022", "-budget", "300", "-seed-corpus",
+		filepath.Join("..", "..", "internal", "core", "testdata", "fuzz", "FuzzSequenceDiff")}
+	checkGolden(t, "fuzz.golden", runCLI(t, append(args, "-workers", "1")...))
+	checkGolden(t, "fuzz.golden", runCLI(t, append(args, "-workers", "4")...))
+}
+
+func TestFuzzEmitTests(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fuzz_regress_test.go")
+	runCLI(t, "fuzz", "-seed", "2022", "-budget", "200", "-emit-tests", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DO NOT EDIT", "package core_test", "func TestFuzzRegress", "tester.TestSequence"} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("emitted test file missing %q", want)
+		}
+	}
+}
+
+func TestFuzzBudgetFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"fuzz", "-budget", "not-a-budget"}, &stdout, &stderr); code != 1 {
+		t.Errorf("malformed -budget: exit %d, want 1", code)
+	}
+}
+
 func TestCLIUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(nil, &stdout, &stderr); code != 2 {

@@ -1,0 +1,49 @@
+// Fuzzing runs a coverage-guided differential fuzzing campaign over
+// byte-code sequences (the paper's closing future work): random
+// well-formed methods are mutated under a coverage signal spanning
+// interpreter byte-codes, JIT IR emission and machine basic blocks; every
+// difference between the interpreter and the byte-code compilers is
+// classified, deduplicated by cause and shrunk to a 1-minimal sequence.
+//
+//	go run ./examples/fuzzing
+//	go run ./examples/fuzzing -budget 10000 -emit-tests fuzz_regress_test.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cogdiff"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2022, "engine RNG seed (same seed + budget = same report)")
+	budget := flag.Int("budget", 2000, "execution budget")
+	workers := flag.Int("workers", 0, "worker goroutines per batch (0 = GOMAXPROCS)")
+	emitTests := flag.String("emit-tests", "", "write reduced differences as a Go test file")
+	flag.Parse()
+
+	sum, err := cogdiff.Fuzz(cogdiff.FuzzOptions{
+		Seed:      *seed,
+		Budget:    *budget,
+		Workers:   *workers,
+		Minimize:  true,
+		EmitTests: *emitTests,
+		OnProgress: func(done, total, corpusSize, causes int) {
+			fmt.Fprintf(os.Stderr, "\r%6d/%d executions, corpus %d, causes %d", done, total, corpusSize, causes)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzing failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(sum.Report)
+	if *emitTests != "" {
+		fmt.Printf("\nreduced sequences written as unit tests to %s\n", *emitTests)
+	}
+}

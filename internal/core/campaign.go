@@ -197,7 +197,7 @@ func (c *Campaign) Run() *CampaignResult {
 	nmTargets := c.PrimitiveTargets()
 	allTargets := append(append([]concolic.Target{}, bcTargets...), nmTargets...)
 	explorations := make([]*concolic.Exploration, len(allTargets))
-	runUnits(workers, len(allTargets), func(i int) {
+	RunUnits(workers, len(allTargets), func(i int) {
 		explorations[i] = explorer.Explore(allTargets[i])
 	})
 	for i, t := range allTargets {
@@ -228,7 +228,7 @@ func (c *Campaign) Run() *CampaignResult {
 
 	var progressMu sync.Mutex
 	done := 0
-	runUnits(workers, len(units), func(i int) {
+	RunUnits(workers, len(units), func(i int) {
 		u := units[i]
 		target := targetsByCompiler[u.compiler][u.target]
 		ex := result.Explorations[explorationKey(target)]

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strings"
+
 	"cogdiff/internal/concolic"
 	"cogdiff/internal/defects"
 	"cogdiff/internal/interp"
@@ -58,4 +60,59 @@ func Classify(target concolic.Target, prims *primitives.Table, iExit interp.Exit
 		return defects.OptimizationDifference
 	}
 	return defects.BehavioralDifference
+}
+
+// selectorInstrument maps the slow-path send selectors the byte-code
+// compilers and the interpreter emit back to the byte-code mnemonic that
+// sent them — the instrument a sequence difference is attributed to, in
+// the vocabulary of the seeded-cause catalog.
+var selectorInstrument = map[string]string{
+	"+": "primAdd", "-": "primSubtract", "*": "primMultiply", "/": "primDivide",
+	"//": "primDiv", "\\\\": "primMod",
+	"bitAnd:": "primBitAnd", "bitOr:": "primBitOr", "bitXor:": "primBitXor",
+	"bitShift:": "primBitShift",
+	"<":         "primLessThan", ">": "primGreaterThan", "<=": "primLessOrEqual",
+	">=": "primGreaterOrEqual", "=": "primEqual", "~=": "primNotEqual",
+	"size": "primSize", "class": "primClass", "at:": "primAt", "at:put:": "primAtPut",
+	"mustBeBoolean": "shortJumpIfTrue",
+}
+
+// ClassifySequence applies the Classify inspection rules to a whole-method
+// sequence verdict: it assigns the difference to a defect family and names
+// the instrument (byte-code mnemonic) it is attributed to. Differences
+// that cannot be pinned to one byte-code are attributed to "sequence".
+func ClassifySequence(v *SequenceVerdict) (instrument string, fam defects.Family) {
+	i, c := v.Interp, v.Compiled
+	iErr := strings.HasPrefix(i.Kind, "error")
+	cErr := strings.HasPrefix(c.Kind, "error")
+	instrument = "sequence"
+	switch {
+	case cErr && strings.Contains(c.Kind, "notImplemented"):
+		return instrument, defects.MissingFunctionality
+	case cErr && strings.Contains(c.Kind, "simulation"):
+		return instrument, defects.SimulationError
+	case !iErr && cErr:
+		// Compiled code crashes where the interpreter degrades gracefully.
+		return instrument, defects.MissingCompiledTypeCheck
+	case iErr && !cErr:
+		return instrument, defects.MissingInterpreterTypeCheck
+	case i.Kind == "return" && c.Kind == "send":
+		// The interpreter inlined a fast path the compiler sends instead.
+		if mn, ok := selectorInstrument[c.Selector]; ok {
+			instrument = mn
+		}
+		return instrument, defects.OptimizationDifference
+	case i.Kind == "send" && c.Kind == "return":
+		// The compiler inlined a fast path the interpreter sends instead.
+		if mn, ok := selectorInstrument[i.Selector]; ok {
+			instrument = mn
+		}
+		return instrument, defects.OptimizationDifference
+	case i.Kind == "send" && c.Kind == "send" && i.Selector == c.Selector:
+		if mn, ok := selectorInstrument[i.Selector]; ok {
+			instrument = mn
+		}
+		return instrument, defects.BehavioralDifference
+	}
+	return instrument, defects.BehavioralDifference
 }

@@ -1,23 +1,55 @@
-package core
+package core_test
 
 // FuzzSequenceDiff is the native fuzz entry for whole-pipeline sequence
-// testing: random well-formed byte-code sequences (the generator behind
-// TestSequenceFuzzProperty) must behave identically in the interpreter
-// and in all three byte-code compilers on both ISAs. Run a session with:
+// testing: random well-formed byte-code sequences must behave identically
+// in the interpreter and in all three byte-code compilers on both ISAs.
+// Run a session with:
 //
 //	go test -fuzz=FuzzSequenceDiff ./internal/core/
 //
-// The seed corpus lives under testdata/fuzz/FuzzSequenceDiff/.
+// The seed corpus lives under testdata/fuzz/FuzzSequenceDiff/. Each seed
+// is regenerated through fuzzer.SeedFromTuple — the same grammar the
+// coverage-guided engine uses — so the corpus here doubles as the engine's
+// seed set (cogdiff fuzz -seed-corpus internal/core/testdata/fuzz/FuzzSequenceDiff).
 
 import (
 	"math/rand"
 	"testing"
+
+	"cogdiff/internal/core"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/fuzzer"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
 )
 
-// fuzzClamp folds an arbitrary fuzzed int64 into a small-integer-safe
-// range while keeping sign and low bits.
-func fuzzClamp(v int64) int64 {
-	return v % (1 << 20)
+func agreementTester() *core.Tester {
+	return core.NewTester(primitives.NewTable(), defects.ProductionVM())
+}
+
+func bcCompilers() []core.CompilerKind {
+	return []core.CompilerKind{core.SimpleBytecodeCompiler, core.StackToRegisterCompiler, core.RegisterAllocatingCompiler}
+}
+
+func isas() []machine.ISA {
+	return []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like}
+}
+
+func requireAgreement(t *testing.T, tester *core.Tester, s *fuzzer.Seq, label string) {
+	t.Helper()
+	m := s.Method("fuzz")
+	in := s.Input()
+	for _, kind := range bcCompilers() {
+		for _, isa := range isas() {
+			v, err := tester.TestSequence(m, in, kind, isa)
+			if err != nil {
+				t.Fatalf("%s %s/%v: %v\n%s", label, kind, isa, err, m.Disassemble())
+			}
+			if v.Differs {
+				t.Fatalf("%s %s/%v differs: %s\n%s", label, kind, isa, v.Detail, m.Disassemble())
+			}
+		}
+	}
 }
 
 func FuzzSequenceDiff(f *testing.F) {
@@ -26,28 +58,25 @@ func FuzzSequenceDiff(f *testing.F) {
 	f.Add(int64(-9000), int64(-100), int64(99), int64(-1))
 	f.Add(int64(424242), int64(1<<19), int64(-(1 << 19)), int64(13))
 
-	tester := seqTester()
+	tester := agreementTester()
 	f.Fuzz(func(t *testing.T, seed, receiver, arg0, arg1 int64) {
-		rng := rand.New(rand.NewSource(seed))
-		numArgs := rng.Intn(3)
-		m := genRandomMethod(rng, numArgs)
-
-		in := SequenceInput{Receiver: Int64(fuzzClamp(receiver))}
-		fuzzedArgs := []int64{arg0, arg1}
-		for i := 0; i < numArgs; i++ {
-			in.Args = append(in.Args, Int64(fuzzClamp(fuzzedArgs[i])))
-		}
-
-		for _, kind := range allBCCompilers() {
-			for _, isa := range bothISAs() {
-				v, err := tester.TestSequence(m, in, kind, isa)
-				if err != nil {
-					t.Fatalf("%s/%v: %v\n%s", kind, isa, err, m.Disassemble())
-				}
-				if v.Differs {
-					t.Fatalf("%s/%v differs: %s\n%s", kind, isa, v.Detail, m.Disassemble())
-				}
-			}
-		}
+		requireAgreement(t, tester, fuzzer.SeedFromTuple(seed, receiver, arg0, arg1), "tuple")
 	})
+}
+
+// TestSequenceFuzzProperty is the whole-pipeline property test: random
+// send-free integer byte-code sequences from the shared agreement grammar
+// must behave identically in the interpreter and in all three byte-code
+// compilers on both ISAs.
+func TestSequenceFuzzProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2022))
+	tester := agreementTester()
+	for iter := 0; iter < 120; iter++ {
+		s := fuzzer.RandomSeq(rng, rng.Intn(3), fuzzer.ProfileAgreement)
+		s.Receiver = fuzzer.IntValue(int64(rng.Intn(200) - 100))
+		for i := range s.Args {
+			s.Args[i] = fuzzer.IntValue(int64(rng.Intn(200) - 100))
+		}
+		requireAgreement(t, tester, s, "iter")
+	}
 }

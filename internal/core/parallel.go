@@ -6,10 +6,9 @@ import (
 	"sync/atomic"
 )
 
-// workerCount resolves Config.Workers: 0 defaults to runtime.GOMAXPROCS(0),
-// anything else is clamped to at least 1.
-func (c *Campaign) workerCount() int {
-	w := c.Config.Workers
+// ResolveWorkers resolves a Workers configuration value: 0 defaults to
+// runtime.GOMAXPROCS(0), anything else is clamped to at least 1.
+func ResolveWorkers(w int) int {
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
@@ -19,16 +18,19 @@ func (c *Campaign) workerCount() int {
 	return w
 }
 
-// runUnits executes fn(0..n-1) over a pool of worker goroutines. Units are
+func (c *Campaign) workerCount() int { return ResolveWorkers(c.Config.Workers) }
+
+// RunUnits executes fn(0..n-1) over a pool of worker goroutines. Units are
 // claimed from a shared atomic counter, so scheduling is work-stealing-ish:
 // a worker that drew a cheap unit immediately claims the next one. With
 // workers <= 1 it degenerates to a plain loop on the calling goroutine —
 // the strictly serial mode the determinism tests compare against.
 //
-// runUnits establishes a happens-before edge between every fn call and its
+// RunUnits establishes a happens-before edge between every fn call and its
 // return (via WaitGroup), so callers may read unit results without further
-// synchronization.
-func runUnits(workers, n int, fn func(i int)) {
+// synchronization. Both the campaign engine and the fuzzer shard their
+// work through it.
+func RunUnits(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}

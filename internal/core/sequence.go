@@ -108,25 +108,55 @@ type SequenceVerdict struct {
 // maxSequenceSteps bounds both executions.
 const maxSequenceSteps = 100000
 
+// SequenceHooks observes one sequence execution for coverage-guided
+// fuzzing. Any field may be nil; a nil *SequenceHooks disables observation
+// entirely.
+type SequenceHooks struct {
+	// InterpOp sees every byte-code opcode the interpreter executes.
+	InterpOp func(op bytecode.Op)
+	// InterpExit sees the interpreter's boundary exit kind.
+	InterpExit func(kind interp.ExitKind)
+	// EmitIR sees every machine instruction the JIT emits during
+	// whole-method compilation.
+	EmitIR func(op machine.Opc)
+	// Block sees the program-relative offset of every basic-block entry
+	// the compiled run reaches through a taken branch.
+	Block func(offset int64)
+	// CompiledStop sees the machine run's stop kind.
+	CompiledStop func(kind machine.StopKind)
+}
+
 // TestSequence executes method with the given inputs on the interpreter
 // and as whole-method machine code, comparing the first boundary.
 func (t *Tester) TestSequence(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA) (*SequenceVerdict, error) {
+	return t.TestSequenceObserved(method, in, kind, isa, nil)
+}
+
+// TestSequenceObserved is TestSequence with coverage hooks attached to
+// both executions.
+func (t *Tester) TestSequenceObserved(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA, h *SequenceHooks) (*SequenceVerdict, error) {
 	if kind == NativeMethodCompilerKind {
 		return nil, fmt.Errorf("core: sequence testing applies to byte-code compilers")
 	}
-	iOut, err := t.runSequenceInterp(method, in)
+	iOut, err := t.InterpSequence(method, in, h)
 	if err != nil {
 		return nil, err
 	}
-	cOut, err := t.runSequenceCompiled(method, in, kind, isa)
+	cOut, err := t.CompiledSequence(method, in, kind, isa, h)
 	if err != nil {
 		return nil, err
 	}
+	return CompareSequenceOutcomes(iOut, cOut), nil
+}
+
+// CompareSequenceOutcomes builds the verdict for an interpreter outcome
+// against a compiled outcome, comparing the first boundary.
+func CompareSequenceOutcomes(iOut, cOut *SequenceOutcome) *SequenceVerdict {
 	v := &SequenceVerdict{Interp: *iOut, Compiled: *cOut}
 	if iOut.Kind != cOut.Kind {
 		v.Differs = true
 		v.Detail = fmt.Sprintf("boundaries differ: interpreter %s, compiled %s", iOut, cOut)
-		return v, nil
+		return v
 	}
 	switch iOut.Kind {
 	case "return":
@@ -144,7 +174,7 @@ func (t *Tester) TestSequence(method *bytecode.Method, in SequenceInput, kind Co
 			v.Detail = fmt.Sprintf("send frames differ: interpreter %v, compiled %v", iOut.Stack, cOut.Stack)
 		}
 	}
-	return v, nil
+	return v
 }
 
 func buildSequenceFrame(om *heap.ObjectMemory, method *bytecode.Method, in SequenceInput) (*interp.Frame, error) {
@@ -169,26 +199,42 @@ func buildSequenceFrame(om *heap.ObjectMemory, method *bytecode.Method, in Seque
 	return interp.NewFrame(interp.Concrete(rcvr), temps, nil), nil
 }
 
-func (t *Tester) runSequenceInterp(method *bytecode.Method, in SequenceInput) (*SequenceOutcome, error) {
+// InterpSequence executes method on the interpreter up to its first
+// boundary. The hooks, when non-nil, observe every executed byte-code and
+// the exit kind.
+func (t *Tester) InterpSequence(method *bytecode.Method, in SequenceInput, h *SequenceHooks) (*SequenceOutcome, error) {
 	om := heap.NewBootedObjectMemory()
 	frame, err := buildSequenceFrame(om, method, in)
 	if err != nil {
 		return nil, err
+	}
+	notifyExit := func(k interp.ExitKind) {
+		if h != nil && h.InterpExit != nil {
+			h.InterpExit(k)
+		}
 	}
 	ctx := interp.NewCtx(om, frame, method)
 	ctx.Primitives = t.Prims
 	ctx.InterpreterDefects = interp.DefectSwitches{AsFloatSkipsTypeCheck: t.Defects.AsFloatSkipsTypeCheck}
 	for steps := 0; steps < maxSequenceSteps; steps++ {
 		if ctx.PC >= len(method.Code) {
+			notifyExit(interp.ExitMethodReturn)
 			return &SequenceOutcome{Kind: "return", Result: Canonicalize(om, frame.Receiver.W, nil)}, nil
+		}
+		if h != nil && h.InterpOp != nil {
+			if op, _, _, ok := method.FetchOp(ctx.PC); ok {
+				h.InterpOp(op)
+			}
 		}
 		exit := interp.RunInstruction(ctx)
 		switch exit.Kind {
 		case interp.ExitSuccess:
 			continue
 		case interp.ExitMethodReturn:
+			notifyExit(exit.Kind)
 			return &SequenceOutcome{Kind: "return", Result: Canonicalize(om, exit.Result.W, nil)}, nil
 		case interp.ExitMessageSend:
+			notifyExit(exit.Kind)
 			words := make([]heap.Word, frame.Size())
 			for i, v := range frame.Stack {
 				words[i] = v.W
@@ -200,19 +246,29 @@ func (t *Tester) runSequenceInterp(method *bytecode.Method, in SequenceInput) (*
 				Stack:    CanonicalizeAll(om, words, nil),
 			}, nil
 		default:
+			notifyExit(exit.Kind)
 			return &SequenceOutcome{Kind: fmt.Sprintf("error: %v", exit)}, nil
 		}
 	}
 	return &SequenceOutcome{Kind: "error: step limit"}, nil
 }
 
-func (t *Tester) runSequenceCompiled(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA) (*SequenceOutcome, error) {
+// CompiledSequence compiles method whole and executes the machine code up
+// to its first boundary. The hooks, when non-nil, observe every emitted IR
+// instruction, every taken-branch block entry and the stop kind.
+func (t *Tester) CompiledSequence(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA, h *SequenceHooks) (*SequenceOutcome, error) {
+	if kind == NativeMethodCompilerKind {
+		return nil, fmt.Errorf("core: sequence testing applies to byte-code compilers")
+	}
 	om := heap.NewBootedObjectMemory()
 	frame, err := buildSequenceFrame(om, method, in)
 	if err != nil {
 		return nil, err
 	}
 	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
+	if h != nil {
+		cogit.OnEmit = h.EmitIR
+	}
 	cm, err := cogit.CompileMethod(method, nil)
 	if err != nil {
 		return nil, err
@@ -222,6 +278,9 @@ func (t *Tester) runSequenceCompiled(method *bytecode.Method, in SequenceInput, 
 		return nil, err
 	}
 	cpu.Reset()
+	if h != nil {
+		cpu.BlockHook = h.Block
+	}
 	for _, tv := range frame.Temps {
 		if err := pushWord(cpu, tv.W); err != nil {
 			return nil, err
@@ -233,6 +292,9 @@ func (t *Tester) runSequenceCompiled(method *bytecode.Method, in SequenceInput, 
 	cpu.Regs[machine.ReceiverResultReg] = frame.Receiver.W
 	cpu.Install(cm.Prog)
 	stop := cpu.Run(maxSequenceSteps)
+	if h != nil && h.CompiledStop != nil {
+		h.CompiledStop(stop.Kind)
+	}
 
 	switch stop.Kind {
 	case machine.StopReturned:

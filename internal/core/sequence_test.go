@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"cogdiff/internal/bytecode"
@@ -110,79 +109,6 @@ func TestSequenceBooleanInputs(t *testing.T) {
 		MustMethod()
 	requireSeqAgreement(t, m, SequenceInput{Receiver: Nil(), Args: []SeqValue{Bool(true)}})
 	requireSeqAgreement(t, m, SequenceInput{Receiver: Nil(), Args: []SeqValue{Bool(false)}})
-}
-
-// genRandomMethod builds a random but well-formed, send-free, float-free
-// byte-code sequence with a tracked stack depth, always ending in a
-// return.
-func genRandomMethod(rng *rand.Rand, numArgs int) *bytecode.Method {
-	b := bytecode.NewBuilder("fuzz", numArgs)
-	depth := 0
-	n := 3 + rng.Intn(12)
-	for i := 0; i < n; i++ {
-		switch pick := rng.Intn(10); {
-		case pick < 3: // push a small constant
-			b.PushInt(int64(rng.Intn(2001) - 1000))
-			depth++
-		case pick < 5 && numArgs > 0:
-			b.PushTemp(rng.Intn(numArgs))
-			depth++
-		case pick < 6:
-			b.PushReceiver()
-			depth++
-		case pick < 7 && depth >= 1:
-			b.Dup()
-			depth++
-		case pick < 8 && depth >= 2:
-			switch rng.Intn(3) {
-			case 0:
-				b.Add()
-			case 1:
-				b.Subtract()
-			default:
-				b.Multiply()
-			}
-			depth--
-		case pick < 9 && depth >= 1:
-			b.Pop()
-			depth--
-		default:
-			b.Nop()
-		}
-	}
-	if depth >= 1 {
-		b.ReturnTop()
-	} else {
-		b.ReturnReceiver()
-	}
-	return b.MustMethod()
-}
-
-// TestSequenceFuzzProperty is the whole-pipeline property test: random
-// send-free integer byte-code sequences must behave identically in the
-// interpreter and in all three byte-code compilers on both ISAs.
-func TestSequenceFuzzProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(2022))
-	tester := seqTester()
-	for iter := 0; iter < 120; iter++ {
-		numArgs := rng.Intn(3)
-		m := genRandomMethod(rng, numArgs)
-		in := SequenceInput{Receiver: Int64(int64(rng.Intn(200) - 100))}
-		for i := 0; i < numArgs; i++ {
-			in.Args = append(in.Args, Int64(int64(rng.Intn(200)-100)))
-		}
-		for _, kind := range allBCCompilers() {
-			for _, isa := range bothISAs() {
-				v, err := tester.TestSequence(m, in, kind, isa)
-				if err != nil {
-					t.Fatalf("iter %d %s/%v: %v\n%s", iter, kind, isa, err, m.Disassemble())
-				}
-				if v.Differs {
-					t.Fatalf("iter %d %s/%v differs: %s\n%s", iter, kind, isa, v.Detail, m.Disassemble())
-				}
-			}
-		}
-	}
 }
 
 func TestSequenceRejectsNativeCompiler(t *testing.T) {

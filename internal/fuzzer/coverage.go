@@ -1,0 +1,76 @@
+package fuzzer
+
+import "math/bits"
+
+// The coverage signal is a fixed-size bitmap per execution, sectioned so
+// the four observation channels cannot collide:
+//
+//	[0,256)    interpreter byte-code opcodes executed
+//	[256,272)  interpreter exit kinds reached
+//	[272,320)  machine stop kinds, salted by compiler
+//	[320,512)  JIT IR opcodes emitted, salted by compiler
+//	[512,4096) machine basic blocks executed, hashed over
+//	           (compiler, ISA, block offset)
+//
+// The block section is the discriminating one: an input that drives the
+// same byte-codes down a different compiled path (a float pair taking the
+// slow-path send, say) lights different block bits even though the
+// byte-code section is identical, which is exactly what lets the corpus
+// retain it.
+const (
+	covWords = 64
+	covBits  = covWords * 64
+
+	covBCBase    = 0
+	covExitBase  = 256
+	covStopBase  = 272
+	covIRBase    = 320
+	covBlockBase = 512
+)
+
+// Coverage is one execution's (or the whole campaign's) coverage bitmap.
+type Coverage [covWords]uint64
+
+// Set marks one bit (wrapped into range).
+func (c *Coverage) Set(bit uint32) {
+	bit %= covBits
+	c[bit>>6] |= 1 << (bit & 63)
+}
+
+// Count returns the number of set bits.
+func (c *Coverage) Count() int {
+	n := 0
+	for _, w := range c {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// NewBits counts bits set in c but not in global.
+func (c *Coverage) NewBits(global *Coverage) int {
+	n := 0
+	for i, w := range c {
+		n += bits.OnesCount64(w &^ global[i])
+	}
+	return n
+}
+
+// Merge ORs other into c.
+func (c *Coverage) Merge(other *Coverage) {
+	for i := range c {
+		c[i] |= other[i]
+	}
+}
+
+// blockBit hashes a (compiler index, ISA index, program-relative block
+// offset) triple into the block section (FNV-1a over the packed triple).
+func blockBit(compiler, isa int, offset int64) uint32 {
+	h := uint64(14695981039346656037)
+	for _, b := range [...]uint64{uint64(compiler), uint64(isa), uint64(offset)} {
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return covBlockBase + uint32(h%(covBits-covBlockBase))
+}

@@ -1,0 +1,400 @@
+package fuzzer
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/core"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// Options configures a fuzzing run.
+type Options struct {
+	// Seed is the engine RNG seed; the same seed and budget reproduce the
+	// run exactly, for any worker count.
+	Seed int64
+	// Budget is the number of executions (0 defaults to 1000; seed inputs
+	// count toward it).
+	Budget int
+	// Duration, when set, additionally caps the run by wall clock.
+	// Duration-capped runs are NOT deterministic; iteration budgets are.
+	Duration time.Duration
+	// Workers shards each batch over this many goroutines (0 = GOMAXPROCS,
+	// 1 = serial). Results are byte-identical for any worker count.
+	Workers int
+	// BatchSize is the scheduling quantum (0 defaults to 32): tasks are
+	// generated serially per batch, executed in parallel, merged serially
+	// in canonical execution order.
+	BatchSize int
+	// Minimize reduces every difference to a 1-minimal sequence.
+	Minimize bool
+	// CorpusPath, when set, loads this JSON corpus before the run and
+	// persists the final corpus after it.
+	CorpusPath string
+	// SeedDir, when set, loads a `go test fuzz v1` seed directory (the
+	// FuzzSequenceDiff corpus format) as additional seed inputs.
+	SeedDir string
+	// EmitTests, when set, writes the reduced differences as a ready-to-run
+	// Go test file.
+	EmitTests string
+	// Defects selects the VM defect state (nil = ProductionVM).
+	Defects *defects.Switches
+	// OnProgress, when non-nil, receives a serialized callback after every
+	// merged batch.
+	OnProgress func(done, total, corpusSize, causes int)
+}
+
+// CurvePoint is one sample of the coverage growth curve, recorded
+// whenever a corpus admission raises global coverage.
+type CurvePoint struct {
+	Execs int `json:"execs"`
+	Bits  int `json:"bits"`
+}
+
+// Difference is one deduplicated classified cause, with the sequence that
+// first triggered it and its 1-minimal reduction.
+type Difference struct {
+	Instrument  string
+	Family      defects.Family
+	Compiler    core.CompilerKind
+	ISA         machine.ISA
+	Detail      string
+	FoundAt     int // execution index of first discovery
+	Count       int // executions that re-triggered the cause
+	Seq         *Seq
+	Reduced     *Seq
+	ReduceExecs int
+}
+
+// Key is the cause-deduplication key (instrument | family), the same
+// convention the campaign engine uses for verdict causes.
+func (d *Difference) Key() string { return d.Instrument + "|" + d.Family.String() }
+
+// Result is a completed fuzzing run. It contains no wall-clock data, so
+// equal-seed runs compare byte-identical.
+type Result struct {
+	Seed         int64
+	Budget       int
+	Executions   int
+	Discarded    int // budget spent on genomes rejected by Check
+	CorpusSize   int
+	CoverageBits int
+	Curve        []CurvePoint
+	Differences  []*Difference
+	// Matched lists the seeded-catalog cause IDs rediscovered through
+	// sequences, in catalog order.
+	Matched []string
+}
+
+type diffObs struct {
+	ci, ii  int
+	verdict *core.SequenceVerdict
+}
+
+type execOut struct {
+	cov     Coverage
+	invalid bool
+	diffs   []diffObs
+}
+
+type engine struct {
+	opts      Options
+	tester    *core.Tester
+	compilers []core.CompilerKind
+	isas      []machine.ISA
+
+	global    Coverage
+	corpus    []*Seq
+	corpusKey map[string]bool
+	diffs     []*Difference
+	diffIdx   map[string]int
+	execs     int
+	discarded int
+	curve     []CurvePoint
+}
+
+func newEngine(opts Options) *engine {
+	sw := defects.ProductionVM()
+	if opts.Defects != nil {
+		sw = *opts.Defects
+	}
+	return &engine{
+		opts:      opts,
+		tester:    core.NewTester(primitives.NewTable(), sw),
+		compilers: []core.CompilerKind{core.SimpleBytecodeCompiler, core.StackToRegisterCompiler, core.RegisterAllocatingCompiler},
+		isas:      []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like},
+		corpusKey: make(map[string]bool),
+		diffIdx:   make(map[string]int),
+	}
+}
+
+// builtinSeeds is the always-available seed set: the native harness's
+// f.Add tuples regenerated through the shared grammar, plus two
+// hand-written float carriers so small budgets exercise the interesting
+// slow paths immediately.
+func builtinSeeds() []*Seq {
+	seeds := []*Seq{
+		SeedFromTuple(2022, 7, -3, 100),
+		SeedFromTuple(1, 0, 0, 0),
+		SeedFromTuple(-9000, -100, 99, -1),
+		SeedFromTuple(424242, 1<<19, -(1 << 19), 13),
+		{ // ^self + self over a float receiver
+			Receiver: FloatValue(1.5),
+			Code: []Gene{
+				{Op: bytecode.OpPushReceiver},
+				{Op: bytecode.OpDuplicateTop},
+				{Op: bytecode.OpPrimAdd},
+				{Op: bytecode.OpReturnTop},
+			},
+		},
+		{ // ^0.5 < 3.25
+			Receiver: IntValue(2),
+			Literals: []bytecode.Literal{bytecode.FloatLiteral(0.5), bytecode.FloatLiteral(3.25)},
+			Code: []Gene{
+				{Op: bytecode.OpPushLiteralConstant0},
+				{Op: bytecode.OpPushLiteralConstant0 + 1},
+				{Op: bytecode.OpPrimLessThan},
+				{Op: bytecode.OpReturnTop},
+			},
+		},
+	}
+	return seeds
+}
+
+// execute runs one genome through the interpreter once and through every
+// (compiler, ISA) pair, collecting the coverage bitmap and every differing
+// verdict. It is the parallel section: no engine state is touched.
+func (e *engine) execute(s *Seq) execOut {
+	var out execOut
+	if s.Check() != nil {
+		out.invalid = true
+		return out
+	}
+	m := s.Method("fuzzseq")
+	if m.Validate() != nil {
+		out.invalid = true
+		return out
+	}
+	in := s.Input()
+	cov := &out.cov
+	iOut, err := e.tester.InterpSequence(m, in, &core.SequenceHooks{
+		InterpOp:   func(op bytecode.Op) { cov.Set(covBCBase + uint32(op)) },
+		InterpExit: func(k interp.ExitKind) { cov.Set(covExitBase + uint32(k)%16) },
+	})
+	if err != nil {
+		out.invalid = true
+		return out
+	}
+	for ci, kind := range e.compilers {
+		for ii, isa := range e.isas {
+			ci, ii := ci, ii
+			cOut, err := e.tester.CompiledSequence(m, in, kind, isa, &core.SequenceHooks{
+				EmitIR:       func(op machine.Opc) { cov.Set(covIRBase + uint32(ci)*64 + uint32(op)%64) },
+				Block:        func(off int64) { cov.Set(blockBit(ci, ii, off)) },
+				CompiledStop: func(k machine.StopKind) { cov.Set(covStopBase + uint32(ci)*16 + uint32(k)%16) },
+			})
+			if err != nil {
+				out.invalid = true
+				return out
+			}
+			if v := core.CompareSequenceOutcomes(iOut, cOut); v.Differs {
+				out.diffs = append(out.diffs, diffObs{ci: ci, ii: ii, verdict: v})
+			}
+		}
+	}
+	return out
+}
+
+// merge folds one execution into the engine state. Called serially in
+// canonical execution order — this is what makes reports byte-identical
+// for any worker count.
+func (e *engine) merge(s *Seq, o *execOut, keepAll bool) {
+	idx := e.execs
+	e.execs++
+	if o.invalid {
+		e.discarded++
+		return
+	}
+	if newBits := o.cov.NewBits(&e.global); newBits > 0 || keepAll {
+		e.global.Merge(&o.cov)
+		key := s.Key()
+		if !e.corpusKey[key] {
+			e.corpusKey[key] = true
+			e.corpus = append(e.corpus, s)
+			e.curve = append(e.curve, CurvePoint{Execs: e.execs, Bits: e.global.Count()})
+		}
+	} else {
+		e.global.Merge(&o.cov)
+	}
+	for _, d := range o.diffs {
+		instrument, fam := core.ClassifySequence(d.verdict)
+		key := instrument + "|" + fam.String()
+		if j, ok := e.diffIdx[key]; ok {
+			e.diffs[j].Count++
+			continue
+		}
+		e.diffIdx[key] = len(e.diffs)
+		e.diffs = append(e.diffs, &Difference{
+			Instrument: instrument,
+			Family:     fam,
+			Compiler:   e.compilers[d.ci],
+			ISA:        e.isas[d.ii],
+			Detail:     d.verdict.Detail,
+			FoundAt:    idx,
+			Count:      1,
+			Seq:        s.Clone(),
+		})
+	}
+}
+
+// runBatch executes tasks in parallel and merges them in order.
+func (e *engine) runBatch(tasks []*Seq, workers int, keepAll bool) {
+	outs := make([]execOut, len(tasks))
+	core.RunUnits(workers, len(tasks), func(i int) { outs[i] = e.execute(tasks[i]) })
+	for i := range outs {
+		e.merge(tasks[i], &outs[i], keepAll)
+	}
+}
+
+// makeTask derives the genome for one execution index: mostly a mutation
+// of a corpus parent, occasionally a fresh random genome.
+func (e *engine) makeTask(index int64) *Seq {
+	rng := rand.New(rand.NewSource(Mix(e.opts.Seed, index)))
+	if len(e.corpus) == 0 || rng.Intn(8) == 0 {
+		return RandomSeq(rng, rng.Intn(maxSeqArgs+1), ProfileFull)
+	}
+	parent := e.corpus[rng.Intn(len(e.corpus))]
+	partner := e.corpus[rng.Intn(len(e.corpus))]
+	return Mutate(rng, parent, partner)
+}
+
+// causeKeys returns the classified cause keys a genome triggers, in
+// canonical (compiler, ISA) order, or nil when it triggers none.
+func (e *engine) causeKeys(s *Seq) []string {
+	if s.Check() != nil {
+		return nil
+	}
+	m := s.Method("fuzzseq")
+	if m.Validate() != nil {
+		return nil
+	}
+	in := s.Input()
+	iOut, err := e.tester.InterpSequence(m, in, nil)
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	for _, kind := range e.compilers {
+		for _, isa := range e.isas {
+			cOut, err := e.tester.CompiledSequence(m, in, kind, isa, nil)
+			if err != nil {
+				return nil
+			}
+			if v := core.CompareSequenceOutcomes(iOut, cOut); v.Differs {
+				instrument, fam := core.ClassifySequence(v)
+				keys = append(keys, instrument+"|"+fam.String())
+			}
+		}
+	}
+	return keys
+}
+
+// Run executes a fuzzing campaign.
+func Run(opts Options) (*Result, error) {
+	e := newEngine(opts)
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = 1000
+		if opts.Duration > 0 {
+			budget = 1 << 30
+		}
+	}
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	workers := core.ResolveWorkers(opts.Workers)
+
+	seeds := builtinSeeds()
+	if opts.SeedDir != "" {
+		more, err := LoadGoFuzzSeeds(opts.SeedDir)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, more...)
+	}
+	if opts.CorpusPath != "" {
+		more, err := LoadCorpus(opts.CorpusPath)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, more...)
+	}
+	if len(seeds) > budget {
+		seeds = seeds[:budget]
+	}
+	e.runBatch(seeds, workers, true)
+	e.progress(budget)
+
+	start := time.Now()
+	for e.execs < budget {
+		if opts.Duration > 0 && time.Since(start) >= opts.Duration {
+			break
+		}
+		n := batch
+		if rest := budget - e.execs; rest < n {
+			n = rest
+		}
+		tasks := make([]*Seq, n)
+		for i := range tasks {
+			tasks[i] = e.makeTask(int64(e.execs + i))
+		}
+		e.runBatch(tasks, workers, false)
+		e.progress(budget)
+	}
+
+	if opts.Minimize {
+		for _, d := range e.diffs {
+			d.Reduced, d.ReduceExecs = Reduce(d.Seq, d.Key(), e.causeKeys)
+		}
+	}
+
+	res := &Result{
+		Seed:         opts.Seed,
+		Budget:       budget,
+		Executions:   e.execs,
+		Discarded:    e.discarded,
+		CorpusSize:   len(e.corpus),
+		CoverageBits: e.global.Count(),
+		Curve:        e.curve,
+		Differences:  e.diffs,
+	}
+	for _, c := range defects.Catalog() {
+		if _, ok := e.diffIdx[c.Instrument+"|"+c.Family.String()]; ok {
+			res.Matched = append(res.Matched, c.ID)
+		}
+	}
+
+	if opts.CorpusPath != "" {
+		if err := SaveCorpus(opts.CorpusPath, e.corpus); err != nil {
+			return nil, err
+		}
+	}
+	if opts.EmitTests != "" {
+		if err := os.WriteFile(opts.EmitTests, []byte(UnitTestSource(res.Differences)), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (e *engine) progress(total int) {
+	if e.opts.OnProgress != nil {
+		e.opts.OnProgress(e.execs, total, len(e.corpus), len(e.diffs))
+	}
+}

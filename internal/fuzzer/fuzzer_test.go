@@ -1,0 +1,211 @@
+package fuzzer
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The rediscovery and minimality tests share one fuzzing run: the run is
+// the expensive part, the assertions are not.
+var (
+	sharedOnce sync.Once
+	sharedRes  *Result
+	sharedErr  error
+)
+
+func sharedOptions() Options {
+	return Options{Seed: 2022, Budget: 600, Workers: 0, Minimize: true}
+}
+
+func sharedRun(t *testing.T) *Result {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedRes, sharedErr = Run(sharedOptions())
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedRes
+}
+
+// A fixed seed and a small budget must rediscover at least three distinct
+// seeded defect causes through sequences (the acceptance bar of the
+// subsystem), with every difference carrying a reduced sequence.
+func TestFuzzRediscoversSeededCauses(t *testing.T) {
+	res := sharedRun(t)
+	if len(res.Matched) < 3 {
+		t.Fatalf("rediscovered %d seeded causes %v, want >= 3\n%s", len(res.Matched), res.Matched, Report(res))
+	}
+	if len(res.Differences) == 0 {
+		t.Fatal("no differences recorded")
+	}
+	for _, d := range res.Differences {
+		if d.Reduced == nil {
+			t.Fatalf("difference %s has no reduced sequence", d.Key())
+		}
+		if len(d.Reduced.Code) > len(d.Seq.Code) {
+			t.Errorf("difference %s: reduction grew %d -> %d", d.Key(), len(d.Seq.Code), len(d.Reduced.Code))
+		}
+		if err := d.Reduced.Check(); err != nil {
+			t.Errorf("difference %s: reduced sequence ill-formed: %v", d.Key(), err)
+		}
+	}
+}
+
+// Every reduced sequence is 1-minimal: it still triggers its classified
+// cause, and removing any single byte-code either breaks well-formedness
+// or makes the cause disappear.
+func TestReducedSequencesAreOneMinimal(t *testing.T) {
+	res := sharedRun(t)
+	e := newEngine(sharedOptions())
+	for _, d := range res.Differences {
+		key := d.Key()
+		if !containsKey(e.causeKeys(d.Reduced), key) {
+			t.Errorf("difference %s: reduced sequence does not reproduce its cause", key)
+			continue
+		}
+		for i := range d.Reduced.Code {
+			cand := RemoveRange(d.Reduced, i, 1)
+			if cand.Check() != nil {
+				continue // removal breaks well-formedness: minimal at i
+			}
+			if containsKey(e.causeKeys(cand), key) {
+				t.Errorf("difference %s: still triggers after removing gene %d of %d",
+					key, i, len(d.Reduced.Code))
+			}
+		}
+	}
+}
+
+func containsKey(keys []string, key string) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// The same seed and budget produce deeply equal results and byte-identical
+// reports for any worker count — the merge order is canonical, never
+// arrival order.
+func TestFuzzDeterministicAcrossWorkers(t *testing.T) {
+	opts := Options{Seed: 7, Budget: 192, Minimize: true}
+	run := func(workers int) *Result {
+		o := opts
+		o.Workers = workers
+		res, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(4)
+	again := run(1)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("workers=1 and workers=4 disagree:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			Report(serial), Report(parallel))
+	}
+	if !reflect.DeepEqual(serial, again) {
+		t.Error("two serial runs with the same seed disagree")
+	}
+	if Report(serial) != Report(parallel) {
+		t.Error("reports are not byte-identical across worker counts")
+	}
+}
+
+// The corpus survives a save/load round trip and reloads only well-formed
+// entries.
+func TestCorpusRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var entries []*Seq
+	for i := 0; i < 8; i++ {
+		entries = append(entries, RandomSeq(rng, rng.Intn(maxSeqArgs+1), ProfileFull))
+	}
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := SaveCorpus(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("reloaded %d entries, want %d", len(back), len(entries))
+	}
+	for i := range back {
+		if back[i].Key() != entries[i].Key() {
+			t.Errorf("entry %d changed across the round trip", i)
+		}
+	}
+	if missing, err := LoadCorpus(filepath.Join(t.TempDir(), "absent.json")); err != nil || missing != nil {
+		t.Errorf("missing corpus: got %v, %v; want empty", missing, err)
+	}
+}
+
+// Mutation always returns a well-formed genome, whatever it is fed.
+func TestMutateAlwaysWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := []*Seq{RandomSeq(rng, 0, ProfileAgreement), RandomSeq(rng, 2, ProfileFull)}
+	for i := 0; i < 1000; i++ {
+		parent := pool[rng.Intn(len(pool))]
+		partner := pool[rng.Intn(len(pool))]
+		child := Mutate(rng, parent, partner)
+		if err := child.Check(); err != nil {
+			t.Fatalf("iteration %d: ill-formed child: %v", i, err)
+		}
+		if len(pool) < 64 {
+			pool = append(pool, child)
+		}
+	}
+}
+
+// RandomSeq output always passes Check, for both profiles.
+func TestRandomSeqWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		for _, p := range []Profile{ProfileAgreement, ProfileFull} {
+			s := RandomSeq(rng, rng.Intn(maxSeqArgs+1), p)
+			if err := s.Check(); err != nil {
+				t.Fatalf("iteration %d profile %d: %v", i, p, err)
+			}
+		}
+	}
+}
+
+// SeedFromTuple is deterministic and clamps inputs into the small-integer
+// range, matching the native harness's interpretation of fuzz inputs.
+func TestSeedFromTuple(t *testing.T) {
+	a := SeedFromTuple(2022, 7, -3, 100)
+	b := SeedFromTuple(2022, 7, -3, 100)
+	if a.Key() != b.Key() {
+		t.Error("SeedFromTuple is not deterministic")
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	huge := SeedFromTuple(1, 1<<40, -(1 << 40), 0)
+	if err := huge.Check(); err != nil {
+		t.Fatalf("clamped inputs must be well-formed: %v", err)
+	}
+}
+
+func TestParseGoFuzzSeed(t *testing.T) {
+	s, err := parseGoFuzzSeed("go test fuzz v1\nint64(2022)\nint64(7)\nint64(-3)\nint64(100)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Key() != SeedFromTuple(2022, 7, -3, 100).Key() {
+		t.Error("parsed seed does not match the tuple regeneration")
+	}
+	if _, err := parseGoFuzzSeed("not a corpus file"); err == nil {
+		t.Error("malformed header must be rejected")
+	}
+	if _, err := parseGoFuzzSeed("go test fuzz v1\nint64(1)\n"); err == nil {
+		t.Error("wrong value count must be rejected")
+	}
+}

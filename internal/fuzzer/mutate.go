@@ -1,0 +1,335 @@
+package fuzzer
+
+import (
+	"math"
+	"math/rand"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+)
+
+// The mutation engine: every mutator builds a candidate genome from a
+// parent (and possibly a splice partner); Check is the only arbiter of
+// validity. Mutate retries a bounded number of times and falls back to a
+// fresh random genome, so it always returns something well-formed.
+
+// Mutate derives a well-formed child from parent; partner donates genes
+// for splices and inputs for crossover (it may equal parent).
+func Mutate(rng *rand.Rand, parent, partner *Seq) *Seq {
+	for try := 0; try < 12; try++ {
+		cand := mutateOnce(rng, parent, partner)
+		if cand != nil && cand.Check() == nil {
+			return cand
+		}
+	}
+	return RandomSeq(rng, rng.Intn(maxSeqArgs+1), ProfileFull)
+}
+
+func mutateOnce(rng *rand.Rand, parent, partner *Seq) *Seq {
+	switch rng.Intn(9) {
+	case 0:
+		return substituteOp(rng, parent)
+	case 1:
+		return mutateLiteral(rng, parent)
+	case 2:
+		return mutateInput(rng, parent)
+	case 3:
+		return mutateIndex(rng, parent)
+	case 4:
+		return insertGene(rng, parent)
+	case 5:
+		return deleteGene(rng, parent)
+	case 6:
+		return truncateTail(rng, parent)
+	case 7:
+		return spliceTail(rng, parent, partner)
+	}
+	return crossInputs(parent, partner)
+}
+
+// substituteOp replaces one gene with another member of its signature
+// class (binop for binop, push for push, ...), the "opcode substitution
+// within family" mutator.
+func substituteOp(rng *rand.Rand, parent *Seq) *Seq {
+	s := parent.Clone()
+	i := rng.Intn(len(s.Code))
+	g := &s.Code[i]
+	d := bytecode.Describe(g.Op)
+	switch d.Family {
+	case bytecode.FamPrimAdd, bytecode.FamPrimSubtract, bytecode.FamPrimMultiply,
+		bytecode.FamPrimDivide, bytecode.FamPrimDiv, bytecode.FamPrimMod,
+		bytecode.FamPrimBitAnd, bytecode.FamPrimBitOr, bytecode.FamPrimBitXor,
+		bytecode.FamPrimBitShift,
+		bytecode.FamPrimLessThan, bytecode.FamPrimGreaterThan,
+		bytecode.FamPrimLessOrEqual, bytecode.FamPrimGreaterOrEqual,
+		bytecode.FamPrimEqual, bytecode.FamPrimNotEqual:
+		g.Op = binaryOps[rng.Intn(len(binaryOps))]
+	case bytecode.FamPushLiteralConstant, bytecode.FamPushReceiver,
+		bytecode.FamPushConstant, bytecode.FamPushTemporaryVariable:
+		ng, ok := randomPush(rng, s)
+		if !ok {
+			return nil
+		}
+		*g = ng
+	case bytecode.FamShortJumpIfTrue:
+		g.Op = bytecode.OpShortJumpIfFalse1
+	case bytecode.FamShortJumpIfFalse:
+		g.Op = bytecode.OpShortJumpIfTrue1
+	case bytecode.FamStoreTemporaryVariable:
+		g.Op = bytecode.OpPopIntoTemporaryVariable0 + bytecode.Op(d.Embedded%8)
+	case bytecode.FamPopIntoTemporaryVariable:
+		g.Op = bytecode.OpStoreTemporaryVariable0 + bytecode.Op(d.Embedded%8)
+	case bytecode.FamReturnSpecial, bytecode.FamReturnTop:
+		rets := []bytecode.Op{bytecode.OpReturnReceiver, bytecode.OpReturnTrue,
+			bytecode.OpReturnFalse, bytecode.OpReturnNil, bytecode.OpReturnTop}
+		g.Op = rets[rng.Intn(len(rets))]
+		g.Target = 0
+	default:
+		return nil
+	}
+	return s
+}
+
+// randomPush builds a random push gene over the genome's frame.
+func randomPush(rng *rand.Rand, s *Seq) (Gene, bool) {
+	tempCount := s.NumArgs + s.NumTemps
+	switch rng.Intn(5) {
+	case 0:
+		return Gene{Op: bytecode.OpPushReceiver}, true
+	case 1:
+		if tempCount > 0 {
+			return Gene{Op: bytecode.OpPushTemporaryVariable0 + bytecode.Op(rng.Intn(tempCount))}, true
+		}
+		fallthrough
+	case 2:
+		ops := []bytecode.Op{bytecode.OpPushConstantTrue, bytecode.OpPushConstantFalse,
+			bytecode.OpPushConstantNil, bytecode.OpPushConstantZero, bytecode.OpPushConstantOne,
+			bytecode.OpPushConstantMinusOne, bytecode.OpPushConstantTwo}
+		return Gene{Op: ops[rng.Intn(len(ops))]}, true
+	case 3:
+		if len(s.Literals) > 0 {
+			return Gene{Op: bytecode.OpPushLiteralConstant0 + bytecode.Op(rng.Intn(len(s.Literals)))}, true
+		}
+		fallthrough
+	default:
+		return s.pushGene(randomLiteral(rng, ProfileFull))
+	}
+}
+
+// mutateLiteral perturbs one literal value in place.
+func mutateLiteral(rng *rand.Rand, parent *Seq) *Seq {
+	if len(parent.Literals) == 0 {
+		return nil
+	}
+	s := parent.Clone()
+	l := &s.Literals[rng.Intn(len(s.Literals))]
+	switch l.Kind {
+	case bytecode.LitInt:
+		switch rng.Intn(6) {
+		case 0:
+			l.Int++
+		case 1:
+			l.Int--
+		case 2:
+			l.Int = -l.Int
+		case 3:
+			l.Int *= 2
+		case 4:
+			l.Int = interestingInts[rng.Intn(len(interestingInts))]
+		default:
+			*l = bytecode.FloatLiteral(interestingFloats[rng.Intn(len(interestingFloats))])
+		}
+		if l.Kind == bytecode.LitInt && !heap.IsIntegerValue(l.Int) {
+			l.Int = heap.MaxSmallInt
+		}
+	case bytecode.LitFloat:
+		switch rng.Intn(5) {
+		case 0:
+			l.Float += 0.5
+		case 1:
+			l.Float = -l.Float
+		case 2:
+			l.Float *= 2
+		case 3:
+			l.Float = interestingFloats[rng.Intn(len(interestingFloats))]
+		default:
+			*l = bytecode.IntLiteral(interestingInts[rng.Intn(len(interestingInts))])
+		}
+		if l.Kind == bytecode.LitFloat && (math.IsInf(l.Float, 0) || math.IsNaN(l.Float)) {
+			l.Float = 1e15
+		}
+	}
+	return s
+}
+
+// mutateInput replaces the receiver or one argument.
+func mutateInput(rng *rand.Rand, parent *Seq) *Seq {
+	s := parent.Clone()
+	v := randomValue(rng, ProfileFull)
+	if s.NumArgs > 0 && rng.Intn(2) == 0 {
+		s.Args[rng.Intn(s.NumArgs)] = v
+	} else {
+		s.Receiver = v
+	}
+	return s
+}
+
+// mutateIndex tweaks an embedded operand: a temp index or a jump target.
+func mutateIndex(rng *rand.Rand, parent *Seq) *Seq {
+	s := parent.Clone()
+	i := rng.Intn(len(s.Code))
+	g := &s.Code[i]
+	d := bytecode.Describe(g.Op)
+	tempCount := s.NumArgs + s.NumTemps
+	switch d.Family {
+	case bytecode.FamPushTemporaryVariable:
+		if tempCount == 0 {
+			return nil
+		}
+		g.Op = bytecode.OpPushTemporaryVariable0 + bytecode.Op(rng.Intn(tempCount))
+	case bytecode.FamStoreTemporaryVariable:
+		if tempCount == 0 {
+			return nil
+		}
+		g.Op = bytecode.OpStoreTemporaryVariable0 + bytecode.Op(rng.Intn(min(tempCount, 8)))
+	case bytecode.FamPopIntoTemporaryVariable:
+		if tempCount == 0 {
+			return nil
+		}
+		g.Op = bytecode.OpPopIntoTemporaryVariable0 + bytecode.Op(rng.Intn(min(tempCount, 8)))
+	case bytecode.FamShortJump, bytecode.FamShortJumpIfTrue, bytecode.FamShortJumpIfFalse:
+		if rng.Intn(2) == 0 {
+			g.Target++
+		} else {
+			g.Target--
+		}
+	default:
+		return nil
+	}
+	return s
+}
+
+// insertGene inserts a random gene, shifting jump targets across the
+// insertion point.
+func insertGene(rng *rand.Rand, parent *Seq) *Seq {
+	s := parent.Clone()
+	at := rng.Intn(len(s.Code) + 1)
+	var g Gene
+	switch rng.Intn(6) {
+	case 0, 1:
+		var ok bool
+		if g, ok = randomPush(rng, s); !ok {
+			return nil
+		}
+	case 2:
+		g = Gene{Op: binaryOps[rng.Intn(len(binaryOps))]}
+	case 3:
+		g = Gene{Op: bytecode.OpDuplicateTop}
+	case 4:
+		g = Gene{Op: bytecode.OpPopStackTop}
+	default:
+		g = Gene{Op: bytecode.OpNop}
+	}
+	for i := range s.Code {
+		if isJumpFamily(bytecode.Describe(s.Code[i].Op).Family) && s.Code[i].Target > at {
+			s.Code[i].Target++
+		}
+	}
+	s.Code = append(s.Code, Gene{})
+	copy(s.Code[at+1:], s.Code[at:])
+	s.Code[at] = g
+	return s
+}
+
+// deleteGene removes one gene, retargeting jumps across the removal.
+func deleteGene(rng *rand.Rand, parent *Seq) *Seq {
+	if len(parent.Code) <= 1 {
+		return nil
+	}
+	return RemoveRange(parent, rng.Intn(len(parent.Code)), 1)
+}
+
+// truncateTail cuts the sequence at a random point, clamping jump targets
+// to the new end.
+func truncateTail(rng *rand.Rand, parent *Seq) *Seq {
+	if len(parent.Code) <= 2 {
+		return nil
+	}
+	s := parent.Clone()
+	keep := 1 + rng.Intn(len(s.Code)-1)
+	s.Code = s.Code[:keep]
+	for i := range s.Code {
+		if isJumpFamily(bytecode.Describe(s.Code[i].Op).Family) && s.Code[i].Target > keep {
+			s.Code[i].Target = keep
+		}
+	}
+	return s
+}
+
+// spliceTail crosses parent's prefix with partner's suffix, remapping the
+// suffix's literal indices into the merged frame and rebasing its jump
+// targets.
+func spliceTail(rng *rand.Rand, parent, partner *Seq) *Seq {
+	if len(partner.Code) == 0 {
+		return nil
+	}
+	s := parent.Clone()
+	cut := rng.Intn(len(s.Code))
+	from := rng.Intn(len(partner.Code))
+	s.Code = s.Code[:cut]
+	shift := cut - from
+	for j := from; j < len(partner.Code); j++ {
+		g := partner.Code[j]
+		d := bytecode.Describe(g.Op)
+		if d.Family == bytecode.FamPushLiteralConstant {
+			if d.Embedded >= len(partner.Literals) {
+				return nil
+			}
+			idx := s.addLiteral(partner.Literals[d.Embedded])
+			if idx < 0 {
+				return nil
+			}
+			g.Op = bytecode.OpPushLiteralConstant0 + bytecode.Op(idx)
+		}
+		if isJumpFamily(d.Family) {
+			g.Target += shift
+		}
+		s.Code = append(s.Code, g)
+	}
+	return s
+}
+
+// crossInputs takes partner's inputs onto parent's code.
+func crossInputs(parent, partner *Seq) *Seq {
+	s := parent.Clone()
+	s.Receiver = partner.Receiver
+	for i := range s.Args {
+		if i < len(partner.Args) {
+			s.Args[i] = partner.Args[i]
+		}
+	}
+	return s
+}
+
+// RemoveRange removes genes [start, start+size) and retargets jumps: a
+// target beyond the removed range shifts left, a target inside it lands on
+// the gene that follows the removal. Distances that become unencodable are
+// rejected by Check, which is what "breaks well-formedness" means for the
+// reducer's 1-minimality property.
+func RemoveRange(s *Seq, start, size int) *Seq {
+	out := s.Clone()
+	out.Code = append(out.Code[:start], out.Code[start+size:]...)
+	for i := range out.Code {
+		g := &out.Code[i]
+		if !isJumpFamily(bytecode.Describe(g.Op).Family) {
+			continue
+		}
+		switch {
+		case g.Target >= start+size:
+			g.Target -= size
+		case g.Target > start:
+			g.Target = start
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package fuzzer
+
+import (
+	"math/rand"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/heap"
+)
+
+// Mix derives a per-execution RNG seed from the engine seed and a global
+// execution index (a splitmix64 step), so any worker — and any replay —
+// regenerates exactly the same task for the same index.
+func Mix(seed, index int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// ClampInt folds an arbitrary int64 into a small-integer-safe range while
+// keeping sign and low bits (shared with the native FuzzSequenceDiff
+// harness, so both fuzzing paths interpret seed inputs identically).
+func ClampInt(v int64) int64 {
+	return v % (1 << 20)
+}
+
+// Profile selects a generation grammar.
+type Profile int
+
+const (
+	// ProfileAgreement generates send-free integer sequences on which the
+	// interpreter and all byte-code compilers must agree — the grammar
+	// behind FuzzSequenceDiff and TestSequenceFuzzProperty.
+	ProfileAgreement Profile = iota
+	// ProfileFull adds float literals and inputs, comparisons, division,
+	// bitwise ops, temp stores and forward branches: the full fuzzing
+	// grammar. Sequences from this profile may legitimately differ.
+	ProfileFull
+)
+
+// binaryOps is the binary-operator pool of the full grammar.
+var binaryOps = []bytecode.Op{
+	bytecode.OpPrimAdd, bytecode.OpPrimSubtract, bytecode.OpPrimMultiply,
+	bytecode.OpPrimDivide, bytecode.OpPrimDiv, bytecode.OpPrimMod,
+	bytecode.OpPrimBitAnd, bytecode.OpPrimBitOr, bytecode.OpPrimBitXor,
+	bytecode.OpPrimBitShift,
+	bytecode.OpPrimLessThan, bytecode.OpPrimGreaterThan,
+	bytecode.OpPrimLessOrEqual, bytecode.OpPrimGreaterOrEqual,
+	bytecode.OpPrimEqual, bytecode.OpPrimNotEqual,
+}
+
+// agreementBinaryOps is the subset the interpreter and every byte-code
+// compiler inline identically for small-integer operands.
+var agreementBinaryOps = []bytecode.Op{
+	bytecode.OpPrimAdd, bytecode.OpPrimSubtract, bytecode.OpPrimMultiply,
+}
+
+var interestingInts = []int64{
+	0, 1, -1, 2, 3, 7, 10, 100, -100, 1023, -1024,
+	1 << 19, -(1 << 19), heap.MaxSmallInt, heap.MinSmallInt,
+}
+
+var interestingFloats = []float64{
+	0, 1, -1, 0.5, -0.5, 1.5, -2.5, 3.25, 100.125, 1e10, -1e10, 1e-10,
+}
+
+func randomValue(rng *rand.Rand, p Profile) Value {
+	if p == ProfileAgreement {
+		return IntValue(int64(rng.Intn(200) - 100))
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3:
+		return IntValue(interestingInts[rng.Intn(len(interestingInts))])
+	case 4, 5, 6:
+		return FloatValue(interestingFloats[rng.Intn(len(interestingFloats))])
+	case 7:
+		return Value{Kind: "true"}
+	case 8:
+		return Value{Kind: "false"}
+	}
+	return Value{Kind: "nil"}
+}
+
+func randomLiteral(rng *rand.Rand, p Profile) bytecode.Literal {
+	if p == ProfileAgreement || rng.Intn(3) > 0 {
+		return bytecode.IntLiteral(int64(rng.Intn(2001) - 1000))
+	}
+	return bytecode.FloatLiteral(interestingFloats[rng.Intn(len(interestingFloats))])
+}
+
+// addLiteral interns l into the genome's literal frame and returns its
+// index, or -1 when the frame is full.
+func (s *Seq) addLiteral(l bytecode.Literal) int {
+	for i, have := range s.Literals {
+		if have == l {
+			return i
+		}
+	}
+	if len(s.Literals) >= maxLiterals {
+		return -1
+	}
+	s.Literals = append(s.Literals, l)
+	return len(s.Literals) - 1
+}
+
+// pushGene emits a push of the given literal, preferring the dedicated
+// short-form constant opcodes (as the builder does).
+func (s *Seq) pushGene(l bytecode.Literal) (Gene, bool) {
+	if l.Kind == bytecode.LitInt {
+		switch l.Int {
+		case 0:
+			return Gene{Op: bytecode.OpPushConstantZero}, true
+		case 1:
+			return Gene{Op: bytecode.OpPushConstantOne}, true
+		case -1:
+			return Gene{Op: bytecode.OpPushConstantMinusOne}, true
+		case 2:
+			return Gene{Op: bytecode.OpPushConstantTwo}, true
+		}
+	}
+	idx := s.addLiteral(l)
+	if idx < 0 {
+		return Gene{}, false
+	}
+	return Gene{Op: bytecode.OpPushLiteralConstant0 + bytecode.Op(idx)}, true
+}
+
+// RandomSeq generates a random well-formed genome with numArgs parameters
+// under the given profile. The generated sequence always passes Check.
+func RandomSeq(rng *rand.Rand, numArgs int, p Profile) *Seq {
+	s := &Seq{NumArgs: numArgs, Receiver: randomValue(rng, p)}
+	for i := 0; i < numArgs; i++ {
+		s.Args = append(s.Args, randomValue(rng, p))
+	}
+	if p == ProfileFull {
+		s.NumTemps = rng.Intn(2)
+	}
+	tempCount := s.NumArgs + s.NumTemps
+
+	depth := 0
+	n := 3 + rng.Intn(12)
+	if p == ProfileFull {
+		n = 3 + rng.Intn(16)
+	}
+	for i := 0; i < n; i++ {
+		switch pick := rng.Intn(10); {
+		case pick < 3: // push a constant
+			if g, ok := s.pushGene(randomLiteral(rng, p)); ok {
+				s.Code = append(s.Code, g)
+				depth++
+			}
+		case pick < 5 && tempCount > 0:
+			s.Code = append(s.Code, Gene{Op: bytecode.OpPushTemporaryVariable0 + bytecode.Op(rng.Intn(tempCount))})
+			depth++
+		case pick < 6:
+			if p == ProfileFull && rng.Intn(4) == 0 {
+				ops := []bytecode.Op{bytecode.OpPushConstantTrue, bytecode.OpPushConstantFalse, bytecode.OpPushConstantNil}
+				s.Code = append(s.Code, Gene{Op: ops[rng.Intn(len(ops))]})
+			} else {
+				s.Code = append(s.Code, Gene{Op: bytecode.OpPushReceiver})
+			}
+			depth++
+		case pick < 7 && depth >= 1:
+			if p == ProfileFull && tempCount > 0 && rng.Intn(3) == 0 {
+				idx := rng.Intn(min(tempCount, 8))
+				if rng.Intn(2) == 0 {
+					s.Code = append(s.Code, Gene{Op: bytecode.OpStoreTemporaryVariable0 + bytecode.Op(idx)})
+				} else {
+					s.Code = append(s.Code, Gene{Op: bytecode.OpPopIntoTemporaryVariable0 + bytecode.Op(idx)})
+					depth--
+				}
+			} else {
+				s.Code = append(s.Code, Gene{Op: bytecode.OpDuplicateTop})
+				depth++
+			}
+		case pick < 8 && depth >= 2:
+			pool := agreementBinaryOps
+			if p == ProfileFull {
+				pool = binaryOps
+			}
+			s.Code = append(s.Code, Gene{Op: pool[rng.Intn(len(pool))]})
+			depth--
+		case pick < 9 && depth >= 1:
+			s.Code = append(s.Code, Gene{Op: bytecode.OpPopStackTop})
+			depth--
+		default:
+			s.Code = append(s.Code, Gene{Op: bytecode.OpNop})
+		}
+		if depth >= maxSeqDepth-2 {
+			s.Code = append(s.Code, Gene{Op: bytecode.OpPopStackTop})
+			depth--
+		}
+	}
+
+	// The full profile appends a guarded block with some probability: a
+	// condition push, a conditional forward branch over a stack-balanced
+	// body, so branch byte-codes enter the corpus from generation, not
+	// only from mutation.
+	if p == ProfileFull && rng.Intn(3) == 0 && depth < maxSeqDepth-3 {
+		condOps := []bytecode.Op{bytecode.OpPushConstantTrue, bytecode.OpPushConstantFalse}
+		s.Code = append(s.Code, Gene{Op: condOps[rng.Intn(2)]})
+		jumpOp := bytecode.OpShortJumpIfTrue1
+		if rng.Intn(2) == 0 {
+			jumpOp = bytecode.OpShortJumpIfFalse1
+		}
+		jumpAt := len(s.Code)
+		s.Code = append(s.Code, Gene{Op: jumpOp}) // target patched below
+		if g, ok := s.pushGene(randomLiteral(rng, p)); ok {
+			s.Code = append(s.Code, g)
+			s.Code = append(s.Code, Gene{Op: bytecode.OpPopStackTop})
+		} else {
+			s.Code = append(s.Code, Gene{Op: bytecode.OpNop})
+		}
+		s.Code[jumpAt].Target = len(s.Code)
+	}
+
+	if depth >= 1 {
+		s.Code = append(s.Code, Gene{Op: bytecode.OpReturnTop})
+	} else {
+		s.Code = append(s.Code, Gene{Op: bytecode.OpReturnReceiver})
+	}
+	return s
+}

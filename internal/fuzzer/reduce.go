@@ -1,0 +1,161 @@
+package fuzzer
+
+import (
+	"cogdiff/internal/bytecode"
+)
+
+// The reducer is a delta-debugging (ddmin) loop over gene ranges, run to a
+// fixpoint: by the time it terminates, the final chunk size of 1 has tried
+// removing every single gene of the result without reproducing the cause,
+// which is exactly the 1-minimality property the reducer tests assert.
+// Inputs and literals are simplified inside the same fixpoint, so the
+// emitted sequence carries the smallest values that still trigger.
+
+// Reduce shrinks s to a 1-minimal sequence that still triggers the cause
+// identified by key (an instrument|family string). causeKeys reports the
+// cause keys a candidate triggers — a candidate counts as reproducing when
+// key is among them. Returns the reduced sequence and the number of
+// candidate evaluations spent.
+func Reduce(s *Seq, key string, causeKeys func(*Seq) []string) (*Seq, int) {
+	execs := 0
+	reproduces := func(cand *Seq) bool {
+		execs++
+		for _, k := range causeKeys(cand) {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := s.Clone()
+	if !reproduces(cur) {
+		// Not reproducible in isolation (should not happen for verdicts the
+		// engine recorded); hand the original back untouched.
+		return cur, execs
+	}
+
+	simpleValues := []Value{IntValue(0), IntValue(1)}
+	simpleLits := []bytecode.Literal{bytecode.IntLiteral(0), bytecode.IntLiteral(1)}
+
+	for changed := true; changed; {
+		changed = false
+
+		// ddmin over gene ranges, halving the chunk size down to 1.
+		for size := len(cur.Code) / 2; size >= 1; size /= 2 {
+			for start := 0; start+size <= len(cur.Code); {
+				if len(cur.Code)-size < 1 {
+					break
+				}
+				cand := RemoveRange(cur, start, size)
+				if reproduces(cand) {
+					cur = cand
+					changed = true
+				} else {
+					start += size
+				}
+			}
+		}
+
+		// Simplify inputs toward the smallest values that still trigger.
+		// Each value may only move to an earlier slot in the simple-value
+		// list, so simplification is monotone and the fixpoint terminates.
+		if cand, ok := simplifyValue(&cur.Receiver, simpleValues, cur, func(c *Seq, v Value) { c.Receiver = v }, reproduces); ok {
+			cur = cand
+			changed = true
+		}
+		for i := range cur.Args {
+			i := i
+			if cand, ok := simplifyValue(&cur.Args[i], simpleValues, cur, func(c *Seq, v Value) { c.Args[i] = v }, reproduces); ok {
+				cur = cand
+				changed = true
+			}
+		}
+
+		// Simplify literal values the same way.
+		for i := range cur.Literals {
+			rank := litRank(cur.Literals[i], simpleLits)
+			for j := 0; j < rank; j++ {
+				cand := cur.Clone()
+				cand.Literals[i] = simpleLits[j]
+				if reproduces(cand) {
+					cur = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	return CompactLiterals(cur), execs
+}
+
+// simplifyValue tries to replace *slot with an earlier entry of the simple
+// list; returns the accepted candidate. Values already in the list only
+// ever move toward index 0, which bounds the fixpoint.
+func simplifyValue(slot *Value, simple []Value, cur *Seq, set func(*Seq, Value), reproduces func(*Seq) bool) (*Seq, bool) {
+	rank := len(simple)
+	for j, v := range simple {
+		if *slot == v {
+			rank = j
+			break
+		}
+	}
+	for j := 0; j < rank; j++ {
+		cand := cur.Clone()
+		set(cand, simple[j])
+		if reproduces(cand) {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+func litRank(l bytecode.Literal, simple []bytecode.Literal) int {
+	for j, s := range simple {
+		if l == s {
+			return j
+		}
+	}
+	return len(simple)
+}
+
+// CompactLiterals drops literals no gene references and renumbers the
+// remaining push opcodes. Purely frame cleanup: gene count and semantics
+// are untouched, so 1-minimality is preserved.
+func CompactLiterals(s *Seq) *Seq {
+	used := make([]bool, len(s.Literals))
+	for _, g := range s.Code {
+		d := bytecode.Describe(g.Op)
+		if d.Family == bytecode.FamPushLiteralConstant && d.Embedded < len(used) {
+			used[d.Embedded] = true
+		}
+	}
+	keep := 0
+	for _, u := range used {
+		if u {
+			keep++
+		}
+	}
+	if keep == len(s.Literals) {
+		return s
+	}
+	out := s.Clone()
+	out.Literals = out.Literals[:0]
+	remap := make([]int, len(s.Literals))
+	for i, u := range used {
+		if u {
+			remap[i] = len(out.Literals)
+			out.Literals = append(out.Literals, s.Literals[i])
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i := range out.Code {
+		d := bytecode.Describe(out.Code[i].Op)
+		if d.Family == bytecode.FamPushLiteralConstant {
+			out.Code[i].Op = bytecode.OpPushLiteralConstant0 + bytecode.Op(remap[d.Embedded])
+		}
+	}
+	return out
+}

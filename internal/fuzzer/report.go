@@ -1,0 +1,68 @@
+package fuzzer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a Result as a deterministic plain-text report: it contains
+// no wall-clock data, worker counts or map-ordered output, so two runs with
+// the same seed and budget produce byte-identical text.
+func Report(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cogdiff fuzz report\n")
+	fmt.Fprintf(&b, "  seed %d, budget %d, executions %d (%d discarded)\n",
+		r.Seed, r.Budget, r.Executions, r.Discarded)
+	fmt.Fprintf(&b, "  corpus %d entries, coverage %d bits\n", r.CorpusSize, r.CoverageBits)
+
+	if len(r.Curve) > 0 {
+		fmt.Fprintf(&b, "\ncoverage growth (execs: bits)\n")
+		for _, p := range sampleCurve(r.Curve, 10) {
+			fmt.Fprintf(&b, "  %6d: %d\n", p.Execs, p.Bits)
+		}
+	}
+
+	fmt.Fprintf(&b, "\ndifferences: %d distinct causes\n", len(r.Differences))
+	for i, d := range r.Differences {
+		fmt.Fprintf(&b, "\n[%d] %s | %s\n", i+1, d.Instrument, d.Family)
+		fmt.Fprintf(&b, "    first seen on %s / %s at execution %d, re-triggered %d time(s)\n",
+			d.Compiler, d.ISA, d.FoundAt, d.Count)
+		fmt.Fprintf(&b, "    %s\n", d.Detail)
+		if d.Reduced != nil {
+			fmt.Fprintf(&b, "    reduced %d -> %d byte-codes (%d reduction execs)\n",
+				len(d.Seq.Code), len(d.Reduced.Code), d.ReduceExecs)
+			writeSeq(&b, d.Reduced)
+		} else {
+			writeSeq(&b, d.Seq)
+		}
+	}
+
+	fmt.Fprintf(&b, "\nseeded causes rediscovered through sequences: %d\n", len(r.Matched))
+	for _, id := range r.Matched {
+		fmt.Fprintf(&b, "  %s\n", id)
+	}
+	return b.String()
+}
+
+func writeSeq(b *strings.Builder, s *Seq) {
+	fmt.Fprintf(b, "    receiver %s", s.Receiver)
+	for i, a := range s.Args {
+		fmt.Fprintf(b, ", arg%d %s", i, a)
+	}
+	b.WriteByte('\n')
+	for _, line := range strings.Split(strings.TrimRight(s.Method("fuzzseq").Disassemble(), "\n"), "\n") {
+		fmt.Fprintf(b, "      %s\n", line)
+	}
+}
+
+// sampleCurve thins a curve to at most n points, always keeping the last.
+func sampleCurve(curve []CurvePoint, n int) []CurvePoint {
+	if len(curve) <= n {
+		return curve
+	}
+	out := make([]CurvePoint, 0, n)
+	for i := 0; i < n-1; i++ {
+		out = append(out, curve[i*len(curve)/(n-1)])
+	}
+	return append(out, curve[len(curve)-1])
+}

@@ -1,0 +1,298 @@
+// Package fuzzer implements coverage-guided differential fuzzing of
+// byte-code sequences — the paper's closing future work ("generate
+// minimal and relevant byte-code sequences for unit testing the JIT
+// compiler") turned into a subsystem:
+//
+//   - a coverage signal over interpreter byte-codes, interpreter exits,
+//     JIT IR opcodes and machine basic blocks (coverage.go),
+//   - a mutation engine over well-formed genomes with a deterministic
+//     seeded RNG (mutate.go, rand.go),
+//   - a corpus manager that keeps coverage-increasing inputs and
+//     persists them as JSON (corpus.go),
+//   - a delta-debugging reducer producing 1-minimal difference
+//     sequences, emitted as ready-to-run Go tests (reduce.go,
+//     testgen.go),
+//
+// all driven by a deterministic batch engine sharded over the campaign
+// worker pool (engine.go).
+package fuzzer
+
+import (
+	"fmt"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/core"
+	"cogdiff/internal/heap"
+)
+
+// Genome size limits. Sequences are meant to be unit-test sized; the
+// reducer shrinks them further.
+const (
+	maxSeqArgs  = 2
+	maxSeqTemps = 3
+	maxSeqLen   = 48
+	maxSeqDepth = 12
+	maxLiterals = 16
+)
+
+// Gene is one byte-code instruction of a sequence genome. Every opcode in
+// the fuzzing grammar encodes in one byte, so gene indices equal byte-code
+// pcs; jump genes address their target by gene index and are re-encoded on
+// render, which keeps mutation and reduction free of offset arithmetic.
+type Gene struct {
+	Op bytecode.Op `json:"op"`
+	// Target is the jump-target gene index for jump-family genes
+	// (strictly beyond the gene itself; len(Code) means jump-to-end).
+	Target int `json:"target,omitempty"`
+}
+
+// Value is the JSON-stable mirror of core.SeqValue.
+type Value struct {
+	Kind  string  `json:"kind"` // "int", "float", "true", "false", "nil"
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+}
+
+// IntValue builds an integer input value.
+func IntValue(v int64) Value { return Value{Kind: "int", Int: v} }
+
+// FloatValue builds a float input value.
+func FloatValue(v float64) Value { return Value{Kind: "float", Float: v} }
+
+func (v Value) seqValue() core.SeqValue {
+	switch v.Kind {
+	case "int":
+		return core.Int64(v.Int)
+	case "float":
+		return core.Float64(v.Float)
+	case "true":
+		return core.Bool(true)
+	case "false":
+		return core.Bool(false)
+	}
+	return core.Nil()
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case "int":
+		return fmt.Sprintf("int:%d", v.Int)
+	case "float":
+		return fmt.Sprintf("float:%g", v.Float)
+	}
+	return v.Kind
+}
+
+// Seq is the fuzzer's genome: a well-formed, send-free method plus the
+// concrete inputs it runs on.
+type Seq struct {
+	NumArgs  int                `json:"numArgs"`
+	NumTemps int                `json:"numTemps"`
+	Literals []bytecode.Literal `json:"literals,omitempty"`
+	Code     []Gene             `json:"code"`
+	Receiver Value              `json:"receiver"`
+	Args     []Value            `json:"args,omitempty"`
+}
+
+// Clone deep-copies the genome.
+func (s *Seq) Clone() *Seq {
+	out := &Seq{
+		NumArgs:  s.NumArgs,
+		NumTemps: s.NumTemps,
+		Receiver: s.Receiver,
+	}
+	out.Literals = append([]bytecode.Literal(nil), s.Literals...)
+	out.Code = append([]Gene(nil), s.Code...)
+	out.Args = append([]Value(nil), s.Args...)
+	return out
+}
+
+// Input materializes the genome's concrete inputs.
+func (s *Seq) Input() core.SequenceInput {
+	in := core.SequenceInput{Receiver: s.Receiver.seqValue()}
+	for _, a := range s.Args {
+		in.Args = append(in.Args, a.seqValue())
+	}
+	return in
+}
+
+func isJumpFamily(f bytecode.Family) bool {
+	return f == bytecode.FamShortJump || f == bytecode.FamShortJumpIfTrue || f == bytecode.FamShortJumpIfFalse
+}
+
+// Method renders the genome to a byte-code method. Rendering assumes the
+// genome passed Check; jump distances are re-derived from gene indices.
+func (s *Seq) Method(name string) *bytecode.Method {
+	code := make([]byte, len(s.Code))
+	for i, g := range s.Code {
+		op := g.Op
+		switch bytecode.Describe(g.Op).Family {
+		case bytecode.FamShortJump:
+			op = bytecode.OpShortJump1 + bytecode.Op(g.Target-i-2)
+		case bytecode.FamShortJumpIfTrue:
+			op = bytecode.OpShortJumpIfTrue1 + bytecode.Op(g.Target-i-2)
+		case bytecode.FamShortJumpIfFalse:
+			op = bytecode.OpShortJumpIfFalse1 + bytecode.Op(g.Target-i-2)
+		}
+		code[i] = byte(op)
+	}
+	return &bytecode.Method{
+		Name:     name,
+		NumArgs:  s.NumArgs,
+		NumTemps: s.NumTemps,
+		Literals: append([]bytecode.Literal(nil), s.Literals...),
+		Code:     code,
+	}
+}
+
+// effect returns the stack pops and pushes of one gene, validating its
+// embedded indices, or an error for opcodes outside the fuzzing grammar.
+func (s *Seq) effect(d bytecode.Descriptor) (pops, pushes int, err error) {
+	switch d.Family {
+	case bytecode.FamPushLiteralConstant:
+		if d.Embedded >= len(s.Literals) {
+			return 0, 0, fmt.Errorf("literal index %d out of range", d.Embedded)
+		}
+		return 0, 1, nil
+	case bytecode.FamPushReceiver, bytecode.FamPushConstant:
+		return 0, 1, nil
+	case bytecode.FamPushTemporaryVariable:
+		if d.Embedded >= s.NumArgs+s.NumTemps {
+			return 0, 0, fmt.Errorf("temp index %d out of range", d.Embedded)
+		}
+		return 0, 1, nil
+	case bytecode.FamStoreTemporaryVariable:
+		if d.Embedded >= s.NumArgs+s.NumTemps {
+			return 0, 0, fmt.Errorf("temp index %d out of range", d.Embedded)
+		}
+		return 1, 1, nil
+	case bytecode.FamPopIntoTemporaryVariable:
+		if d.Embedded >= s.NumArgs+s.NumTemps {
+			return 0, 0, fmt.Errorf("temp index %d out of range", d.Embedded)
+		}
+		return 1, 0, nil
+	case bytecode.FamDuplicateTop:
+		return 1, 2, nil
+	case bytecode.FamPopStackTop:
+		return 1, 0, nil
+	case bytecode.FamNop:
+		return 0, 0, nil
+	case bytecode.FamPrimAdd, bytecode.FamPrimSubtract, bytecode.FamPrimMultiply,
+		bytecode.FamPrimDivide, bytecode.FamPrimDiv, bytecode.FamPrimMod,
+		bytecode.FamPrimBitAnd, bytecode.FamPrimBitOr, bytecode.FamPrimBitXor,
+		bytecode.FamPrimBitShift,
+		bytecode.FamPrimLessThan, bytecode.FamPrimGreaterThan,
+		bytecode.FamPrimLessOrEqual, bytecode.FamPrimGreaterOrEqual,
+		bytecode.FamPrimEqual, bytecode.FamPrimNotEqual:
+		return 2, 1, nil
+	case bytecode.FamShortJump:
+		return 0, 0, nil
+	case bytecode.FamShortJumpIfTrue, bytecode.FamShortJumpIfFalse:
+		return 1, 0, nil
+	case bytecode.FamReturnSpecial:
+		return 0, 0, nil
+	case bytecode.FamReturnTop:
+		return 1, 0, nil
+	}
+	return 0, 0, fmt.Errorf("opcode %s outside the fuzzing grammar", d.Mnemonic)
+}
+
+// Check validates well-formedness. Beyond structural limits it runs a
+// linear stack-depth scan over the whole stream — the same textual-order
+// discipline the Cogit's simulation stack follows — and requires every
+// jump target to be reached at the depth the jump recorded. Everything
+// Check admits therefore both interprets and compiles without error, and
+// all jumps are short forward jumps, so every admitted sequence
+// terminates.
+func (s *Seq) Check() error {
+	if s.NumArgs < 0 || s.NumArgs > maxSeqArgs {
+		return fmt.Errorf("numArgs %d out of range", s.NumArgs)
+	}
+	if s.NumTemps < 0 || s.NumTemps > maxSeqTemps {
+		return fmt.Errorf("numTemps %d out of range", s.NumTemps)
+	}
+	if len(s.Args) != s.NumArgs {
+		return fmt.Errorf("%d args for %d parameters", len(s.Args), s.NumArgs)
+	}
+	if len(s.Code) == 0 {
+		return fmt.Errorf("empty sequence")
+	}
+	if len(s.Code) > maxSeqLen {
+		return fmt.Errorf("sequence length %d exceeds %d", len(s.Code), maxSeqLen)
+	}
+	if len(s.Literals) > maxLiterals {
+		return fmt.Errorf("%d literals exceed %d", len(s.Literals), maxLiterals)
+	}
+	for i, l := range s.Literals {
+		switch l.Kind {
+		case bytecode.LitInt:
+			if !heap.IsIntegerValue(l.Int) {
+				return fmt.Errorf("literal %d outside the small integer range", i)
+			}
+		case bytecode.LitFloat:
+			// any float is materializable
+		default:
+			return fmt.Errorf("literal %d kind outside the fuzzing grammar", i)
+		}
+	}
+	for i, v := range append([]Value{s.Receiver}, s.Args...) {
+		switch v.Kind {
+		case "int":
+			if !heap.IsIntegerValue(v.Int) {
+				return fmt.Errorf("input %d outside the small integer range", i)
+			}
+		case "float", "true", "false", "nil":
+		default:
+			return fmt.Errorf("input %d has unknown kind %q", i, v.Kind)
+		}
+	}
+
+	depth := 0
+	expect := make(map[int]int)
+	for i, g := range s.Code {
+		if want, ok := expect[i]; ok && want != depth {
+			return fmt.Errorf("gene %d: jump target reached at depth %d, jump recorded %d", i, depth, want)
+		}
+		d := bytecode.Describe(g.Op)
+		if d.Mnemonic == "" {
+			return fmt.Errorf("gene %d: undefined opcode %d", i, g.Op)
+		}
+		pops, pushes, err := s.effect(d)
+		if err != nil {
+			return fmt.Errorf("gene %d (%s): %w", i, d.Mnemonic, err)
+		}
+		if depth < pops {
+			return fmt.Errorf("gene %d (%s): stack underflow", i, d.Mnemonic)
+		}
+		depth += pushes - pops
+		if depth > maxSeqDepth {
+			return fmt.Errorf("gene %d: stack depth %d exceeds %d", i, depth, maxSeqDepth)
+		}
+		if isJumpFamily(d.Family) {
+			dist := g.Target - i - 1
+			if dist < 1 || dist > 8 {
+				return fmt.Errorf("gene %d: jump distance %d not encodable as a short jump", i, dist)
+			}
+			if g.Target > len(s.Code) {
+				return fmt.Errorf("gene %d: jump target %d beyond the sequence", i, g.Target)
+			}
+			if want, ok := expect[g.Target]; ok {
+				if want != depth {
+					return fmt.Errorf("gene %d: jump target %d expected at depths %d and %d", i, g.Target, want, depth)
+				}
+			} else {
+				expect[g.Target] = depth
+			}
+		}
+	}
+	if want, ok := expect[len(s.Code)]; ok && want != depth {
+		return fmt.Errorf("end of sequence reached at depth %d, jump recorded %d", depth, want)
+	}
+	return nil
+}
+
+// Key is a canonical content string used for corpus deduplication.
+func (s *Seq) Key() string {
+	m := s.Method("k")
+	return fmt.Sprintf("%d|%d|%v|%x|%s|%v", s.NumArgs, s.NumTemps, s.Literals, m.Code, s.Receiver, s.Args)
+}

@@ -19,6 +19,11 @@ type Cogit struct {
 	OM      *heap.ObjectMemory
 	Defects defects.Switches
 
+	// OnEmit, when non-nil, observes every machine instruction the
+	// compiler emits — the fuzzer's IR-opcode coverage signal. Set it
+	// before compiling; it is rewired into each compilation's assembler.
+	OnEmit func(machine.Opc)
+
 	// per-compilation state
 	asm       *machine.Assembler
 	ss        []ssEntry
@@ -43,6 +48,7 @@ func NewCogit(v Variant, isa machine.ISA, om *heap.ObjectMemory, sw defects.Swit
 
 func (c *Cogit) reset() {
 	c.asm = machine.NewAssembler(machine.CodeBase)
+	c.asm.Observer = c.OnEmit
 	c.ss = c.ss[:0]
 	c.spilled = 0
 	c.selectors = nil

@@ -96,6 +96,13 @@ type CPU struct {
 	Steps int
 
 	SimDefects SimulationDefects
+
+	// BlockHook, when non-nil, observes every taken control-flow transfer:
+	// it receives the program-relative offset of each basic-block entry the
+	// run reaches through a non-sequential PC change. The fuzzer's
+	// machine-block coverage signal hangs off this hook; execution cost is
+	// one comparison per step when unset.
+	BlockHook func(offset int64)
 }
 
 // New prepares a CPU over the given object memory, mapping the machine
@@ -162,10 +169,14 @@ func (c *CPU) fault(err error, destination Reg, isLoad bool) *Stop {
 // Run executes until a stop condition or the step limit.
 func (c *CPU) Run(maxSteps int) *Stop {
 	for c.Steps < maxSteps {
+		prev := c.PC
 		stop := c.Step()
 		if stop != nil {
 			stop.Steps = c.Steps
 			return stop
+		}
+		if c.BlockHook != nil && c.PC != prev+1 {
+			c.BlockHook(c.PC - c.Prog.Base)
 		}
 	}
 	return &Stop{Kind: StopStepLimit, Steps: c.Steps}
