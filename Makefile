@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench fuzz fuzz-smoke golden-update ci
+.PHONY: all build vet test test-short test-race bench fuzz fuzz-smoke blame-smoke fmt-check golden-update ci
 
 all: build vet test
 
@@ -44,8 +44,17 @@ fuzz-smoke:
 	$(GO) run ./cmd/cogdiff fuzz -seed 2022 -budget 2000 -workers 0 \
 		-seed-corpus internal/core/testdata/fuzz/FuzzSequenceDiff
 
+# Pass-level blame smoke test: a campaign with the pass-targeted
+# constant-folding defect must name the guilty pass in its cause table.
+blame-smoke:
+	$(GO) run ./cmd/cogdiff campaign -defect-constfold -workers 0 | grep -q "pass:constfold"
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # Re-capture the CLI golden files after an intentional format change.
 golden-update:
 	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
 
-ci: build vet test test-race fuzz-smoke
+ci: build vet fmt-check test test-race fuzz-smoke blame-smoke

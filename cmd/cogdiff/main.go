@@ -8,7 +8,9 @@
 //	cogdiff difftest <instruction> <compiler>
 //	                                     differentially test one instruction
 //	                                     (compilers: native, simple, stacktoregister, registerallocating)
-//	cogdiff campaign [-pristine] [-workers n] [-progress]
+//	cogdiff ir <instruction> <compiler>  dump every compilation stage: front-end IR,
+//	                                     the IR after each pass, both lowered programs
+//	cogdiff campaign [-pristine] [-defect-constfold] [-workers n] [-progress]
 //	                                     run the full evaluation and print every table and figure
 //	cogdiff table1                       reproduce Table 1 (primAdd byte-code)
 //	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
@@ -86,10 +88,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprint(stdout, out)
+	case "ir":
+		if len(args) != 2 {
+			usage(stderr)
+			return 2
+		}
+		out, err := cogdiff.DumpIR(args[0], args[1])
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, out)
 	case "difftest":
 		fs := flag.NewFlagSet("difftest", flag.ContinueOnError)
 		fs.SetOutput(stderr)
 		cache := fs.String("cache", "", "reuse a cached exploration (JSON written by explore -o)")
+		pristine := fs.Bool("pristine", false, "test the defect-free VM configuration")
+		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
+		dumpIR := fs.String("dump-ir", "", "also dump every compilation stage: 'stdout' or a file path")
 		if err := fs.Parse(args); err != nil {
 			return 2
 		}
@@ -99,6 +114,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			if fs.NArg() != 1 {
 				usage(stderr)
 				return 2
+			}
+			if *pristine || *defectConstfold {
+				return fail(fmt.Errorf("-pristine and -defect-constfold do not apply to cached explorations"))
 			}
 			data, rerr := os.ReadFile(*cache)
 			if rerr != nil {
@@ -110,7 +128,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				usage(stderr)
 				return 2
 			}
-			res, err = cogdiff.TestInstruction(fs.Arg(0), fs.Arg(1))
+			cfg := cogdiff.TestConfig{Pristine: *pristine, ConstFoldSignError: *defectConstfold}
+			res, err = cogdiff.TestInstructionWith(fs.Arg(0), fs.Arg(1), cfg)
 		}
 		if err != nil {
 			return fail(err)
@@ -118,7 +137,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%s on %s: %d paths, %d curated, %d differences\n",
 			res.Instruction, res.Compiler, res.Paths, res.Curated, len(res.Differences))
 		for _, d := range res.Differences {
-			fmt.Fprintf(stdout, "  [%s] %s: %s\n", d.ISA, d.Family, d.Detail)
+			fmt.Fprintf(stdout, "  [%s] %s (%s): %s\n", d.ISA, d.Family, d.Cause, d.Detail)
+		}
+		if *dumpIR != "" {
+			compiler := fs.Arg(1)
+			if *cache != "" {
+				compiler = fs.Arg(0)
+			}
+			dump, derr := cogdiff.DumpIR(res.Instruction, compiler)
+			if derr != nil {
+				return fail(derr)
+			}
+			if *dumpIR == "stdout" {
+				fmt.Fprint(stdout, "\n"+dump)
+			} else if werr := os.WriteFile(*dumpIR, []byte(dump), 0o644); werr != nil {
+				return fail(werr)
+			}
 		}
 	case "fuzz":
 		fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
@@ -163,12 +197,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		fs.SetOutput(stderr)
 		pristine := fs.Bool("pristine", false, "run the defect-free VM configuration")
+		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
 		workers := fs.Int("workers", 0, "worker goroutines for the campaign (0 = GOMAXPROCS, 1 = serial)")
 		progress := fs.Bool("progress", false, "report per-instruction progress on stderr")
 		if err := fs.Parse(args); err != nil {
 			return 2
 		}
-		opts := cogdiff.CampaignOptions{Pristine: *pristine, Workers: *workers}
+		opts := cogdiff.CampaignOptions{Pristine: *pristine, ConstFoldSignError: *defectConstfold, Workers: *workers}
 		if *progress {
 			opts.OnInstructionDone = func(compiler, instruction string, done, total int) {
 				fmt.Fprintf(stderr, "[%d/%d] %s: %s\n", done, total, compiler, instruction)
@@ -207,8 +242,10 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   cogdiff instructions
   cogdiff explore [-o cache.json] <instruction>
-  cogdiff difftest [-cache cache.json] <instruction> <compiler>
-  cogdiff campaign [-pristine] [-workers n] [-progress]
+  cogdiff difftest [-cache cache.json] [-pristine] [-defect-constfold]
+                   [-dump-ir stdout|file] <instruction> <compiler>
+  cogdiff ir <instruction> <compiler>
+  cogdiff campaign [-pristine] [-defect-constfold] [-workers n] [-progress]
   cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n]
   cogdiff fuzz [-seed n] [-budget n|30s] [-workers n] [-corpus file.json]
                [-seed-corpus dir] [-minimize] [-emit-tests file_test.go] [-progress]`)

@@ -47,6 +47,12 @@ func TestGoldenTable1(t *testing.T) {
 	checkGolden(t, "table1.golden", runCLI(t, "table1"))
 }
 
+func TestGoldenIR(t *testing.T) {
+	// Pins the three-layer compilation dump: front-end IR, the IR after
+	// each pass, and the lowered program per ISA.
+	checkGolden(t, "ir.golden", runCLI(t, "ir", "primAdd", "simple"))
+}
+
 func TestGoldenCampaignTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full campaign goldens skipped in -short mode")

@@ -141,7 +141,12 @@ type Difference struct {
 	Compiler    string
 	ISA         string
 	Family      string
-	Detail      string
+	// Cause names the compilation stage the difference is blamed on:
+	// "front-end" when the unoptimized compilation already differs from
+	// the interpreter, or "pass:<name>" for the first optimization pass
+	// whose inclusion flips the verdict.
+	Cause  string
+	Detail string
 }
 
 // InstructionResult is the differential-testing outcome of one
@@ -168,9 +173,34 @@ func compilerKindOf(name string) (core.CompilerKind, error) {
 	return 0, fmt.Errorf("cogdiff: unknown compiler %q", name)
 }
 
+// TestConfig selects the VM defect state for a single-instruction test.
+type TestConfig struct {
+	// Pristine starts from the defect-free VM instead of the production
+	// defect state.
+	Pristine bool
+	// ConstFoldSignError enables the pass-targeted defect: the constant
+	// folder of the byte-code pipelines folds subtraction as addition.
+	ConstFoldSignError bool
+}
+
+func (c TestConfig) switches() defects.Switches {
+	sw := defects.ProductionVM()
+	if c.Pristine {
+		sw = defects.Pristine()
+	}
+	sw.ConstFoldSignError = c.ConstFoldSignError
+	return sw
+}
+
 // TestInstruction differentially tests one instruction against one
 // compiler on both simulated ISAs, using the production defect state.
 func TestInstruction(instruction, compiler string) (*InstructionResult, error) {
+	return TestInstructionWith(instruction, compiler, TestConfig{})
+}
+
+// TestInstructionWith is TestInstruction under an explicit defect
+// configuration.
+func TestInstructionWith(instruction, compiler string, cfg TestConfig) (*InstructionResult, error) {
 	target, prims, err := resolveTarget(instruction)
 	if err != nil {
 		return nil, err
@@ -179,7 +209,7 @@ func TestInstruction(instruction, compiler string) (*InstructionResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw := defects.ProductionVM()
+	sw := cfg.switches()
 	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
 	ex := explorer.Explore(target)
 	tester := core.NewTester(prims, sw)
@@ -199,6 +229,7 @@ func TestInstruction(instruction, compiler string) (*InstructionResult, error) {
 					Compiler:    compiler,
 					ISA:         isa.String(),
 					Family:      fam.String(),
+					Cause:       v.Cause,
 					Detail:      v.Detail,
 				})
 			}
@@ -215,6 +246,9 @@ type CampaignOptions struct {
 	// Pristine runs the defect-free VM configuration (sanity baseline)
 	// instead of the production configuration the evaluation reproduces.
 	Pristine bool
+	// ConstFoldSignError additionally enables the pass-targeted defect in
+	// the constant folder, so the campaign exercises pass-level blame.
+	ConstFoldSignError bool
 	// MaxIterations bounds the concolic exploration per instruction
 	// (0 = default).
 	MaxIterations int
@@ -264,6 +298,7 @@ func RunCampaign(opts CampaignOptions) *CampaignSummary {
 	if opts.Pristine {
 		cfg.Defects = defects.Pristine()
 	}
+	cfg.Defects.ConstFoldSignError = opts.ConstFoldSignError
 	if opts.MaxIterations > 0 {
 		cfg.Explore.MaxIterations = opts.MaxIterations
 	}
@@ -301,6 +336,24 @@ func RunCampaign(opts CampaignOptions) *CampaignSummary {
 	}
 	out.TotalCauses = len(res.Causes)
 	return out
+}
+
+// DumpIR renders every compilation stage of one instruction for one
+// compiler: the front-end IR, the IR after each optimization pass, and
+// the lowered machine program for both ISAs.
+func DumpIR(instruction, compiler string) (string, error) {
+	target, prims, err := resolveTarget(instruction)
+	if err != nil {
+		return "", err
+	}
+	kind, err := compilerKindOf(compiler)
+	if err != nil {
+		return "", err
+	}
+	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
+	ex := explorer.Explore(target)
+	tester := core.NewTester(prims, defects.ProductionVM())
+	return tester.DumpIR(target, ex, kind)
 }
 
 // SeededCauseInventory returns the seeded defect catalog grouped by

@@ -95,8 +95,11 @@ func (r *CompilerReport) Totals() (paths, curated, diffs int) {
 type Cause struct {
 	Instruction string
 	Family      defects.Family
-	Paths       int // differing paths attributed to this cause
-	Example     string
+	// Stage is the blamed compilation stage of the first differing path
+	// ("front-end" or "pass:<name>").
+	Stage   string
+	Paths   int // differing paths attributed to this cause
+	Example string
 }
 
 // CampaignResult is the complete evaluation outcome: Table 2 rows, the
@@ -321,7 +324,7 @@ func (c *Campaign) recordCause(result *CampaignResult, target concolic.Target, v
 	key := fmt.Sprintf("%s|%s", target.Name, fam)
 	cause, ok := result.Causes[key]
 	if !ok {
-		cause = &Cause{Instruction: target.Name, Family: fam, Example: v.Detail}
+		cause = &Cause{Instruction: target.Name, Family: fam, Stage: v.Cause, Example: v.Detail}
 		result.Causes[key] = cause
 	}
 	cause.Paths++

@@ -92,6 +92,42 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestCampaignDeterministicWithBlameDefect extends the determinism
+// guarantee to pass-level blame: with the pass-targeted constant-folding
+// defect enabled, the cause table must attribute differences to
+// "pass:constfold" and the attribution — chosen from the first differing
+// path — must not depend on the worker count.
+func TestCampaignDeterministicWithBlameDefect(t *testing.T) {
+	var baseline *core.CampaignResult
+	var baseReports []core.CompilerReport
+	for _, workers := range []int{1, 4} {
+		cfg := determinismConfig()
+		cfg.Defects.ConstFoldSignError = true
+		cfg.Workers = workers
+		res := core.NewCampaign(cfg).Run()
+
+		if baseline == nil {
+			baseline, baseReports = res, normalizeReports(res)
+			blamed := false
+			for _, c := range res.Causes {
+				if c.Stage == "pass:constfold" {
+					blamed = true
+				}
+			}
+			if !blamed {
+				t.Fatal("no cause blamed on pass:constfold with the defect enabled")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(baseReports, normalizeReports(res)) {
+			t.Errorf("Workers=%d: CompilerReports differ from serial run with blame defect", workers)
+		}
+		if !reflect.DeepEqual(baseline.Causes, res.Causes) {
+			t.Errorf("Workers=%d: cause classification (including blamed stages) differs from serial run", workers)
+		}
+	}
+}
+
 // TestCampaignProgressCallback pins the OnInstructionDone contract: one
 // serialized call per (compiler, instruction) unit, Done counting up to
 // Total exactly once each.

@@ -82,7 +82,7 @@ func (t *Tester) TestPath(target concolic.Target, ex *concolic.Exploration, path
 		return v
 	}
 
-	obs, err := t.runCompiled(target, ex, path, kind, isa)
+	obs, err := t.runCompiled(target, ex, path, kind, isa, -1)
 	if err != nil {
 		if errors.Is(err, jit.ErrNotCompilable) {
 			v.Skipped, v.Reason = true, "not compilable: "+err.Error()
@@ -97,12 +97,43 @@ func (t *Tester) TestPath(target concolic.Target, ex *concolic.Exploration, path
 	differs, detail := t.compare(target, interpExit, interpFrame, interpOM, interpInputs, obs)
 	v.Differs = differs
 	v.Detail = detail
+	if differs {
+		v.Cause = t.blamePath(target, ex, path, kind, isa, interpExit, interpFrame, interpOM, interpInputs)
+	}
 	return v
+}
+
+// blamePath attributes a differing path verdict to a compilation stage by
+// re-running the compiled execution with the pass pipeline truncated at
+// every prefix: if the bare front-end output (no passes) already differs
+// from the interpreter reference the front-end is blamed, otherwise the
+// first pass whose inclusion flips the verdict is. Native methods have no
+// pipeline, so every native difference is a front-end difference.
+func (t *Tester) blamePath(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA, iExit interp.Exit, iFrame *interp.Frame, iOM *heap.ObjectMemory, iInputs map[heap.Word]int) string {
+	if kind == NativeMethodCompilerKind {
+		return "front-end"
+	}
+	passes := jit.PipelineFor(variantOf(kind), t.Defects)
+	for k := 0; k <= len(passes); k++ {
+		obs, err := t.runCompiled(target, ex, path, kind, isa, k)
+		if err != nil {
+			return "front-end"
+		}
+		if differs, _ := t.compare(target, iExit, iFrame, iOM, iInputs, obs); differs {
+			if k == 0 {
+				return "front-end"
+			}
+			return "pass:" + passes[k-1].Name
+		}
+	}
+	// Every prefix agreed yet the full pipeline differed: the re-run did
+	// not reproduce, which the blame string surfaces rather than hides.
+	return "unreproducible"
 }
 
 // runCompiled compiles the instruction for a path and executes it on the
 // simulated machine, extracting the observable behaviour.
-func (t *Tester) runCompiled(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) (*CompiledObservation, error) {
+func (t *Tester) runCompiled(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA, passLimit int) (*CompiledObservation, error) {
 	om := heap.NewBootedObjectMemory()
 	b := concolic.NewFrameBuilder(om, ex.Universe, path.Model)
 	frame, err := b.BuildFrame(target)
@@ -125,7 +156,7 @@ func (t *Tester) runCompiled(target concolic.Target, ex *concolic.Exploration, p
 	if kind == NativeMethodCompilerKind {
 		return t.runCompiledNative(target, om, cpu, frame, inputs, isa)
 	}
-	return t.runCompiledBytecode(target, om, cpu, frame, inputs, kind, isa)
+	return t.runCompiledBytecode(target, om, cpu, frame, inputs, kind, isa, passLimit)
 }
 
 func variantOf(kind CompilerKind) jit.Variant {
@@ -139,8 +170,9 @@ func variantOf(kind CompilerKind) jit.Variant {
 	}
 }
 
-func (t *Tester) runCompiledBytecode(target concolic.Target, om *heap.ObjectMemory, cpu *machine.CPU, frame *interp.Frame, inputs map[heap.Word]int, kind CompilerKind, isa machine.ISA) (*CompiledObservation, error) {
+func (t *Tester) runCompiledBytecode(target concolic.Target, om *heap.ObjectMemory, cpu *machine.CPU, frame *interp.Frame, inputs map[heap.Word]int, kind CompilerKind, isa machine.ISA, passLimit int) (*CompiledObservation, error) {
 	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
+	cogit.PassLimit = passLimit
 	inputStack := make([]heap.Word, frame.Size())
 	for i, v := range frame.Stack {
 		inputStack[i] = v.W

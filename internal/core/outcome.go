@@ -108,6 +108,9 @@ type PathVerdict struct {
 	Reason   string
 	Differs  bool
 	Detail   string
+	// Cause names the compilation stage blamed for a differing verdict
+	// ("front-end" or "pass:<name>"); empty when the verdict agrees.
+	Cause    string
 	Observed *CompiledObservation
 	// InterpExit is the reference interpreter exit used for comparison
 	// (re-executed under the production defect switches).

@@ -1,0 +1,171 @@
+package core
+
+// White-box tests of the compilation pipeline's differential guarantees:
+// the optimization passes must be observation-sound on a defect-free VM,
+// both back-ends must agree on every verdict for the same post-pipeline
+// IR, and the blame machinery must attribute an injected pass defect to
+// the pass by name.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/concolic"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// pipelineTargets returns the byte-code instructions the pipeline tests
+// sweep: everything normally, a representative selection under -short.
+func pipelineTargets(t *testing.T) []concolic.Target {
+	c := NewCampaign(DefaultConfig())
+	if !testing.Short() {
+		return c.BytecodeTargets()
+	}
+	short := map[bytecode.Op]bool{
+		bytecode.OpPrimAdd:         true,
+		bytecode.OpPrimSubtract:    true,
+		bytecode.OpPrimLessThan:    true,
+		bytecode.OpPushConstantOne: true,
+	}
+	var out []concolic.Target
+	for _, target := range c.BytecodeTargets() {
+		if short[target.Op] {
+			out = append(out, target)
+		}
+	}
+	return out
+}
+
+// normalizeObs strips the fields the differential comparison ignores —
+// Steps and CodeBytes change under any count-altering pass and carry no
+// observable behaviour.
+func normalizeObs(obs *CompiledObservation) CompiledObservation {
+	o := *obs
+	o.Steps = 0
+	o.CodeBytes = 0
+	return o
+}
+
+var bytecodeKinds = []CompilerKind{
+	SimpleBytecodeCompiler, StackToRegisterCompiler, RegisterAllocatingCompiler,
+}
+
+// TestPipelineSoundnessOnPristineVM pins the pass-soundness self-check:
+// with every defect off, compiling with the full pipeline and with the
+// pipeline disabled must produce identical observable behaviour on every
+// explored path of every instruction, for every variant and ISA.
+func TestPipelineSoundnessOnPristineVM(t *testing.T) {
+	prims := primitives.NewTable()
+	tester := NewTester(prims, defects.Pristine())
+	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
+	for _, target := range pipelineTargets(t) {
+		ex := explorer.Explore(target)
+		for pi, path := range ex.Paths {
+			for _, kind := range bytecodeKinds {
+				for _, isa := range []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like} {
+					raw, rawErr := tester.runCompiled(target, ex, path, kind, isa, 0)
+					opt, optErr := tester.runCompiled(target, ex, path, kind, isa, -1)
+					if (rawErr == nil) != (optErr == nil) {
+						// The one sanctioned flip: constant folding may
+						// materialize an immediate the fixed-width ISA cannot
+						// encode. Anything else is a pipeline bug.
+						if isa == machine.ISAArm32Like && rawErr == nil &&
+							strings.Contains(optErr.Error(), "unencodable") {
+							continue
+						}
+						t.Fatalf("%s path %d %s/%s: pipeline flips compilability: raw %v, optimized %v",
+							target.Name, pi, kind, isa, rawErr, optErr)
+					}
+					if rawErr != nil {
+						continue
+					}
+					if !reflect.DeepEqual(normalizeObs(raw), normalizeObs(opt)) {
+						t.Errorf("%s path %d %s/%s: pipeline changes observable behaviour\nraw: %+v\noptimized: %+v",
+							target.Name, pi, kind, isa, normalizeObs(raw), normalizeObs(opt))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossBackendParity pins the back-end contract: the two ISAs lower
+// the same post-pipeline IR, so for every explored path of every
+// instruction they must reach the same differential verdict and the same
+// blamed stage — the code may be shaped differently, the observable
+// behaviour may not.
+func TestCrossBackendParity(t *testing.T) {
+	prims := primitives.NewTable()
+	tester := NewTester(prims, defects.ProductionVM())
+	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
+	for _, target := range pipelineTargets(t) {
+		ex := explorer.Explore(target)
+		for pi, path := range ex.Paths {
+			for _, kind := range bytecodeKinds {
+				amd := tester.TestPath(target, ex, path, kind, machine.ISAAmd64Like)
+				arm := tester.TestPath(target, ex, path, kind, machine.ISAArm32Like)
+				// The fixed-width ISA may skip a path the variable-length one
+				// encodes — the only divergence the back-ends are allowed.
+				if arm.Skipped && !amd.Skipped && strings.Contains(arm.Reason, "unencodable") {
+					continue
+				}
+				if amd.Skipped != arm.Skipped || amd.Differs != arm.Differs {
+					t.Errorf("%s path %d %s: verdicts diverge across ISAs: amd skipped=%v differs=%v, arm skipped=%v differs=%v",
+						target.Name, pi, kind, amd.Skipped, amd.Differs, arm.Skipped, arm.Differs)
+				}
+				if amd.Cause != arm.Cause {
+					t.Errorf("%s path %d %s: blame diverges across ISAs: amd %q, arm %q",
+						target.Name, pi, kind, amd.Cause, arm.Cause)
+				}
+			}
+		}
+	}
+}
+
+// TestBlameNamesInjectedPass is the blame acceptance test: enabling the
+// pass-targeted constant-folding defect must produce differences whose
+// cause names the guilty pass, while the pre-existing front-end
+// differences keep their front-end attribution.
+func TestBlameNamesInjectedPass(t *testing.T) {
+	sw := defects.ProductionVM()
+	sw.ConstFoldSignError = true
+	prims := primitives.NewTable()
+	tester := NewTester(prims, sw)
+	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
+	target := concolic.BytecodeTarget(bytecode.OpPrimAdd)
+	ex := explorer.Explore(target)
+
+	blamed := map[string]int{}
+	for _, path := range ex.Paths {
+		for _, isa := range []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like} {
+			v := tester.TestPath(target, ex, path, SimpleBytecodeCompiler, isa)
+			if v.Differs {
+				blamed[v.Cause]++
+			}
+		}
+	}
+	if blamed["pass:constfold"] == 0 {
+		t.Errorf("no difference blamed on pass:constfold, got %v", blamed)
+	}
+	if blamed["front-end"] == 0 {
+		t.Errorf("the inherent float fast-path difference lost its front-end blame, got %v", blamed)
+	}
+	for cause := range blamed {
+		if cause != "pass:constfold" && cause != "front-end" {
+			t.Errorf("unexpected blame %q, got %v", cause, blamed)
+		}
+	}
+
+	// Every differing verdict on a defect-free pipeline is front-end work.
+	pristine := NewTester(prims, defects.ProductionVM())
+	for _, path := range ex.Paths {
+		v := pristine.TestPath(target, ex, path, SimpleBytecodeCompiler, machine.ISAAmd64Like)
+		if v.Differs && v.Cause != "front-end" {
+			t.Errorf("sound pipeline blamed %q, want front-end", v.Cause)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/heap"
 	"cogdiff/internal/interp"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/jit"
 	"cogdiff/internal/machine"
 )
@@ -103,6 +104,9 @@ type SequenceVerdict struct {
 	Compiled SequenceOutcome
 	Differs  bool
 	Detail   string
+	// Cause names the compilation stage blamed for the difference
+	// ("front-end" or "pass:<name>"); empty when the verdict agrees.
+	Cause string
 }
 
 // maxSequenceSteps bounds both executions.
@@ -116,9 +120,9 @@ type SequenceHooks struct {
 	InterpOp func(op bytecode.Op)
 	// InterpExit sees the interpreter's boundary exit kind.
 	InterpExit func(kind interp.ExitKind)
-	// EmitIR sees every machine instruction the JIT emits during
-	// whole-method compilation.
-	EmitIR func(op machine.Opc)
+	// EmitIR sees every post-pipeline JIT IR opcode of the whole-method
+	// compilation (labels excluded).
+	EmitIR func(op ir.Opc)
 	// Block sees the program-relative offset of every basic-block entry
 	// the compiled run reaches through a taken branch.
 	Block func(offset int64)
@@ -146,7 +150,35 @@ func (t *Tester) TestSequenceObserved(method *bytecode.Method, in SequenceInput,
 	if err != nil {
 		return nil, err
 	}
-	return CompareSequenceOutcomes(iOut, cOut), nil
+	v := CompareSequenceOutcomes(iOut, cOut)
+	if v.Differs {
+		v.Cause = t.BlameSequence(method, in, kind, isa, iOut)
+	}
+	return v, nil
+}
+
+// BlameSequence attributes a differing sequence verdict to a compilation
+// stage by re-running the compiled execution with the pass pipeline
+// truncated at every prefix: if the bare front-end output (no passes)
+// already differs from the interpreter the front-end is blamed,
+// otherwise the first pass whose inclusion flips the verdict is.
+func (t *Tester) BlameSequence(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA, iOut *SequenceOutcome) string {
+	passes := jit.PipelineFor(variantOf(kind), t.Defects)
+	for k := 0; k <= len(passes); k++ {
+		cOut, err := t.compiledSequenceLimited(method, in, kind, isa, nil, k)
+		if err != nil {
+			return "front-end"
+		}
+		if CompareSequenceOutcomes(iOut, cOut).Differs {
+			if k == 0 {
+				return "front-end"
+			}
+			return "pass:" + passes[k-1].Name
+		}
+	}
+	// Every prefix agreed yet the full pipeline differed: re-running was
+	// not reproducible, which the blame string surfaces rather than hides.
+	return "unreproducible"
 }
 
 // CompareSequenceOutcomes builds the verdict for an interpreter outcome
@@ -257,6 +289,13 @@ func (t *Tester) InterpSequence(method *bytecode.Method, in SequenceInput, h *Se
 // to its first boundary. The hooks, when non-nil, observe every emitted IR
 // instruction, every taken-branch block entry and the stop kind.
 func (t *Tester) CompiledSequence(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA, h *SequenceHooks) (*SequenceOutcome, error) {
+	return t.compiledSequenceLimited(method, in, kind, isa, h, -1)
+}
+
+// compiledSequenceLimited is CompiledSequence with the pass pipeline
+// truncated to its first passLimit passes (negative runs the full
+// pipeline); blame re-runs use the truncation to bisect.
+func (t *Tester) compiledSequenceLimited(method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA, h *SequenceHooks, passLimit int) (*SequenceOutcome, error) {
 	if kind == NativeMethodCompilerKind {
 		return nil, fmt.Errorf("core: sequence testing applies to byte-code compilers")
 	}
@@ -266,8 +305,9 @@ func (t *Tester) CompiledSequence(method *bytecode.Method, in SequenceInput, kin
 		return nil, err
 	}
 	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
+	cogit.PassLimit = passLimit
 	if h != nil {
-		cogit.OnEmit = h.EmitIR
+		cogit.OnIR = h.EmitIR
 	}
 	cm, err := cogit.CompileMethod(method, nil)
 	if err != nil {

@@ -73,6 +73,13 @@ type Switches struct {
 	// errors, surfaced by the float templates of primitiveFloatTruncated
 	// and primitiveFloatFractionPart.
 	SimulationMissingAccessors bool
+
+	// ConstFoldSignError is a pass-targeted defect: the constant-folding
+	// pass of the byte-code pipelines folds subtraction as addition.
+	// It is not part of the production-VM catalog; campaigns enable it
+	// explicitly to exercise pass-level difference blame, which must
+	// attribute the resulting differences to "pass:constfold".
+	ConstFoldSignError bool
 }
 
 // ProductionVM returns the defect state of the evaluated VM: everything

@@ -8,7 +8,7 @@ import "math/bits"
 //	[0,256)    interpreter byte-code opcodes executed
 //	[256,272)  interpreter exit kinds reached
 //	[272,320)  machine stop kinds, salted by compiler
-//	[320,512)  JIT IR opcodes emitted, salted by compiler
+//	[320,512)  post-pipeline JIT IR opcodes, salted by compiler
 //	[512,4096) machine basic blocks executed, hashed over
 //	           (compiler, ISA, block offset)
 //

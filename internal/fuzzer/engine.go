@@ -9,6 +9,7 @@ import (
 	"cogdiff/internal/core"
 	"cogdiff/internal/defects"
 	"cogdiff/internal/interp"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
 )
@@ -63,6 +64,7 @@ type Difference struct {
 	Family      defects.Family
 	Compiler    core.CompilerKind
 	ISA         machine.ISA
+	Cause       string // blamed compilation stage ("front-end" or "pass:<name>")
 	Detail      string
 	FoundAt     int // execution index of first discovery
 	Count       int // executions that re-triggered the cause
@@ -71,9 +73,13 @@ type Difference struct {
 	ReduceExecs int
 }
 
-// Key is the cause-deduplication key (instrument | family), the same
-// convention the campaign engine uses for verdict causes.
-func (d *Difference) Key() string { return d.Instrument + "|" + d.Family.String() }
+// Key is the cause-deduplication key (instrument | family | blamed
+// stage), the same convention the campaign engine uses for verdict
+// causes. Including the stage keeps a front-end defect and a
+// pass-introduced defect on the same instrument distinct.
+func (d *Difference) Key() string {
+	return d.Instrument + "|" + d.Family.String() + "|" + d.Cause
+}
 
 // Result is a completed fuzzing run. It contains no wall-clock data, so
 // equal-seed runs compare byte-identical.
@@ -194,7 +200,7 @@ func (e *engine) execute(s *Seq) execOut {
 		for ii, isa := range e.isas {
 			ci, ii := ci, ii
 			cOut, err := e.tester.CompiledSequence(m, in, kind, isa, &core.SequenceHooks{
-				EmitIR:       func(op machine.Opc) { cov.Set(covIRBase + uint32(ci)*64 + uint32(op)%64) },
+				EmitIR:       func(op ir.Opc) { cov.Set(covIRBase + uint32(ci)*64 + uint32(op)%64) },
 				Block:        func(off int64) { cov.Set(blockBit(ci, ii, off)) },
 				CompiledStop: func(k machine.StopKind) { cov.Set(covStopBase + uint32(ci)*16 + uint32(k)%16) },
 			})
@@ -203,6 +209,7 @@ func (e *engine) execute(s *Seq) execOut {
 				return out
 			}
 			if v := core.CompareSequenceOutcomes(iOut, cOut); v.Differs {
+				v.Cause = e.tester.BlameSequence(m, in, kind, isa, iOut)
 				out.diffs = append(out.diffs, diffObs{ci: ci, ii: ii, verdict: v})
 			}
 		}
@@ -233,7 +240,7 @@ func (e *engine) merge(s *Seq, o *execOut, keepAll bool) {
 	}
 	for _, d := range o.diffs {
 		instrument, fam := core.ClassifySequence(d.verdict)
-		key := instrument + "|" + fam.String()
+		key := instrument + "|" + fam.String() + "|" + d.verdict.Cause
 		if j, ok := e.diffIdx[key]; ok {
 			e.diffs[j].Count++
 			continue
@@ -244,6 +251,7 @@ func (e *engine) merge(s *Seq, o *execOut, keepAll bool) {
 			Family:     fam,
 			Compiler:   e.compilers[d.ci],
 			ISA:        e.isas[d.ii],
+			Cause:      d.verdict.Cause,
 			Detail:     d.verdict.Detail,
 			FoundAt:    idx,
 			Count:      1,
@@ -297,7 +305,8 @@ func (e *engine) causeKeys(s *Seq) []string {
 			}
 			if v := core.CompareSequenceOutcomes(iOut, cOut); v.Differs {
 				instrument, fam := core.ClassifySequence(v)
-				keys = append(keys, instrument+"|"+fam.String())
+				cause := e.tester.BlameSequence(m, in, kind, isa, iOut)
+				keys = append(keys, instrument+"|"+fam.String()+"|"+cause)
 			}
 		}
 	}
@@ -375,8 +384,11 @@ func Run(opts Options) (*Result, error) {
 		Differences:  e.diffs,
 	}
 	for _, c := range defects.Catalog() {
-		if _, ok := e.diffIdx[c.Instrument+"|"+c.Family.String()]; ok {
-			res.Matched = append(res.Matched, c.ID)
+		for _, d := range e.diffs {
+			if d.Instrument == c.Instrument && d.Family == c.Family {
+				res.Matched = append(res.Matched, c.ID)
+				break
+			}
 		}
 	}
 

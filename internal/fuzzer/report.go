@@ -27,6 +27,7 @@ func Report(r *Result) string {
 		fmt.Fprintf(&b, "\n[%d] %s | %s\n", i+1, d.Instrument, d.Family)
 		fmt.Fprintf(&b, "    first seen on %s / %s at execution %d, re-triggered %d time(s)\n",
 			d.Compiler, d.ISA, d.FoundAt, d.Count)
+		fmt.Fprintf(&b, "    blamed stage: %s\n", d.Cause)
 		fmt.Fprintf(&b, "    %s\n", d.Detail)
 		if d.Reduced != nil {
 			fmt.Fprintf(&b, "    reduced %d -> %d byte-codes (%d reduction execs)\n",

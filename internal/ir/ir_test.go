@@ -1,0 +1,226 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderFinishValidatesLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Jump(OpcJmp, "nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("jump to an undefined label must fail Finish")
+	}
+
+	b = NewBuilder()
+	b.Label("twice")
+	b.Label("twice")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("duplicate label must fail Finish")
+	}
+
+	b = NewBuilder()
+	b.Label("ok")
+	b.Jump(OpcJeq, "ok")
+	b.Ret()
+	fn, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fn.Instrs); got != 3 {
+		t.Fatalf("got %d instructions, want 3 (label + jump + ret)", got)
+	}
+	if fn.NumInstrs() != 2 {
+		t.Fatalf("NumInstrs = %d, want 2 (labels excluded)", fn.NumInstrs())
+	}
+}
+
+func TestVirtualRegisters(t *testing.T) {
+	v3 := V(3)
+	if !v3.IsVirtual() || v3.VirtualIndex() != 3 {
+		t.Fatalf("V(3) = %s: IsVirtual %v, index %d", v3, v3.IsVirtual(), v3.VirtualIndex())
+	}
+	if v3.String() != "v3" {
+		t.Fatalf("V(3).String() = %q", v3.String())
+	}
+	if TempReg.IsVirtual() || SP.IsVirtual() {
+		t.Fatal("physical registers must not be virtual")
+	}
+}
+
+func mustFinish(t *testing.T, b *Builder) *Fn {
+	t.Helper()
+	fn, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+func TestConstFoldReplacesWithoutDeleting(t *testing.T) {
+	b := NewBuilder()
+	b.MovI(V(0), 7)
+	b.MovI(V(1), 5)
+	b.Bin(OpcSub, V(2), V(0), V(1))
+	b.BinI(OpcAddI, V(3), V(2), 10)
+	b.Ret()
+	fn := mustFinish(t, b)
+
+	out := ConstFold(false).Run(fn)
+	if len(out.Instrs) != len(fn.Instrs) {
+		t.Fatalf("constfold changed the instruction count: %d -> %d", len(fn.Instrs), len(out.Instrs))
+	}
+	if ins := out.Instrs[2]; ins.Op != OpcMovI || ins.Imm != 2 {
+		t.Fatalf("sub fold: got %s, want movi v2, 2", ins)
+	}
+	if ins := out.Instrs[3]; ins.Op != OpcMovI || ins.Imm != 12 {
+		t.Fatalf("addi fold: got %s, want movi v3, 12", ins)
+	}
+
+	// The sign-error defect folds subtraction as addition.
+	bad := ConstFold(true).Run(fn)
+	if ins := bad.Instrs[2]; ins.Op != OpcMovI || ins.Imm != 12 {
+		t.Fatalf("sign-error sub fold: got %s, want movi v2, 12", ins)
+	}
+}
+
+func TestConstFoldBarriers(t *testing.T) {
+	// Labels and calls must forget all known constants; Div never folds.
+	b := NewBuilder()
+	b.MovI(V(0), 8)
+	b.Label("join")
+	b.BinI(OpcAddI, V(1), V(0), 1) // v0 unknown after the label
+	b.Ret()
+	fn := mustFinish(t, b)
+	out := ConstFold(false).Run(fn)
+	if out.Instrs[2].Op != OpcAddI {
+		t.Fatalf("fold across a label: got %s", out.Instrs[2])
+	}
+
+	b = NewBuilder()
+	b.MovI(V(0), 8)
+	b.Call(0x10)
+	b.BinI(OpcAddI, V(1), V(0), 1) // call clobbered the register file
+	b.Ret()
+	out = ConstFold(false).Run(mustFinish(t, b))
+	if out.Instrs[2].Op != OpcAddI {
+		t.Fatalf("fold across a call: got %s", out.Instrs[2])
+	}
+
+	b = NewBuilder()
+	b.MovI(V(0), 8)
+	b.MovI(V(1), 0)
+	b.Bin(OpcDiv, V(2), V(0), V(1)) // must fault at run time, never fold
+	b.Ret()
+	out = ConstFold(false).Run(mustFinish(t, b))
+	if out.Instrs[2].Op != OpcDiv {
+		t.Fatalf("div folded: got %s", out.Instrs[2])
+	}
+}
+
+func TestConstFoldShiftMasking(t *testing.T) {
+	b := NewBuilder()
+	b.MovI(V(0), 1)
+	b.MovI(V(1), 65) // 65 & 63 == 1
+	b.Bin(OpcShl, V(2), V(0), V(1))
+	b.Ret()
+	out := ConstFold(false).Run(mustFinish(t, b))
+	if ins := out.Instrs[2]; ins.Op != OpcMovI || ins.Imm != 2 {
+		t.Fatalf("shift fold must mask the count to 6 bits: got %s", ins)
+	}
+}
+
+func TestDeadPushPop(t *testing.T) {
+	b := NewBuilder()
+	b.Push(V(0))
+	b.Pop(V(1)) // becomes movr v1, v0
+	b.Push(V(2))
+	b.Pop(V(2)) // same register: disappears entirely
+	b.Push(V(3))
+	b.BinI(OpcAddI, SP, SP, 1) // dropTop: push + drop disappears
+	b.Ret()
+	out := DeadPushPop().Run(mustFinish(t, b))
+	if len(out.Instrs) != 2 {
+		t.Fatalf("got %d instructions, want movr + ret:\n%s", len(out.Instrs), out)
+	}
+	if ins := out.Instrs[0]; ins.Op != OpcMovR || ins.Rd != V(1) || ins.Rs1 != V(0) {
+		t.Fatalf("got %s, want movr v1, v0", ins)
+	}
+}
+
+func TestDeadPushPopStopsAtLabels(t *testing.T) {
+	// A label between push and pop is a control-flow join: no rewrite.
+	b := NewBuilder()
+	b.Push(V(0))
+	b.Label("join")
+	b.Pop(V(1))
+	b.Ret()
+	out := DeadPushPop().Run(mustFinish(t, b))
+	if out.Instrs[0].Op != OpcPush {
+		t.Fatalf("push/pop fused across a label:\n%s", out)
+	}
+}
+
+func TestDeadPushPopFixpoint(t *testing.T) {
+	// Removing the inner pair exposes the outer one.
+	b := NewBuilder()
+	b.Push(V(0))
+	b.Push(V(1))
+	b.Pop(V(1))
+	b.Pop(V(2))
+	b.Ret()
+	out := DeadPushPop().Run(mustFinish(t, b))
+	if len(out.Instrs) != 2 || out.Instrs[0].Op != OpcMovR {
+		t.Fatalf("fixpoint missed the exposed pair:\n%s", out)
+	}
+}
+
+func TestPeephole(t *testing.T) {
+	b := NewBuilder()
+	b.MovR(V(0), V(0))             // self move: deleted
+	b.BinI(OpcAddI, V(1), V(1), 0) // identity: deleted
+	b.BinI(OpcAndI, V(2), V(2), 0) // AndI zero CLEARS: kept
+	b.Jump(OpcJmp, "next")         // jump to next label: deleted
+	b.Label("next")
+	b.Ret()
+	out := Peephole().Run(mustFinish(t, b))
+	if len(out.Instrs) != 3 {
+		t.Fatalf("got %d instructions, want andi + label + ret:\n%s", len(out.Instrs), out)
+	}
+	if out.Instrs[0].Op != OpcAndI {
+		t.Fatalf("andi v, v, 0 is not an identity and must survive:\n%s", out)
+	}
+}
+
+func TestPassesArePure(t *testing.T) {
+	b := NewBuilder()
+	b.MovI(V(0), 1)
+	b.MovI(V(1), 2)
+	b.Bin(OpcAdd, V(2), V(0), V(1))
+	b.Push(V(2))
+	b.Pop(V(3))
+	b.Ret()
+	fn := mustFinish(t, b)
+	before := fn.String()
+	for _, p := range []Pass{ConstFold(false), DeadPushPop(), Peephole()} {
+		p.Run(fn)
+		if fn.String() != before {
+			t.Fatalf("pass %s mutated its input", p.Name)
+		}
+	}
+}
+
+func TestFnStringFormatsLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Label("top")
+	b.CmpI(V(0), 7)
+	b.Jump(OpcJne, "top")
+	b.Ret()
+	fn := mustFinish(t, b)
+	s := fn.String()
+	for _, want := range []string{"top:", "\tcmpi v0, 7", "\tjne top"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fn.String() missing %q:\n%s", want, s)
+		}
+	}
+}

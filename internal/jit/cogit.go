@@ -6,6 +6,7 @@ import (
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/defects"
 	"cogdiff/internal/heap"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/machine"
 )
 
@@ -19,20 +20,31 @@ type Cogit struct {
 	OM      *heap.ObjectMemory
 	Defects defects.Switches
 
-	// OnEmit, when non-nil, observes every machine instruction the
-	// compiler emits — the fuzzer's IR-opcode coverage signal. Set it
-	// before compiling; it is rewired into each compilation's assembler.
-	OnEmit func(machine.Opc)
+	// OnIR, when non-nil, observes the opcode of every instruction in the
+	// post-pipeline IR (labels excluded) — the fuzzer's IR-opcode coverage
+	// signal. Set it before compiling.
+	OnIR func(ir.Opc)
+
+	// OnStage, when non-nil, receives the IR after the front-end and
+	// after each optimization pass — the CLI's ir-dump hook.
+	OnStage func(stage string, fn *ir.Fn)
+
+	// PassLimit truncates the optimization pipeline to its first
+	// PassLimit passes; negative runs the full pipeline. The blame
+	// machinery recompiles with each prefix to attribute a difference to
+	// the first guilty pass.
+	PassLimit int
 
 	// per-compilation state
-	asm       *machine.Assembler
-	ss        []ssEntry
-	spilled   int
-	alloc     regAllocator
-	selectors []Selector
-	labelSeq  int
-	numTemps  int
-	usesJump  bool
+	b           *ir.Builder
+	ss          []ssEntry
+	spilled     int
+	alloc       regAllocator
+	selectors   []Selector
+	selectorIdx map[string]int64
+	labelSeq    int
+	numTemps    int
+	usesJump    bool
 	// methodJumpLabel, when non-empty, redirects jump byte-codes to a
 	// per-pc label (whole-method compilation) instead of the single
 	// instruction test schema's "jumpTaken" breakpoint.
@@ -42,16 +54,16 @@ type Cogit struct {
 
 // NewCogit builds a compiler of the given variant and ISA over om.
 func NewCogit(v Variant, isa machine.ISA, om *heap.ObjectMemory, sw defects.Switches) *Cogit {
-	c := &Cogit{Variant: v, ISA: isa, OM: om, Defects: sw}
+	c := &Cogit{Variant: v, ISA: isa, OM: om, Defects: sw, PassLimit: -1}
 	return c
 }
 
 func (c *Cogit) reset() {
-	c.asm = machine.NewAssembler(machine.CodeBase)
-	c.asm.Observer = c.OnEmit
+	c.b = ir.NewBuilder()
 	c.ss = c.ss[:0]
 	c.spilled = 0
 	c.selectors = nil
+	c.selectorIdx = make(map[string]int64)
 	c.labelSeq = 0
 	c.usesJump = false
 	c.methodJumpLabel = ""
@@ -74,15 +86,18 @@ func (c *Cogit) newLabel(prefix string) string {
 	return fmt.Sprintf("%s_%d", prefix, c.labelSeq)
 }
 
-// addSelector interns a send site and returns its identifier.
+// addSelector interns a send site and returns its identifier. The map
+// makes interning O(1) per site; the slice keeps identifiers stable and
+// dense for the trampoline's SelectorAt lookup.
 func (c *Cogit) addSelector(name string, numArgs int) int64 {
-	for i, s := range c.selectors {
-		if s.Name == name && s.NumArgs == numArgs {
-			return int64(i)
-		}
+	key := fmt.Sprintf("%s/%d", name, numArgs)
+	if id, ok := c.selectorIdx[key]; ok {
+		return id
 	}
+	id := int64(len(c.selectors))
 	c.selectors = append(c.selectors, Selector{Name: name, NumArgs: numArgs})
-	return int64(len(c.selectors) - 1)
+	c.selectorIdx[key] = id
+	return id
 }
 
 // ---- simulation stack ----
@@ -91,8 +106,8 @@ func (c *Cogit) addSelector(name string, numArgs int) int64 {
 // The simple Cogit materializes it immediately (§4.1).
 func (c *Cogit) pushConst(w heap.Word) {
 	if c.Variant == SimpleStackBasedCogit {
-		c.moviBig(machine.ScratchReg, int64(w))
-		c.asm.Push(machine.ScratchReg)
+		c.moviBig(ir.ScratchReg, int64(w))
+		c.b.Push(ir.ScratchReg)
 		c.ss = append(c.ss, ssEntry{kind: ssSpill})
 		c.spilled = len(c.ss)
 		return
@@ -101,9 +116,9 @@ func (c *Cogit) pushConst(w heap.Word) {
 }
 
 // pushReg records a register-resident value.
-func (c *Cogit) pushReg(r machine.Reg) {
+func (c *Cogit) pushReg(r ir.Reg) {
 	if c.Variant == SimpleStackBasedCogit {
-		c.asm.Push(r)
+		c.b.Push(r)
 		c.freeReg(r)
 		c.ss = append(c.ss, ssEntry{kind: ssSpill})
 		c.spilled = len(c.ss)
@@ -120,10 +135,10 @@ func (c *Cogit) flushAll() {
 		e := c.ss[i]
 		switch e.kind {
 		case ssConst:
-			c.moviBig(machine.ScratchReg, int64(e.w))
-			c.asm.Push(machine.ScratchReg)
+			c.moviBig(ir.ScratchReg, int64(e.w))
+			c.b.Push(ir.ScratchReg)
 		case ssReg:
-			c.asm.Push(e.reg)
+			c.b.Push(e.reg)
 			c.freeReg(e.reg)
 		}
 		c.ss[i] = ssEntry{kind: ssSpill}
@@ -133,7 +148,7 @@ func (c *Cogit) flushAll() {
 
 // popToReg pops the simulation-stack top into dst, emitting the minimal
 // code for where the value currently lives.
-func (c *Cogit) popToReg(dst machine.Reg) {
+func (c *Cogit) popToReg(dst ir.Reg) {
 	if len(c.ss) == 0 {
 		c.fail("jit: simulation stack underflow")
 		return
@@ -145,11 +160,11 @@ func (c *Cogit) popToReg(dst machine.Reg) {
 		c.moviBig(dst, int64(e.w))
 	case ssReg:
 		if e.reg != dst {
-			c.asm.MovR(dst, e.reg)
+			c.b.MovR(dst, e.reg)
 		}
 		c.freeReg(e.reg)
 	case ssSpill:
-		c.asm.Pop(dst)
+		c.b.Pop(dst)
 		c.spilled--
 	}
 }
@@ -166,14 +181,14 @@ func (c *Cogit) dropTop() {
 	case ssReg:
 		c.freeReg(e.reg)
 	case ssSpill:
-		c.asm.BinI(machine.OpcAddI, machine.SP, machine.SP, 1)
+		c.b.BinI(ir.OpcAddI, ir.SP, ir.SP, 1)
 		c.spilled--
 	}
 }
 
 // allocReg obtains a scratch register, spilling the simulation stack when
 // the pool is exhausted.
-func (c *Cogit) allocReg() machine.Reg {
+func (c *Cogit) allocReg() ir.Reg {
 	if r, ok := c.alloc.alloc(); ok {
 		return r
 	}
@@ -182,65 +197,57 @@ func (c *Cogit) allocReg() machine.Reg {
 		return r
 	}
 	c.fail("jit: out of registers")
-	return machine.ScratchReg
+	return ir.ScratchReg
 }
 
-func (c *Cogit) freeReg(r machine.Reg) { c.alloc.free(r) }
+func (c *Cogit) freeReg(r ir.Reg) { c.alloc.free(r) }
 
-// ---- ISA-sensitive lowering helpers ----
+// ---- immediate helpers ----
 
-// armImmLimit is the largest immediate the ARM32-like back-end folds into
-// an instruction; larger constants are loaded into the scratch register.
-const armImmLimit = 1 << 12
-
-// moviBig loads an immediate, splitting on the fixed-width ISA when the
-// value exceeds its 32-bit field (tagged values always fit).
-func (c *Cogit) moviBig(rd machine.Reg, imm int64) {
-	c.asm.MovI(rd, imm)
+// moviBig loads an immediate. ISA-specific splitting is no longer a
+// front-end concern: lowering handles encoding limits.
+func (c *Cogit) moviBig(rd ir.Reg, imm int64) {
+	c.b.MovI(rd, imm)
 }
 
-// cmpImm compares a register against an immediate. The x86-style back-end
-// folds any immediate; the ARM32-style back-end materializes large ones.
-func (c *Cogit) cmpImm(rs machine.Reg, imm int64) {
-	if c.ISA == machine.ISAArm32Like && (imm >= armImmLimit || imm <= -armImmLimit) {
-		c.asm.MovI(machine.ScratchReg, imm)
-		c.asm.Cmp(rs, machine.ScratchReg)
-		return
-	}
-	c.asm.CmpI(rs, imm)
+// cmpImm compares a register against an immediate. The front-end emits a
+// plain compare; the fixed-width back-end materializes out-of-range
+// immediates through the scratch register during lowering.
+func (c *Cogit) cmpImm(rs ir.Reg, imm int64) {
+	c.b.CmpI(rs, imm)
 }
 
 // ---- common code shapes ----
 
 // checkSmallIntJumpIfNot tests the tag bit of r and branches to label when
 // r is not a tagged integer (Listing 2's checkSmallInteger + jumpzero).
-func (c *Cogit) checkSmallIntJumpIfNot(r machine.Reg, label string) {
-	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, r, 1)
-	c.asm.CmpI(machine.ScratchReg, 1)
-	c.asm.Jump(machine.OpcJne, label)
+func (c *Cogit) checkSmallIntJumpIfNot(r ir.Reg, label string) {
+	c.b.BinI(ir.OpcAndI, ir.ScratchReg, r, 1)
+	c.b.CmpI(ir.ScratchReg, 1)
+	c.b.Jump(ir.OpcJne, label)
 }
 
 // untag converts a tagged integer in place.
-func (c *Cogit) untag(r machine.Reg) { c.asm.BinI(machine.OpcSarI, r, r, 1) }
+func (c *Cogit) untag(r ir.Reg) { c.b.BinI(ir.OpcSarI, r, r, 1) }
 
 // tag boxes an in-range integer in place.
-func (c *Cogit) tag(r machine.Reg) {
-	c.asm.BinI(machine.OpcShlI, r, r, 1)
-	c.asm.BinI(machine.OpcOrI, r, r, 1)
+func (c *Cogit) tag(r ir.Reg) {
+	c.b.BinI(ir.OpcShlI, r, r, 1)
+	c.b.BinI(ir.OpcOrI, r, r, 1)
 }
 
 // rangeCheckJumpIfOut branches to label unless r fits the tagged range
 // (the jumpIfNotOverflow of Listing 2).
-func (c *Cogit) rangeCheckJumpIfOut(r machine.Reg, label string) {
+func (c *Cogit) rangeCheckJumpIfOut(r ir.Reg, label string) {
 	c.cmpImm(r, heap.MaxSmallInt)
-	c.asm.Jump(machine.OpcJgt, label)
+	c.b.Jump(ir.OpcJgt, label)
 	c.cmpImm(r, heap.MinSmallInt)
-	c.asm.Jump(machine.OpcJlt, label)
+	c.b.Jump(ir.OpcJlt, label)
 }
 
 // loadHeader fetches the object header of obj into dst.
-func (c *Cogit) loadHeader(dst, obj machine.Reg) {
-	c.asm.Load(dst, obj, 0)
+func (c *Cogit) loadHeader(dst, obj ir.Reg) {
+	c.b.Load(dst, obj, 0)
 }
 
 // emitSend flushes the frame state and calls the send trampoline with the
@@ -249,16 +256,16 @@ func (c *Cogit) loadHeader(dst, obj machine.Reg) {
 func (c *Cogit) emitSend(selector string, numArgs int) {
 	c.flushAll()
 	id := c.addSelector(selector, numArgs)
-	c.asm.MovI(machine.ClassSelectorReg, id)
-	c.asm.Call(machine.SendTrampoline)
+	c.b.MovI(ir.ClassSelectorReg, id)
+	c.b.Call(machine.SendTrampoline)
 }
 
 // emitEpilogueReturn tears down the frame and returns to the caller with
 // the result in ReceiverResultReg.
 func (c *Cogit) emitEpilogueReturn() {
-	c.asm.MovR(machine.SP, machine.FP)
-	c.asm.Pop(machine.FP)
-	c.asm.Ret()
+	c.b.MovR(ir.SP, ir.FP)
+	c.b.Pop(ir.FP)
+	c.b.Ret()
 }
 
 // ---- compilation entry points ----
@@ -273,8 +280,8 @@ func (c *Cogit) CompileBytecode(m *bytecode.Method, inputStack []heap.Word) (*Co
 	c.numTemps = m.TempCount()
 
 	// Frame preamble.
-	c.asm.Push(machine.FP)
-	c.asm.MovR(machine.FP, machine.SP)
+	c.b.Push(ir.FP)
+	c.b.MovR(ir.FP, ir.SP)
 
 	// Push literals to guarantee the shape of the operand stack.
 	for _, w := range inputStack {
@@ -293,16 +300,54 @@ func (c *Cogit) CompileBytecode(m *bytecode.Method, inputStack []heap.Word) (*Co
 	// Exit tails: the fall-through end, plus the jump landing site when
 	// the instruction branches.
 	c.flushAll()
-	c.asm.Brk(BrkEndFall)
+	c.b.Brk(BrkEndFall)
 	if c.usesJump {
-		c.asm.Label("jumpTaken")
-		c.asm.Brk(BrkJumpTaken)
+		c.b.Label("jumpTaken")
+		c.b.Brk(BrkJumpTaken)
 	}
 	return c.finish()
 }
 
+// pool returns the physical registers lowering assigns to the variant's
+// virtual registers — the same registers (in the same order) each
+// variant's allocator used to hand out directly.
+func (c *Cogit) pool() []machine.Reg {
+	if c.Variant == RegisterAllocatingCogit {
+		return []machine.Reg{machine.R1, machine.R2, machine.R3, machine.TempReg, machine.ExtraReg}
+	}
+	return []machine.Reg{machine.TempReg, machine.ExtraReg, machine.R1}
+}
+
+// finish runs the three-layer tail of compilation: validate the
+// front-end's IR, run the (possibly truncated) pass pipeline, report the
+// post-pipeline opcodes to the coverage hook, and lower to machine code.
 func (c *Cogit) finish() (*CompiledMethod, error) {
-	prog, err := c.asm.Finish()
+	fn, err := c.b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if c.OnStage != nil {
+		c.OnStage("front-end", fn)
+	}
+	passes := PipelineFor(c.Variant, c.Defects)
+	limit := c.PassLimit
+	if limit < 0 || limit > len(passes) {
+		limit = len(passes)
+	}
+	for _, p := range passes[:limit] {
+		fn = p.Run(fn)
+		if c.OnStage != nil {
+			c.OnStage(p.Name, fn)
+		}
+	}
+	if c.OnIR != nil {
+		for _, ins := range fn.Instrs {
+			if ins.Op != ir.OpcLabel {
+				c.OnIR(ins.Op)
+			}
+		}
+	}
+	prog, err := machine.Lower(fn, c.ISA, machine.CodeBase, c.pool())
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/heap"
 	"cogdiff/internal/interp"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/machine"
 )
 
@@ -11,8 +12,8 @@ import (
 // before branching, so slow paths see the canonical frame already.
 func (c *Cogit) rawSend(selector string, numArgs int) {
 	id := c.addSelector(selector, numArgs)
-	c.asm.MovI(machine.ClassSelectorReg, id)
-	c.asm.Call(machine.SendTrampoline)
+	c.b.MovI(ir.ClassSelectorReg, id)
+	c.b.Call(machine.SendTrampoline)
 }
 
 // genBytecode emits the IR of one byte-code instruction (abstract
@@ -22,11 +23,11 @@ func (c *Cogit) genBytecode(m *bytecode.Method, op bytecode.Op, operands []byte)
 	switch d.Family {
 	case bytecode.FamPushReceiverVariable:
 		r := c.allocReg()
-		c.asm.Load(r, machine.ReceiverResultReg, heap.HeaderWords+int64(d.Embedded))
+		c.b.Load(r, ir.ReceiverResultReg, heap.HeaderWords+int64(d.Embedded))
 		c.pushReg(r)
 	case bytecode.FamPushTemporaryVariable:
 		r := c.allocReg()
-		c.asm.Load(r, machine.FP, TempOffset(d.Embedded, c.numTemps))
+		c.b.Load(r, ir.FP, TempOffset(d.Embedded, c.numTemps))
 		c.pushReg(r)
 	case bytecode.FamStoreReceiverVariable:
 		c.genStoreReceiverVariable(d.Embedded, false)
@@ -50,7 +51,7 @@ func (c *Cogit) genBytecode(m *bytecode.Method, op bytecode.Op, operands []byte)
 		c.pushConst(v.W)
 	case bytecode.FamPushReceiver:
 		r := c.allocReg()
-		c.asm.MovR(r, machine.ReceiverResultReg)
+		c.b.MovR(r, ir.ReceiverResultReg)
 		c.pushReg(r)
 	case bytecode.FamPushConstant:
 		c.genPushConstant(d.Embedded)
@@ -63,9 +64,9 @@ func (c *Cogit) genBytecode(m *bytecode.Method, op bytecode.Op, operands []byte)
 	case bytecode.FamPushThisContext:
 		c.err = ErrNotCompilable
 	case bytecode.FamPrimAdd:
-		c.genTaggedArith(machine.OpcAdd, "+")
+		c.genTaggedArith(ir.OpcAdd, "+")
 	case bytecode.FamPrimSubtract:
-		c.genTaggedArith(machine.OpcSub, "-")
+		c.genTaggedArith(ir.OpcSub, "-")
 	case bytecode.FamPrimMultiply:
 		c.genMultiply()
 	case bytecode.FamPrimDivide:
@@ -87,11 +88,11 @@ func (c *Cogit) genBytecode(m *bytecode.Method, op bytecode.Op, operands []byte)
 		}
 		c.genFlooredDivision(false)
 	case bytecode.FamPrimBitAnd:
-		c.genBitwiseBC(machine.OpcAnd, "bitAnd:")
+		c.genBitwiseBC(ir.OpcAnd, "bitAnd:")
 	case bytecode.FamPrimBitOr:
-		c.genBitwiseBC(machine.OpcOr, "bitOr:")
+		c.genBitwiseBC(ir.OpcOr, "bitOr:")
 	case bytecode.FamPrimBitXor:
-		c.genBitwiseBC(machine.OpcXor, "bitXor:")
+		c.genBitwiseBC(ir.OpcXor, "bitXor:")
 	case bytecode.FamPrimBitShift:
 		if c.Variant == SimpleStackBasedCogit {
 			c.emitSend("bitShift:", 1)
@@ -99,17 +100,17 @@ func (c *Cogit) genBytecode(m *bytecode.Method, op bytecode.Op, operands []byte)
 		}
 		c.genBitShift()
 	case bytecode.FamPrimLessThan:
-		c.genComparison(machine.OpcJlt, "<")
+		c.genComparison(ir.OpcJlt, "<")
 	case bytecode.FamPrimGreaterThan:
-		c.genComparison(machine.OpcJgt, ">")
+		c.genComparison(ir.OpcJgt, ">")
 	case bytecode.FamPrimLessOrEqual:
-		c.genComparison(machine.OpcJle, "<=")
+		c.genComparison(ir.OpcJle, "<=")
 	case bytecode.FamPrimGreaterOrEqual:
-		c.genComparison(machine.OpcJge, ">=")
+		c.genComparison(ir.OpcJge, ">=")
 	case bytecode.FamPrimEqual:
-		c.genComparison(machine.OpcJeq, "=")
+		c.genComparison(ir.OpcJeq, "=")
 	case bytecode.FamPrimNotEqual:
-		c.genComparison(machine.OpcJne, "~=")
+		c.genComparison(ir.OpcJne, "~=")
 	case bytecode.FamPrimIdentical:
 		c.genIdentical(false)
 	case bytecode.FamPrimNotIdentical:
@@ -130,7 +131,7 @@ func (c *Cogit) genBytecode(m *bytecode.Method, op bytecode.Op, operands []byte)
 		off, _, _, _ := bytecode.JumpOffset(op, operand)
 		if off != 0 || c.methodJumpLabel != "" {
 			c.flushAll()
-			c.asm.Jump(machine.OpcJmp, c.jumpTakenLabel())
+			c.b.Jump(ir.OpcJmp, c.jumpTakenLabel())
 		}
 	case bytecode.FamShortJumpIfTrue:
 		c.genConditionalJump(true)
@@ -139,7 +140,7 @@ func (c *Cogit) genBytecode(m *bytecode.Method, op bytecode.Op, operands []byte)
 	case bytecode.FamReturnSpecial:
 		c.genReturnSpecial(d.Embedded)
 	case bytecode.FamReturnTop:
-		c.popToReg(machine.ReceiverResultReg)
+		c.popToReg(ir.ReceiverResultReg)
 		c.emitEpilogueReturn()
 	case bytecode.FamSend0Args, bytecode.FamSend1Arg, bytecode.FamSend2Args:
 		n, _ := bytecode.ArgCountOfSend(op)
@@ -176,7 +177,7 @@ func (c *Cogit) genPushConstant(embedded int) {
 func (c *Cogit) genStoreReceiverVariable(i int, pop bool) {
 	v := c.allocReg()
 	c.popToReg(v)
-	c.asm.Store(machine.ReceiverResultReg, heap.HeaderWords+int64(i), v)
+	c.b.Store(ir.ReceiverResultReg, heap.HeaderWords+int64(i), v)
 	if pop {
 		c.freeReg(v)
 	} else {
@@ -187,7 +188,7 @@ func (c *Cogit) genStoreReceiverVariable(i int, pop bool) {
 func (c *Cogit) genStoreTemp(i int, pop bool) {
 	v := c.allocReg()
 	c.popToReg(v)
-	c.asm.Store(machine.FP, TempOffset(i, c.numTemps), v)
+	c.b.Store(ir.FP, TempOffset(i, c.numTemps), v)
 	if pop {
 		c.freeReg(v)
 	} else {
@@ -206,11 +207,11 @@ func (c *Cogit) genDup() {
 		c.pushConst(top.w)
 	case ssReg:
 		r := c.allocReg()
-		c.asm.MovR(r, top.reg)
+		c.b.MovR(r, top.reg)
 		c.pushReg(r)
 	case ssSpill:
 		r := c.allocReg()
-		c.asm.Load(r, machine.SP, 0)
+		c.b.Load(r, ir.SP, 0)
 		c.pushReg(r)
 	}
 }
@@ -218,7 +219,7 @@ func (c *Cogit) genDup() {
 // genTaggedArith compiles + and - with the tagged-arithmetic trick of the
 // production Cogit: (2a+1)+(2b+1)-1 = 2(a+b)+1, so no untagging is needed
 // and the original operands survive for the slow path (Listing 2's shape).
-func (c *Cogit) genTaggedArith(op machine.Opc, selector string) {
+func (c *Cogit) genTaggedArith(op ir.Opc, selector string) {
 	arg := c.allocReg()
 	c.popToReg(arg)
 	rcvr := c.allocReg()
@@ -231,26 +232,26 @@ func (c *Cogit) genTaggedArith(op machine.Opc, selector string) {
 
 	c.checkSmallIntJumpIfNot(rcvr, slow)
 	c.checkSmallIntJumpIfNot(arg, slow)
-	if op == machine.OpcAdd {
-		c.asm.BinI(machine.OpcSubI, res, arg, 1)
-		c.asm.Bin(machine.OpcAdd, res, rcvr, res)
+	if op == ir.OpcAdd {
+		c.b.BinI(ir.OpcSubI, res, arg, 1)
+		c.b.Bin(ir.OpcAdd, res, rcvr, res)
 	} else {
-		c.asm.Bin(machine.OpcSub, res, rcvr, arg)
-		c.asm.BinI(machine.OpcAddI, res, res, 1)
+		c.b.Bin(ir.OpcSub, res, rcvr, arg)
+		c.b.BinI(ir.OpcAddI, res, res, 1)
 	}
 	// Overflow check on the tagged result (tagging is monotonic).
 	c.cmpImm(res, int64(heap.SmallIntFor(heap.MaxSmallInt)))
-	c.asm.Jump(machine.OpcJgt, slow)
+	c.b.Jump(ir.OpcJgt, slow)
 	c.cmpImm(res, int64(heap.SmallIntFor(heap.MinSmallInt)))
-	c.asm.Jump(machine.OpcJlt, slow)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Jump(ir.OpcJlt, slow)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(arg)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(arg)
 	c.rawSend(selector, 1)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(arg)
 	c.freeReg(rcvr)
 	c.pushReg(res)
@@ -270,21 +271,21 @@ func (c *Cogit) genMultiply() {
 
 	c.checkSmallIntJumpIfNot(rcvr, slow)
 	c.checkSmallIntJumpIfNot(arg, slow)
-	c.asm.BinI(machine.OpcSarI, res, rcvr, 1)
-	c.asm.BinI(machine.OpcSarI, arg, arg, 1) // arg untagged in place
-	c.asm.Bin(machine.OpcMul, res, res, arg)
+	c.b.BinI(ir.OpcSarI, res, rcvr, 1)
+	c.b.BinI(ir.OpcSarI, arg, arg, 1) // arg untagged in place
+	c.b.Bin(ir.OpcMul, res, res, arg)
 	c.rangeCheckJumpIfOut(res, slowRetag)
 	c.tag(res)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slowRetag)
+	c.b.Label(slowRetag)
 	c.tag(arg) // restore the tagged argument
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(arg)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(arg)
 	c.rawSend("*", 1)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(arg)
 	c.freeReg(rcvr)
 	c.pushReg(res)
@@ -305,27 +306,27 @@ func (c *Cogit) genDivide() {
 
 	c.checkSmallIntJumpIfNot(rcvr, slow)
 	c.checkSmallIntJumpIfNot(arg, slow)
-	c.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
-	c.asm.Jump(machine.OpcJeq, slow)
-	c.asm.BinI(machine.OpcSarI, res, rcvr, 1)
-	c.asm.BinI(machine.OpcSarI, arg, arg, 1)
+	c.b.CmpI(arg, int64(heap.SmallIntFor(0)))
+	c.b.Jump(ir.OpcJeq, slow)
+	c.b.BinI(ir.OpcSarI, res, rcvr, 1)
+	c.b.BinI(ir.OpcSarI, arg, arg, 1)
 	// Exactness: truncated remainder zero iff floored remainder zero.
-	c.asm.Bin(machine.OpcMod, machine.ScratchReg, res, arg)
-	c.asm.CmpI(machine.ScratchReg, 0)
-	c.asm.Jump(machine.OpcJne, slowRetag)
-	c.asm.Bin(machine.OpcDiv, res, res, arg)
+	c.b.Bin(ir.OpcMod, ir.ScratchReg, res, arg)
+	c.b.CmpI(ir.ScratchReg, 0)
+	c.b.Jump(ir.OpcJne, slowRetag)
+	c.b.Bin(ir.OpcDiv, res, res, arg)
 	c.rangeCheckJumpIfOut(res, slowRetag) // MinSmallInt / -1 overflows
 	c.tag(res)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slowRetag)
+	c.b.Label(slowRetag)
 	c.tag(arg)
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(arg)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(arg)
 	c.rawSend("/", 1)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(arg)
 	c.freeReg(rcvr)
 	c.pushReg(res)
@@ -353,47 +354,47 @@ func (c *Cogit) genFlooredDivision(isDiv bool) {
 
 	c.checkSmallIntJumpIfNot(rcvr, slow)
 	c.checkSmallIntJumpIfNot(arg, slow)
-	c.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
-	c.asm.Jump(machine.OpcJeq, slow)
-	c.asm.BinI(machine.OpcSarI, res, rcvr, 1) // a
-	c.asm.BinI(machine.OpcSarI, arg, arg, 1)  // b (untagged in place)
+	c.b.CmpI(arg, int64(heap.SmallIntFor(0)))
+	c.b.Jump(ir.OpcJeq, slow)
+	c.b.BinI(ir.OpcSarI, res, rcvr, 1) // a
+	c.b.BinI(ir.OpcSarI, arg, arg, 1)  // b (untagged in place)
 
 	if isDiv {
-		c.asm.Bin(machine.OpcDiv, machine.ScratchReg, res, arg) // q
-		c.asm.Bin(machine.OpcMul, machine.ClassSelectorReg, machine.ScratchReg, arg)
-		c.asm.Bin(machine.OpcSub, machine.ClassSelectorReg, res, machine.ClassSelectorReg) // rem
-		c.asm.CmpI(machine.ClassSelectorReg, 0)
-		c.asm.Jump(machine.OpcJeq, done)
-		c.asm.Bin(machine.OpcXor, machine.ClassSelectorReg, res, arg)
-		c.asm.CmpI(machine.ClassSelectorReg, 0)
-		c.asm.Jump(machine.OpcJge, done)
-		c.asm.BinI(machine.OpcSubI, machine.ScratchReg, machine.ScratchReg, 1)
-		c.asm.Label(done)
-		c.asm.MovR(res, machine.ScratchReg)
+		c.b.Bin(ir.OpcDiv, ir.ScratchReg, res, arg) // q
+		c.b.Bin(ir.OpcMul, ir.ClassSelectorReg, ir.ScratchReg, arg)
+		c.b.Bin(ir.OpcSub, ir.ClassSelectorReg, res, ir.ClassSelectorReg) // rem
+		c.b.CmpI(ir.ClassSelectorReg, 0)
+		c.b.Jump(ir.OpcJeq, done)
+		c.b.Bin(ir.OpcXor, ir.ClassSelectorReg, res, arg)
+		c.b.CmpI(ir.ClassSelectorReg, 0)
+		c.b.Jump(ir.OpcJge, done)
+		c.b.BinI(ir.OpcSubI, ir.ScratchReg, ir.ScratchReg, 1)
+		c.b.Label(done)
+		c.b.MovR(res, ir.ScratchReg)
 		c.rangeCheckJumpIfOut(res, slowRetag)
 	} else {
-		c.asm.Bin(machine.OpcMod, machine.ScratchReg, res, arg) // truncated rem
-		c.asm.CmpI(machine.ScratchReg, 0)
-		c.asm.Jump(machine.OpcJeq, fix)
-		c.asm.Bin(machine.OpcXor, machine.ClassSelectorReg, res, arg)
-		c.asm.CmpI(machine.ClassSelectorReg, 0)
-		c.asm.Jump(machine.OpcJge, fix)
-		c.asm.Bin(machine.OpcAdd, machine.ScratchReg, machine.ScratchReg, arg)
-		c.asm.Label(fix)
-		c.asm.MovR(res, machine.ScratchReg)
-		c.asm.Label(done)
+		c.b.Bin(ir.OpcMod, ir.ScratchReg, res, arg) // truncated rem
+		c.b.CmpI(ir.ScratchReg, 0)
+		c.b.Jump(ir.OpcJeq, fix)
+		c.b.Bin(ir.OpcXor, ir.ClassSelectorReg, res, arg)
+		c.b.CmpI(ir.ClassSelectorReg, 0)
+		c.b.Jump(ir.OpcJge, fix)
+		c.b.Bin(ir.OpcAdd, ir.ScratchReg, ir.ScratchReg, arg)
+		c.b.Label(fix)
+		c.b.MovR(res, ir.ScratchReg)
+		c.b.Label(done)
 	}
 	c.tag(res)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slowRetag)
+	c.b.Label(slowRetag)
 	c.tag(arg)
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(arg)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(arg)
 	c.rawSend(selector, 1)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(arg)
 	c.freeReg(rcvr)
 	c.pushReg(res)
@@ -403,7 +404,7 @@ func (c *Cogit) genFlooredDivision(isDiv bool) {
 // operands intact: (2a+1)&(2b+1) = 2(a&b)+1, similarly for | ; ^ clears
 // the tag, which one ORI restores. Like the interpreter, negative operands
 // take the slow send path.
-func (c *Cogit) genBitwiseBC(op machine.Opc, selector string) {
+func (c *Cogit) genBitwiseBC(op ir.Opc, selector string) {
 	if c.Variant == SimpleStackBasedCogit {
 		c.emitSend(selector, 1)
 		return
@@ -420,22 +421,22 @@ func (c *Cogit) genBitwiseBC(op machine.Opc, selector string) {
 
 	c.checkSmallIntJumpIfNot(rcvr, slow)
 	c.checkSmallIntJumpIfNot(arg, slow)
-	c.asm.CmpI(rcvr, 0)
-	c.asm.Jump(machine.OpcJlt, slow)
-	c.asm.CmpI(arg, 0)
-	c.asm.Jump(machine.OpcJlt, slow)
-	c.asm.Bin(op, res, rcvr, arg)
-	if op == machine.OpcXor {
-		c.asm.BinI(machine.OpcOrI, res, res, 1)
+	c.b.CmpI(rcvr, 0)
+	c.b.Jump(ir.OpcJlt, slow)
+	c.b.CmpI(arg, 0)
+	c.b.Jump(ir.OpcJlt, slow)
+	c.b.Bin(op, res, rcvr, arg)
+	if op == ir.OpcXor {
+		c.b.BinI(ir.OpcOrI, res, res, 1)
 	}
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(arg)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(arg)
 	c.rawSend(selector, 1)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(arg)
 	c.freeReg(rcvr)
 	c.pushReg(res)
@@ -455,43 +456,43 @@ func (c *Cogit) genBitShift() {
 
 	c.checkSmallIntJumpIfNot(rcvr, slow)
 	c.checkSmallIntJumpIfNot(arg, slow)
-	c.asm.CmpI(rcvr, 0)
-	c.asm.Jump(machine.OpcJlt, slow)
-	c.asm.CmpI(arg, 0)
-	c.asm.Jump(machine.OpcJlt, neg)
+	c.b.CmpI(rcvr, 0)
+	c.b.Jump(ir.OpcJlt, slow)
+	c.b.CmpI(arg, 0)
+	c.b.Jump(ir.OpcJlt, neg)
 	// Left shift; amounts beyond 31 always leave the tagged range.
 	c.cmpImm(arg, int64(heap.SmallIntFor(31)))
-	c.asm.Jump(machine.OpcJgt, slow)
-	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, arg, 1)
-	c.asm.BinI(machine.OpcSarI, res, rcvr, 1)
-	c.asm.Bin(machine.OpcShl, res, res, machine.ScratchReg)
+	c.b.Jump(ir.OpcJgt, slow)
+	c.b.BinI(ir.OpcSarI, ir.ScratchReg, arg, 1)
+	c.b.BinI(ir.OpcSarI, res, rcvr, 1)
+	c.b.Bin(ir.OpcShl, res, res, ir.ScratchReg)
 	c.rangeCheckJumpIfOut(res, slow)
 	c.tag(res)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(neg)
+	c.b.Label(neg)
 	c.cmpImm(arg, int64(heap.SmallIntFor(-31)))
-	c.asm.Jump(machine.OpcJlt, slow)
-	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, arg, 1)
-	c.asm.MovI(machine.ClassSelectorReg, 0)
-	c.asm.Bin(machine.OpcSub, machine.ScratchReg, machine.ClassSelectorReg, machine.ScratchReg)
-	c.asm.BinI(machine.OpcSarI, res, rcvr, 1)
-	c.asm.Bin(machine.OpcSar, res, res, machine.ScratchReg)
+	c.b.Jump(ir.OpcJlt, slow)
+	c.b.BinI(ir.OpcSarI, ir.ScratchReg, arg, 1)
+	c.b.MovI(ir.ClassSelectorReg, 0)
+	c.b.Bin(ir.OpcSub, ir.ScratchReg, ir.ClassSelectorReg, ir.ScratchReg)
+	c.b.BinI(ir.OpcSarI, res, rcvr, 1)
+	c.b.Bin(ir.OpcSar, res, res, ir.ScratchReg)
 	c.tag(res)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(arg)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(arg)
 	c.rawSend("bitShift:", 1)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(arg)
 	c.freeReg(rcvr)
 	c.pushReg(res)
 }
 
-func (c *Cogit) genComparison(jcc machine.Opc, selector string) {
+func (c *Cogit) genComparison(jcc ir.Opc, selector string) {
 	arg := c.allocReg()
 	c.popToReg(arg)
 	rcvr := c.allocReg()
@@ -507,21 +508,21 @@ func (c *Cogit) genComparison(jcc machine.Opc, selector string) {
 	c.checkSmallIntJumpIfNot(rcvr, slow)
 	c.checkSmallIntJumpIfNot(arg, slow)
 	// Tagging is monotonic, so tagged comparison equals value comparison.
-	c.asm.Cmp(rcvr, arg)
-	c.asm.Jump(jcc, ctrue)
+	c.b.Cmp(rcvr, arg)
+	c.b.Jump(jcc, ctrue)
 	c.moviBig(res, int64(c.OM.FalseObj))
-	c.asm.Jump(machine.OpcJmp, cdone)
-	c.asm.Label(ctrue)
+	c.b.Jump(ir.OpcJmp, cdone)
+	c.b.Label(ctrue)
 	c.moviBig(res, int64(c.OM.TrueObj))
-	c.asm.Label(cdone)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Label(cdone)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(arg)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(arg)
 	c.rawSend(selector, 1)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(arg)
 	c.freeReg(rcvr)
 	c.pushReg(res)
@@ -541,13 +542,13 @@ func (c *Cogit) genIdentical(negated bool) {
 	if negated {
 		trueW, falseW = falseW, trueW
 	}
-	c.asm.Cmp(rcvr, arg)
-	c.asm.Jump(machine.OpcJeq, eq)
+	c.b.Cmp(rcvr, arg)
+	c.b.Jump(ir.OpcJeq, eq)
 	c.moviBig(res, falseW)
-	c.asm.Jump(machine.OpcJmp, done)
-	c.asm.Label(eq)
+	c.b.Jump(ir.OpcJmp, done)
+	c.b.Label(eq)
 	c.moviBig(res, trueW)
-	c.asm.Label(done)
+	c.b.Label(done)
 	c.freeReg(arg)
 	c.freeReg(rcvr)
 	c.pushReg(res)
@@ -561,18 +562,18 @@ func (c *Cogit) genClass() {
 	notInt := c.newLabel("notInt")
 	done := c.newLabel("done")
 
-	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, obj, 1)
-	c.asm.CmpI(machine.ScratchReg, 1)
-	c.asm.Jump(machine.OpcJne, notInt)
+	c.b.BinI(ir.OpcAndI, ir.ScratchReg, obj, 1)
+	c.b.CmpI(ir.ScratchReg, 1)
+	c.b.Jump(ir.OpcJne, notInt)
 	c.moviBig(res, int64(c.OM.ClassAt(heap.ClassIndexSmallInteger).Oop))
-	c.asm.Jump(machine.OpcJmp, done)
+	c.b.Jump(ir.OpcJmp, done)
 
-	c.asm.Label(notInt)
-	c.loadHeader(machine.ScratchReg, obj)
-	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, machine.ScratchReg, heap.HeaderClassShift)
-	c.asm.MovI(machine.ClassSelectorReg, heap.ClassTableBase)
-	c.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: machine.ClassSelectorReg, Rs2: machine.ScratchReg})
-	c.asm.Label(done)
+	c.b.Label(notInt)
+	c.loadHeader(ir.ScratchReg, obj)
+	c.b.BinI(ir.OpcSarI, ir.ScratchReg, ir.ScratchReg, heap.HeaderClassShift)
+	c.b.MovI(ir.ClassSelectorReg, heap.ClassTableBase)
+	c.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: res, Rs1: ir.ClassSelectorReg, Rs2: ir.ScratchReg})
+	c.b.Label(done)
 	c.freeReg(obj)
 	c.pushReg(res)
 }
@@ -580,17 +581,17 @@ func (c *Cogit) genClass() {
 // emitIndexableFormatCheck loads the header into hdrReg and branches to
 // slow unless the object's format answers at:/at:put:. The format is left
 // in ScratchReg.
-func (c *Cogit) emitIndexableFormatCheck(obj, hdrReg machine.Reg, slow, ok string) {
+func (c *Cogit) emitIndexableFormatCheck(obj, hdrReg ir.Reg, slow, ok string) {
 	c.loadHeader(hdrReg, obj)
-	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, hdrReg, heap.HeaderSlotBits)
-	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderFormatMask)
-	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatPointers))
-	c.asm.Jump(machine.OpcJeq, ok)
-	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatWords))
-	c.asm.Jump(machine.OpcJeq, ok)
-	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatBytes))
-	c.asm.Jump(machine.OpcJne, slow)
-	c.asm.Label(ok)
+	c.b.BinI(ir.OpcSarI, ir.ScratchReg, hdrReg, heap.HeaderSlotBits)
+	c.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, heap.HeaderFormatMask)
+	c.b.CmpI(ir.ScratchReg, int64(heap.FormatPointers))
+	c.b.Jump(ir.OpcJeq, ok)
+	c.b.CmpI(ir.ScratchReg, int64(heap.FormatWords))
+	c.b.Jump(ir.OpcJeq, ok)
+	c.b.CmpI(ir.ScratchReg, int64(heap.FormatBytes))
+	c.b.Jump(ir.OpcJne, slow)
+	c.b.Label(ok)
 }
 
 func (c *Cogit) genSize() {
@@ -603,19 +604,19 @@ func (c *Cogit) genSize() {
 	ok := c.newLabel("fmtok")
 	after := c.newLabel("after")
 
-	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, obj, 1)
-	c.asm.CmpI(machine.ScratchReg, 1)
-	c.asm.Jump(machine.OpcJeq, slow)
+	c.b.BinI(ir.OpcAndI, ir.ScratchReg, obj, 1)
+	c.b.CmpI(ir.ScratchReg, 1)
+	c.b.Jump(ir.OpcJeq, slow)
 	c.emitIndexableFormatCheck(obj, res, slow, ok)
-	c.asm.BinI(machine.OpcAndI, res, res, heap.HeaderSlotMask)
+	c.b.BinI(ir.OpcAndI, res, res, heap.HeaderSlotMask)
 	c.tag(res)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slow)
-	c.asm.Push(obj)
+	c.b.Label(slow)
+	c.b.Push(obj)
 	c.rawSend("size", 0)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(obj)
 	c.pushReg(res)
 }
@@ -634,33 +635,33 @@ func (c *Cogit) genAt() {
 	after := c.newLabel("after")
 
 	c.checkSmallIntJumpIfNot(idx, slow)
-	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, rcvr, 1)
-	c.asm.CmpI(machine.ScratchReg, 1)
-	c.asm.Jump(machine.OpcJeq, slow)
+	c.b.BinI(ir.OpcAndI, ir.ScratchReg, rcvr, 1)
+	c.b.CmpI(ir.ScratchReg, 1)
+	c.b.Jump(ir.OpcJeq, slow)
 	// Header into ClassSelectorReg; format check leaves format in Scratch.
-	c.emitIndexableFormatCheck(rcvr, machine.ClassSelectorReg, slow, ok)
+	c.emitIndexableFormatCheck(rcvr, ir.ClassSelectorReg, slow, ok)
 	// Bounds: 1 <= i <= slotCount.
-	c.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
-	c.asm.BinI(machine.OpcSarI, res, idx, 1) // untagged index
-	c.asm.CmpI(res, 1)
-	c.asm.Jump(machine.OpcJlt, slow)
-	c.asm.Cmp(res, machine.ClassSelectorReg)
-	c.asm.Jump(machine.OpcJgt, slow)
+	c.b.BinI(ir.OpcAndI, ir.ClassSelectorReg, ir.ClassSelectorReg, heap.HeaderSlotMask)
+	c.b.BinI(ir.OpcSarI, res, idx, 1) // untagged index
+	c.b.CmpI(res, 1)
+	c.b.Jump(ir.OpcJlt, slow)
+	c.b.Cmp(res, ir.ClassSelectorReg)
+	c.b.Jump(ir.OpcJgt, slow)
 	// Fetch: rcvr + HeaderWords + (i-1) == rcvr + i for HeaderWords == 1.
-	c.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: rcvr, Rs2: res})
+	c.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: res, Rs1: rcvr, Rs2: res})
 	// Raw formats answer the tagged integer.
-	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatPointers))
-	c.asm.Jump(machine.OpcJeq, noTag)
+	c.b.CmpI(ir.ScratchReg, int64(heap.FormatPointers))
+	c.b.Jump(ir.OpcJeq, noTag)
 	c.tag(res)
-	c.asm.Label(noTag)
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Label(noTag)
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(idx)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(idx)
 	c.rawSend("at:", 1)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(idx)
 	c.freeReg(rcvr)
 	c.pushReg(res)
@@ -684,55 +685,55 @@ func (c *Cogit) genAtPut() {
 	after := c.newLabel("after")
 
 	c.checkSmallIntJumpIfNot(idx, slow)
-	c.asm.BinI(machine.OpcAndI, machine.ScratchReg, rcvr, 1)
-	c.asm.CmpI(machine.ScratchReg, 1)
-	c.asm.Jump(machine.OpcJeq, slow)
-	c.emitIndexableFormatCheck(rcvr, machine.ClassSelectorReg, slow, ok)
-	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatBytes))
-	c.asm.Jump(machine.OpcJeq, rawBytes)
-	c.asm.CmpI(machine.ScratchReg, int64(heap.FormatWords))
-	c.asm.Jump(machine.OpcJeq, rawWords)
-	c.asm.Jump(machine.OpcJmp, ptrStore)
+	c.b.BinI(ir.OpcAndI, ir.ScratchReg, rcvr, 1)
+	c.b.CmpI(ir.ScratchReg, 1)
+	c.b.Jump(ir.OpcJeq, slow)
+	c.emitIndexableFormatCheck(rcvr, ir.ClassSelectorReg, slow, ok)
+	c.b.CmpI(ir.ScratchReg, int64(heap.FormatBytes))
+	c.b.Jump(ir.OpcJeq, rawBytes)
+	c.b.CmpI(ir.ScratchReg, int64(heap.FormatWords))
+	c.b.Jump(ir.OpcJeq, rawWords)
+	c.b.Jump(ir.OpcJmp, ptrStore)
 
-	c.asm.Label(rawBytes)
+	c.b.Label(rawBytes)
 	c.checkSmallIntJumpIfNot(val, slow)
 	c.cmpImm(val, int64(heap.SmallIntFor(0)))
-	c.asm.Jump(machine.OpcJlt, slow)
+	c.b.Jump(ir.OpcJlt, slow)
 	c.cmpImm(val, int64(heap.SmallIntFor(255)))
-	c.asm.Jump(machine.OpcJgt, slow)
-	c.asm.Jump(machine.OpcJmp, rawStore)
-	c.asm.Label(rawWords)
+	c.b.Jump(ir.OpcJgt, slow)
+	c.b.Jump(ir.OpcJmp, rawStore)
+	c.b.Label(rawWords)
 	c.checkSmallIntJumpIfNot(val, slow)
 
-	c.asm.Label(rawStore)
-	c.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
-	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, idx, 1)
-	c.asm.CmpI(machine.ScratchReg, 1)
-	c.asm.Jump(machine.OpcJlt, slow)
-	c.asm.Cmp(machine.ScratchReg, machine.ClassSelectorReg)
-	c.asm.Jump(machine.OpcJgt, slow)
+	c.b.Label(rawStore)
+	c.b.BinI(ir.OpcAndI, ir.ClassSelectorReg, ir.ClassSelectorReg, heap.HeaderSlotMask)
+	c.b.BinI(ir.OpcSarI, ir.ScratchReg, idx, 1)
+	c.b.CmpI(ir.ScratchReg, 1)
+	c.b.Jump(ir.OpcJlt, slow)
+	c.b.Cmp(ir.ScratchReg, ir.ClassSelectorReg)
+	c.b.Jump(ir.OpcJgt, slow)
 	// Store the untagged value.
-	c.asm.BinI(machine.OpcSarI, machine.ClassSelectorReg, val, 1)
-	c.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ClassSelectorReg, Rs1: rcvr, Rs2: machine.ScratchReg})
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.BinI(ir.OpcSarI, ir.ClassSelectorReg, val, 1)
+	c.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.ClassSelectorReg, Rs1: rcvr, Rs2: ir.ScratchReg})
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(ptrStore)
-	c.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
-	c.asm.BinI(machine.OpcSarI, machine.ScratchReg, idx, 1)
-	c.asm.CmpI(machine.ScratchReg, 1)
-	c.asm.Jump(machine.OpcJlt, slow)
-	c.asm.Cmp(machine.ScratchReg, machine.ClassSelectorReg)
-	c.asm.Jump(machine.OpcJgt, slow)
-	c.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: val, Rs1: rcvr, Rs2: machine.ScratchReg})
-	c.asm.Jump(machine.OpcJmp, after)
+	c.b.Label(ptrStore)
+	c.b.BinI(ir.OpcAndI, ir.ClassSelectorReg, ir.ClassSelectorReg, heap.HeaderSlotMask)
+	c.b.BinI(ir.OpcSarI, ir.ScratchReg, idx, 1)
+	c.b.CmpI(ir.ScratchReg, 1)
+	c.b.Jump(ir.OpcJlt, slow)
+	c.b.Cmp(ir.ScratchReg, ir.ClassSelectorReg)
+	c.b.Jump(ir.OpcJgt, slow)
+	c.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: val, Rs1: rcvr, Rs2: ir.ScratchReg})
+	c.b.Jump(ir.OpcJmp, after)
 
-	c.asm.Label(slow)
-	c.asm.Push(rcvr)
-	c.asm.Push(idx)
-	c.asm.Push(val)
+	c.b.Label(slow)
+	c.b.Push(rcvr)
+	c.b.Push(idx)
+	c.b.Push(val)
 	c.rawSend("at:put:", 2)
 
-	c.asm.Label(after)
+	c.b.Label(after)
 	c.freeReg(idx)
 	c.freeReg(rcvr)
 	c.pushReg(val)
@@ -759,19 +760,19 @@ func (c *Cogit) genConditionalJump(onTrue bool) {
 
 	c.cmpImm(cond, int64(c.OM.TrueObj))
 	if onTrue {
-		c.asm.Jump(machine.OpcJeq, taken)
+		c.b.Jump(ir.OpcJeq, taken)
 	} else {
-		c.asm.Jump(machine.OpcJeq, localEnd)
+		c.b.Jump(ir.OpcJeq, localEnd)
 	}
 	c.cmpImm(cond, int64(c.OM.FalseObj))
 	if onTrue {
-		c.asm.Jump(machine.OpcJeq, localEnd)
+		c.b.Jump(ir.OpcJeq, localEnd)
 	} else {
-		c.asm.Jump(machine.OpcJeq, taken)
+		c.b.Jump(ir.OpcJeq, taken)
 	}
 	// Neither boolean: #mustBeBoolean (the condition stays consumed).
 	c.rawSend("mustBeBoolean", 0)
-	c.asm.Label(localEnd)
+	c.b.Label(localEnd)
 	c.freeReg(cond)
 }
 
@@ -780,11 +781,11 @@ func (c *Cogit) genReturnSpecial(embedded int) {
 	case 0:
 		// returnReceiver: the receiver is already in ReceiverResultReg.
 	case 1:
-		c.moviBig(machine.ReceiverResultReg, int64(c.OM.TrueObj))
+		c.moviBig(ir.ReceiverResultReg, int64(c.OM.TrueObj))
 	case 2:
-		c.moviBig(machine.ReceiverResultReg, int64(c.OM.FalseObj))
+		c.moviBig(ir.ReceiverResultReg, int64(c.OM.FalseObj))
 	case 3:
-		c.moviBig(machine.ReceiverResultReg, int64(c.OM.NilObj))
+		c.moviBig(ir.ReceiverResultReg, int64(c.OM.NilObj))
 	}
 	c.emitEpilogueReturn()
 }

@@ -5,7 +5,7 @@ import (
 
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/heap"
-	"cogdiff/internal/machine"
+	"cogdiff/internal/ir"
 )
 
 // This file extends the Cogit from single-instruction test compilation to
@@ -52,8 +52,8 @@ func (c *Cogit) CompileMethod(m *bytecode.Method, inputStack []heap.Word) (*Comp
 	}
 
 	// Frame preamble.
-	c.asm.Push(machine.FP)
-	c.asm.MovR(machine.FP, machine.SP)
+	c.b.Push(ir.FP)
+	c.b.MovR(ir.FP, ir.SP)
 	for _, w := range inputStack {
 		c.pushConst(w)
 	}
@@ -67,7 +67,7 @@ func (c *Cogit) CompileMethod(m *bytecode.Method, inputStack []heap.Word) (*Comp
 			// Basic-block boundary: every incoming edge must see the
 			// canonical (flushed) frame state.
 			c.flushAll()
-			c.asm.Label(pcLabel(pc))
+			c.b.Label(pcLabel(pc))
 		}
 		var operand byte
 		if len(operands) > 0 {
@@ -89,7 +89,7 @@ func (c *Cogit) CompileMethod(m *bytecode.Method, inputStack []heap.Word) (*Comp
 	// Labels may point one past the last instruction.
 	if targets[len(m.Code)] {
 		c.flushAll()
-		c.asm.Label(pcLabel(len(m.Code)))
+		c.b.Label(pcLabel(len(m.Code)))
 	}
 	// Falling off the end answers the receiver (implicit returnReceiver).
 	c.emitEpilogueReturn()

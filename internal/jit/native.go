@@ -5,6 +5,7 @@ import (
 
 	"cogdiff/internal/defects"
 	"cogdiff/internal/heap"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
 )
@@ -20,7 +21,11 @@ type NativeMethodCompiler struct {
 	OM      *heap.ObjectMemory
 	Defects defects.Switches
 
-	asm *machine.Assembler
+	// OnStage, when non-nil, observes the template IR before lowering.
+	// Native methods run no passes, so the only stage is "front-end".
+	OnStage func(stage string, fn *ir.Fn)
+
+	b   *ir.Builder
 	seq int
 }
 
@@ -41,25 +46,34 @@ const fallthroughLabel = "fallthrough"
 // CompileNativeMethod compiles the native behavior of one primitive and
 // appends the stop instruction that detects fall-through cases.
 func (n *NativeMethodCompiler) CompileNativeMethod(p *primitives.Primitive) (*CompiledMethod, error) {
-	n.asm = machine.NewAssembler(machine.CodeBase)
+	n.b = ir.NewBuilder()
 	n.seq = 0
 
 	if defects.IsMissingInJIT(n.Defects, p.Name, p.Category) {
 		// Never implemented in the 32-bit compiler: the generated stub
 		// raises not-yet-implemented at run time (§5.3).
-		n.asm.Brk(BrkNotImplemented)
+		n.b.Brk(BrkNotImplemented)
 		return n.finish()
 	}
 	if err := n.genTemplate(p); err != nil {
 		return nil, err
 	}
-	n.asm.Label(fallthroughLabel)
-	n.asm.Brk(BrkNativeFallthrough)
+	n.b.Label(fallthroughLabel)
+	n.b.Brk(BrkNativeFallthrough)
 	return n.finish()
 }
 
+// finish lowers the template IR directly: native templates run no
+// optimization passes and use no virtual registers, so the pool is nil.
 func (n *NativeMethodCompiler) finish() (*CompiledMethod, error) {
-	prog, err := n.asm.Finish()
+	fn, err := n.b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if n.OnStage != nil {
+		n.OnStage("front-end", fn)
+	}
+	prog, err := machine.Lower(fn, n.ISA, machine.CodeBase, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -72,74 +86,71 @@ func (n *NativeMethodCompiler) finish() (*CompiledMethod, error) {
 
 // ---- shared shapes ----
 
-func (n *NativeMethodCompiler) checkSmallIntOrFail(r machine.Reg) {
-	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, r, 1)
-	n.asm.CmpI(machine.ScratchReg, 1)
-	n.asm.Jump(machine.OpcJne, fallthroughLabel)
+func (n *NativeMethodCompiler) checkSmallIntOrFail(r ir.Reg) {
+	n.b.BinI(ir.OpcAndI, ir.ScratchReg, r, 1)
+	n.b.CmpI(ir.ScratchReg, 1)
+	n.b.Jump(ir.OpcJne, fallthroughLabel)
 }
 
-func (n *NativeMethodCompiler) checkPointerOrFail(r machine.Reg) {
-	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, r, 1)
-	n.asm.CmpI(machine.ScratchReg, 1)
-	n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+func (n *NativeMethodCompiler) checkPointerOrFail(r ir.Reg) {
+	n.b.BinI(ir.OpcAndI, ir.ScratchReg, r, 1)
+	n.b.CmpI(ir.ScratchReg, 1)
+	n.b.Jump(ir.OpcJeq, fallthroughLabel)
 }
 
 // checkClassIndexOrFail verifies classIndexOf(r) = idx for a heap object
 // (immediates fail first).
-func (n *NativeMethodCompiler) checkClassIndexOrFail(r machine.Reg, idx int) {
+func (n *NativeMethodCompiler) checkClassIndexOrFail(r ir.Reg, idx int) {
 	n.checkPointerOrFail(r)
-	n.asm.Load(machine.ScratchReg, r, 0)
-	n.asm.BinI(machine.OpcSarI, machine.ScratchReg, machine.ScratchReg, heap.HeaderClassShift)
-	n.asm.CmpI(machine.ScratchReg, int64(idx))
-	n.asm.Jump(machine.OpcJne, fallthroughLabel)
+	n.b.Load(ir.ScratchReg, r, 0)
+	n.b.BinI(ir.OpcSarI, ir.ScratchReg, ir.ScratchReg, heap.HeaderClassShift)
+	n.b.CmpI(ir.ScratchReg, int64(idx))
+	n.b.Jump(ir.OpcJne, fallthroughLabel)
 }
 
-func (n *NativeMethodCompiler) cmpImm(rs machine.Reg, imm int64) {
-	if n.ISA == machine.ISAArm32Like && (imm >= armImmLimit || imm <= -armImmLimit) {
-		n.asm.MovI(machine.ScratchReg, imm)
-		n.asm.Cmp(rs, machine.ScratchReg)
-		return
-	}
-	n.asm.CmpI(rs, imm)
+// cmpImm emits a compare-immediate; lowering materializes out-of-range
+// immediates on the fixed-width ISA.
+func (n *NativeMethodCompiler) cmpImm(rs ir.Reg, imm int64) {
+	n.b.CmpI(rs, imm)
 }
 
-func (n *NativeMethodCompiler) rangeCheckOrFail(r machine.Reg) {
+func (n *NativeMethodCompiler) rangeCheckOrFail(r ir.Reg) {
 	n.cmpImm(r, heap.MaxSmallInt)
-	n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+	n.b.Jump(ir.OpcJgt, fallthroughLabel)
 	n.cmpImm(r, heap.MinSmallInt)
-	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+	n.b.Jump(ir.OpcJlt, fallthroughLabel)
 }
 
-func (n *NativeMethodCompiler) tag(r machine.Reg) {
-	n.asm.BinI(machine.OpcShlI, r, r, 1)
-	n.asm.BinI(machine.OpcOrI, r, r, 1)
+func (n *NativeMethodCompiler) tag(r ir.Reg) {
+	n.b.BinI(ir.OpcShlI, r, r, 1)
+	n.b.BinI(ir.OpcOrI, r, r, 1)
 }
 
-func (n *NativeMethodCompiler) untag(rd, rs machine.Reg) {
-	n.asm.BinI(machine.OpcSarI, rd, rs, 1)
+func (n *NativeMethodCompiler) untag(rd, rs ir.Reg) {
+	n.b.BinI(ir.OpcSarI, rd, rs, 1)
 }
 
 // retBool returns the boolean object selected by the pending jump opcode.
-func (n *NativeMethodCompiler) retBool(jcc machine.Opc) {
+func (n *NativeMethodCompiler) retBool(jcc ir.Opc) {
 	t := n.label("true")
-	n.asm.Jump(jcc, t)
-	n.asm.MovI(machine.ReceiverResultReg, int64(n.OM.FalseObj))
-	n.asm.Ret()
-	n.asm.Label(t)
-	n.asm.MovI(machine.ReceiverResultReg, int64(n.OM.TrueObj))
-	n.asm.Ret()
+	n.b.Jump(jcc, t)
+	n.b.MovI(ir.ReceiverResultReg, int64(n.OM.FalseObj))
+	n.b.Ret()
+	n.b.Label(t)
+	n.b.MovI(ir.ReceiverResultReg, int64(n.OM.TrueObj))
+	n.b.Ret()
 }
 
 // slotBoundsCheckOrFail leaves the untagged 1-based index in idxOut and
 // the slot count in ScratchReg, failing when the index is out of bounds.
-func (n *NativeMethodCompiler) slotBoundsCheckOrFail(obj, taggedIdx, idxOut machine.Reg) {
+func (n *NativeMethodCompiler) slotBoundsCheckOrFail(obj, taggedIdx, idxOut ir.Reg) {
 	n.untag(idxOut, taggedIdx)
-	n.asm.CmpI(idxOut, 1)
-	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-	n.asm.Load(machine.ScratchReg, obj, 0)
-	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderSlotMask)
-	n.asm.Cmp(idxOut, machine.ScratchReg)
-	n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+	n.b.CmpI(idxOut, 1)
+	n.b.Jump(ir.OpcJlt, fallthroughLabel)
+	n.b.Load(ir.ScratchReg, obj, 0)
+	n.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, heap.HeaderSlotMask)
+	n.b.Cmp(idxOut, ir.ScratchReg)
+	n.b.Jump(ir.OpcJgt, fallthroughLabel)
 }
 
 // genTemplate dispatches on the primitive index.

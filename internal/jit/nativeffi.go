@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"cogdiff/internal/heap"
-	"cogdiff/internal/machine"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/primitives"
 )
 
@@ -41,19 +41,19 @@ func (n *NativeMethodCompiler) genFFITemplate(p *primitives.Primitive) error {
 	case name == "primitiveFFIAllocate":
 		n.genFFIAllocate()
 	case name == "primitiveFFIFree":
-		n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
-		n.asm.MovI(machine.ReceiverResultReg, int64(n.OM.NilObj))
-		n.asm.Ret()
+		n.checkClassIndexOrFail(ir.ReceiverResultReg, heap.ClassIndexExternalAddr)
+		n.b.MovI(ir.ReceiverResultReg, int64(n.OM.NilObj))
+		n.b.Ret()
 	case name == "primitiveFFIStrLen":
 		n.genFFIStrLen()
 	case name == "primitiveFFIAddressOf":
-		n.checkPointerOrFail(machine.ReceiverResultReg)
-		n.asm.BinI(machine.OpcSarI, machine.TempReg, machine.ReceiverResultReg, 0)
-		n.asm.MovI(machine.ScratchReg, 0x3FFFFFFF)
-		n.asm.Bin(machine.OpcAnd, machine.TempReg, machine.TempReg, machine.ScratchReg)
-		n.tag(machine.TempReg)
-		n.asm.MovR(machine.ReceiverResultReg, machine.TempReg)
-		n.asm.Ret()
+		n.checkPointerOrFail(ir.ReceiverResultReg)
+		n.b.BinI(ir.OpcSarI, ir.TempReg, ir.ReceiverResultReg, 0)
+		n.b.MovI(ir.ScratchReg, 0x3FFFFFFF)
+		n.b.Bin(ir.OpcAnd, ir.TempReg, ir.TempReg, ir.ScratchReg)
+		n.tag(ir.TempReg)
+		n.b.MovR(ir.ReceiverResultReg, ir.TempReg)
+		n.b.Ret()
 	case name == "primitiveFFIMemCopy":
 		n.genFFIMemCopy()
 	case name == "primitiveFFIMemSet":
@@ -90,182 +90,182 @@ func parseStructField(name string) (field int, put bool) {
 
 // checkExternalAddressAndIndex validates the (ExternalAddress, tagged
 // index) pair and leaves the untagged index in idxOut.
-func (n *NativeMethodCompiler) checkExternalAddressAndIndex(idxOut machine.Reg) {
-	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
-	n.checkSmallIntOrFail(machine.Arg0Reg)
-	n.slotBoundsCheckOrFail(machine.ReceiverResultReg, machine.Arg0Reg, idxOut)
+func (n *NativeMethodCompiler) checkExternalAddressAndIndex(idxOut ir.Reg) {
+	n.checkClassIndexOrFail(ir.ReceiverResultReg, heap.ClassIndexExternalAddr)
+	n.checkSmallIntOrFail(ir.Arg0Reg)
+	n.slotBoundsCheckOrFail(ir.ReceiverResultReg, ir.Arg0Reg, idxOut)
 }
 
 func (n *NativeMethodCompiler) genFFIIntAt(width uint, signed bool) {
-	res := machine.TempReg
+	res := ir.TempReg
 	n.checkExternalAddressAndIndex(res)
-	n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: machine.ReceiverResultReg, Rs2: res})
+	n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: res, Rs1: ir.ReceiverResultReg, Rs2: res})
 	if width < 64 {
-		n.asm.BinI(machine.OpcShlI, res, res, int64(64-width))
+		n.b.BinI(ir.OpcShlI, res, res, int64(64-width))
 		if signed {
-			n.asm.BinI(machine.OpcSarI, res, res, int64(64-width))
+			n.b.BinI(ir.OpcSarI, res, res, int64(64-width))
 		} else {
-			n.asm.MovI(machine.ScratchReg, int64(64-width))
-			n.asm.Emit(machine.Instr{Op: machine.OpcShr, Rd: res, Rs1: res, Rs2: machine.ScratchReg})
+			n.b.MovI(ir.ScratchReg, int64(64-width))
+			n.b.Emit(ir.Instr{Op: ir.OpcShr, Rd: res, Rs1: res, Rs2: ir.ScratchReg})
 		}
 	}
 	n.rangeCheckOrFail(res)
 	n.tag(res)
-	n.asm.MovR(machine.ReceiverResultReg, res)
-	n.asm.Ret()
+	n.b.MovR(ir.ReceiverResultReg, res)
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIIntAtPut(width uint) {
-	res := machine.TempReg
+	res := ir.TempReg
 	n.checkExternalAddressAndIndex(res)
-	n.checkSmallIntOrFail(machine.Arg1Reg)
-	n.untag(machine.ExtraReg, machine.Arg1Reg)
+	n.checkSmallIntOrFail(ir.Arg1Reg)
+	n.untag(ir.ExtraReg, ir.Arg1Reg)
 	if width < 64 {
 		// Store the truncated two's-complement representation, sign
 		// preserved for signed widths like the interpreter's coercion.
-		n.asm.BinI(machine.OpcShlI, machine.ExtraReg, machine.ExtraReg, int64(64-width))
-		n.asm.BinI(machine.OpcSarI, machine.ExtraReg, machine.ExtraReg, int64(64-width))
+		n.b.BinI(ir.OpcShlI, ir.ExtraReg, ir.ExtraReg, int64(64-width))
+		n.b.BinI(ir.OpcSarI, ir.ExtraReg, ir.ExtraReg, int64(64-width))
 	}
-	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ExtraReg, Rs1: machine.ReceiverResultReg, Rs2: res})
-	n.asm.MovR(machine.ReceiverResultReg, machine.Arg1Reg)
-	n.asm.Ret()
+	n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.ExtraReg, Rs1: ir.ReceiverResultReg, Rs2: res})
+	n.b.MovR(ir.ReceiverResultReg, ir.Arg1Reg)
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIFloatAt(width uint) {
-	res := machine.TempReg
+	res := ir.TempReg
 	n.checkExternalAddressAndIndex(res)
-	n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: machine.ReceiverResultReg, Rs2: res})
+	n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: res, Rs1: ir.ReceiverResultReg, Rs2: res})
 	if width == 32 {
-		n.asm.Emit(machine.Instr{Op: machine.OpcF32To64, Rd: res, Rs1: res})
+		n.b.Emit(ir.Instr{Op: ir.OpcF32To64, Rd: res, Rs1: res})
 	}
-	n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
-	n.asm.Ret()
+	n.b.Emit(ir.Instr{Op: ir.OpcAllocFloat, Rd: ir.ReceiverResultReg, Rs1: res})
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIFloatAtPut(width uint) {
-	res := machine.TempReg
+	res := ir.TempReg
 	n.checkExternalAddressAndIndex(res)
-	n.checkClassIndexOrFail(machine.Arg1Reg, heap.ClassIndexFloat)
-	n.asm.Load(machine.ExtraReg, machine.Arg1Reg, heap.HeaderWords)
+	n.checkClassIndexOrFail(ir.Arg1Reg, heap.ClassIndexFloat)
+	n.b.Load(ir.ExtraReg, ir.Arg1Reg, heap.HeaderWords)
 	if width == 32 {
-		n.asm.Emit(machine.Instr{Op: machine.OpcF64To32, Rd: machine.ExtraReg, Rs1: machine.ExtraReg})
+		n.b.Emit(ir.Instr{Op: ir.OpcF64To32, Rd: ir.ExtraReg, Rs1: ir.ExtraReg})
 	}
-	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ExtraReg, Rs1: machine.ReceiverResultReg, Rs2: res})
-	n.asm.MovR(machine.ReceiverResultReg, machine.Arg1Reg)
-	n.asm.Ret()
+	n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.ExtraReg, Rs1: ir.ReceiverResultReg, Rs2: res})
+	n.b.MovR(ir.ReceiverResultReg, ir.Arg1Reg)
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIPointerAtPut() {
-	res := machine.TempReg
+	res := ir.TempReg
 	n.checkExternalAddressAndIndex(res)
 	// The words-format store keeps the untagged representation the
 	// interpreter's StoreSlotChecked uses.
-	n.untag(machine.ExtraReg, machine.Arg1Reg)
-	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ExtraReg, Rs1: machine.ReceiverResultReg, Rs2: res})
-	n.asm.MovR(machine.ReceiverResultReg, machine.Arg1Reg)
-	n.asm.Ret()
+	n.untag(ir.ExtraReg, ir.Arg1Reg)
+	n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.ExtraReg, Rs1: ir.ReceiverResultReg, Rs2: res})
+	n.b.MovR(ir.ReceiverResultReg, ir.Arg1Reg)
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIStructField(field int, put bool) {
-	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalStruct)
+	n.checkClassIndexOrFail(ir.ReceiverResultReg, heap.ClassIndexExternalStruct)
 	// Bounds: the structure must have at least field+1 slots.
-	n.asm.Load(machine.ScratchReg, machine.ReceiverResultReg, 0)
-	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderSlotMask)
-	n.asm.CmpI(machine.ScratchReg, int64(field+1))
-	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+	n.b.Load(ir.ScratchReg, ir.ReceiverResultReg, 0)
+	n.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, heap.HeaderSlotMask)
+	n.b.CmpI(ir.ScratchReg, int64(field+1))
+	n.b.Jump(ir.OpcJlt, fallthroughLabel)
 	if put {
-		n.asm.Store(machine.ReceiverResultReg, heap.HeaderWords+int64(field), machine.Arg0Reg)
-		n.asm.MovR(machine.ReceiverResultReg, machine.Arg0Reg)
+		n.b.Store(ir.ReceiverResultReg, heap.HeaderWords+int64(field), ir.Arg0Reg)
+		n.b.MovR(ir.ReceiverResultReg, ir.Arg0Reg)
 	} else {
-		n.asm.Load(machine.TempReg, machine.ReceiverResultReg, heap.HeaderWords+int64(field))
-		n.asm.MovR(machine.ReceiverResultReg, machine.TempReg)
+		n.b.Load(ir.TempReg, ir.ReceiverResultReg, heap.HeaderWords+int64(field))
+		n.b.MovR(ir.ReceiverResultReg, ir.TempReg)
 	}
-	n.asm.Ret()
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIAllocate() {
-	n.checkSmallIntOrFail(machine.ReceiverResultReg)
-	n.asm.CmpI(machine.ReceiverResultReg, int64(heap.SmallIntFor(0)))
-	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-	n.cmpImm(machine.ReceiverResultReg, int64(heap.SmallIntFor(1<<16)))
-	n.asm.Jump(machine.OpcJgt, fallthroughLabel)
-	n.untag(machine.ExtraReg, machine.ReceiverResultReg)
-	n.asm.MovI(machine.TempReg, heap.ClassIndexExternalAddr)
-	n.asm.Emit(machine.Instr{Op: machine.OpcAlloc, Rd: machine.ReceiverResultReg, Rs1: machine.TempReg, Rs2: machine.ExtraReg})
-	n.asm.Ret()
+	n.checkSmallIntOrFail(ir.ReceiverResultReg)
+	n.b.CmpI(ir.ReceiverResultReg, int64(heap.SmallIntFor(0)))
+	n.b.Jump(ir.OpcJlt, fallthroughLabel)
+	n.cmpImm(ir.ReceiverResultReg, int64(heap.SmallIntFor(1<<16)))
+	n.b.Jump(ir.OpcJgt, fallthroughLabel)
+	n.untag(ir.ExtraReg, ir.ReceiverResultReg)
+	n.b.MovI(ir.TempReg, heap.ClassIndexExternalAddr)
+	n.b.Emit(ir.Instr{Op: ir.OpcAlloc, Rd: ir.ReceiverResultReg, Rs1: ir.TempReg, Rs2: ir.ExtraReg})
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIStrLen() {
-	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
-	n.asm.Load(machine.ClassSelectorReg, machine.ReceiverResultReg, 0)
-	n.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
+	n.checkClassIndexOrFail(ir.ReceiverResultReg, heap.ClassIndexExternalAddr)
+	n.b.Load(ir.ClassSelectorReg, ir.ReceiverResultReg, 0)
+	n.b.BinI(ir.OpcAndI, ir.ClassSelectorReg, ir.ClassSelectorReg, heap.HeaderSlotMask)
 	loop := n.label("scan")
 	done := n.label("done")
-	n.asm.MovI(machine.TempReg, 0) // length counter
-	n.asm.Label(loop)
-	n.asm.Cmp(machine.TempReg, machine.ClassSelectorReg)
-	n.asm.Jump(machine.OpcJge, done)
-	n.asm.BinI(machine.OpcAddI, machine.ScratchReg, machine.TempReg, 1)
-	n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: machine.ScratchReg, Rs1: machine.ReceiverResultReg, Rs2: machine.ScratchReg})
-	n.asm.CmpI(machine.ScratchReg, 0)
-	n.asm.Jump(machine.OpcJeq, done)
-	n.asm.BinI(machine.OpcAddI, machine.TempReg, machine.TempReg, 1)
-	n.asm.Jump(machine.OpcJmp, loop)
-	n.asm.Label(done)
-	n.tag(machine.TempReg)
-	n.asm.MovR(machine.ReceiverResultReg, machine.TempReg)
-	n.asm.Ret()
+	n.b.MovI(ir.TempReg, 0) // length counter
+	n.b.Label(loop)
+	n.b.Cmp(ir.TempReg, ir.ClassSelectorReg)
+	n.b.Jump(ir.OpcJge, done)
+	n.b.BinI(ir.OpcAddI, ir.ScratchReg, ir.TempReg, 1)
+	n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: ir.ScratchReg, Rs1: ir.ReceiverResultReg, Rs2: ir.ScratchReg})
+	n.b.CmpI(ir.ScratchReg, 0)
+	n.b.Jump(ir.OpcJeq, done)
+	n.b.BinI(ir.OpcAddI, ir.TempReg, ir.TempReg, 1)
+	n.b.Jump(ir.OpcJmp, loop)
+	n.b.Label(done)
+	n.tag(ir.TempReg)
+	n.b.MovR(ir.ReceiverResultReg, ir.TempReg)
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIMemCopy() {
-	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
-	n.checkClassIndexOrFail(machine.Arg0Reg, heap.ClassIndexExternalAddr)
-	n.checkSmallIntOrFail(machine.Arg1Reg)
-	n.asm.CmpI(machine.Arg1Reg, int64(heap.SmallIntFor(0)))
-	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-	n.untag(machine.TempReg, machine.Arg1Reg) // n
-	for _, obj := range []machine.Reg{machine.ReceiverResultReg, machine.Arg0Reg} {
-		n.asm.Load(machine.ScratchReg, obj, 0)
-		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderSlotMask)
-		n.asm.Cmp(machine.TempReg, machine.ScratchReg)
-		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+	n.checkClassIndexOrFail(ir.ReceiverResultReg, heap.ClassIndexExternalAddr)
+	n.checkClassIndexOrFail(ir.Arg0Reg, heap.ClassIndexExternalAddr)
+	n.checkSmallIntOrFail(ir.Arg1Reg)
+	n.b.CmpI(ir.Arg1Reg, int64(heap.SmallIntFor(0)))
+	n.b.Jump(ir.OpcJlt, fallthroughLabel)
+	n.untag(ir.TempReg, ir.Arg1Reg) // n
+	for _, obj := range []ir.Reg{ir.ReceiverResultReg, ir.Arg0Reg} {
+		n.b.Load(ir.ScratchReg, obj, 0)
+		n.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, heap.HeaderSlotMask)
+		n.b.Cmp(ir.TempReg, ir.ScratchReg)
+		n.b.Jump(ir.OpcJgt, fallthroughLabel)
 	}
 	loop := n.label("copy")
 	done := n.label("done")
-	n.asm.MovI(machine.ExtraReg, 1) // cursor (1-based body offset)
-	n.asm.Label(loop)
-	n.asm.Cmp(machine.ExtraReg, machine.TempReg)
-	n.asm.Jump(machine.OpcJgt, done)
-	n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: machine.ScratchReg, Rs1: machine.ReceiverResultReg, Rs2: machine.ExtraReg})
-	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ScratchReg, Rs1: machine.Arg0Reg, Rs2: machine.ExtraReg})
-	n.asm.BinI(machine.OpcAddI, machine.ExtraReg, machine.ExtraReg, 1)
-	n.asm.Jump(machine.OpcJmp, loop)
-	n.asm.Label(done)
-	n.asm.MovR(machine.ReceiverResultReg, machine.Arg0Reg)
-	n.asm.Ret()
+	n.b.MovI(ir.ExtraReg, 1) // cursor (1-based body offset)
+	n.b.Label(loop)
+	n.b.Cmp(ir.ExtraReg, ir.TempReg)
+	n.b.Jump(ir.OpcJgt, done)
+	n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: ir.ScratchReg, Rs1: ir.ReceiverResultReg, Rs2: ir.ExtraReg})
+	n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.ScratchReg, Rs1: ir.Arg0Reg, Rs2: ir.ExtraReg})
+	n.b.BinI(ir.OpcAddI, ir.ExtraReg, ir.ExtraReg, 1)
+	n.b.Jump(ir.OpcJmp, loop)
+	n.b.Label(done)
+	n.b.MovR(ir.ReceiverResultReg, ir.Arg0Reg)
+	n.b.Ret()
 }
 
 func (n *NativeMethodCompiler) genFFIMemSet() {
-	n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexExternalAddr)
-	n.checkSmallIntOrFail(machine.Arg0Reg)
-	n.checkSmallIntOrFail(machine.Arg1Reg)
-	n.asm.CmpI(machine.Arg1Reg, int64(heap.SmallIntFor(0)))
-	n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-	n.untag(machine.TempReg, machine.Arg1Reg) // n
-	n.asm.Load(machine.ScratchReg, machine.ReceiverResultReg, 0)
-	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderSlotMask)
-	n.asm.Cmp(machine.TempReg, machine.ScratchReg)
-	n.asm.Jump(machine.OpcJgt, fallthroughLabel)
-	n.untag(machine.ClassSelectorReg, machine.Arg0Reg) // raw value
+	n.checkClassIndexOrFail(ir.ReceiverResultReg, heap.ClassIndexExternalAddr)
+	n.checkSmallIntOrFail(ir.Arg0Reg)
+	n.checkSmallIntOrFail(ir.Arg1Reg)
+	n.b.CmpI(ir.Arg1Reg, int64(heap.SmallIntFor(0)))
+	n.b.Jump(ir.OpcJlt, fallthroughLabel)
+	n.untag(ir.TempReg, ir.Arg1Reg) // n
+	n.b.Load(ir.ScratchReg, ir.ReceiverResultReg, 0)
+	n.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, heap.HeaderSlotMask)
+	n.b.Cmp(ir.TempReg, ir.ScratchReg)
+	n.b.Jump(ir.OpcJgt, fallthroughLabel)
+	n.untag(ir.ClassSelectorReg, ir.Arg0Reg) // raw value
 	loop := n.label("set")
 	done := n.label("done")
-	n.asm.MovI(machine.ExtraReg, 1)
-	n.asm.Label(loop)
-	n.asm.Cmp(machine.ExtraReg, machine.TempReg)
-	n.asm.Jump(machine.OpcJgt, done)
-	n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ClassSelectorReg, Rs1: machine.ReceiverResultReg, Rs2: machine.ExtraReg})
-	n.asm.BinI(machine.OpcAddI, machine.ExtraReg, machine.ExtraReg, 1)
-	n.asm.Jump(machine.OpcJmp, loop)
-	n.asm.Label(done)
-	n.asm.Ret()
+	n.b.MovI(ir.ExtraReg, 1)
+	n.b.Label(loop)
+	n.b.Cmp(ir.ExtraReg, ir.TempReg)
+	n.b.Jump(ir.OpcJgt, done)
+	n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.ClassSelectorReg, Rs1: ir.ReceiverResultReg, Rs2: ir.ExtraReg})
+	n.b.BinI(ir.OpcAddI, ir.ExtraReg, ir.ExtraReg, 1)
+	n.b.Jump(ir.OpcJmp, loop)
+	n.b.Label(done)
+	n.b.Ret()
 }

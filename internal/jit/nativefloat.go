@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"cogdiff/internal/heap"
-	"cogdiff/internal/machine"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/primitives"
 )
 
@@ -36,157 +36,157 @@ var floatPrimsWithMissingReceiverCheck = map[int]bool{
 // choice matters: primitiveFloatTruncated and primitiveFloatFractionPart
 // unbox into the registers whose simulated setters are missing, turning
 // their faults into simulation errors.
-func (n *NativeMethodCompiler) unboxReceiverFloat(p *primitives.Primitive, dst machine.Reg) {
+func (n *NativeMethodCompiler) unboxReceiverFloat(p *primitives.Primitive, dst ir.Reg) {
 	if !(n.Defects.FloatPrimsSkipReceiverCheck && floatPrimsWithMissingReceiverCheck[p.Index]) {
-		n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexFloat)
+		n.checkClassIndexOrFail(ir.ReceiverResultReg, heap.ClassIndexFloat)
 	}
-	n.asm.Load(dst, machine.ReceiverResultReg, heap.HeaderWords)
+	n.b.Load(dst, ir.ReceiverResultReg, heap.HeaderWords)
 }
 
 // unboxArgFloatOrFail type-checks and unboxes the first argument.
-func (n *NativeMethodCompiler) unboxArgFloatOrFail(dst machine.Reg) {
-	n.checkClassIndexOrFail(machine.Arg0Reg, heap.ClassIndexFloat)
-	n.asm.Load(dst, machine.Arg0Reg, heap.HeaderWords)
+func (n *NativeMethodCompiler) unboxArgFloatOrFail(dst ir.Reg) {
+	n.checkClassIndexOrFail(ir.Arg0Reg, heap.ClassIndexFloat)
+	n.b.Load(dst, ir.Arg0Reg, heap.HeaderWords)
 }
 
 // genFloatTemplate compiles the Float native methods.
 func (n *NativeMethodCompiler) genFloatTemplate(p *primitives.Primitive) error {
-	res := machine.TempReg
+	res := ir.TempReg
 
 	switch p.Index {
 	case primitives.PrimIdxAsFloat:
 		// The compiled version is correct: it checks what the interpreter
 		// only asserted (the missing *interpreter* type check, Listing 5).
-		n.checkSmallIntOrFail(machine.ReceiverResultReg)
-		n.untag(res, machine.ReceiverResultReg)
-		n.asm.Emit(machine.Instr{Op: machine.OpcI2F, Rd: res, Rs1: res})
-		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
-		n.asm.Ret()
+		n.checkSmallIntOrFail(ir.ReceiverResultReg)
+		n.untag(res, ir.ReceiverResultReg)
+		n.b.Emit(ir.Instr{Op: ir.OpcI2F, Rd: res, Rs1: res})
+		n.b.Emit(ir.Instr{Op: ir.OpcAllocFloat, Rd: ir.ReceiverResultReg, Rs1: res})
+		n.b.Ret()
 
 	case primitives.PrimIdxFloatAdd, primitives.PrimIdxFloatSubtract,
 		primitives.PrimIdxFloatMultiply, primitives.PrimIdxFloatDivide:
-		op := map[int]machine.Opc{
-			primitives.PrimIdxFloatAdd:      machine.OpcFAdd,
-			primitives.PrimIdxFloatSubtract: machine.OpcFSub,
-			primitives.PrimIdxFloatMultiply: machine.OpcFMul,
-			primitives.PrimIdxFloatDivide:   machine.OpcFDiv,
+		op := map[int]ir.Opc{
+			primitives.PrimIdxFloatAdd:      ir.OpcFAdd,
+			primitives.PrimIdxFloatSubtract: ir.OpcFSub,
+			primitives.PrimIdxFloatMultiply: ir.OpcFMul,
+			primitives.PrimIdxFloatDivide:   ir.OpcFDiv,
 		}[p.Index]
 		n.unboxReceiverFloat(p, res)
-		n.unboxArgFloatOrFail(machine.ExtraReg)
-		n.asm.Bin(op, res, res, machine.ExtraReg)
-		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
-		n.asm.Ret()
+		n.unboxArgFloatOrFail(ir.ExtraReg)
+		n.b.Bin(op, res, res, ir.ExtraReg)
+		n.b.Emit(ir.Instr{Op: ir.OpcAllocFloat, Rd: ir.ReceiverResultReg, Rs1: res})
+		n.b.Ret()
 
 	case primitives.PrimIdxFloatLess, primitives.PrimIdxFloatGreater,
 		primitives.PrimIdxFloatLessEq, primitives.PrimIdxFloatGreatEq,
 		primitives.PrimIdxFloatEqual, primitives.PrimIdxFloatNotEqual:
-		jcc := map[int]machine.Opc{
-			primitives.PrimIdxFloatLess:     machine.OpcJlt,
-			primitives.PrimIdxFloatGreater:  machine.OpcJgt,
-			primitives.PrimIdxFloatLessEq:   machine.OpcJle,
-			primitives.PrimIdxFloatGreatEq:  machine.OpcJge,
-			primitives.PrimIdxFloatEqual:    machine.OpcJeq,
-			primitives.PrimIdxFloatNotEqual: machine.OpcJne,
+		jcc := map[int]ir.Opc{
+			primitives.PrimIdxFloatLess:     ir.OpcJlt,
+			primitives.PrimIdxFloatGreater:  ir.OpcJgt,
+			primitives.PrimIdxFloatLessEq:   ir.OpcJle,
+			primitives.PrimIdxFloatGreatEq:  ir.OpcJge,
+			primitives.PrimIdxFloatEqual:    ir.OpcJeq,
+			primitives.PrimIdxFloatNotEqual: ir.OpcJne,
 		}[p.Index]
 		n.unboxReceiverFloat(p, res)
-		n.unboxArgFloatOrFail(machine.ExtraReg)
-		n.asm.FCmp(res, machine.ExtraReg)
+		n.unboxArgFloatOrFail(ir.ExtraReg)
+		n.b.FCmp(res, ir.ExtraReg)
 		n.retBool(jcc)
 
 	case primitives.PrimIdxFloatTruncated:
 		// Unboxes into ExtraReg (r5): one of the two simulated registers
 		// whose fault-recovery setter is missing.
-		n.unboxReceiverFloat(p, machine.ExtraReg)
-		n.asm.Emit(machine.Instr{Op: machine.OpcF2I, Rd: res, Rs1: machine.ExtraReg})
+		n.unboxReceiverFloat(p, ir.ExtraReg)
+		n.b.Emit(ir.Instr{Op: ir.OpcF2I, Rd: res, Rs1: ir.ExtraReg})
 		n.rangeCheckOrFail(res)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxFloatFraction:
 		// Unboxes into Arg2Reg (r3): the second missing accessor.
-		n.unboxReceiverFloat(p, machine.Arg2Reg)
-		n.asm.Emit(machine.Instr{Op: machine.OpcF2I, Rd: res, Rs1: machine.Arg2Reg})
-		n.asm.Emit(machine.Instr{Op: machine.OpcI2F, Rd: res, Rs1: res})
-		n.asm.Bin(machine.OpcFSub, res, machine.Arg2Reg, res)
-		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
-		n.asm.Ret()
+		n.unboxReceiverFloat(p, ir.Arg2Reg)
+		n.b.Emit(ir.Instr{Op: ir.OpcF2I, Rd: res, Rs1: ir.Arg2Reg})
+		n.b.Emit(ir.Instr{Op: ir.OpcI2F, Rd: res, Rs1: res})
+		n.b.Bin(ir.OpcFSub, res, ir.Arg2Reg, res)
+		n.b.Emit(ir.Instr{Op: ir.OpcAllocFloat, Rd: ir.ReceiverResultReg, Rs1: res})
+		n.b.Ret()
 
 	case primitives.PrimIdxFloatExponent:
 		n.unboxReceiverFloat(p, res)
 		// Zero, NaN and infinity fail like the interpreter.
-		n.asm.BinI(machine.OpcShlI, machine.ScratchReg, res, 1)
-		n.asm.CmpI(machine.ScratchReg, 0)
-		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
-		n.asm.BinI(machine.OpcSarI, machine.ScratchReg, res, 52)
-		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, 0x7FF)
-		n.asm.CmpI(machine.ScratchReg, 0x7FF)
-		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
-		n.asm.BinI(machine.OpcSubI, res, machine.ScratchReg, 1023)
+		n.b.BinI(ir.OpcShlI, ir.ScratchReg, res, 1)
+		n.b.CmpI(ir.ScratchReg, 0)
+		n.b.Jump(ir.OpcJeq, fallthroughLabel)
+		n.b.BinI(ir.OpcSarI, ir.ScratchReg, res, 52)
+		n.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, 0x7FF)
+		n.b.CmpI(ir.ScratchReg, 0x7FF)
+		n.b.Jump(ir.OpcJeq, fallthroughLabel)
+		n.b.BinI(ir.OpcSubI, res, ir.ScratchReg, 1023)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxFloatTimesTwoPower:
 		n.unboxReceiverFloat(p, res)
-		n.checkSmallIntOrFail(machine.Arg0Reg)
-		n.untag(machine.ExtraReg, machine.Arg0Reg)
-		n.cmpImm(machine.ExtraReg, -1074)
-		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-		n.cmpImm(machine.ExtraReg, 1023)
-		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+		n.checkSmallIntOrFail(ir.Arg0Reg)
+		n.untag(ir.ExtraReg, ir.Arg0Reg)
+		n.cmpImm(ir.ExtraReg, -1074)
+		n.b.Jump(ir.OpcJlt, fallthroughLabel)
+		n.cmpImm(ir.ExtraReg, 1023)
+		n.b.Jump(ir.OpcJgt, fallthroughLabel)
 		// x * 2^k in two steps so denormal scales stay exact:
 		// first clamp the step into the normal exponent range.
 		small := n.label("small")
 		done := n.label("done")
-		n.cmpImm(machine.ExtraReg, -1022)
-		n.asm.Jump(machine.OpcJlt, small)
-		n.asm.BinI(machine.OpcAddI, machine.ScratchReg, machine.ExtraReg, 1023)
-		n.asm.BinI(machine.OpcShlI, machine.ScratchReg, machine.ScratchReg, 52)
-		n.asm.Bin(machine.OpcFMul, res, res, machine.ScratchReg)
-		n.asm.Jump(machine.OpcJmp, done)
-		n.asm.Label(small)
+		n.cmpImm(ir.ExtraReg, -1022)
+		n.b.Jump(ir.OpcJlt, small)
+		n.b.BinI(ir.OpcAddI, ir.ScratchReg, ir.ExtraReg, 1023)
+		n.b.BinI(ir.OpcShlI, ir.ScratchReg, ir.ScratchReg, 52)
+		n.b.Bin(ir.OpcFMul, res, res, ir.ScratchReg)
+		n.b.Jump(ir.OpcJmp, done)
+		n.b.Label(small)
 		// multiply by 2^-1022 (bit pattern 1<<52, built with a shift so
 		// the fixed-width ISA can encode it), then by 2^(k+1022)
-		n.asm.MovI(machine.ScratchReg, 1)
-		n.asm.BinI(machine.OpcShlI, machine.ScratchReg, machine.ScratchReg, 52)
-		n.asm.Bin(machine.OpcFMul, res, res, machine.ScratchReg)
-		n.asm.BinI(machine.OpcAddI, machine.ScratchReg, machine.ExtraReg, 1022+1023)
-		n.asm.BinI(machine.OpcShlI, machine.ScratchReg, machine.ScratchReg, 52)
-		n.asm.Bin(machine.OpcFMul, res, res, machine.ScratchReg)
-		n.asm.Label(done)
-		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
-		n.asm.Ret()
+		n.b.MovI(ir.ScratchReg, 1)
+		n.b.BinI(ir.OpcShlI, ir.ScratchReg, ir.ScratchReg, 52)
+		n.b.Bin(ir.OpcFMul, res, res, ir.ScratchReg)
+		n.b.BinI(ir.OpcAddI, ir.ScratchReg, ir.ExtraReg, 1022+1023)
+		n.b.BinI(ir.OpcShlI, ir.ScratchReg, ir.ScratchReg, 52)
+		n.b.Bin(ir.OpcFMul, res, res, ir.ScratchReg)
+		n.b.Label(done)
+		n.b.Emit(ir.Instr{Op: ir.OpcAllocFloat, Rd: ir.ReceiverResultReg, Rs1: res})
+		n.b.Ret()
 
 	case primitives.PrimIdxFloatSqrt:
 		n.unboxReceiverFloat(p, res)
 		// Negative receivers fail like the interpreter's guard.
-		n.asm.MovI(machine.ScratchReg, 0)
-		n.asm.FCmp(res, machine.ScratchReg)
-		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-		n.asm.Emit(machine.Instr{Op: machine.OpcFSqrt, Rd: res, Rs1: res})
-		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
-		n.asm.Ret()
+		n.b.MovI(ir.ScratchReg, 0)
+		n.b.FCmp(res, ir.ScratchReg)
+		n.b.Jump(ir.OpcJlt, fallthroughLabel)
+		n.b.Emit(ir.Instr{Op: ir.OpcFSqrt, Rd: res, Rs1: res})
+		n.b.Emit(ir.Instr{Op: ir.OpcAllocFloat, Rd: ir.ReceiverResultReg, Rs1: res})
+		n.b.Ret()
 
 	case primitives.PrimIdxFloatSin, primitives.PrimIdxFloatArctan,
 		primitives.PrimIdxFloatLogN, primitives.PrimIdxFloatExp:
 		// Only compiled when not marked missing (pristine configuration).
-		op := map[int]machine.Opc{
-			primitives.PrimIdxFloatSin:    machine.OpcFSin,
-			primitives.PrimIdxFloatArctan: machine.OpcFAtan,
-			primitives.PrimIdxFloatLogN:   machine.OpcFLog,
-			primitives.PrimIdxFloatExp:    machine.OpcFExp,
+		op := map[int]ir.Opc{
+			primitives.PrimIdxFloatSin:    ir.OpcFSin,
+			primitives.PrimIdxFloatArctan: ir.OpcFAtan,
+			primitives.PrimIdxFloatLogN:   ir.OpcFLog,
+			primitives.PrimIdxFloatExp:    ir.OpcFExp,
 		}[p.Index]
-		n.checkClassIndexOrFail(machine.ReceiverResultReg, heap.ClassIndexFloat)
-		n.asm.Load(res, machine.ReceiverResultReg, heap.HeaderWords)
+		n.checkClassIndexOrFail(ir.ReceiverResultReg, heap.ClassIndexFloat)
+		n.b.Load(res, ir.ReceiverResultReg, heap.HeaderWords)
 		if p.Index == primitives.PrimIdxFloatLogN {
-			n.asm.MovI(machine.ScratchReg, 0)
-			n.asm.FCmp(res, machine.ScratchReg)
-			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+			n.b.MovI(ir.ScratchReg, 0)
+			n.b.FCmp(res, ir.ScratchReg)
+			n.b.Jump(ir.OpcJlt, fallthroughLabel)
 		}
-		n.asm.Emit(machine.Instr{Op: op, Rd: res, Rs1: res})
-		n.asm.Emit(machine.Instr{Op: machine.OpcAllocFloat, Rd: machine.ReceiverResultReg, Rs1: res})
-		n.asm.Ret()
+		n.b.Emit(ir.Instr{Op: op, Rd: res, Rs1: res})
+		n.b.Emit(ir.Instr{Op: ir.OpcAllocFloat, Rd: ir.ReceiverResultReg, Rs1: res})
+		n.b.Ret()
 
 	default:
 		return fmt.Errorf("%w: no float template for %s", ErrNotCompilable, p.Name)

@@ -4,121 +4,121 @@ import (
 	"fmt"
 
 	"cogdiff/internal/heap"
-	"cogdiff/internal/machine"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/primitives"
 )
 
 // genIntegerTemplate compiles the SmallInteger native methods.
 func (n *NativeMethodCompiler) genIntegerTemplate(p *primitives.Primitive) error {
-	rcvr, arg := machine.ReceiverResultReg, machine.Arg0Reg
-	res := machine.TempReg
+	rcvr, arg := ir.ReceiverResultReg, ir.Arg0Reg
+	res := ir.TempReg
 
 	switch p.Index {
 	case primitives.PrimIdxAdd, primitives.PrimIdxSubtract:
 		n.checkSmallIntOrFail(rcvr)
 		n.checkSmallIntOrFail(arg)
 		if p.Index == primitives.PrimIdxAdd {
-			n.asm.BinI(machine.OpcSubI, res, arg, 1)
-			n.asm.Bin(machine.OpcAdd, res, rcvr, res)
+			n.b.BinI(ir.OpcSubI, res, arg, 1)
+			n.b.Bin(ir.OpcAdd, res, rcvr, res)
 		} else {
-			n.asm.Bin(machine.OpcSub, res, rcvr, arg)
-			n.asm.BinI(machine.OpcAddI, res, res, 1)
+			n.b.Bin(ir.OpcSub, res, rcvr, arg)
+			n.b.BinI(ir.OpcAddI, res, res, 1)
 		}
 		n.cmpImm(res, int64(heap.SmallIntFor(heap.MaxSmallInt)))
-		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
+		n.b.Jump(ir.OpcJgt, fallthroughLabel)
 		n.cmpImm(res, int64(heap.SmallIntFor(heap.MinSmallInt)))
-		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.Jump(ir.OpcJlt, fallthroughLabel)
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxMultiply:
 		n.checkSmallIntOrFail(rcvr)
 		n.checkSmallIntOrFail(arg)
 		n.untag(res, rcvr)
-		n.untag(machine.ExtraReg, arg)
-		n.asm.Bin(machine.OpcMul, res, res, machine.ExtraReg)
+		n.untag(ir.ExtraReg, arg)
+		n.b.Bin(ir.OpcMul, res, res, ir.ExtraReg)
 		n.rangeCheckOrFail(res)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxLess, primitives.PrimIdxGreater, primitives.PrimIdxLessEq,
 		primitives.PrimIdxGreatEq, primitives.PrimIdxEqual, primitives.PrimIdxNotEqual:
 		n.checkSmallIntOrFail(rcvr)
 		n.checkSmallIntOrFail(arg)
-		n.asm.Cmp(rcvr, arg) // tagged comparison preserves order
-		jcc := map[int]machine.Opc{
-			primitives.PrimIdxLess:     machine.OpcJlt,
-			primitives.PrimIdxGreater:  machine.OpcJgt,
-			primitives.PrimIdxLessEq:   machine.OpcJle,
-			primitives.PrimIdxGreatEq:  machine.OpcJge,
-			primitives.PrimIdxEqual:    machine.OpcJeq,
-			primitives.PrimIdxNotEqual: machine.OpcJne,
+		n.b.Cmp(rcvr, arg) // tagged comparison preserves order
+		jcc := map[int]ir.Opc{
+			primitives.PrimIdxLess:     ir.OpcJlt,
+			primitives.PrimIdxGreater:  ir.OpcJgt,
+			primitives.PrimIdxLessEq:   ir.OpcJle,
+			primitives.PrimIdxGreatEq:  ir.OpcJge,
+			primitives.PrimIdxEqual:    ir.OpcJeq,
+			primitives.PrimIdxNotEqual: ir.OpcJne,
 		}[p.Index]
 		n.retBool(jcc)
 
 	case primitives.PrimIdxDivide:
 		n.checkSmallIntOrFail(rcvr)
 		n.checkSmallIntOrFail(arg)
-		n.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
-		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+		n.b.CmpI(arg, int64(heap.SmallIntFor(0)))
+		n.b.Jump(ir.OpcJeq, fallthroughLabel)
 		n.untag(res, rcvr)
-		n.untag(machine.ExtraReg, arg)
-		n.asm.Bin(machine.OpcMod, machine.ScratchReg, res, machine.ExtraReg)
-		n.asm.CmpI(machine.ScratchReg, 0)
-		n.asm.Jump(machine.OpcJne, fallthroughLabel)
-		n.asm.Bin(machine.OpcDiv, res, res, machine.ExtraReg)
+		n.untag(ir.ExtraReg, arg)
+		n.b.Bin(ir.OpcMod, ir.ScratchReg, res, ir.ExtraReg)
+		n.b.CmpI(ir.ScratchReg, 0)
+		n.b.Jump(ir.OpcJne, fallthroughLabel)
+		n.b.Bin(ir.OpcDiv, res, res, ir.ExtraReg)
 		n.rangeCheckOrFail(res)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxDiv, primitives.PrimIdxMod:
 		n.checkSmallIntOrFail(rcvr)
 		n.checkSmallIntOrFail(arg)
-		n.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
-		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
-		n.untag(res, rcvr)             // a
-		n.untag(machine.ExtraReg, arg) // b
+		n.b.CmpI(arg, int64(heap.SmallIntFor(0)))
+		n.b.Jump(ir.OpcJeq, fallthroughLabel)
+		n.untag(res, rcvr)        // a
+		n.untag(ir.ExtraReg, arg) // b
 		done := n.label("done")
 		if p.Index == primitives.PrimIdxDiv {
-			n.asm.Bin(machine.OpcDiv, machine.ScratchReg, res, machine.ExtraReg) // q
-			n.asm.Bin(machine.OpcMul, machine.ClassSelectorReg, machine.ScratchReg, machine.ExtraReg)
-			n.asm.Bin(machine.OpcSub, machine.ClassSelectorReg, res, machine.ClassSelectorReg) // rem
-			n.asm.CmpI(machine.ClassSelectorReg, 0)
-			n.asm.Jump(machine.OpcJeq, done)
-			n.asm.Bin(machine.OpcXor, machine.ClassSelectorReg, res, machine.ExtraReg)
-			n.asm.CmpI(machine.ClassSelectorReg, 0)
-			n.asm.Jump(machine.OpcJge, done)
-			n.asm.BinI(machine.OpcSubI, machine.ScratchReg, machine.ScratchReg, 1)
+			n.b.Bin(ir.OpcDiv, ir.ScratchReg, res, ir.ExtraReg) // q
+			n.b.Bin(ir.OpcMul, ir.ClassSelectorReg, ir.ScratchReg, ir.ExtraReg)
+			n.b.Bin(ir.OpcSub, ir.ClassSelectorReg, res, ir.ClassSelectorReg) // rem
+			n.b.CmpI(ir.ClassSelectorReg, 0)
+			n.b.Jump(ir.OpcJeq, done)
+			n.b.Bin(ir.OpcXor, ir.ClassSelectorReg, res, ir.ExtraReg)
+			n.b.CmpI(ir.ClassSelectorReg, 0)
+			n.b.Jump(ir.OpcJge, done)
+			n.b.BinI(ir.OpcSubI, ir.ScratchReg, ir.ScratchReg, 1)
 		} else {
-			n.asm.Bin(machine.OpcMod, machine.ScratchReg, res, machine.ExtraReg)
-			n.asm.CmpI(machine.ScratchReg, 0)
-			n.asm.Jump(machine.OpcJeq, done)
-			n.asm.Bin(machine.OpcXor, machine.ClassSelectorReg, res, machine.ExtraReg)
-			n.asm.CmpI(machine.ClassSelectorReg, 0)
-			n.asm.Jump(machine.OpcJge, done)
-			n.asm.Bin(machine.OpcAdd, machine.ScratchReg, machine.ScratchReg, machine.ExtraReg)
+			n.b.Bin(ir.OpcMod, ir.ScratchReg, res, ir.ExtraReg)
+			n.b.CmpI(ir.ScratchReg, 0)
+			n.b.Jump(ir.OpcJeq, done)
+			n.b.Bin(ir.OpcXor, ir.ClassSelectorReg, res, ir.ExtraReg)
+			n.b.CmpI(ir.ClassSelectorReg, 0)
+			n.b.Jump(ir.OpcJge, done)
+			n.b.Bin(ir.OpcAdd, ir.ScratchReg, ir.ScratchReg, ir.ExtraReg)
 		}
-		n.asm.Label(done)
-		n.asm.MovR(res, machine.ScratchReg)
+		n.b.Label(done)
+		n.b.MovR(res, ir.ScratchReg)
 		n.rangeCheckOrFail(res)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxQuo:
 		n.checkSmallIntOrFail(rcvr)
 		n.checkSmallIntOrFail(arg)
-		n.asm.CmpI(arg, int64(heap.SmallIntFor(0)))
-		n.asm.Jump(machine.OpcJeq, fallthroughLabel)
+		n.b.CmpI(arg, int64(heap.SmallIntFor(0)))
+		n.b.Jump(ir.OpcJeq, fallthroughLabel)
 		n.untag(res, rcvr)
-		n.untag(machine.ExtraReg, arg)
-		n.asm.Bin(machine.OpcDiv, res, res, machine.ExtraReg)
+		n.untag(ir.ExtraReg, arg)
+		n.b.Bin(ir.OpcDiv, res, res, ir.ExtraReg)
 		n.rangeCheckOrFail(res)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxBitAnd, primitives.PrimIdxBitOr, primitives.PrimIdxBitXor:
 		n.checkSmallIntOrFail(rcvr)
@@ -126,53 +126,53 @@ func (n *NativeMethodCompiler) genIntegerTemplate(p *primitives.Primitive) error
 		if !n.Defects.BitwisePrimsUnsigned {
 			// The corrected templates mirror the interpreter's negative
 			// operand fallback.
-			n.asm.CmpI(rcvr, 0)
-			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-			n.asm.CmpI(arg, 0)
-			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+			n.b.CmpI(rcvr, 0)
+			n.b.Jump(ir.OpcJlt, fallthroughLabel)
+			n.b.CmpI(arg, 0)
+			n.b.Jump(ir.OpcJlt, fallthroughLabel)
 		}
-		op := map[int]machine.Opc{
-			primitives.PrimIdxBitAnd: machine.OpcAnd,
-			primitives.PrimIdxBitOr:  machine.OpcOr,
-			primitives.PrimIdxBitXor: machine.OpcXor,
+		op := map[int]ir.Opc{
+			primitives.PrimIdxBitAnd: ir.OpcAnd,
+			primitives.PrimIdxBitOr:  ir.OpcOr,
+			primitives.PrimIdxBitXor: ir.OpcXor,
 		}[p.Index]
-		n.asm.Bin(op, res, rcvr, arg)
-		if op == machine.OpcXor {
-			n.asm.BinI(machine.OpcOrI, res, res, 1)
+		n.b.Bin(op, res, rcvr, arg)
+		if op == ir.OpcXor {
+			n.b.BinI(ir.OpcOrI, res, res, 1)
 		}
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxBitShift:
 		n.checkSmallIntOrFail(rcvr)
 		n.checkSmallIntOrFail(arg)
 		if !n.Defects.BitwisePrimsUnsigned {
-			n.asm.CmpI(rcvr, 0)
-			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+			n.b.CmpI(rcvr, 0)
+			n.b.Jump(ir.OpcJlt, fallthroughLabel)
 		}
 		neg := n.label("neg")
-		n.asm.CmpI(arg, 0)
-		n.asm.Jump(machine.OpcJlt, neg)
+		n.b.CmpI(arg, 0)
+		n.b.Jump(ir.OpcJlt, neg)
 		n.cmpImm(arg, int64(heap.SmallIntFor(31)))
-		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
-		n.untag(machine.ScratchReg, arg)
+		n.b.Jump(ir.OpcJgt, fallthroughLabel)
+		n.untag(ir.ScratchReg, arg)
 		n.untag(res, rcvr)
-		n.asm.Bin(machine.OpcShl, res, res, machine.ScratchReg)
+		n.b.Bin(ir.OpcShl, res, res, ir.ScratchReg)
 		n.rangeCheckOrFail(res)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
-		n.asm.Label(neg)
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
+		n.b.Label(neg)
 		n.cmpImm(arg, int64(heap.SmallIntFor(-31)))
-		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-		n.untag(machine.ScratchReg, arg)
-		n.asm.MovI(machine.ClassSelectorReg, 0)
-		n.asm.Bin(machine.OpcSub, machine.ScratchReg, machine.ClassSelectorReg, machine.ScratchReg)
+		n.b.Jump(ir.OpcJlt, fallthroughLabel)
+		n.untag(ir.ScratchReg, arg)
+		n.b.MovI(ir.ClassSelectorReg, 0)
+		n.b.Bin(ir.OpcSub, ir.ScratchReg, ir.ClassSelectorReg, ir.ScratchReg)
 		n.untag(res, rcvr)
-		n.asm.Bin(machine.OpcSar, res, res, machine.ScratchReg)
+		n.b.Bin(ir.OpcSar, res, res, ir.ScratchReg)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxMakePoint:
 		n.checkSmallIntOrFail(rcvr)
@@ -181,36 +181,36 @@ func (n *NativeMethodCompiler) genIntegerTemplate(p *primitives.Primitive) error
 		if !n.Defects.BitwisePrimsUnsigned {
 			n.checkSmallIntOrFail(arg)
 		}
-		n.asm.MovI(machine.TempReg, heap.ClassIndexPoint)
-		n.asm.MovI(machine.ExtraReg, 2)
-		n.asm.Emit(machine.Instr{Op: machine.OpcAlloc, Rd: res, Rs1: machine.TempReg, Rs2: machine.ExtraReg})
-		n.asm.Store(res, heap.HeaderWords, rcvr)
-		n.asm.Store(res, heap.HeaderWords+1, arg)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
+		n.b.MovI(ir.TempReg, heap.ClassIndexPoint)
+		n.b.MovI(ir.ExtraReg, 2)
+		n.b.Emit(ir.Instr{Op: ir.OpcAlloc, Rd: res, Rs1: ir.TempReg, Rs2: ir.ExtraReg})
+		n.b.Store(res, heap.HeaderWords, rcvr)
+		n.b.Store(res, heap.HeaderWords+1, arg)
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxAsInteger:
 		intCase := n.label("isInt")
-		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, rcvr, 1)
-		n.asm.CmpI(machine.ScratchReg, 1)
-		n.asm.Jump(machine.OpcJeq, intCase)
+		n.b.BinI(ir.OpcAndI, ir.ScratchReg, rcvr, 1)
+		n.b.CmpI(ir.ScratchReg, 1)
+		n.b.Jump(ir.OpcJeq, intCase)
 		n.checkClassIndexOrFail(rcvr, heap.ClassIndexFloat)
-		n.asm.Load(res, rcvr, heap.HeaderWords)
-		n.asm.Emit(machine.Instr{Op: machine.OpcF2I, Rd: res, Rs1: res})
+		n.b.Load(res, rcvr, heap.HeaderWords)
+		n.b.Emit(ir.Instr{Op: ir.OpcF2I, Rd: res, Rs1: res})
 		n.rangeCheckOrFail(res)
 		n.tag(res)
-		n.asm.MovR(machine.ReceiverResultReg, res)
-		n.asm.Ret()
-		n.asm.Label(intCase)
-		n.asm.Ret() // the receiver is already the result
+		n.b.MovR(ir.ReceiverResultReg, res)
+		n.b.Ret()
+		n.b.Label(intCase)
+		n.b.Ret() // the receiver is already the result
 
 	case primitives.PrimIdxAsCharacter:
 		n.checkSmallIntOrFail(rcvr)
-		n.asm.CmpI(rcvr, int64(heap.SmallIntFor(0)))
-		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		n.b.CmpI(rcvr, int64(heap.SmallIntFor(0)))
+		n.b.Jump(ir.OpcJlt, fallthroughLabel)
 		n.cmpImm(rcvr, int64(heap.SmallIntFor(0x10FFFF)))
-		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
-		n.asm.Ret()
+		n.b.Jump(ir.OpcJgt, fallthroughLabel)
+		n.b.Ret()
 
 	default:
 		return fmt.Errorf("%w: no integer template for %s", ErrNotCompilable, p.Name)

@@ -4,44 +4,44 @@ import (
 	"fmt"
 
 	"cogdiff/internal/heap"
-	"cogdiff/internal/machine"
+	"cogdiff/internal/ir"
 	"cogdiff/internal/primitives"
 )
 
 // emitIndexableFormatCheckN loads the header into hdr and fails unless the
 // receiver format is indexable; the format is left in ScratchReg.
-func (n *NativeMethodCompiler) emitIndexableFormatCheckN(obj, hdr machine.Reg, bytesOnly bool) {
+func (n *NativeMethodCompiler) emitIndexableFormatCheckN(obj, hdr ir.Reg, bytesOnly bool) {
 	ok := n.label("fmtok")
-	n.asm.Load(hdr, obj, 0)
-	n.asm.BinI(machine.OpcSarI, machine.ScratchReg, hdr, heap.HeaderSlotBits)
-	n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderFormatMask)
+	n.b.Load(hdr, obj, 0)
+	n.b.BinI(ir.OpcSarI, ir.ScratchReg, hdr, heap.HeaderSlotBits)
+	n.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, heap.HeaderFormatMask)
 	if bytesOnly {
-		n.asm.CmpI(machine.ScratchReg, int64(heap.FormatBytes))
-		n.asm.Jump(machine.OpcJne, fallthroughLabel)
+		n.b.CmpI(ir.ScratchReg, int64(heap.FormatBytes))
+		n.b.Jump(ir.OpcJne, fallthroughLabel)
 		return
 	}
-	n.asm.CmpI(machine.ScratchReg, int64(heap.FormatPointers))
-	n.asm.Jump(machine.OpcJeq, ok)
-	n.asm.CmpI(machine.ScratchReg, int64(heap.FormatWords))
-	n.asm.Jump(machine.OpcJeq, ok)
-	n.asm.CmpI(machine.ScratchReg, int64(heap.FormatBytes))
-	n.asm.Jump(machine.OpcJne, fallthroughLabel)
-	n.asm.Label(ok)
+	n.b.CmpI(ir.ScratchReg, int64(heap.FormatPointers))
+	n.b.Jump(ir.OpcJeq, ok)
+	n.b.CmpI(ir.ScratchReg, int64(heap.FormatWords))
+	n.b.Jump(ir.OpcJeq, ok)
+	n.b.CmpI(ir.ScratchReg, int64(heap.FormatBytes))
+	n.b.Jump(ir.OpcJne, fallthroughLabel)
+	n.b.Label(ok)
 }
 
 // genObjectTemplate compiles the object access, identity and allocation
 // native methods.
 func (n *NativeMethodCompiler) genObjectTemplate(p *primitives.Primitive) error {
-	rcvr := machine.ReceiverResultReg
-	res := machine.TempReg
+	rcvr := ir.ReceiverResultReg
+	res := ir.TempReg
 
 	switch p.Index {
 	case primitives.PrimIdxAt, primitives.PrimIdxStringAt:
 		n.checkPointerOrFail(rcvr)
-		n.emitIndexableFormatCheckN(rcvr, machine.ClassSelectorReg, p.Index == primitives.PrimIdxStringAt)
-		n.checkSmallIntOrFail(machine.Arg0Reg)
-		n.slotBoundsCheckOrFail(rcvr, machine.Arg0Reg, res)
-		n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: rcvr, Rs2: res})
+		n.emitIndexableFormatCheckN(rcvr, ir.ClassSelectorReg, p.Index == primitives.PrimIdxStringAt)
+		n.checkSmallIntOrFail(ir.Arg0Reg)
+		n.slotBoundsCheckOrFail(rcvr, ir.Arg0Reg, res)
+		n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: res, Rs1: rcvr, Rs2: res})
 		if p.Index == primitives.PrimIdxStringAt {
 			n.tag(res)
 		} else {
@@ -49,168 +49,168 @@ func (n *NativeMethodCompiler) genObjectTemplate(p *primitives.Primitive) error 
 			// the slot value. The format survives in ClassSelectorReg's
 			// header copy; recompute from it.
 			noTag := n.label("noTag")
-			n.asm.BinI(machine.OpcSarI, machine.ScratchReg, machine.ClassSelectorReg, heap.HeaderSlotBits)
-			n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderFormatMask)
-			n.asm.CmpI(machine.ScratchReg, int64(heap.FormatPointers))
-			n.asm.Jump(machine.OpcJeq, noTag)
+			n.b.BinI(ir.OpcSarI, ir.ScratchReg, ir.ClassSelectorReg, heap.HeaderSlotBits)
+			n.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, heap.HeaderFormatMask)
+			n.b.CmpI(ir.ScratchReg, int64(heap.FormatPointers))
+			n.b.Jump(ir.OpcJeq, noTag)
 			n.tag(res)
-			n.asm.Label(noTag)
+			n.b.Label(noTag)
 		}
-		n.asm.MovR(rcvr, res)
-		n.asm.Ret()
+		n.b.MovR(rcvr, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxAtPut, primitives.PrimIdxStringAtPut:
-		val := machine.Arg1Reg
+		val := ir.Arg1Reg
 		n.checkPointerOrFail(rcvr)
-		n.emitIndexableFormatCheckN(rcvr, machine.ClassSelectorReg, p.Index == primitives.PrimIdxStringAtPut)
-		n.checkSmallIntOrFail(machine.Arg0Reg)
+		n.emitIndexableFormatCheckN(rcvr, ir.ClassSelectorReg, p.Index == primitives.PrimIdxStringAtPut)
+		n.checkSmallIntOrFail(ir.Arg0Reg)
 		// Raw formats require tagged-integer values; bytes are range
 		// checked.
 		ptrStore := n.label("ptrStore")
 		rawStore := n.label("rawStore")
-		n.asm.BinI(machine.OpcSarI, machine.ScratchReg, machine.ClassSelectorReg, heap.HeaderSlotBits)
-		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, machine.ScratchReg, heap.HeaderFormatMask)
-		n.asm.CmpI(machine.ScratchReg, int64(heap.FormatPointers))
-		n.asm.Jump(machine.OpcJeq, ptrStore)
+		n.b.BinI(ir.OpcSarI, ir.ScratchReg, ir.ClassSelectorReg, heap.HeaderSlotBits)
+		n.b.BinI(ir.OpcAndI, ir.ScratchReg, ir.ScratchReg, heap.HeaderFormatMask)
+		n.b.CmpI(ir.ScratchReg, int64(heap.FormatPointers))
+		n.b.Jump(ir.OpcJeq, ptrStore)
 		n.checkSmallIntOrFail(val)
-		n.asm.CmpI(machine.ScratchReg, int64(heap.FormatWords))
-		n.asm.Jump(machine.OpcJeq, rawStore)
+		n.b.CmpI(ir.ScratchReg, int64(heap.FormatWords))
+		n.b.Jump(ir.OpcJeq, rawStore)
 		n.cmpImm(val, int64(heap.SmallIntFor(0)))
-		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		n.b.Jump(ir.OpcJlt, fallthroughLabel)
 		n.cmpImm(val, int64(heap.SmallIntFor(255)))
-		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
-		n.asm.Label(rawStore)
-		n.slotBoundsCheckOrFail(rcvr, machine.Arg0Reg, res)
-		n.untag(machine.ScratchReg, val)
-		n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ScratchReg, Rs1: rcvr, Rs2: res})
-		n.asm.MovR(rcvr, val)
-		n.asm.Ret()
-		n.asm.Label(ptrStore)
-		n.slotBoundsCheckOrFail(rcvr, machine.Arg0Reg, res)
-		n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: val, Rs1: rcvr, Rs2: res})
-		n.asm.MovR(rcvr, val)
-		n.asm.Ret()
+		n.b.Jump(ir.OpcJgt, fallthroughLabel)
+		n.b.Label(rawStore)
+		n.slotBoundsCheckOrFail(rcvr, ir.Arg0Reg, res)
+		n.untag(ir.ScratchReg, val)
+		n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.ScratchReg, Rs1: rcvr, Rs2: res})
+		n.b.MovR(rcvr, val)
+		n.b.Ret()
+		n.b.Label(ptrStore)
+		n.slotBoundsCheckOrFail(rcvr, ir.Arg0Reg, res)
+		n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: val, Rs1: rcvr, Rs2: res})
+		n.b.MovR(rcvr, val)
+		n.b.Ret()
 
 	case primitives.PrimIdxSize:
 		n.checkPointerOrFail(rcvr)
 		n.emitIndexableFormatCheckN(rcvr, res, false)
-		n.asm.BinI(machine.OpcAndI, res, res, heap.HeaderSlotMask)
+		n.b.BinI(ir.OpcAndI, res, res, heap.HeaderSlotMask)
 		n.tag(res)
-		n.asm.MovR(rcvr, res)
-		n.asm.Ret()
+		n.b.MovR(rcvr, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxBasicNew, primitives.PrimIdxBasicNewWith:
 		n.checkClassIndexOrFail(rcvr, heap.ClassIndexMetaclass)
 		// Verify the receiver is the registered class object: the class
 		// table entry for its stored index must be the receiver itself
 		// (the compiled analogue of the interpreter's table lookup).
-		n.asm.Load(res, rcvr, heap.HeaderWords) // tagged class index
+		n.b.Load(res, rcvr, heap.HeaderWords) // tagged class index
 		n.checkSmallIntOrFail(res)
 		n.untag(res, res)
-		n.asm.CmpI(res, 0)
-		n.asm.Jump(machine.OpcJlt, fallthroughLabel)
+		n.b.CmpI(res, 0)
+		n.b.Jump(ir.OpcJlt, fallthroughLabel)
 		n.cmpImm(res, heap.ClassTableSize-1)
-		n.asm.Jump(machine.OpcJgt, fallthroughLabel)
-		n.asm.MovI(machine.ScratchReg, heap.ClassTableBase)
-		n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: machine.ScratchReg, Rs1: machine.ScratchReg, Rs2: res})
-		n.asm.Cmp(machine.ScratchReg, rcvr)
-		n.asm.Jump(machine.OpcJne, fallthroughLabel)
+		n.b.Jump(ir.OpcJgt, fallthroughLabel)
+		n.b.MovI(ir.ScratchReg, heap.ClassTableBase)
+		n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: ir.ScratchReg, Rs1: ir.ScratchReg, Rs2: res})
+		n.b.Cmp(ir.ScratchReg, rcvr)
+		n.b.Jump(ir.OpcJne, fallthroughLabel)
 		// Fixed slots from the class object; indexable size from the
 		// argument for basicNew:.
-		n.asm.Load(machine.ExtraReg, rcvr, heap.HeaderWords+2)
-		n.untag(machine.ExtraReg, machine.ExtraReg)
+		n.b.Load(ir.ExtraReg, rcvr, heap.HeaderWords+2)
+		n.untag(ir.ExtraReg, ir.ExtraReg)
 		if p.Index == primitives.PrimIdxBasicNewWith {
 			// basicNew: requires an indexable instance format.
-			n.asm.Load(machine.ScratchReg, rcvr, heap.HeaderWords+1)
-			n.untag(machine.ScratchReg, machine.ScratchReg)
+			n.b.Load(ir.ScratchReg, rcvr, heap.HeaderWords+1)
+			n.untag(ir.ScratchReg, ir.ScratchReg)
 			okFmt := n.label("fmtok")
-			n.asm.CmpI(machine.ScratchReg, int64(heap.FormatPointers))
-			n.asm.Jump(machine.OpcJeq, okFmt)
-			n.asm.CmpI(machine.ScratchReg, int64(heap.FormatWords))
-			n.asm.Jump(machine.OpcJeq, okFmt)
-			n.asm.CmpI(machine.ScratchReg, int64(heap.FormatBytes))
-			n.asm.Jump(machine.OpcJne, fallthroughLabel)
-			n.asm.Label(okFmt)
-			n.checkSmallIntOrFail(machine.Arg0Reg)
-			n.asm.CmpI(machine.Arg0Reg, int64(heap.SmallIntFor(0)))
-			n.asm.Jump(machine.OpcJlt, fallthroughLabel)
-			n.cmpImm(machine.Arg0Reg, int64(heap.SmallIntFor(1<<20)))
-			n.asm.Jump(machine.OpcJgt, fallthroughLabel)
-			n.untag(machine.ScratchReg, machine.Arg0Reg)
-			n.asm.Bin(machine.OpcAdd, machine.ExtraReg, machine.ExtraReg, machine.ScratchReg)
+			n.b.CmpI(ir.ScratchReg, int64(heap.FormatPointers))
+			n.b.Jump(ir.OpcJeq, okFmt)
+			n.b.CmpI(ir.ScratchReg, int64(heap.FormatWords))
+			n.b.Jump(ir.OpcJeq, okFmt)
+			n.b.CmpI(ir.ScratchReg, int64(heap.FormatBytes))
+			n.b.Jump(ir.OpcJne, fallthroughLabel)
+			n.b.Label(okFmt)
+			n.checkSmallIntOrFail(ir.Arg0Reg)
+			n.b.CmpI(ir.Arg0Reg, int64(heap.SmallIntFor(0)))
+			n.b.Jump(ir.OpcJlt, fallthroughLabel)
+			n.cmpImm(ir.Arg0Reg, int64(heap.SmallIntFor(1<<20)))
+			n.b.Jump(ir.OpcJgt, fallthroughLabel)
+			n.untag(ir.ScratchReg, ir.Arg0Reg)
+			n.b.Bin(ir.OpcAdd, ir.ExtraReg, ir.ExtraReg, ir.ScratchReg)
 		}
-		n.asm.Emit(machine.Instr{Op: machine.OpcAlloc, Rd: rcvr, Rs1: res, Rs2: machine.ExtraReg})
-		n.asm.Ret()
+		n.b.Emit(ir.Instr{Op: ir.OpcAlloc, Rd: rcvr, Rs1: res, Rs2: ir.ExtraReg})
+		n.b.Ret()
 
 	case primitives.PrimIdxInstVarAt, primitives.PrimIdxInstVarAtPut:
 		n.checkPointerOrFail(rcvr)
-		n.checkSmallIntOrFail(machine.Arg0Reg)
-		n.slotBoundsCheckOrFail(rcvr, machine.Arg0Reg, res)
+		n.checkSmallIntOrFail(ir.Arg0Reg)
+		n.slotBoundsCheckOrFail(rcvr, ir.Arg0Reg, res)
 		if p.Index == primitives.PrimIdxInstVarAt {
-			n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: res, Rs1: rcvr, Rs2: res})
-			n.asm.MovR(rcvr, res)
+			n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: res, Rs1: rcvr, Rs2: res})
+			n.b.MovR(rcvr, res)
 		} else {
-			n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.Arg1Reg, Rs1: rcvr, Rs2: res})
-			n.asm.MovR(rcvr, machine.Arg1Reg)
+			n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.Arg1Reg, Rs1: rcvr, Rs2: res})
+			n.b.MovR(rcvr, ir.Arg1Reg)
 		}
-		n.asm.Ret()
+		n.b.Ret()
 
 	case primitives.PrimIdxIdentityHash:
 		n.checkPointerOrFail(rcvr)
-		n.asm.BinI(machine.OpcSarI, res, rcvr, 1)
-		n.asm.MovI(machine.ScratchReg, 0x3FFFFFFF)
-		n.asm.Bin(machine.OpcAnd, res, res, machine.ScratchReg)
+		n.b.BinI(ir.OpcSarI, res, rcvr, 1)
+		n.b.MovI(ir.ScratchReg, 0x3FFFFFFF)
+		n.b.Bin(ir.OpcAnd, res, res, ir.ScratchReg)
 		n.tag(res)
-		n.asm.MovR(rcvr, res)
-		n.asm.Ret()
+		n.b.MovR(rcvr, res)
+		n.b.Ret()
 
 	case primitives.PrimIdxShallowCopy:
 		intCase := n.label("isInt")
-		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, rcvr, 1)
-		n.asm.CmpI(machine.ScratchReg, 1)
-		n.asm.Jump(machine.OpcJeq, intCase)
+		n.b.BinI(ir.OpcAndI, ir.ScratchReg, rcvr, 1)
+		n.b.CmpI(ir.ScratchReg, 1)
+		n.b.Jump(ir.OpcJeq, intCase)
 		// Allocate a same-class, same-size object and copy the body.
-		n.asm.Load(machine.ClassSelectorReg, rcvr, 0) // header
-		n.asm.BinI(machine.OpcSarI, res, machine.ClassSelectorReg, heap.HeaderClassShift)
-		n.asm.BinI(machine.OpcAndI, machine.ClassSelectorReg, machine.ClassSelectorReg, heap.HeaderSlotMask)
-		n.asm.Emit(machine.Instr{Op: machine.OpcAlloc, Rd: machine.ExtraReg, Rs1: res, Rs2: machine.ClassSelectorReg})
+		n.b.Load(ir.ClassSelectorReg, rcvr, 0) // header
+		n.b.BinI(ir.OpcSarI, res, ir.ClassSelectorReg, heap.HeaderClassShift)
+		n.b.BinI(ir.OpcAndI, ir.ClassSelectorReg, ir.ClassSelectorReg, heap.HeaderSlotMask)
+		n.b.Emit(ir.Instr{Op: ir.OpcAlloc, Rd: ir.ExtraReg, Rs1: res, Rs2: ir.ClassSelectorReg})
 		loop := n.label("copy")
 		done := n.label("done")
-		n.asm.MovI(res, 1) // body offset cursor
-		n.asm.Label(loop)
-		n.asm.Cmp(res, machine.ClassSelectorReg)
-		n.asm.Jump(machine.OpcJgt, done)
-		n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: machine.ScratchReg, Rs1: rcvr, Rs2: res})
-		n.asm.Emit(machine.Instr{Op: machine.OpcStoreX, Rd: machine.ScratchReg, Rs1: machine.ExtraReg, Rs2: res})
-		n.asm.BinI(machine.OpcAddI, res, res, 1)
-		n.asm.Jump(machine.OpcJmp, loop)
-		n.asm.Label(done)
-		n.asm.MovR(rcvr, machine.ExtraReg)
-		n.asm.Ret()
-		n.asm.Label(intCase)
-		n.asm.Ret()
+		n.b.MovI(res, 1) // body offset cursor
+		n.b.Label(loop)
+		n.b.Cmp(res, ir.ClassSelectorReg)
+		n.b.Jump(ir.OpcJgt, done)
+		n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: ir.ScratchReg, Rs1: rcvr, Rs2: res})
+		n.b.Emit(ir.Instr{Op: ir.OpcStoreX, Rd: ir.ScratchReg, Rs1: ir.ExtraReg, Rs2: res})
+		n.b.BinI(ir.OpcAddI, res, res, 1)
+		n.b.Jump(ir.OpcJmp, loop)
+		n.b.Label(done)
+		n.b.MovR(rcvr, ir.ExtraReg)
+		n.b.Ret()
+		n.b.Label(intCase)
+		n.b.Ret()
 
 	case primitives.PrimIdxIdentical, primitives.PrimIdxNotIdentical:
-		n.asm.Cmp(rcvr, machine.Arg0Reg)
+		n.b.Cmp(rcvr, ir.Arg0Reg)
 		if p.Index == primitives.PrimIdxIdentical {
-			n.retBool(machine.OpcJeq)
+			n.retBool(ir.OpcJeq)
 		} else {
-			n.retBool(machine.OpcJne)
+			n.retBool(ir.OpcJne)
 		}
 
 	case primitives.PrimIdxClass:
 		intCase := n.label("isInt")
-		n.asm.BinI(machine.OpcAndI, machine.ScratchReg, rcvr, 1)
-		n.asm.CmpI(machine.ScratchReg, 1)
-		n.asm.Jump(machine.OpcJeq, intCase)
-		n.asm.Load(machine.ScratchReg, rcvr, 0)
-		n.asm.BinI(machine.OpcSarI, machine.ScratchReg, machine.ScratchReg, heap.HeaderClassShift)
-		n.asm.MovI(res, heap.ClassTableBase)
-		n.asm.Emit(machine.Instr{Op: machine.OpcLoadX, Rd: rcvr, Rs1: res, Rs2: machine.ScratchReg})
-		n.asm.Ret()
-		n.asm.Label(intCase)
-		n.asm.MovI(rcvr, int64(n.OM.ClassAt(heap.ClassIndexSmallInteger).Oop))
-		n.asm.Ret()
+		n.b.BinI(ir.OpcAndI, ir.ScratchReg, rcvr, 1)
+		n.b.CmpI(ir.ScratchReg, 1)
+		n.b.Jump(ir.OpcJeq, intCase)
+		n.b.Load(ir.ScratchReg, rcvr, 0)
+		n.b.BinI(ir.OpcSarI, ir.ScratchReg, ir.ScratchReg, heap.HeaderClassShift)
+		n.b.MovI(res, heap.ClassTableBase)
+		n.b.Emit(ir.Instr{Op: ir.OpcLoadX, Rd: rcvr, Rs1: res, Rs2: ir.ScratchReg})
+		n.b.Ret()
+		n.b.Label(intCase)
+		n.b.MovI(rcvr, int64(n.OM.ClassAt(heap.ClassIndexSmallInteger).Oop))
+		n.b.Ret()
 
 	default:
 		return fmt.Errorf("%w: no object template for %s", ErrNotCompilable, p.Name)

@@ -1,0 +1,39 @@
+package jit
+
+import (
+	"cogdiff/internal/defects"
+	"cogdiff/internal/ir"
+)
+
+// The pass pipeline table: each byte-code variant registers the pass
+// constructors it runs between its front-end and lowering. Constructors
+// take the defect switches so pass-targeted defects (the deliberately
+// unsound constant fold) can be injected per campaign configuration.
+//
+// All three byte-code variants currently share one pipeline; the native
+// method compiler runs none (its templates are already shaped). Order
+// matters: dead-push/pop elimination first turns the simple variant's
+// materialize-and-reload traffic into register moves that constant
+// folding can then see through.
+var pipelineTable = map[Variant][]func(defects.Switches) ir.Pass{
+	SimpleStackBasedCogit:   standardPasses,
+	StackToRegisterCogit:    standardPasses,
+	RegisterAllocatingCogit: standardPasses,
+}
+
+var standardPasses = []func(defects.Switches) ir.Pass{
+	func(defects.Switches) ir.Pass { return ir.DeadPushPop() },
+	func(sw defects.Switches) ir.Pass { return ir.ConstFold(sw.ConstFoldSignError) },
+	func(defects.Switches) ir.Pass { return ir.Peephole() },
+}
+
+// PipelineFor instantiates the variant's registered pass pipeline under
+// the given defect switches.
+func PipelineFor(v Variant, sw defects.Switches) []ir.Pass {
+	ctors := pipelineTable[v]
+	passes := make([]ir.Pass, 0, len(ctors))
+	for _, mk := range ctors {
+		passes = append(passes, mk(sw))
+	}
+	return passes
+}

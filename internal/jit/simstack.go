@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"cogdiff/internal/heap"
-	"cogdiff/internal/machine"
+	"cogdiff/internal/ir"
 )
 
 // ssKind classifies a parse-time simulation-stack entry (the ssPush /
@@ -20,7 +20,7 @@ const (
 type ssEntry struct {
 	kind ssKind
 	w    heap.Word
-	reg  machine.Reg
+	reg  ir.Reg
 }
 
 func (e ssEntry) String() string {
@@ -40,23 +40,24 @@ func (e ssEntry) String() string {
 type regAllocator interface {
 	// alloc returns a free register, or ok=false when the pool is
 	// exhausted (the Cogit then spills the simulation stack and retries).
-	alloc() (machine.Reg, bool)
-	free(r machine.Reg)
+	alloc() (ir.Reg, bool)
+	free(r ir.Reg)
 	reset()
 }
 
-// fixedAllocator is the StackToRegisterCogit policy: a fixed two-register
-// rotation (TempReg/ExtraReg), spilling eagerly when both are live.
+// fixedAllocator is the StackToRegisterCogit policy: a fixed rotation
+// over a small virtual-register pool, spilling eagerly when all are
+// live. Lowering maps the virtuals onto the variant's physical pool.
 type fixedAllocator struct {
-	inUse map[machine.Reg]bool
+	inUse map[ir.Reg]bool
 }
 
 func newFixedAllocator() *fixedAllocator {
-	return &fixedAllocator{inUse: make(map[machine.Reg]bool)}
+	return &fixedAllocator{inUse: make(map[ir.Reg]bool)}
 }
 
-func (a *fixedAllocator) alloc() (machine.Reg, bool) {
-	for _, r := range []machine.Reg{machine.TempReg, machine.ExtraReg, machine.R1} {
+func (a *fixedAllocator) alloc() (ir.Reg, bool) {
+	for _, r := range []ir.Reg{ir.V(0), ir.V(1), ir.V(2)} {
 		if !a.inUse[r] {
 			a.inUse[r] = true
 			return r, true
@@ -65,30 +66,30 @@ func (a *fixedAllocator) alloc() (machine.Reg, bool) {
 	return 0, false
 }
 
-func (a *fixedAllocator) free(r machine.Reg) { delete(a.inUse, r) }
-func (a *fixedAllocator) reset()             { a.inUse = make(map[machine.Reg]bool) }
+func (a *fixedAllocator) free(r ir.Reg) { delete(a.inUse, r) }
+func (a *fixedAllocator) reset()        { a.inUse = make(map[ir.Reg]bool) }
 
 // linearAllocator is the RegisterAllocatingCogit policy: a linear scan
 // over the byte-code keeps a wider pool live and reuses the least recently
 // released register, reducing spills.
 type linearAllocator struct {
-	pool  []machine.Reg
-	inUse map[machine.Reg]bool
+	pool  []ir.Reg
+	inUse map[ir.Reg]bool
 	// order tracks allocation sequence for deterministic linear reuse.
 	seq   int
-	birth map[machine.Reg]int
+	birth map[ir.Reg]int
 }
 
 func newLinearAllocator() *linearAllocator {
 	return &linearAllocator{
-		pool:  []machine.Reg{machine.R1, machine.R2, machine.R3, machine.TempReg, machine.ExtraReg},
-		inUse: make(map[machine.Reg]bool),
-		birth: make(map[machine.Reg]int),
+		pool:  []ir.Reg{ir.V(0), ir.V(1), ir.V(2), ir.V(3), ir.V(4)},
+		inUse: make(map[ir.Reg]bool),
+		birth: make(map[ir.Reg]int),
 	}
 }
 
-func (a *linearAllocator) alloc() (machine.Reg, bool) {
-	var best machine.Reg
+func (a *linearAllocator) alloc() (ir.Reg, bool) {
+	var best ir.Reg
 	bestBirth := -1
 	found := false
 	for _, r := range a.pool {
@@ -108,9 +109,9 @@ func (a *linearAllocator) alloc() (machine.Reg, bool) {
 	return best, true
 }
 
-func (a *linearAllocator) free(r machine.Reg) { delete(a.inUse, r) }
+func (a *linearAllocator) free(r ir.Reg) { delete(a.inUse, r) }
 func (a *linearAllocator) reset() {
-	a.inUse = make(map[machine.Reg]bool)
-	a.birth = make(map[machine.Reg]int)
+	a.inUse = make(map[ir.Reg]bool)
+	a.birth = make(map[ir.Reg]int)
 	a.seq = 0
 }

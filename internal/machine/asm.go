@@ -11,11 +11,6 @@ type Assembler struct {
 	// fixups maps instruction index -> label whose address patches Imm.
 	fixups map[int]string
 	errs   []error
-
-	// Observer, when non-nil, receives the opcode of every emitted
-	// instruction. The JIT wires the fuzzer's IR-coverage signal through
-	// it.
-	Observer func(Opc)
 }
 
 // NewAssembler starts a program at the given base address.
@@ -29,9 +24,6 @@ func NewAssembler(base int64) *Assembler {
 
 // Emit appends a raw instruction.
 func (a *Assembler) Emit(i Instr) *Assembler {
-	if a.Observer != nil {
-		a.Observer(i.Op)
-	}
 	a.instrs = append(a.instrs, i)
 	return a
 }
@@ -51,9 +43,6 @@ func (a *Assembler) Label(name string) *Assembler {
 // EmitToLabel appends a control-flow instruction whose Imm is patched to
 // the label's address at Finish.
 func (a *Assembler) EmitToLabel(i Instr, label string) *Assembler {
-	if a.Observer != nil {
-		a.Observer(i.Op)
-	}
 	a.fixups[len(a.instrs)] = label
 	a.instrs = append(a.instrs, i)
 	return a

@@ -96,7 +96,7 @@ func Causes(res *core.CampaignResult) string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	header := []string{"Instruction", "Family", "# Paths", "Example"}
+	header := []string{"Instruction", "Family", "Stage", "# Paths", "Example"}
 	var rows [][]string
 	for _, k := range keys {
 		c := res.Causes[k]
@@ -104,7 +104,7 @@ func Causes(res *core.CampaignResult) string {
 		if len(ex) > 70 {
 			ex = ex[:67] + "..."
 		}
-		rows = append(rows, []string{c.Instruction, c.Family.String(), fmt.Sprintf("%d", c.Paths), ex})
+		rows = append(rows, []string{c.Instruction, c.Family.String(), c.Stage, fmt.Sprintf("%d", c.Paths), ex})
 	}
 	return Table(header, rows)
 }

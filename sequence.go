@@ -57,6 +57,7 @@ func TestInstructionCached(cached []byte, compiler string) (*InstructionResult, 
 					Compiler:    compiler,
 					ISA:         isa.String(),
 					Family:      fam.String(),
+					Cause:       v.Cause,
 					Detail:      v.Detail,
 				})
 			}
