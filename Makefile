@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench fuzz fuzz-smoke blame-smoke fmt-check golden-update ci
+.PHONY: all build vet test test-short test-race bench fuzz fuzz-smoke blame-smoke metrics-smoke fmt-check golden-update ci
 
 all: build vet test
 
@@ -49,6 +49,14 @@ fuzz-smoke:
 blame-smoke:
 	$(GO) run ./cmd/cogdiff campaign -defect-constfold -workers 0 | grep -q "pass:constfold"
 
+# Telemetry smoke test: a small campaign writes a Prometheus metrics
+# snapshot, which metrics-lint must validate (the exposition-format
+# round-trip contract, observed end to end from the CLI).
+metrics-smoke:
+	$(GO) run ./cmd/cogdiff campaign -workers 4 -metrics metrics-smoke.prom -metrics-format prom > /dev/null
+	$(GO) run ./cmd/cogdiff metrics-lint metrics-smoke.prom
+	rm -f metrics-smoke.prom
+
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -57,4 +65,4 @@ fmt-check:
 golden-update:
 	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
 
-ci: build vet fmt-check test test-race fuzz-smoke blame-smoke
+ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metrics-smoke

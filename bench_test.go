@@ -24,6 +24,7 @@ import (
 	"cogdiff/internal/interp"
 	"cogdiff/internal/primitives"
 	"cogdiff/internal/report"
+	"cogdiff/internal/telemetry"
 )
 
 var (
@@ -65,20 +66,28 @@ func BenchmarkTable2Campaign(b *testing.B) {
 // BenchmarkCampaignParallel measures the parallel campaign engine: the
 // full Table 2 campaign sharded over 1, 2 and GOMAXPROCS workers. The
 // deterministic merge keeps every variant's output byte-identical; only
-// wall-clock changes. EXPERIMENTS.md records serial-vs-parallel numbers.
+// wall-clock changes. The telemetry=on variants quantify the overhead of
+// full metric collection (EXPERIMENTS.md records the numbers; the
+// contract is <3%).
 func BenchmarkCampaignParallel(b *testing.B) {
 	for _, bc := range []struct {
-		name    string
-		workers int
+		name      string
+		workers   int
+		telemetry bool
 	}{
-		{"workers=1", 1},
-		{"workers=2", 2},
-		{fmt.Sprintf("workers=gomaxprocs(%d)", runtime.GOMAXPROCS(0)), 0},
+		{"workers=1", 1, false},
+		{"workers=1/telemetry=on", 1, true},
+		{"workers=2", 2, false},
+		{fmt.Sprintf("workers=gomaxprocs(%d)", runtime.GOMAXPROCS(0)), 0, false},
+		{fmt.Sprintf("workers=gomaxprocs(%d)/telemetry=on", runtime.GOMAXPROCS(0)), 0, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			cfg := core.DefaultConfig()
 			cfg.Workers = bc.workers
 			for i := 0; i < b.N; i++ {
+				if bc.telemetry {
+					cfg.Metrics = telemetry.NewRegistry()
+				}
 				core.NewCampaign(cfg).Run()
 			}
 		})
@@ -88,19 +97,28 @@ func BenchmarkCampaignParallel(b *testing.B) {
 // BenchmarkFuzzThroughput measures the coverage-guided sequence fuzzing
 // engine in executions per second, serial and sharded over GOMAXPROCS
 // workers. The deterministic batch merge keeps the discovered differences
-// identical across variants; only wall-clock changes.
+// identical across variants; only wall-clock changes. The telemetry=on
+// variants quantify the overhead of full metric collection (<3% contract,
+// see EXPERIMENTS.md).
 func BenchmarkFuzzThroughput(b *testing.B) {
 	for _, bc := range []struct {
-		name    string
-		workers int
+		name      string
+		workers   int
+		telemetry bool
 	}{
-		{"workers=1", 1},
-		{fmt.Sprintf("workers=gomaxprocs(%d)", runtime.GOMAXPROCS(0)), 0},
+		{"workers=1", 1, false},
+		{"workers=1/telemetry=on", 1, true},
+		{fmt.Sprintf("workers=gomaxprocs(%d)", runtime.GOMAXPROCS(0)), 0, false},
+		{fmt.Sprintf("workers=gomaxprocs(%d)/telemetry=on", runtime.GOMAXPROCS(0)), 0, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			const budget = 256
 			for i := 0; i < b.N; i++ {
-				if _, err := fuzzer.Run(fuzzer.Options{Seed: 2022, Budget: budget, Workers: bc.workers}); err != nil {
+				opts := fuzzer.Options{Seed: 2022, Budget: budget, Workers: bc.workers}
+				if bc.telemetry {
+					opts.Metrics = telemetry.NewRegistry()
+				}
+				if _, err := fuzzer.Run(opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -16,21 +16,31 @@
 //	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
 //	cogdiff fuzz [-seed n] [-budget n]   coverage-guided sequence fuzzing with
 //	                                     difference minimization
+//	cogdiff metrics-lint <file>          validate a Prometheus metrics snapshot
 //
 // Campaign commands shard their work over -workers goroutines (default:
 // GOMAXPROCS); every table and figure is byte-identical for any worker
 // count.
+//
+// The campaign, table/figure, difftest and fuzz verbs share the
+// observability flags -metrics <file>, -metrics-format json|prom,
+// -trace <file> and -profile <file>. Telemetry is a pure observation
+// sink: all printed reports are byte-identical with it on or off.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
 	"cogdiff"
+	"cogdiff/internal/telemetry"
 )
 
 func main() {
@@ -105,8 +115,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		pristine := fs.Bool("pristine", false, "test the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
 		dumpIR := fs.String("dump-ir", "", "also dump every compilation stage: 'stdout' or a file path")
+		obs := obsFlags(fs)
 		if err := fs.Parse(args); err != nil {
 			return 2
+		}
+		if err := obs.start(false, stderr, nil); err != nil {
+			return fail(err)
 		}
 		var res *cogdiff.InstructionResult
 		var err error
@@ -128,10 +142,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				usage(stderr)
 				return 2
 			}
-			cfg := cogdiff.TestConfig{Pristine: *pristine, ConstFoldSignError: *defectConstfold}
+			cfg := cogdiff.TestConfig{Pristine: *pristine, ConstFoldSignError: *defectConstfold, Metrics: obs.reg}
 			res, err = cogdiff.TestInstructionWith(fs.Arg(0), fs.Arg(1), cfg)
 		}
 		if err != nil {
+			return fail(err)
+		}
+		if err := obs.finish(); err != nil {
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "%s on %s: %d paths, %d curated, %d differences\n",
@@ -164,9 +181,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		seedCorpus := fs.String("seed-corpus", "", "`go test fuzz v1` seed directory (FuzzSequenceDiff corpus)")
 		minimize := fs.Bool("minimize", true, "reduce every difference to a 1-minimal sequence")
 		emitTests := fs.String("emit-tests", "", "write reduced differences to this path as a Go test file")
-		progress := fs.Bool("progress", false, "report batch progress on stderr")
+		progress := fs.Bool("progress", false, "report live progress on stderr")
+		obs := obsFlags(fs)
 		if err := fs.Parse(args); err != nil {
 			return 2
+		}
+		if err := validateWorkers(*workers); err != nil {
+			return fail(err)
 		}
 		opts := cogdiff.FuzzOptions{
 			Seed:          *seed,
@@ -177,19 +198,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			EmitTests:     *emitTests,
 		}
 		if n, err := strconv.Atoi(*budget); err == nil {
+			if n <= 0 {
+				return fail(fmt.Errorf("-budget %d: the iteration budget must be positive", n))
+			}
 			opts.Budget = n
 		} else if d, derr := time.ParseDuration(*budget); derr == nil {
+			if d <= 0 {
+				return fail(fmt.Errorf("-budget %s: the time budget must be positive", d))
+			}
 			opts.Duration = d
 		} else {
 			return fail(fmt.Errorf("-budget %q is neither an iteration count nor a duration", *budget))
 		}
-		if *progress {
-			opts.OnProgress = func(done, total, corpusSize, causes int) {
-				fmt.Fprintf(stderr, "[%d/%d] corpus %d, causes %d\n", done, total, corpusSize, causes)
-			}
+		if err := obs.start(*progress, stderr, renderFuzzProgress); err != nil {
+			return fail(err)
 		}
+		opts.Metrics = obs.reg
 		sum, err := cogdiff.Fuzz(opts)
 		if err != nil {
+			return fail(err)
+		}
+		if err := obs.finish(); err != nil {
 			return fail(err)
 		}
 		fmt.Fprint(stdout, sum.Report)
@@ -199,17 +228,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		pristine := fs.Bool("pristine", false, "run the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
 		workers := fs.Int("workers", 0, "worker goroutines for the campaign (0 = GOMAXPROCS, 1 = serial)")
-		progress := fs.Bool("progress", false, "report per-instruction progress on stderr")
+		progress := fs.Bool("progress", false, "report live progress on stderr")
+		obs := obsFlags(fs)
 		if err := fs.Parse(args); err != nil {
 			return 2
 		}
-		opts := cogdiff.CampaignOptions{Pristine: *pristine, ConstFoldSignError: *defectConstfold, Workers: *workers}
-		if *progress {
-			opts.OnInstructionDone = func(compiler, instruction string, done, total int) {
-				fmt.Fprintf(stderr, "[%d/%d] %s: %s\n", done, total, compiler, instruction)
-			}
+		if err := validateWorkers(*workers); err != nil {
+			return fail(err)
 		}
+		if err := obs.start(*progress, stderr, renderCampaignProgress); err != nil {
+			return fail(err)
+		}
+		opts := cogdiff.CampaignOptions{Pristine: *pristine, ConstFoldSignError: *defectConstfold, Workers: *workers, Metrics: obs.reg}
 		sum := cogdiff.RunCampaign(opts)
+		if err := obs.finish(); err != nil {
+			return fail(err)
+		}
 		switch cmd {
 		case "table2":
 			fmt.Fprint(stdout, sum.Table2)
@@ -231,11 +265,156 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "Deduplicated causes:")
 			fmt.Fprintln(stdout, sum.Causes)
 		}
+	case "metrics-lint":
+		if len(args) != 1 {
+			usage(stderr)
+			return 2
+		}
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		samples, err := telemetry.ParsePrometheus(string(data))
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", args[0], err))
+		}
+		fmt.Fprintf(stdout, "%s: %d samples OK\n", args[0], len(samples))
 	default:
 		usage(stderr)
 		return 2
 	}
 	return 0
+}
+
+// obsRun bundles the observability flags shared by the campaign, difftest
+// and fuzz verbs: a metrics snapshot file (JSON or Prometheus text
+// exposition), a span-trace dump and an optional CPU profile.
+type obsRun struct {
+	metricsPath string
+	format      string
+	tracePath   string
+	profilePath string
+
+	reg      *telemetry.Registry
+	profFile *os.File
+	progress *telemetry.Progress
+}
+
+func obsFlags(fs *flag.FlagSet) *obsRun {
+	o := &obsRun{}
+	fs.StringVar(&o.metricsPath, "metrics", "", "write a metrics snapshot to this file after the run")
+	fs.StringVar(&o.format, "metrics-format", "prom", "metrics snapshot format: json or prom (Prometheus text exposition)")
+	fs.StringVar(&o.tracePath, "trace", "", "write the recent-span trace as JSON to this file")
+	fs.StringVar(&o.profilePath, "profile", "", "write a CPU profile to this file")
+	return o
+}
+
+// start validates the flag values and opens the collection machinery.
+// The registry stays nil — and all instrumentation no-ops — unless some
+// output actually needs it.
+func (o *obsRun) start(wantProgress bool, progressOut io.Writer, render func(telemetry.Snapshot) string) error {
+	if o.format != "json" && o.format != "prom" {
+		return fmt.Errorf("-metrics-format %q: want json or prom", o.format)
+	}
+	if o.metricsPath != "" || o.tracePath != "" || wantProgress {
+		o.reg = telemetry.NewRegistry()
+	}
+	if o.profilePath != "" {
+		f, err := os.Create(o.profilePath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		o.profFile = f
+	}
+	if wantProgress {
+		o.progress = telemetry.StartProgress(o.reg, progressOut, 2*time.Second, render)
+	}
+	return nil
+}
+
+// finish stops the profile and progress printer and writes the requested
+// output files.
+func (o *obsRun) finish() error {
+	if o.progress != nil {
+		o.progress.Stop()
+	}
+	if o.profFile != nil {
+		pprof.StopCPUProfile()
+		o.profFile.Close()
+	}
+	if o.reg == nil {
+		return nil
+	}
+	if o.metricsPath != "" {
+		snap := o.reg.Snapshot()
+		var data []byte
+		if o.format == "json" {
+			var err error
+			if data, err = snap.JSON(); err != nil {
+				return err
+			}
+		} else {
+			var buf bytes.Buffer
+			if err := snap.WritePrometheus(&buf); err != nil {
+				return err
+			}
+			data = buf.Bytes()
+		}
+		if err := os.WriteFile(o.metricsPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if o.tracePath != "" {
+		data, err := json.MarshalIndent(o.reg.Trace().Events(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.tracePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// counterTotal sums every series of one counter across its label sets.
+func counterTotal(s telemetry.Snapshot, name string) int64 {
+	var total int64
+	for series, v := range s.Counters {
+		if series == name || (len(series) > len(name) && series[:len(name)] == name && series[len(name)] == '{') {
+			total += v
+		}
+	}
+	return total
+}
+
+func renderCampaignProgress(s telemetry.Snapshot) string {
+	return fmt.Sprintf("paths %d, units tested %d, differences %d, panics contained %d",
+		counterTotal(s, telemetry.MetricPathsExplored),
+		counterTotal(s, telemetry.MetricUnitsTested),
+		counterTotal(s, telemetry.MetricDifferences),
+		counterTotal(s, telemetry.MetricPanicsContained))
+}
+
+func renderFuzzProgress(s telemetry.Snapshot) string {
+	return fmt.Sprintf("execs %d, discarded %d, corpus %d, causes %d",
+		counterTotal(s, telemetry.MetricFuzzExecs),
+		counterTotal(s, telemetry.MetricFuzzDiscarded),
+		s.Gauges[telemetry.MetricFuzzCorpusSize],
+		counterTotal(s, telemetry.MetricFuzzDifferences))
+}
+
+// validateWorkers enforces the worker-count contract shared by every
+// parallel verb: 0 means GOMAXPROCS, positive counts are explicit, and
+// negative counts have no meaning.
+func validateWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-workers %d: must be >= 0 (0 means GOMAXPROCS, 1 runs serially)", n)
+	}
+	return nil
 }
 
 func usage(w io.Writer) {
@@ -248,5 +427,12 @@ func usage(w io.Writer) {
   cogdiff campaign [-pristine] [-defect-constfold] [-workers n] [-progress]
   cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n]
   cogdiff fuzz [-seed n] [-budget n|30s] [-workers n] [-corpus file.json]
-               [-seed-corpus dir] [-minimize] [-emit-tests file_test.go] [-progress]`)
+               [-seed-corpus dir] [-minimize] [-emit-tests file_test.go] [-progress]
+  cogdiff metrics-lint <metrics.prom>
+
+observability (campaign, table*/fig*, difftest, fuzz):
+  -metrics file         write a metrics snapshot after the run
+  -metrics-format fmt   snapshot format: prom (default) or json
+  -trace file           write the recent-span trace as JSON
+  -profile file         write a CPU profile`)
 }

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -93,6 +94,99 @@ func TestFuzzBudgetFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"fuzz", "-budget", "not-a-budget"}, &stdout, &stderr); code != 1 {
 		t.Errorf("malformed -budget: exit %d, want 1", code)
+	}
+}
+
+// runCLIError runs an invocation that must fail with exit 1 and returns
+// its stderr, so the error messages can be golden-pinned.
+func runCLIError(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("cogdiff %v exited %d, want 1; stderr: %s", args, code, stderr.String())
+	}
+	return stderr.String()
+}
+
+// TestGoldenFlagValidationErrors pins the numeric-flag validation
+// messages: negative worker counts and nonpositive or malformed budgets
+// must be rejected before any work starts.
+func TestGoldenFlagValidationErrors(t *testing.T) {
+	checkGolden(t, "err_workers_negative.golden",
+		runCLIError(t, "campaign", "-workers", "-1"))
+	checkGolden(t, "err_fuzz_workers_negative.golden",
+		runCLIError(t, "fuzz", "-workers", "-3"))
+	checkGolden(t, "err_budget_zero.golden",
+		runCLIError(t, "fuzz", "-budget", "0"))
+	checkGolden(t, "err_budget_negative.golden",
+		runCLIError(t, "fuzz", "-budget", "-10"))
+	checkGolden(t, "err_budget_negative_duration.golden",
+		runCLIError(t, "fuzz", "-budget", "-5s"))
+	checkGolden(t, "err_budget_malformed.golden",
+		runCLIError(t, "fuzz", "-budget", "not-a-budget"))
+	checkGolden(t, "err_metrics_format.golden",
+		runCLIError(t, "fuzz", "-budget", "10", "-metrics", "x.prom", "-metrics-format", "xml"))
+}
+
+// TestMetricsSnapshotAndLint runs a small fuzzing campaign with a
+// Prometheus metrics file, validates it with the metrics-lint verb, and
+// checks the JSON format parses too.
+func TestMetricsSnapshotAndLint(t *testing.T) {
+	dir := t.TempDir()
+	prom := filepath.Join(dir, "fuzz.prom")
+	runCLI(t, "fuzz", "-seed", "2022", "-budget", "200", "-metrics", prom)
+	lint := runCLI(t, "metrics-lint", prom)
+	if !bytes.Contains([]byte(lint), []byte("samples OK")) {
+		t.Errorf("metrics-lint output %q", lint)
+	}
+
+	jsonPath := filepath.Join(dir, "fuzz.json")
+	runCLI(t, "fuzz", "-seed", "2022", "-budget", "200", "-metrics", jsonPath, "-metrics-format", "json")
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v", err)
+	}
+	for _, section := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := snap[section]; !ok {
+			t.Errorf("JSON snapshot missing %q section", section)
+		}
+	}
+
+	// A corrupted file must fail the lint.
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("cogdiff_x{ 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"metrics-lint", bad}, &stdout, &stderr); code != 1 {
+		t.Errorf("metrics-lint on a malformed file: exit %d, want 1", code)
+	}
+}
+
+// TestTraceAndReportUnperturbed checks -trace writes a JSON event list
+// and that enabling every observability output leaves the printed report
+// byte-identical.
+func TestTraceAndReportUnperturbed(t *testing.T) {
+	dir := t.TempDir()
+	plain := runCLI(t, "fuzz", "-seed", "2022", "-budget", "200")
+	trace := filepath.Join(dir, "trace.json")
+	prom := filepath.Join(dir, "m.prom")
+	observed := runCLI(t, "fuzz", "-seed", "2022", "-budget", "200",
+		"-metrics", prom, "-trace", trace)
+	if plain != observed {
+		t.Errorf("telemetry perturbed the fuzz report:\n--- plain ---\n%s\n--- observed ---\n%s", plain, observed)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace does not parse as a JSON event list: %v", err)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
 	"cogdiff/internal/report"
+	"cogdiff/internal/telemetry"
 )
 
 // Compiler names accepted by TestInstruction.
@@ -181,6 +182,10 @@ type TestConfig struct {
 	// ConstFoldSignError enables the pass-targeted defect: the constant
 	// folder of the byte-code pipelines folds subtraction as addition.
 	ConstFoldSignError bool
+	// Metrics, when non-nil, collects exploration and pass-pipeline
+	// telemetry for the test. Pure observation sink: results are
+	// identical with or without it.
+	Metrics *telemetry.Registry
 }
 
 func (c TestConfig) switches() defects.Switches {
@@ -210,9 +215,12 @@ func TestInstructionWith(instruction, compiler string, cfg TestConfig) (*Instruc
 		return nil, err
 	}
 	sw := cfg.switches()
-	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
+	exOpts := concolic.DefaultOptions()
+	exOpts.Metrics = cfg.Metrics
+	explorer := concolic.NewExplorer(prims, exOpts)
 	ex := explorer.Explore(target)
 	tester := core.NewTester(prims, sw)
+	tester.SetMetrics(cfg.Metrics)
 
 	res := &InstructionResult{Instruction: instruction, Compiler: compiler, Paths: len(ex.Paths) + ex.CuratedOut}
 	for _, p := range ex.Paths {
@@ -259,6 +267,10 @@ type CampaignOptions struct {
 	// OnInstructionDone, when non-nil, receives a serialized progress
 	// callback after each (compiler, instruction) test unit completes.
 	OnInstructionDone func(compiler, instruction string, done, total int)
+	// Metrics, when non-nil, collects campaign telemetry (counters,
+	// latency histograms, spans). The registry is a pure observation
+	// sink: all rendered reports are byte-identical with or without it.
+	Metrics *telemetry.Registry
 }
 
 // CampaignRow mirrors one row of Table 2.
@@ -303,6 +315,7 @@ func RunCampaign(opts CampaignOptions) *CampaignSummary {
 		cfg.Explore.MaxIterations = opts.MaxIterations
 	}
 	cfg.Workers = opts.Workers
+	cfg.Metrics = opts.Metrics
 	if opts.OnInstructionDone != nil {
 		cfg.OnInstructionDone = func(ev core.InstructionDone) {
 			opts.OnInstructionDone(ev.Compiler.String(), ev.Instruction, ev.Done, ev.Total)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cogdiff/internal/fuzzer"
+	"cogdiff/internal/telemetry"
 )
 
 // FuzzOptions configures a coverage-guided sequence-fuzzing run (the
@@ -35,6 +36,10 @@ type FuzzOptions struct {
 	// OnProgress, when non-nil, receives a serialized callback after every
 	// merged batch.
 	OnProgress func(done, total, corpusSize, causes int)
+	// Metrics, when non-nil, receives execution counters, corpus gauges
+	// and batch/span timings. It is a pure observation sink: all rendered
+	// reports are byte-identical with or without it.
+	Metrics *telemetry.Registry
 }
 
 // FuzzDifference is one deduplicated difference cause found by fuzzing.
@@ -82,6 +87,7 @@ func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
 		SeedDir:    opts.SeedCorpusDir,
 		EmitTests:  opts.EmitTests,
 		OnProgress: opts.OnProgress,
+		Metrics:    opts.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"cogdiff/internal/interp"
 	"cogdiff/internal/solver"
 	"cogdiff/internal/sym"
+	"cogdiff/internal/telemetry"
 )
 
 // PathResult is one discovered execution path of an instruction: the model
@@ -48,6 +49,9 @@ type Options struct {
 	MaxIterations int
 	// InterpreterDefects forwards seeded interpreter defects.
 	InterpreterDefects interp.DefectSwitches
+	// Metrics, when non-nil, counts solver invocations. Exploration
+	// results are unaffected; the counter is a pure sink.
+	Metrics *telemetry.Registry
 }
 
 // DefaultOptions returns the standard exploration settings.
@@ -59,6 +63,8 @@ func DefaultOptions() Options {
 type Explorer struct {
 	Prims interp.PrimitiveTable
 	Opts  Options
+
+	solverCalls *telemetry.Counter // resolved once; nil when metrics are off
 }
 
 // NewExplorer builds an explorer using the given native-method table.
@@ -66,7 +72,11 @@ func NewExplorer(prims interp.PrimitiveTable, opts Options) *Explorer {
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = DefaultOptions().MaxIterations
 	}
-	return &Explorer{Prims: prims, Opts: opts}
+	return &Explorer{
+		Prims:       prims,
+		Opts:        opts,
+		solverCalls: opts.Metrics.Counter(telemetry.MetricSolverCalls),
+	}
 }
 
 // workItem is a constraint prefix scheduled for solving.
@@ -101,6 +111,7 @@ func (e *Explorer) Explore(t Target) *Exploration {
 		item := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 
+		e.solverCalls.Inc()
 		model, err := solver.Solve(u, item.assumptions)
 		if err != nil {
 			if !errors.Is(err, solver.ErrUnsat) {
@@ -128,6 +139,7 @@ func (e *Explorer) Explore(t Target) *Exploration {
 				// stored model is the canonical solver witness for every
 				// condition (the concrete values of Table 1), not just
 				// the parent prefix.
+				e.solverCalls.Inc()
 				if refined, err := solver.Solve(u, res.Path.Constraints()); err == nil {
 					res.Model = refined
 				}

@@ -11,6 +11,7 @@ import (
 	"cogdiff/internal/interp"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
+	"cogdiff/internal/telemetry"
 )
 
 // Config parameterizes a testing campaign (§5.1: four experiments — the
@@ -36,6 +37,15 @@ type Config struct {
 	// liveness. Calls are serialized; Done counts completed units in
 	// completion order, which varies with scheduling.
 	OnInstructionDone func(ev InstructionDone)
+	// Metrics, when non-nil, receives campaign telemetry: exploration
+	// and testing counters, per-phase spans, pass-pipeline timing, and
+	// the difference/cause totals. It is a pure sink — reports are
+	// byte-identical with metrics on or off, at any worker count.
+	Metrics *telemetry.Registry
+	// faultInject, when non-nil, runs before every TestPath call, inside
+	// the containment boundary. Fault-injection tests use it to raise
+	// genuine heap panics in worker goroutines.
+	faultInject func(target concolic.Target, kind CompilerKind, isa machine.ISA)
 }
 
 // InstructionDone is the progress event for one completed test unit.
@@ -137,6 +147,10 @@ func (cr *CampaignResult) CausesByFamily() map[defects.Family]int {
 type Campaign struct {
 	Config Config
 	Prims  *primitives.Table
+
+	// panicsContained is resolved from Config.Metrics at the start of
+	// Run; nil (no-op) when telemetry is off.
+	panicsContained *telemetry.Counter
 }
 
 // NewCampaign builds a campaign from a config.
@@ -185,8 +199,11 @@ func (c *Campaign) PrimitiveTargets() []concolic.Target {
 // serial run regardless of worker count or completion order.
 func (c *Campaign) Run() *CampaignResult {
 	workers := c.workerCount()
+	reg := c.Config.Metrics
 	explorer := concolic.NewExplorer(c.Prims, c.exploreOptions())
 	tester := NewTester(c.Prims, c.Config.Defects)
+	tester.SetMetrics(reg)
+	c.panicsContained = reg.Counter(telemetry.MetricPanicsContained)
 
 	result := &CampaignResult{
 		Causes:       make(map[string]*Cause),
@@ -195,16 +212,36 @@ func (c *Campaign) Run() *CampaignResult {
 
 	// Step 1: concolic exploration, shared by every compiler (its results
 	// are cached and reused, §5.4). Each instruction explores in its own
-	// universe, so units never contend.
+	// universe, so units never contend. A panic inside one exploration
+	// is contained to that unit: the instruction reports zero paths and
+	// the campaign carries on.
 	bcTargets := c.BytecodeTargets()
 	nmTargets := c.PrimitiveTargets()
 	allTargets := append(append([]concolic.Target{}, bcTargets...), nmTargets...)
 	explorations := make([]*concolic.Exploration, len(allTargets))
 	RunUnits(workers, len(allTargets), func(i int) {
+		sp := reg.StartSpan(telemetry.SpanExplore)
+		defer sp.End()
+		defer func() {
+			if p := recover(); p != nil {
+				c.panicsContained.Inc()
+				explorations[i] = &concolic.Exploration{Target: allTargets[i]}
+			}
+		}()
 		explorations[i] = explorer.Explore(allTargets[i])
 	})
 	for i, t := range allTargets {
 		result.Explorations[explorationKey(t)] = explorations[i]
+	}
+	if reg != nil {
+		paths := reg.Counter(telemetry.MetricPathsExplored)
+		curated := reg.Counter(telemetry.MetricCuratedOut)
+		iters := reg.Counter(telemetry.MetricExploreIterations)
+		for _, ex := range explorations {
+			paths.Add(int64(len(ex.Paths)))
+			curated.Add(int64(ex.CuratedOut))
+			iters.Add(int64(ex.Iterations))
+		}
 	}
 
 	// Steps 2-4: one test unit per (compiler, instruction). Units write
@@ -231,12 +268,16 @@ func (c *Campaign) Run() *CampaignResult {
 
 	var progressMu sync.Mutex
 	done := 0
+	unitsTested := reg.Counter(telemetry.MetricUnitsTested)
 	RunUnits(workers, len(units), func(i int) {
+		sp := reg.StartSpan(telemetry.SpanTestUnit)
+		defer sp.End()
 		u := units[i]
 		target := targetsByCompiler[u.compiler][u.target]
 		ex := result.Explorations[explorationKey(target)]
 		ir := c.testInstruction(tester, result.Reports[u.compiler].Compiler, target, ex)
 		result.Reports[u.compiler].Instructions[u.target] = ir
+		unitsTested.Inc()
 		if cb := c.Config.OnInstructionDone; cb != nil {
 			progressMu.Lock()
 			done++
@@ -254,18 +295,37 @@ func (c *Campaign) Run() *CampaignResult {
 
 	// Deterministic merge: attribute causes walking the reports in
 	// canonical (compiler, instruction, path, ISA) order — exactly the
-	// order the serial loop used to record them in.
+	// order the serial loop used to record them in. The difference and
+	// cause counters are bumped here, in this serial pass, so their
+	// totals equal the Table 2/3 numbers exactly at any worker count.
+	mergeSpan := reg.StartSpan(telemetry.SpanMerge)
+	skipped := reg.Counter(telemetry.MetricVerdictsSkipped)
 	for ri := range result.Reports {
 		r := &result.Reports[ri]
 		for ii := range r.Instructions {
 			ir := &r.Instructions[ii]
 			for _, v := range ir.Verdicts {
+				if v.Skipped {
+					skipped.Inc()
+				}
 				if v.Differs {
 					c.recordCause(result, ir.Target, v)
 				}
 			}
 		}
+		if reg != nil {
+			_, _, diffs := r.Totals()
+			reg.LabeledCounter(telemetry.MetricDifferences,
+				"compiler", r.Compiler.String()).Add(int64(diffs))
+		}
 	}
+	if reg != nil {
+		for _, cause := range result.Causes {
+			reg.LabeledCounter(telemetry.MetricCauses,
+				"family", cause.Family.String(), "stage", cause.Stage).Inc()
+		}
+	}
+	mergeSpan.End()
 	return result
 }
 
@@ -274,6 +334,7 @@ func (c *Campaign) exploreOptions() concolic.Options {
 	opts.InterpreterDefects = interp.DefectSwitches{
 		AsFloatSkipsTypeCheck: c.Config.Defects.AsFloatSkipsTypeCheck,
 	}
+	opts.Metrics = c.Config.Metrics
 	return opts
 }
 
@@ -296,7 +357,7 @@ func (c *Campaign) testInstruction(tester *Tester, kind CompilerKind, target con
 		pathCurated := false
 		pathDiffers := false
 		for _, isa := range c.Config.ISAs {
-			v := tester.TestPath(target, ex, path, kind, isa)
+			v := c.safeTestPath(tester, target, ex, path, kind, isa)
 			ir.Verdicts = append(ir.Verdicts, v)
 			if !v.Skipped || v.Reason == "invalid frame (expected failure)" ||
 				v.Reason == "invalid memory access on unsafe byte-code (expected failure)" {
@@ -315,6 +376,36 @@ func (c *Campaign) testInstruction(tester *Tester, kind CompilerKind, target con
 	}
 	ir.TestTime = time.Since(start)
 	return ir
+}
+
+// safeTestPath is TestPath with per-path panic containment: the heap
+// layer escalates allocation and access errors as panics (heap.Fault),
+// and without a recovery boundary one bad path would abort the whole
+// campaign. A contained panic is reported as a differing verdict whose
+// observation mirrors a compiled crash — the InvalidMemoryAccess-style
+// outcome — so the unit stays in the report and classification still
+// applies. Panics are deterministic functions of the unit's inputs, so
+// containment preserves byte-identical reports at any worker count.
+func (c *Campaign) safeTestPath(tester *Tester, target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) (v PathVerdict) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.panicsContained.Inc()
+			detail := fmt.Sprintf("contained panic: %v", p)
+			v = PathVerdict{
+				Compiler:   kind,
+				ISA:        isa,
+				Differs:    true,
+				Detail:     detail,
+				Cause:      "panic",
+				Observed:   &CompiledObservation{Kind: CompiledCrash, Detail: detail},
+				InterpExit: interp.Exit{Kind: interp.ExitInvalidMemoryAccess},
+			}
+		}
+	}()
+	if c.Config.faultInject != nil {
+		c.Config.faultInject(target, kind, isa)
+	}
+	return tester.TestPath(target, ex, path, kind, isa)
 }
 
 // recordCause classifies a difference and deduplicates it into a cause

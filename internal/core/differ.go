@@ -12,6 +12,7 @@ import (
 	"cogdiff/internal/jit"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
+	"cogdiff/internal/telemetry"
 )
 
 // maxMachineSteps bounds one compiled execution.
@@ -22,12 +23,24 @@ const maxMachineSteps = 20000
 type Tester struct {
 	Prims   *primitives.Table
 	Defects defects.Switches
+
+	// Telemetry handles, resolved once by SetMetrics so the per-path
+	// hot loop touches only atomics. All nil (no-op) by default.
+	passMetrics *jit.PassMetrics
 }
 
 // NewTester builds a tester with the given native-method table and seeded
 // defect state.
 func NewTester(prims *primitives.Table, sw defects.Switches) *Tester {
 	return &Tester{Prims: prims, Defects: sw}
+}
+
+// SetMetrics attaches a telemetry registry, resolving the instrument
+// handles the compilation path updates. Call before testing starts; the
+// resolved handles are read-only afterwards and safe to share across
+// workers. A nil registry leaves the tester un-instrumented.
+func (t *Tester) SetMetrics(reg *telemetry.Registry) {
+	t.passMetrics = jit.NewPassMetrics(reg, t.Defects)
 }
 
 // interpreterReference re-executes the interpreter concretely for a path
@@ -173,6 +186,7 @@ func variantOf(kind CompilerKind) jit.Variant {
 func (t *Tester) runCompiledBytecode(target concolic.Target, om *heap.ObjectMemory, cpu *machine.CPU, frame *interp.Frame, inputs map[heap.Word]int, kind CompilerKind, isa machine.ISA, passLimit int) (*CompiledObservation, error) {
 	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
 	cogit.PassLimit = passLimit
+	cogit.Metrics = t.passMetrics
 	inputStack := make([]heap.Word, frame.Size())
 	for i, v := range frame.Stack {
 		inputStack[i] = v.W
@@ -274,6 +288,7 @@ func (t *Tester) runCompiledNative(target concolic.Target, om *heap.ObjectMemory
 		return nil, fmt.Errorf("%w: unknown primitive %d", jit.ErrNotCompilable, target.PrimIndex)
 	}
 	nc := jit.NewNativeMethodCompiler(isa, om, t.Defects)
+	nc.Metrics = t.passMetrics
 	cm, err := nc.CompileNativeMethod(prim)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/defects"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// divisionEdgeValues are the operand edges all three division families
+// must agree on: zero divisors, the MinSmallInt/-1 overflow pair, mixed
+// signs and both ends of the small-integer range.
+var divisionEdgeValues = []int64{
+	heap.MinSmallInt, heap.MinSmallInt + 1,
+	-7, -3, -2, -1, 0, 1, 2, 3, 7,
+	heap.MaxSmallInt - 1, heap.MaxSmallInt,
+}
+
+var divisionEdgeOps = []struct {
+	op         bytecode.Op
+	instrument string
+}{
+	{bytecode.OpPrimDivide, "primDivide"},
+	{bytecode.OpPrimDiv, "primDiv"},
+	{bytecode.OpPrimMod, "primMod"},
+}
+
+func divisionEdgeMethod(op bytecode.Op) *bytecode.Method {
+	return bytecode.NewBuilder("divedge", 1).
+		PushReceiver().PushTemp(0).Op(op).ReturnTop().MustMethod()
+}
+
+// TestDivisionEdgesRegisterCompilersAgree locks in the audit result that
+// the stack-to-register and register-allocating compilers agree with the
+// interpreter on every division edge pair — including zero divisors and
+// MinSmallInt / -1 — on both ISAs.
+func TestDivisionEdgesRegisterCompilersAgree(t *testing.T) {
+	tester := NewTester(primitives.NewTable(), defects.ProductionVM())
+	kinds := []CompilerKind{StackToRegisterCompiler, RegisterAllocatingCompiler}
+	isas := []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like}
+	for _, o := range divisionEdgeOps {
+		meth := divisionEdgeMethod(o.op)
+		for _, a := range divisionEdgeValues {
+			for _, b := range divisionEdgeValues {
+				in := SequenceInput{Receiver: Int64(a), Args: []SeqValue{Int64(b)}}
+				for _, k := range kinds {
+					for _, isa := range isas {
+						v, err := tester.TestSequence(meth, in, k, isa)
+						if err != nil {
+							t.Fatalf("%s %d/%d %v %v: %v", o.instrument, a, b, k, isa, err)
+						}
+						if v.Differs {
+							t.Errorf("%s rcvr=%d arg=%d %v %v: %s", o.instrument, a, b, k, isa, v.Detail)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDivisionEdgesSimpleCompilerDiffsAreOptimizationOnly locks in the
+// other half of the audit: the simple stack compiler always emits a send
+// for division selectors while the interpreter inlines the exact and
+// in-range cases. Every difference on the edge grid must therefore be an
+// interpreter-return / compiled-send pair classified as an
+// OptimizationDifference attributed to the division instrument — never a
+// value mismatch or a crash.
+func TestDivisionEdgesSimpleCompilerDiffsAreOptimizationOnly(t *testing.T) {
+	tester := NewTester(primitives.NewTable(), defects.ProductionVM())
+	isas := []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like}
+	instruments := map[string]bool{"primDivide": true, "primDiv": true, "primMod": true}
+	diffs := 0
+	for _, o := range divisionEdgeOps {
+		meth := divisionEdgeMethod(o.op)
+		for _, a := range divisionEdgeValues {
+			for _, b := range divisionEdgeValues {
+				in := SequenceInput{Receiver: Int64(a), Args: []SeqValue{Int64(b)}}
+				for _, isa := range isas {
+					v, err := tester.TestSequence(meth, in, SimpleBytecodeCompiler, isa)
+					if err != nil {
+						t.Fatalf("%s %d/%d %v: %v", o.instrument, a, b, isa, err)
+					}
+					if !v.Differs {
+						continue
+					}
+					diffs++
+					if v.Interp.Kind != "return" || v.Compiled.Kind != "send" {
+						t.Errorf("%s rcvr=%d arg=%d %v: unexpected difference shape interp=%q compiled=%q (%s)",
+							o.instrument, a, b, isa, v.Interp.Kind, v.Compiled.Kind, v.Detail)
+						continue
+					}
+					instrument, fam := ClassifySequence(v)
+					if fam != defects.OptimizationDifference {
+						t.Errorf("%s rcvr=%d arg=%d %v: classified %v, want OptimizationDifference", o.instrument, a, b, isa, fam)
+					}
+					if !instruments[instrument] {
+						t.Errorf("%s rcvr=%d arg=%d %v: attributed to %q, want a division instrument", o.instrument, a, b, isa, instrument)
+					}
+				}
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("expected the simple compiler to send on some inlined division edges; the probe grid found none")
+	}
+}

@@ -306,6 +306,7 @@ func (t *Tester) compiledSequenceLimited(method *bytecode.Method, in SequenceInp
 	}
 	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
 	cogit.PassLimit = passLimit
+	cogit.Metrics = t.passMetrics
 	if h != nil {
 		cogit.OnIR = h.EmitIR
 	}

@@ -1,6 +1,7 @@
 package fuzzer
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"cogdiff/internal/ir"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
+	"cogdiff/internal/telemetry"
 )
 
 // Options configures a fuzzing run.
@@ -48,6 +50,14 @@ type Options struct {
 	// OnProgress, when non-nil, receives a serialized callback after every
 	// merged batch.
 	OnProgress func(done, total, corpusSize, causes int)
+	// Metrics, when non-nil, receives fuzzing telemetry (exec counts,
+	// corpus admissions, batch spans, contained panics). Pure sink:
+	// results are byte-identical with metrics on or off.
+	Metrics *telemetry.Registry
+	// faultInject, when non-nil, runs before every sequence execution,
+	// inside the containment boundary. Fault-injection tests use it to
+	// raise genuine heap panics in worker goroutines.
+	faultInject func(s *Seq)
 }
 
 // CurvePoint is one sample of the coverage growth curve, recorded
@@ -122,6 +132,15 @@ type engine struct {
 	execs     int
 	discarded int
 	curve     []CurvePoint
+
+	// Telemetry handles, resolved once in newEngine; all nil (no-op)
+	// when Options.Metrics is absent.
+	mExecs      *telemetry.Counter
+	mDiscarded  *telemetry.Counter
+	mBatches    *telemetry.Counter
+	mAdmissions *telemetry.Counter
+	mCorpusSize *telemetry.Gauge
+	mPanics     *telemetry.Counter
 }
 
 func newEngine(opts Options) *engine {
@@ -129,7 +148,7 @@ func newEngine(opts Options) *engine {
 	if opts.Defects != nil {
 		sw = *opts.Defects
 	}
-	return &engine{
+	e := &engine{
 		opts:      opts,
 		tester:    core.NewTester(primitives.NewTable(), sw),
 		compilers: []core.CompilerKind{core.SimpleBytecodeCompiler, core.StackToRegisterCompiler, core.RegisterAllocatingCompiler},
@@ -137,6 +156,14 @@ func newEngine(opts Options) *engine {
 		corpusKey: make(map[string]bool),
 		diffIdx:   make(map[string]int),
 	}
+	e.tester.SetMetrics(opts.Metrics)
+	e.mExecs = opts.Metrics.Counter(telemetry.MetricFuzzExecs)
+	e.mDiscarded = opts.Metrics.Counter(telemetry.MetricFuzzDiscarded)
+	e.mBatches = opts.Metrics.Counter(telemetry.MetricFuzzBatches)
+	e.mAdmissions = opts.Metrics.Counter(telemetry.MetricFuzzCorpusAdmissions)
+	e.mCorpusSize = opts.Metrics.Gauge(telemetry.MetricFuzzCorpusSize)
+	e.mPanics = opts.Metrics.Counter(telemetry.MetricPanicsContained)
+	return e
 }
 
 // builtinSeeds is the always-available seed set: the native harness's
@@ -175,8 +202,29 @@ func builtinSeeds() []*Seq {
 // execute runs one genome through the interpreter once and through every
 // (compiler, ISA) pair, collecting the coverage bitmap and every differing
 // verdict. It is the parallel section: no engine state is touched.
-func (e *engine) execute(s *Seq) execOut {
-	var out execOut
+//
+// A panic inside one execution (the heap layer escalates allocation and
+// access errors as panics) is contained here and reported as a
+// crash-style difference verdict, so one bad genome never aborts the
+// run. Panics are deterministic functions of the genome, so containment
+// preserves byte-identical reports at any worker count.
+func (e *engine) execute(s *Seq) (out execOut) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.mPanics.Inc()
+			detail := fmt.Sprintf("contained panic: %v", p)
+			out.diffs = []diffObs{{verdict: &core.SequenceVerdict{
+				Interp:   core.SequenceOutcome{Kind: "return"},
+				Compiled: core.SequenceOutcome{Kind: "error: " + detail},
+				Differs:  true,
+				Detail:   detail,
+				Cause:    "panic",
+			}}}
+		}
+	}()
+	if e.opts.faultInject != nil {
+		e.opts.faultInject(s)
+	}
 	if s.Check() != nil {
 		out.invalid = true
 		return out
@@ -223,8 +271,10 @@ func (e *engine) execute(s *Seq) execOut {
 func (e *engine) merge(s *Seq, o *execOut, keepAll bool) {
 	idx := e.execs
 	e.execs++
+	e.mExecs.Inc()
 	if o.invalid {
 		e.discarded++
+		e.mDiscarded.Inc()
 		return
 	}
 	if newBits := o.cov.NewBits(&e.global); newBits > 0 || keepAll {
@@ -234,6 +284,8 @@ func (e *engine) merge(s *Seq, o *execOut, keepAll bool) {
 			e.corpusKey[key] = true
 			e.corpus = append(e.corpus, s)
 			e.curve = append(e.curve, CurvePoint{Execs: e.execs, Bits: e.global.Count()})
+			e.mAdmissions.Inc()
+			e.mCorpusSize.Set(int64(len(e.corpus)))
 		}
 	} else {
 		e.global.Merge(&o.cov)
@@ -246,6 +298,8 @@ func (e *engine) merge(s *Seq, o *execOut, keepAll bool) {
 			continue
 		}
 		e.diffIdx[key] = len(e.diffs)
+		e.opts.Metrics.LabeledCounter(telemetry.MetricFuzzDifferences,
+			"family", fam.String()).Inc()
 		e.diffs = append(e.diffs, &Difference{
 			Instrument: instrument,
 			Family:     fam,
@@ -262,6 +316,9 @@ func (e *engine) merge(s *Seq, o *execOut, keepAll bool) {
 
 // runBatch executes tasks in parallel and merges them in order.
 func (e *engine) runBatch(tasks []*Seq, workers int, keepAll bool) {
+	sp := e.opts.Metrics.StartSpan(telemetry.SpanFuzzBatch)
+	defer sp.End()
+	e.mBatches.Inc()
 	outs := make([]execOut, len(tasks))
 	core.RunUnits(workers, len(tasks), func(i int) { outs[i] = e.execute(tasks[i]) })
 	for i := range outs {

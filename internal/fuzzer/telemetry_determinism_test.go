@@ -1,0 +1,45 @@
+package fuzzer
+
+import (
+	"testing"
+
+	"cogdiff/internal/telemetry"
+)
+
+// TestFuzzReportUnperturbedByTelemetry checks the fuzz report stays
+// byte-identical with telemetry on or off, at any worker count, and that
+// the execution counters agree with the report's own numbers.
+func TestFuzzReportUnperturbedByTelemetry(t *testing.T) {
+	run := func(workers int, reg *telemetry.Registry) (*Result, string) {
+		res, err := Run(Options{Seed: 11, Budget: 250, Workers: workers, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, Report(res)
+	}
+	_, base := run(1, nil)
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []string{"off", "on"} {
+			var reg *telemetry.Registry
+			if mode == "on" {
+				reg = telemetry.NewRegistry()
+			}
+			res, got := run(workers, reg)
+			if got != base {
+				t.Errorf("workers=%d telemetry=%s: report diverged from the serial no-telemetry baseline", workers, mode)
+			}
+			if reg == nil {
+				continue
+			}
+			if execs := reg.Counter(telemetry.MetricFuzzExecs).Value(); execs != int64(res.Executions) {
+				t.Errorf("workers=%d: exec counter %d, report says %d", workers, execs, res.Executions)
+			}
+			if disc := reg.Counter(telemetry.MetricFuzzDiscarded).Value(); disc != int64(res.Discarded) {
+				t.Errorf("workers=%d: discard counter %d, report says %d", workers, disc, res.Discarded)
+			}
+			if size := reg.Gauge(telemetry.MetricFuzzCorpusSize).Value(); size != int64(res.CorpusSize) {
+				t.Errorf("workers=%d: corpus gauge %d, report says %d", workers, size, res.CorpusSize)
+			}
+		}
+	}
+}

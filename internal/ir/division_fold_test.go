@@ -1,0 +1,47 @@
+package ir
+
+import "testing"
+
+// TestConstFoldNeverFoldsDivision pins the division constant-folding
+// policy: div and mod are never folded — not even with well-defined
+// constant operands — so the run-time zero-divisor and range guards stay
+// the single source of truth for division semantics. Folding a constant
+// zero divisor would turn a guarded run-time failure into whatever the
+// folder computes; folding a valid pair would skip the range check.
+func TestConstFoldNeverFoldsDivision(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Opc
+		a, b int64
+	}{
+		{"div by zero", OpcDiv, 8, 0},
+		{"mod by zero", OpcMod, 8, 0},
+		{"div valid", OpcDiv, 8, 2},
+		{"mod valid", OpcMod, 8, 3},
+		{"div min by minus one", OpcDiv, -1 << 30, -1},
+		{"mod min by minus one", OpcMod, -1 << 30, -1},
+	}
+	for _, c := range cases {
+		b := NewBuilder()
+		b.MovI(V(0), c.a)
+		b.MovI(V(1), c.b)
+		b.Bin(c.op, V(2), V(0), V(1))
+		b.Ret()
+		out := ConstFold(false).Run(mustFinish(t, b))
+		if ins := out.Instrs[2]; ins.Op != c.op {
+			t.Errorf("%s: folded to %s; division must always reach the run-time guard", c.name, ins)
+		}
+		// The destination becomes unknown: a later use must not fold with
+		// a stale constant for v2.
+		b = NewBuilder()
+		b.MovI(V(0), c.a)
+		b.MovI(V(1), c.b)
+		b.Bin(c.op, V(2), V(0), V(1))
+		b.BinI(OpcAddI, V(3), V(2), 1)
+		b.Ret()
+		out = ConstFold(false).Run(mustFinish(t, b))
+		if ins := out.Instrs[3]; ins.Op != OpcAddI {
+			t.Errorf("%s: use of the division result folded to %s; the result must be unknown", c.name, ins)
+		}
+	}
+}

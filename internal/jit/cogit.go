@@ -2,6 +2,7 @@ package jit
 
 import (
 	"fmt"
+	"time"
 
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/defects"
@@ -34,6 +35,10 @@ type Cogit struct {
 	// machinery recompiles with each prefix to attribute a difference to
 	// the first guilty pass.
 	PassLimit int
+
+	// Metrics, when non-nil, times every optimization pass and counts
+	// compiled units through pre-resolved telemetry handles.
+	Metrics *PassMetrics
 
 	// per-compilation state
 	b           *ir.Builder
@@ -335,7 +340,13 @@ func (c *Cogit) finish() (*CompiledMethod, error) {
 		limit = len(passes)
 	}
 	for _, p := range passes[:limit] {
-		fn = p.Run(fn)
+		if c.Metrics != nil {
+			t0 := time.Now()
+			fn = p.Run(fn)
+			c.Metrics.observePass(p.Name, time.Since(t0))
+		} else {
+			fn = p.Run(fn)
+		}
 		if c.OnStage != nil {
 			c.OnStage(p.Name, fn)
 		}
@@ -355,6 +366,7 @@ func (c *Cogit) finish() (*CompiledMethod, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Metrics.unitCompiled()
 	return &CompiledMethod{
 		Prog:      prog,
 		Code:      code,

@@ -25,6 +25,10 @@ type NativeMethodCompiler struct {
 	// Native methods run no passes, so the only stage is "front-end".
 	OnStage func(stage string, fn *ir.Fn)
 
+	// Metrics, when non-nil, counts compiled units. Native methods run
+	// no passes, so no pass timing applies.
+	Metrics *PassMetrics
+
 	b   *ir.Builder
 	seq int
 }
@@ -81,6 +85,7 @@ func (n *NativeMethodCompiler) finish() (*CompiledMethod, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.Metrics.unitCompiled()
 	return &CompiledMethod{Prog: prog, Code: code, ISA: n.ISA}, nil
 }
 

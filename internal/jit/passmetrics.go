@@ -1,0 +1,60 @@
+package jit
+
+import (
+	"time"
+
+	"cogdiff/internal/defects"
+	"cogdiff/internal/telemetry"
+)
+
+// PassMetrics carries pre-resolved telemetry handles for the pass
+// pipeline. Compilation runs once per tested path — far too hot to
+// format histogram series keys — so the handles are resolved once, when
+// the owning Tester is given a registry, and shared read-only by every
+// Cogit instance afterwards.
+type PassMetrics struct {
+	compiled *telemetry.Counter
+	passes   *telemetry.Counter
+	perPass  map[string]*telemetry.Histogram
+}
+
+// NewPassMetrics resolves the pipeline instruments against reg: a
+// units-compiled counter, a passes-run counter, and one latency
+// histogram per distinct pass name across every variant's pipeline.
+// Returns nil (a valid no-op) for a nil registry.
+func NewPassMetrics(reg *telemetry.Registry, sw defects.Switches) *PassMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &PassMetrics{
+		compiled: reg.Counter(telemetry.MetricUnitsCompiled),
+		passes:   reg.Counter(telemetry.MetricPassesRun),
+		perPass:  make(map[string]*telemetry.Histogram),
+	}
+	for _, v := range []Variant{SimpleStackBasedCogit, StackToRegisterCogit, RegisterAllocatingCogit} {
+		for _, p := range PipelineFor(v, sw) {
+			if _, ok := m.perPass[p.Name]; !ok {
+				m.perPass[p.Name] = reg.LabeledHistogram(
+					telemetry.MetricPassSeconds, telemetry.DurationBuckets, "pass", p.Name)
+			}
+		}
+	}
+	return m
+}
+
+// unitCompiled counts one successful compilation. No-op on nil.
+func (m *PassMetrics) unitCompiled() {
+	if m == nil {
+		return
+	}
+	m.compiled.Inc()
+}
+
+// observePass records one pass execution. No-op on nil.
+func (m *PassMetrics) observePass(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.passes.Inc()
+	m.perPass[name].ObserveDuration(d)
+}

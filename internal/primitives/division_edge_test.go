@@ -1,0 +1,74 @@
+package primitives
+
+import (
+	"testing"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+)
+
+// TestDivisionZeroDivisorAllFamilies checks every division primitive
+// fails its operand checks on a zero divisor instead of faulting.
+func TestDivisionZeroDivisorAllFamilies(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	for _, idx := range []int{PrimIdxDivide, PrimIdxDiv, PrimIdxMod, PrimIdxQuo} {
+		for _, a := range []int64{0, 1, -7, heap.MinSmallInt, heap.MaxSmallInt} {
+			if e := callPrim(t, om, tbl, idx, intv(a), intv(0)); e.Kind != interp.ExitFailure {
+				t.Errorf("primitive %d: %d by zero must fail, got %v", idx, a, e.Kind)
+			}
+		}
+	}
+}
+
+// TestDivisionMinSmallIntNegation checks the MinSmallInt / -1 edge: the
+// true quotient 2^30 is one past MaxSmallInt, so the quotient-producing
+// primitives must fail their range check while mod (remainder 0) stays
+// representable and succeeds.
+func TestDivisionMinSmallIntNegation(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	min := intv(heap.MinSmallInt)
+	for _, idx := range []int{PrimIdxDivide, PrimIdxDiv, PrimIdxQuo} {
+		if e := callPrim(t, om, tbl, idx, min, intv(-1)); e.Kind != interp.ExitFailure {
+			t.Errorf("primitive %d: MinSmallInt / -1 overflows the small-int range and must fail, got %v", idx, e.Kind)
+		}
+	}
+	if e := callPrim(t, om, tbl, PrimIdxMod, min, intv(-1)); e.Kind != interp.ExitSuccess || e.Result.W != heap.SmallIntFor(0) {
+		t.Errorf("MinSmallInt mod -1 = 0 is representable and must succeed, got %v %v", e.Kind, e.Result.W)
+	}
+	// One below the edge negates in range for every family.
+	almost := intv(heap.MinSmallInt + 1)
+	for _, idx := range []int{PrimIdxDivide, PrimIdxDiv, PrimIdxQuo} {
+		if e := callPrim(t, om, tbl, idx, almost, intv(-1)); e.Kind != interp.ExitSuccess || e.Result.W != heap.SmallIntFor(heap.MaxSmallInt) {
+			t.Errorf("primitive %d: (MinSmallInt+1) / -1 must succeed with MaxSmallInt, got %v %v", idx, e.Kind, e.Result.W)
+		}
+	}
+}
+
+// TestDivisionFlooringVsTruncation pins the floor (// and \\) versus
+// truncation (quo:) semantics on negative operands.
+func TestDivisionFlooringVsTruncation(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	tbl := NewTable()
+	cases := []struct {
+		a, b          int64
+		div, mod, quo int64
+	}{
+		{7, 2, 3, 1, 3},
+		{-7, 2, -4, 1, -3},
+		{7, -2, -4, -1, -3},
+		{-7, -2, 3, -1, 3},
+	}
+	for _, c := range cases {
+		if e := callPrim(t, om, tbl, PrimIdxDiv, intv(c.a), intv(c.b)); e.Kind != interp.ExitSuccess || e.Result.W != heap.SmallIntFor(c.div) {
+			t.Errorf("%d // %d: got %v %v, want %d", c.a, c.b, e.Kind, e.Result.W, c.div)
+		}
+		if e := callPrim(t, om, tbl, PrimIdxMod, intv(c.a), intv(c.b)); e.Kind != interp.ExitSuccess || e.Result.W != heap.SmallIntFor(c.mod) {
+			t.Errorf("%d mod %d: got %v %v, want %d", c.a, c.b, e.Kind, e.Result.W, c.mod)
+		}
+		if e := callPrim(t, om, tbl, PrimIdxQuo, intv(c.a), intv(c.b)); e.Kind != interp.ExitSuccess || e.Result.W != heap.SmallIntFor(c.quo) {
+			t.Errorf("%d quo %d: got %v %v, want %d", c.a, c.b, e.Kind, e.Result.W, c.quo)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets is the default latency bucket layout, in seconds:
+// exponential from 1µs to ~16s, wide enough for a single peephole pass
+// and a whole fuzzing batch alike.
+var DurationBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 16,
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Observe is lock-free and allocation-free; bucket bounds are immutable
+// after construction.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, excluding +Inf
+	counts []atomic.Int64
+	// sum accumulates the total of observed values as math.Float64bits
+	// under compare-and-swap, so Sum is exact without a lock.
+	sum   atomic.Uint64
+	count atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; the last slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations, zero for a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values, zero for a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the bucket upper bounds (excluding the implicit +Inf)
+// and the cumulative count per bucket, Prometheus-style: bucket i holds
+// the number of observations <= bound i, and the final extra element is
+// the total count (the +Inf bucket).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	cumulative = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return bounds, cumulative
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress periodically renders a one-line status from registry
+// snapshots, replacing ad-hoc per-unit progress printf in the engines.
+// It runs on its own goroutine and never touches engine state, so it
+// cannot perturb determinism; the rendered line goes to a side channel
+// (stderr), never into reports.
+type Progress struct {
+	w        io.Writer
+	reg      *Registry
+	render   func(Snapshot) string
+	interval time.Duration
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartProgress begins emitting a rendered line every interval. Returns
+// nil (safe to Stop) when the registry or writer is absent.
+func StartProgress(reg *Registry, w io.Writer, interval time.Duration, render func(Snapshot) string) *Progress {
+	if reg == nil || w == nil || render == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p := &Progress{
+		w: w, reg: reg, render: render, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.emit()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *Progress) emit() {
+	if line := p.render(p.reg.Snapshot()); line != "" {
+		fmt.Fprintln(p.w, line)
+	}
+}
+
+// Stop halts the loop and emits one final line so short runs still get
+// a summary. No-op on a nil receiver; safe to call more than once.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+		p.emit()
+	})
+}
