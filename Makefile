@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench fuzz fuzz-smoke blame-smoke metrics-smoke fmt-check golden-update ci
+.PHONY: all build vet test test-short test-race bench bench-go cache-smoke fuzz fuzz-smoke blame-smoke metrics-smoke fmt-check golden-update ci
 
 all: build vet test
 
@@ -30,8 +30,41 @@ test-short:
 test-race:
 	$(GO) test -race -short ./...
 
+# Perf trajectory: export machine-readable benchmark records for the
+# campaign engine (cold vs warm through the exploration cache) and the
+# fuzzing engine. CI uploads BENCH_*.json as artifacts so the history of
+# every change is comparable.
 bench:
+	rm -rf bench-cache.tmp
+	$(GO) run ./cmd/cogdiff bench-export -cache-dir bench-cache.tmp -out BENCH_campaign.json campaign
+	$(GO) run ./cmd/cogdiff bench-export -out BENCH_fuzz.json fuzz
+	$(GO) run ./cmd/cogdiff bench-export -lint BENCH_campaign.json BENCH_fuzz.json
+	rm -rf bench-cache.tmp
+
+# The Go-native microbenchmarks (includes the cache=cold/cache=warm
+# campaign variants).
+bench-go:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Exploration-cache smoke test, observed end to end from the CLI: the
+# campaign report must be byte-identical with caching off, populating a
+# cold cache, and served warm at 1 and 4 workers — and the warm run must
+# be at least 3x faster than the cold one (the acceptance bar; local
+# measurements are ~20x).
+cache-smoke:
+	rm -rf cache-smoke.tmp
+	$(GO) build -o cache-smoke.tmp/cogdiff ./cmd/cogdiff
+	cache-smoke.tmp/cogdiff table2 -workers 1 > cache-smoke.tmp/off.txt
+	cache-smoke.tmp/cogdiff table2 -workers 1 -cache-dir cache-smoke.tmp/cache > cache-smoke.tmp/cold.txt
+	cache-smoke.tmp/cogdiff table2 -workers 1 -cache-dir cache-smoke.tmp/cache > cache-smoke.tmp/warm1.txt
+	cache-smoke.tmp/cogdiff table2 -workers 4 -cache-dir cache-smoke.tmp/cache > cache-smoke.tmp/warm4.txt
+	cmp cache-smoke.tmp/off.txt cache-smoke.tmp/cold.txt
+	cmp cache-smoke.tmp/off.txt cache-smoke.tmp/warm1.txt
+	cmp cache-smoke.tmp/off.txt cache-smoke.tmp/warm4.txt
+	cache-smoke.tmp/cogdiff bench-export -min-speedup 3 -cache-dir cache-smoke.tmp/bench-cache \
+		-out cache-smoke.tmp/BENCH_campaign.json campaign
+	cache-smoke.tmp/cogdiff bench-export -lint cache-smoke.tmp/BENCH_campaign.json
+	rm -rf cache-smoke.tmp
 
 # Explore random byte-code sequences across all three compilers and both
 # ISAs (30s smoke run; raise -fuzztime for a real session).
@@ -65,4 +98,4 @@ fmt-check:
 golden-update:
 	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
 
-ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metrics-smoke
+ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metrics-smoke cache-smoke

@@ -12,13 +12,14 @@ package cogdiff
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
-	"sync"
 	"testing"
 
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/concolic"
 	"cogdiff/internal/core"
+	"cogdiff/internal/excache"
 	"cogdiff/internal/fuzzer"
 	"cogdiff/internal/heap"
 	"cogdiff/internal/interp"
@@ -27,16 +28,15 @@ import (
 	"cogdiff/internal/telemetry"
 )
 
-var (
-	campaignOnce   sync.Once
-	campaignResult *core.CampaignResult
-)
-
-func sharedCampaign() *core.CampaignResult {
-	campaignOnce.Do(func() {
-		campaignResult = core.NewCampaign(core.DefaultConfig()).Run()
-	})
-	return campaignResult
+// setupCampaign runs one full campaign outside the timed region, as
+// benchmark input. Each benchmark builds its own result — no package
+// state is shared between b.Run cases, so every benchmark measures the
+// same thing whatever -benchtime, -count or benchmark subset is used.
+func setupCampaign(b *testing.B) *core.CampaignResult {
+	b.Helper()
+	res := core.NewCampaign(core.DefaultConfig()).Run()
+	b.ResetTimer()
+	return res
 }
 
 // BenchmarkTable1AddBytecodePaths regenerates Table 1: the concolic
@@ -59,6 +59,7 @@ func BenchmarkTable2Campaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res = core.NewCampaign(core.DefaultConfig()).Run()
 	}
+	b.ReportMetric(float64(res.TotalDifferences()), "differences/op")
 	b.StopTimer()
 	b.Logf("\n%s", report.Table2(res))
 }
@@ -68,8 +69,21 @@ func BenchmarkTable2Campaign(b *testing.B) {
 // deterministic merge keeps every variant's output byte-identical; only
 // wall-clock changes. The telemetry=on variants quantify the overhead of
 // full metric collection (EXPERIMENTS.md records the numbers; the
-// contract is <3%).
+// contract is <3%). The cache=cold/cache=warm variants measure the
+// persistent exploration cache (internal/excache): cold populates a
+// fresh directory each iteration, warm replays a pre-populated one (the
+// acceptance contract is warm >= 3x faster than cold). Every iteration
+// builds its configuration from scratch, so -benchtime and -count runs
+// are independent.
 func BenchmarkCampaignParallel(b *testing.B) {
+	benchConfig := func(workers int, withTelemetry bool) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		if withTelemetry {
+			cfg.Metrics = telemetry.NewRegistry()
+		}
+		return cfg
+	}
 	for _, bc := range []struct {
 		name      string
 		workers   int
@@ -82,16 +96,56 @@ func BenchmarkCampaignParallel(b *testing.B) {
 		{fmt.Sprintf("workers=gomaxprocs(%d)/telemetry=on", runtime.GOMAXPROCS(0)), 0, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			cfg := core.DefaultConfig()
-			cfg.Workers = bc.workers
+			var res *core.CampaignResult
 			for i := 0; i < b.N; i++ {
-				if bc.telemetry {
-					cfg.Metrics = telemetry.NewRegistry()
-				}
-				core.NewCampaign(cfg).Run()
+				res = core.NewCampaign(benchConfig(bc.workers, bc.telemetry)).Run()
 			}
+			b.ReportMetric(float64(res.TotalDifferences()), "differences/op")
 		})
 	}
+	b.Run("workers=1/cache=cold", func(b *testing.B) {
+		var res *core.CampaignResult
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "cogdiff-bench-cache-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			cfg := benchConfig(1, false)
+			cache, err := excache.Open(excache.Config{Dir: dir, Mode: excache.ModeRW})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Cache = cache
+			res = core.NewCampaign(cfg).Run()
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(res.TotalDifferences()), "differences/op")
+	})
+	b.Run("workers=1/cache=warm", func(b *testing.B) {
+		dir := b.TempDir()
+		warmup := benchConfig(1, false)
+		cache, err := excache.Open(excache.Config{Dir: dir, Mode: excache.ModeRW})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmup.Cache = cache
+		core.NewCampaign(warmup).Run()
+		b.ResetTimer()
+		var res *core.CampaignResult
+		for i := 0; i < b.N; i++ {
+			cfg := benchConfig(1, false)
+			cfg.Cache, err = excache.Open(excache.Config{Dir: dir, Mode: excache.ModeRW})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = core.NewCampaign(cfg).Run()
+		}
+		b.ReportMetric(float64(res.TotalDifferences()), "differences/op")
+	})
 }
 
 // BenchmarkFuzzThroughput measures the coverage-guided sequence fuzzing
@@ -113,16 +167,20 @@ func BenchmarkFuzzThroughput(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			const budget = 256
+			var last *fuzzer.Result
 			for i := 0; i < b.N; i++ {
 				opts := fuzzer.Options{Seed: 2022, Budget: budget, Workers: bc.workers}
 				if bc.telemetry {
 					opts.Metrics = telemetry.NewRegistry()
 				}
-				if _, err := fuzzer.Run(opts); err != nil {
+				res, err := fuzzer.Run(opts)
+				if err != nil {
 					b.Fatal(err)
 				}
+				last = res
 			}
 			b.ReportMetric(float64(budget)*float64(b.N)/b.Elapsed().Seconds(), "execs/s")
+			b.ReportMetric(float64(len(last.Differences)), "differences/op")
 		})
 	}
 }
@@ -130,7 +188,7 @@ func BenchmarkFuzzThroughput(b *testing.B) {
 // BenchmarkTable3DefectFamilies regenerates Table 3: difference causes
 // deduplicated into the six defect families.
 func BenchmarkTable3DefectFamilies(b *testing.B) {
-	res := sharedCampaign()
+	res := setupCampaign(b)
 	var out string
 	for i := 0; i < b.N; i++ {
 		out = report.Table3(res)
@@ -142,7 +200,7 @@ func BenchmarkTable3DefectFamilies(b *testing.B) {
 // BenchmarkFig5PathsPerInstruction regenerates Figure 5: the
 // paths-per-instruction distribution per instruction kind.
 func BenchmarkFig5PathsPerInstruction(b *testing.B) {
-	res := sharedCampaign()
+	res := setupCampaign(b)
 	var out string
 	for i := 0; i < b.N; i++ {
 		out = report.Figure5(res)
@@ -159,12 +217,13 @@ func BenchmarkFig6ConcolicTime(b *testing.B) {
 	explorer := concolic.NewExplorer(prims, concolic.DefaultOptions())
 	bcTarget := concolic.BytecodeTarget(bytecode.OpPrimAdd)
 	nmTarget := concolic.NativeMethodTarget(primitives.PrimIdxBitShift, "primitiveBitShift", 1)
+	res := setupCampaign(b)
 	for i := 0; i < b.N; i++ {
 		explorer.Explore(bcTarget)
 		explorer.Explore(nmTarget)
 	}
 	b.StopTimer()
-	b.Logf("\n%s", report.Figure6(sharedCampaign()))
+	b.Logf("\n%s", report.Figure6(res))
 }
 
 // BenchmarkFig7TestTime regenerates Figure 7: differential test execution
@@ -177,7 +236,7 @@ func BenchmarkFig7TestTime(b *testing.B) {
 	ex := explorer.Explore(target)
 	cfg := core.DefaultConfig()
 	tester := core.NewTester(prims, cfg.Defects)
-	b.ResetTimer()
+	res := setupCampaign(b)
 	for i := 0; i < b.N; i++ {
 		for _, p := range ex.Paths {
 			for _, isa := range cfg.ISAs {
@@ -186,7 +245,7 @@ func BenchmarkFig7TestTime(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	b.Logf("\n%s", report.Figure7(sharedCampaign()))
+	b.Logf("\n%s", report.Figure7(res))
 }
 
 // randomBaselinePaths is the black-box baseline of the ablation: throw

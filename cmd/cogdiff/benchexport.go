@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"cogdiff"
+)
+
+// bench-export measures one engine end to end and emits a machine-
+// readable benchmark record (BENCH_campaign.json / BENCH_fuzz.json), so
+// the perf trajectory of this and future changes lives in versionable
+// JSON history instead of prose. With -cache-dir, the campaign mode runs
+// cold (empty cache) then warm, verifies the deterministic report
+// surfaces are byte-identical, and records the speedup; -min-speedup
+// turns the measurement into a CI gate (make cache-smoke).
+
+// benchSchema stamps the record layout; bump on field changes.
+const benchSchema = "cogdiff-bench/1"
+
+// benchRecord is one exported measurement.
+type benchRecord struct {
+	Schema     string `json:"schema"`
+	Name       string `json:"name"`
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+	Iterations int    `json:"iterations"`
+	Workers    int    `json:"workers"`
+
+	// NsPerOp and AllocsPerOp measure the steady state: the warm runs
+	// when a cache directory is in play, the plain runs otherwise.
+	NsPerOp     int64   `json:"nsPerOp"`
+	AllocsPerOp uint64  `json:"allocsPerOp"`
+	Differences int     `json:"differences"`
+	HitRate     float64 `json:"cacheHitRate"`
+
+	// Cold/warm split and speedup, present only for cached campaign runs.
+	ColdNsPerOp int64   `json:"coldNsPerOp,omitempty"`
+	WarmNsPerOp int64   `json:"warmNsPerOp,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+func runBenchExport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench-export", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	iterations := fs.Int("iterations", 3, "measured iterations (after the cold run, when caching)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "campaign mode: measure cold vs warm through this cache directory")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail unless warm speedup over cold reaches this factor")
+	out := fs.String("out", "", "write the JSON record to this file (default stdout)")
+	lint := fs.Bool("lint", false, "validate existing BENCH_*.json files instead of measuring")
+	fuzzBudget := fs.Int("fuzz-budget", 2000, "fuzz mode: execution budget per iteration")
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "cogdiff:", err)
+		return 1
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *lint {
+		if fs.NArg() == 0 {
+			usage(stderr)
+			return 2
+		}
+		for _, path := range fs.Args() {
+			if err := lintBenchFile(path); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "%s: OK\n", path)
+		}
+		return 0
+	}
+	if fs.NArg() != 1 {
+		usage(stderr)
+		return 2
+	}
+	if *iterations < 1 {
+		return fail(fmt.Errorf("-iterations %d: must be >= 1", *iterations))
+	}
+	if err := validateWorkers(*workers); err != nil {
+		return fail(err)
+	}
+
+	var rec *benchRecord
+	var err error
+	switch fs.Arg(0) {
+	case "campaign":
+		rec, err = benchCampaign(*iterations, *workers, *cacheDir, *minSpeedup)
+	case "fuzz":
+		rec, err = benchFuzz(*iterations, *workers, *fuzzBudget)
+	default:
+		return fail(fmt.Errorf("bench-export %q: want campaign or fuzz", fs.Arg(0)))
+	}
+	if err != nil {
+		return fail(err)
+	}
+	rec.Schema = benchSchema
+	rec.GoVersion = runtime.Version()
+	rec.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rec.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	rec.Iterations = *iterations
+	rec.Workers = *workers
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "%s: %s written\n", rec.Name, *out)
+	return 0
+}
+
+// measure runs fn once and returns its wall time and per-process
+// allocation count delta.
+func measure(fn func() error) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs, err
+}
+
+// deterministicSurfaces concatenates the report surfaces that are pure
+// functions of the campaign configuration (Figures 6/7 embed wall-clock
+// times and are excluded; with a warm cache even they replay the cold
+// run's timings, but the byte-identity contract is checked on the
+// surfaces that hold for every cache state).
+func deterministicSurfaces(s *cogdiff.CampaignSummary) string {
+	return s.Table2 + "\n" + s.Table3 + "\n" + s.Figure5 + "\n" + s.Causes
+}
+
+func benchCampaign(iterations, workers int, cacheDir string, minSpeedup float64) (*benchRecord, error) {
+	rec := &benchRecord{Name: "campaign"}
+	opts := cogdiff.CampaignOptions{Workers: workers}
+
+	var baseline string
+	var coldNS int64
+	if cacheDir != "" {
+		// Cold run: populate the cache from nothing.
+		opts.CacheDir = cacheDir
+		opts.CacheMode = "rw"
+		var cold *cogdiff.CampaignSummary
+		elapsed, _, err := measure(func() error {
+			var rerr error
+			cold, rerr = cogdiff.RunCampaign(opts)
+			return rerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		coldNS = elapsed.Nanoseconds()
+		rec.ColdNsPerOp = coldNS
+		baseline = deterministicSurfaces(cold)
+	}
+
+	// Measured iterations: warm when caching, plain otherwise.
+	var totalNS int64
+	var totalAllocs uint64
+	for i := 0; i < iterations; i++ {
+		var sum *cogdiff.CampaignSummary
+		elapsed, allocs, err := measure(func() error {
+			var rerr error
+			sum, rerr = cogdiff.RunCampaign(opts)
+			return rerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		totalNS += elapsed.Nanoseconds()
+		totalAllocs += allocs
+		rec.Differences = sum.TotalDifferences
+		rec.HitRate = sum.Cache.HitRate()
+		if cacheDir != "" {
+			if got := deterministicSurfaces(sum); got != baseline {
+				return nil, fmt.Errorf("bench-export: warm campaign report diverged from cold (cache unsound)")
+			}
+		}
+	}
+	rec.NsPerOp = totalNS / int64(iterations)
+	rec.AllocsPerOp = totalAllocs / uint64(iterations)
+	if cacheDir != "" {
+		rec.WarmNsPerOp = rec.NsPerOp
+		if rec.WarmNsPerOp > 0 {
+			rec.Speedup = float64(coldNS) / float64(rec.WarmNsPerOp)
+		}
+		if minSpeedup > 0 && rec.Speedup < minSpeedup {
+			return nil, fmt.Errorf("bench-export: warm speedup %.2fx below required %.2fx (cold %s, warm %s)",
+				rec.Speedup, minSpeedup, time.Duration(coldNS), time.Duration(rec.WarmNsPerOp))
+		}
+	}
+	return rec, nil
+}
+
+func benchFuzz(iterations, workers, budget int) (*benchRecord, error) {
+	rec := &benchRecord{Name: "fuzz"}
+	var totalNS int64
+	var totalAllocs uint64
+	for i := 0; i < iterations; i++ {
+		var sum *cogdiff.FuzzSummary
+		elapsed, allocs, err := measure(func() error {
+			var rerr error
+			sum, rerr = cogdiff.Fuzz(cogdiff.FuzzOptions{Seed: 2022, Budget: budget, Workers: workers, Minimize: true})
+			return rerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		totalNS += elapsed.Nanoseconds()
+		totalAllocs += allocs
+		rec.Differences = len(sum.Differences)
+	}
+	rec.NsPerOp = totalNS / int64(iterations)
+	rec.AllocsPerOp = totalAllocs / uint64(iterations)
+	return rec, nil
+}
+
+// lintBenchFile validates one exported record: parseable JSON, the
+// current schema stamp, and sane measurement fields. make cache-smoke
+// runs it over the BENCH files the bench target just wrote.
+func lintBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Schema != benchSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rec.Schema, benchSchema)
+	}
+	if rec.Name != "campaign" && rec.Name != "fuzz" {
+		return fmt.Errorf("%s: name %q, want campaign or fuzz", path, rec.Name)
+	}
+	if rec.NsPerOp <= 0 {
+		return fmt.Errorf("%s: nsPerOp %d, want > 0", path, rec.NsPerOp)
+	}
+	if rec.Iterations < 1 {
+		return fmt.Errorf("%s: iterations %d, want >= 1", path, rec.Iterations)
+	}
+	if rec.HitRate < 0 || rec.HitRate > 1 {
+		return fmt.Errorf("%s: cacheHitRate %v outside [0, 1]", path, rec.HitRate)
+	}
+	return nil
+}

@@ -16,6 +16,8 @@
 //	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
 //	cogdiff fuzz [-seed n] [-budget n]   coverage-guided sequence fuzzing with
 //	                                     difference minimization
+//	cogdiff bench-export campaign|fuzz   measure a campaign or fuzz run and emit a
+//	                                     machine-readable BENCH_*.json record
 //	cogdiff metrics-lint <file>          validate a Prometheus metrics snapshot
 //
 // Campaign commands shard their work over -workers goroutines (default:
@@ -23,9 +25,11 @@
 // count.
 //
 // The campaign, table/figure, difftest and fuzz verbs share the
+// exploration-cache flags -cache-dir <dir> and -cache off|ro|rw, and the
 // observability flags -metrics <file>, -metrics-format json|prom,
-// -trace <file> and -profile <file>. Telemetry is a pure observation
-// sink: all printed reports are byte-identical with it on or off.
+// -trace <file> and -profile <file>. Both layers are pure with respect
+// to results: all printed reports are byte-identical with the cache or
+// telemetry on or off.
 package main
 
 import (
@@ -68,7 +72,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	case "explore":
 		fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 		fs.SetOutput(stderr)
-		jsonOut := fs.String("o", "", "write the exploration as JSON to this file (reusable by difftest -cache)")
+		jsonOut := fs.String("o", "", "write the exploration as JSON to this file (reusable by difftest -cache-file)")
 		if err := fs.Parse(args); err != nil {
 			return 2
 		}
@@ -111,10 +115,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	case "difftest":
 		fs := flag.NewFlagSet("difftest", flag.ContinueOnError)
 		fs.SetOutput(stderr)
-		cache := fs.String("cache", "", "reuse a cached exploration (JSON written by explore -o)")
+		cacheFile := fs.String("cache-file", "", "reuse one cached exploration (JSON written by explore -o)")
 		pristine := fs.Bool("pristine", false, "test the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
 		dumpIR := fs.String("dump-ir", "", "also dump every compilation stage: 'stdout' or a file path")
+		cacheDir, cacheMode := cacheFlags(fs)
 		obs := obsFlags(fs)
 		if err := fs.Parse(args); err != nil {
 			return 2
@@ -124,7 +129,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		var res *cogdiff.InstructionResult
 		var err error
-		if *cache != "" {
+		if *cacheFile != "" {
 			if fs.NArg() != 1 {
 				usage(stderr)
 				return 2
@@ -132,7 +137,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			if *pristine || *defectConstfold {
 				return fail(fmt.Errorf("-pristine and -defect-constfold do not apply to cached explorations"))
 			}
-			data, rerr := os.ReadFile(*cache)
+			data, rerr := os.ReadFile(*cacheFile)
 			if rerr != nil {
 				return fail(rerr)
 			}
@@ -142,7 +147,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				usage(stderr)
 				return 2
 			}
-			cfg := cogdiff.TestConfig{Pristine: *pristine, ConstFoldSignError: *defectConstfold, Metrics: obs.reg}
+			cfg := cogdiff.TestConfig{
+				Pristine: *pristine, ConstFoldSignError: *defectConstfold, Metrics: obs.reg,
+				CacheDir: *cacheDir, CacheMode: *cacheMode,
+			}
 			res, err = cogdiff.TestInstructionWith(fs.Arg(0), fs.Arg(1), cfg)
 		}
 		if err != nil {
@@ -158,7 +166,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		if *dumpIR != "" {
 			compiler := fs.Arg(1)
-			if *cache != "" {
+			if *cacheFile != "" {
 				compiler = fs.Arg(0)
 			}
 			dump, derr := cogdiff.DumpIR(res.Instruction, compiler)
@@ -182,6 +190,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		minimize := fs.Bool("minimize", true, "reduce every difference to a 1-minimal sequence")
 		emitTests := fs.String("emit-tests", "", "write reduced differences to this path as a Go test file")
 		progress := fs.Bool("progress", false, "report live progress on stderr")
+		cacheDir, cacheMode := cacheFlags(fs)
 		obs := obsFlags(fs)
 		if err := fs.Parse(args); err != nil {
 			return 2
@@ -196,6 +205,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			CorpusPath:    *corpus,
 			SeedCorpusDir: *seedCorpus,
 			EmitTests:     *emitTests,
+			CacheDir:      *cacheDir,
+			CacheMode:     *cacheMode,
 		}
 		if n, err := strconv.Atoi(*budget); err == nil {
 			if n <= 0 {
@@ -229,6 +240,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
 		workers := fs.Int("workers", 0, "worker goroutines for the campaign (0 = GOMAXPROCS, 1 = serial)")
 		progress := fs.Bool("progress", false, "report live progress on stderr")
+		cacheDir, cacheMode := cacheFlags(fs)
 		obs := obsFlags(fs)
 		if err := fs.Parse(args); err != nil {
 			return 2
@@ -239,8 +251,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if err := obs.start(*progress, stderr, renderCampaignProgress); err != nil {
 			return fail(err)
 		}
-		opts := cogdiff.CampaignOptions{Pristine: *pristine, ConstFoldSignError: *defectConstfold, Workers: *workers, Metrics: obs.reg}
-		sum := cogdiff.RunCampaign(opts)
+		opts := cogdiff.CampaignOptions{
+			Pristine: *pristine, ConstFoldSignError: *defectConstfold, Workers: *workers, Metrics: obs.reg,
+			CacheDir: *cacheDir, CacheMode: *cacheMode,
+		}
+		sum, err := cogdiff.RunCampaign(opts)
+		if err != nil {
+			return fail(err)
+		}
 		if err := obs.finish(); err != nil {
 			return fail(err)
 		}
@@ -265,6 +283,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "Deduplicated causes:")
 			fmt.Fprintln(stdout, sum.Causes)
 		}
+	case "bench-export":
+		return runBenchExport(args, stdout, stderr)
 	case "metrics-lint":
 		if len(args) != 1 {
 			usage(stderr)
@@ -391,12 +411,23 @@ func counterTotal(s telemetry.Snapshot, name string) int64 {
 	return total
 }
 
+// cacheFlags declares the exploration-cache flag pair shared by the
+// campaign, table/figure, difftest and fuzz verbs.
+func cacheFlags(fs *flag.FlagSet) (dir, mode *string) {
+	dir = fs.String("cache-dir", "", "persistent exploration-cache directory (empty = cache disabled)")
+	mode = fs.String("cache", "", "exploration-cache mode: off, ro or rw (default rw when -cache-dir is set)")
+	return dir, mode
+}
+
 func renderCampaignProgress(s telemetry.Snapshot) string {
-	return fmt.Sprintf("paths %d, units tested %d, differences %d, panics contained %d",
+	return fmt.Sprintf("paths %d, units tested %d, differences %d, panics contained %d, cache-stats hits %d misses %d corrupt %d",
 		counterTotal(s, telemetry.MetricPathsExplored),
 		counterTotal(s, telemetry.MetricUnitsTested),
 		counterTotal(s, telemetry.MetricDifferences),
-		counterTotal(s, telemetry.MetricPanicsContained))
+		counterTotal(s, telemetry.MetricPanicsContained),
+		counterTotal(s, telemetry.MetricCacheHits),
+		counterTotal(s, telemetry.MetricCacheMisses),
+		counterTotal(s, telemetry.MetricCacheCorrupt))
 }
 
 func renderFuzzProgress(s telemetry.Snapshot) string {
@@ -421,14 +452,21 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   cogdiff instructions
   cogdiff explore [-o cache.json] <instruction>
-  cogdiff difftest [-cache cache.json] [-pristine] [-defect-constfold]
+  cogdiff difftest [-cache-file cache.json] [-pristine] [-defect-constfold]
                    [-dump-ir stdout|file] <instruction> <compiler>
   cogdiff ir <instruction> <compiler>
   cogdiff campaign [-pristine] [-defect-constfold] [-workers n] [-progress]
   cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n]
   cogdiff fuzz [-seed n] [-budget n|30s] [-workers n] [-corpus file.json]
                [-seed-corpus dir] [-minimize] [-emit-tests file_test.go] [-progress]
+  cogdiff bench-export [-iterations n] [-workers n] [-cache-dir dir]
+               [-min-speedup x] [-out file.json] campaign|fuzz
+  cogdiff bench-export -lint file.json...
   cogdiff metrics-lint <metrics.prom>
+
+exploration cache (campaign, table*/fig*, difftest, fuzz):
+  -cache-dir dir        persistent exploration-cache directory
+  -cache mode           off, ro or rw (default rw when -cache-dir is set)
 
 observability (campaign, table*/fig*, difftest, fuzz):
   -metrics file         write a metrics snapshot after the run

@@ -13,6 +13,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"cogdiff/internal/telemetry"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -201,4 +203,55 @@ func TestCLIUsageErrors(t *testing.T) {
 	if code := run([]string{"explore", "noSuchInstruction"}, &stdout, &stderr); code != 1 {
 		t.Errorf("unknown instruction: exit %d, want 1", code)
 	}
+}
+
+// TestGoldenCacheFlagErrors pins the exploration-cache flag validation:
+// an unknown -cache mode, a mode that needs a directory, and a cache
+// directory that cannot be created must all fail before any work starts.
+func TestGoldenCacheFlagErrors(t *testing.T) {
+	checkGolden(t, "err_cache_mode.golden",
+		runCLIError(t, "campaign", "-cache-dir", "/dev/null/cache", "-cache", "readwrite"))
+	checkGolden(t, "err_cache_requires_dir.golden",
+		runCLIError(t, "campaign", "-cache", "rw"))
+	// A path under a regular file cannot be created, even by root, so the
+	// message is stable on any machine.
+	checkGolden(t, "err_cache_dir_unwritable.golden",
+		runCLIError(t, "difftest", "-cache-dir", "/dev/null/cache", "primAdd", "simple"))
+}
+
+// TestDifftestCacheRoundTrip checks the cache's observational-identity
+// contract from the CLI: difftest output is byte-identical without a
+// cache, populating a cold cache, served from a warm cache, and in
+// ro mode against a directory that does not exist (every lookup misses).
+func TestDifftestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	plain := runCLI(t, "difftest", "primAdd", "simple")
+	cold := runCLI(t, "difftest", "-cache-dir", dir, "primAdd", "simple")
+	warm := runCLI(t, "difftest", "-cache-dir", dir, "primAdd", "simple")
+	roMiss := runCLI(t, "difftest", "-cache-dir", filepath.Join(dir, "missing"), "-cache", "ro", "primAdd", "simple")
+	if plain != cold || plain != warm || plain != roMiss {
+		t.Errorf("difftest output depends on cache state:\n--- plain ---\n%s--- cold ---\n%s--- warm ---\n%s--- ro miss ---\n%s",
+			plain, cold, warm, roMiss)
+	}
+	// ro mode against the populated directory must serve hits without
+	// changing the output either.
+	roHit := runCLI(t, "difftest", "-cache-dir", dir, "-cache", "ro", "primAdd", "simple")
+	if plain != roHit {
+		t.Errorf("ro-mode hit changed difftest output:\n--- plain ---\n%s--- ro hit ---\n%s", plain, roHit)
+	}
+}
+
+// TestGoldenCampaignProgressLine pins the -progress status line,
+// including the cache-stats section, by rendering a snapshot with known
+// counter values.
+func TestGoldenCampaignProgressLine(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(telemetry.MetricPathsExplored).Add(120)
+	reg.Counter(telemetry.MetricUnitsTested).Add(40)
+	reg.Counter(telemetry.MetricDifferences).Add(7)
+	reg.Counter(telemetry.MetricPanicsContained).Add(1)
+	reg.Counter(telemetry.MetricCacheHits).Add(33)
+	reg.Counter(telemetry.MetricCacheMisses).Add(9)
+	reg.Counter(telemetry.MetricCacheCorrupt).Add(2)
+	checkGolden(t, "progress_campaign.golden", renderCampaignProgress(reg.Snapshot())+"\n")
 }

@@ -29,11 +29,46 @@ import (
 	"cogdiff/internal/concolic"
 	"cogdiff/internal/core"
 	"cogdiff/internal/defects"
+	"cogdiff/internal/excache"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
 	"cogdiff/internal/report"
 	"cogdiff/internal/telemetry"
 )
+
+// openCache builds the exploration cache from the user-facing dir+mode
+// pair. An empty dir (or mode "off") yields a nil cache, which every
+// engine treats as "cache disabled".
+func openCache(dir, mode string, metrics *telemetry.Registry) (*excache.Cache, error) {
+	m, err := excache.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if dir == "" && mode != "" && m != excache.ModeOff {
+		return nil, fmt.Errorf("-cache %s requires -cache-dir", m)
+	}
+	return excache.Open(excache.Config{Dir: dir, Mode: m, Metrics: metrics})
+}
+
+// CacheStats reports exploration-cache traffic for one run. Corrupt
+// entries also count as misses, so Hits+Misses equals total lookups.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Corrupt int64
+	Writes  int64
+	Evicted int64
+}
+
+// HitRate returns Hits/(Hits+Misses), zero when the cache saw no traffic.
+func (s CacheStats) HitRate() float64 {
+	return excache.Stats{Hits: s.Hits, Misses: s.Misses}.HitRate()
+}
+
+func cacheStatsOf(c *excache.Cache) CacheStats {
+	s := c.Stats()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Corrupt: s.Corrupt, Writes: s.Writes, Evicted: s.Evicted}
+}
 
 // Compiler names accepted by TestInstruction.
 const (
@@ -186,6 +221,11 @@ type TestConfig struct {
 	// telemetry for the test. Pure observation sink: results are
 	// identical with or without it.
 	Metrics *telemetry.Registry
+	// CacheDir, when non-empty, enables the persistent exploration cache
+	// rooted at that directory; CacheMode selects "off", "ro" or "rw"
+	// (empty = "rw"). Results are identical cached or fresh.
+	CacheDir  string
+	CacheMode string
 }
 
 func (c TestConfig) switches() defects.Switches {
@@ -217,8 +257,17 @@ func TestInstructionWith(instruction, compiler string, cfg TestConfig) (*Instruc
 	sw := cfg.switches()
 	exOpts := concolic.DefaultOptions()
 	exOpts.Metrics = cfg.Metrics
+	cache, err := openCache(cfg.CacheDir, cfg.CacheMode, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
 	explorer := concolic.NewExplorer(prims, exOpts)
-	ex := explorer.Explore(target)
+	exKey := cache.ExplorationKey(target, exOpts)
+	ex, hit := cache.LoadExploration(exKey, target)
+	if !hit {
+		ex = explorer.Explore(target)
+		cache.StoreExploration(exKey, ex)
+	}
 	tester := core.NewTester(prims, sw)
 	tester.SetMetrics(cfg.Metrics)
 
@@ -271,6 +320,16 @@ type CampaignOptions struct {
 	// latency histograms, spans). The registry is a pure observation
 	// sink: all rendered reports are byte-identical with or without it.
 	Metrics *telemetry.Registry
+	// CacheDir, when non-empty, enables the persistent exploration cache
+	// rooted at that directory: explorations and test-unit verdicts are
+	// loaded instead of recomputed when their content keys match, and
+	// written back after fresh work. All rendered reports are
+	// byte-identical with the cache off, cold or warm, at any worker
+	// count.
+	CacheDir string
+	// CacheMode selects cache participation: "off", "ro" (read, never
+	// write) or "rw". Empty means "rw" when CacheDir is set.
+	CacheMode string
 }
 
 // CampaignRow mirrors one row of Table 2.
@@ -298,13 +357,17 @@ type CampaignSummary struct {
 	Figure7 string
 	Causes  string
 
+	// Cache reports exploration-cache traffic (all zero when disabled).
+	Cache CacheStats
+
 	Duration time.Duration
 }
 
 // RunCampaign executes the full evaluation: concolic exploration of every
 // VM instruction followed by differential testing on all four compilers
-// and both ISAs.
-func RunCampaign(opts CampaignOptions) *CampaignSummary {
+// and both ISAs. The only error source is cache misconfiguration (bad
+// mode string, unusable cache directory); a cache-less run cannot fail.
+func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
 	start := time.Now()
 	cfg := core.DefaultConfig()
 	if opts.Pristine {
@@ -316,6 +379,11 @@ func RunCampaign(opts CampaignOptions) *CampaignSummary {
 	}
 	cfg.Workers = opts.Workers
 	cfg.Metrics = opts.Metrics
+	cache, err := openCache(opts.CacheDir, opts.CacheMode, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Cache = cache
 	if opts.OnInstructionDone != nil {
 		cfg.OnInstructionDone = func(ev core.InstructionDone) {
 			opts.OnInstructionDone(ev.Compiler.String(), ev.Instruction, ev.Done, ev.Total)
@@ -348,7 +416,8 @@ func RunCampaign(opts CampaignOptions) *CampaignSummary {
 		out.CausesByFamily[fam.String()] = n
 	}
 	out.TotalCauses = len(res.Causes)
-	return out
+	out.Cache = cacheStatsOf(cache)
+	return out, nil
 }
 
 // DumpIR renders every compilation stage of one instruction for one

@@ -21,7 +21,7 @@ func main() {
 	flag.Parse()
 
 	fmt.Printf("running the full differential-testing campaign (4 compilers x 2 ISAs, %d workers)...\n", *workers)
-	sum := cogdiff.RunCampaign(cogdiff.CampaignOptions{
+	sum, err := cogdiff.RunCampaign(cogdiff.CampaignOptions{
 		Workers: *workers,
 		OnInstructionDone: func(compiler, instruction string, done, total int) {
 			// Liveness on long campaigns: overwrite one status line.
@@ -31,6 +31,10 @@ func main() {
 			}
 		},
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bughunt:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("done in %s\n\n", sum.Duration)
 
 	fmt.Println(sum.Table2)
@@ -43,7 +47,11 @@ func main() {
 	}
 
 	fmt.Println("\nSanity baseline: the pristine (defect-free) VM")
-	clean := cogdiff.RunCampaign(cogdiff.CampaignOptions{Pristine: true, Workers: *workers})
+	clean, err := cogdiff.RunCampaign(cogdiff.CampaignOptions{Pristine: true, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bughunt:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("pristine differences: %d (all from the byte-code tiers' missing\n", clean.TotalDifferences)
 	fmt.Println("float-inlining, the inherent optimisation differences)")
 	for fam, n := range clean.CausesByFamily {

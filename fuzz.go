@@ -40,6 +40,12 @@ type FuzzOptions struct {
 	// and batch/span timings. It is a pure observation sink: all rendered
 	// reports are byte-identical with or without it.
 	Metrics *telemetry.Registry
+	// CacheDir and CacheMode accept the campaign-wide exploration-cache
+	// flags for CLI uniformity. Sequence fuzzing performs no per-
+	// instruction concolic exploration, so the cache is validated and
+	// opened but sees no traffic (BENCH_fuzz.json reports hit rate 0).
+	CacheDir  string
+	CacheMode string
 }
 
 // FuzzDifference is one deduplicated difference cause found by fuzzing.
@@ -77,6 +83,9 @@ type FuzzSummary struct {
 // ISAs) execute each sequence, differences are classified, deduplicated by
 // cause and — with Minimize — shrunk to 1-minimal sequences.
 func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
+	if _, err := openCache(opts.CacheDir, opts.CacheMode, opts.Metrics); err != nil {
+		return nil, err
+	}
 	res, err := fuzzer.Run(fuzzer.Options{
 		Seed:       opts.Seed,
 		Budget:     opts.Budget,

@@ -8,6 +8,7 @@ import (
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/concolic"
 	"cogdiff/internal/defects"
+	"cogdiff/internal/excache"
 	"cogdiff/internal/interp"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
@@ -42,6 +43,14 @@ type Config struct {
 	// the difference/cause totals. It is a pure sink — reports are
 	// byte-identical with metrics on or off, at any worker count.
 	Metrics *telemetry.Registry
+	// Cache, when non-nil, is consulted before exploring each instruction
+	// and before testing each (compiler, instruction) unit, and written
+	// back after fresh work (rw mode). Exploration and verdicts are pure
+	// functions of the cache keys' inputs, so reports are byte-identical
+	// with the cache off, cold or warm, at any worker count; cached
+	// entries replay their recorded durations, so even Figures 6/7 render
+	// the originating run's timings.
+	Cache *excache.Cache
 	// faultInject, when non-nil, runs before every TestPath call, inside
 	// the containment boundary. Fault-injection tests use it to raise
 	// genuine heap panics in worker goroutines.
@@ -219,19 +228,45 @@ func (c *Campaign) Run() *CampaignResult {
 	nmTargets := c.PrimitiveTargets()
 	allTargets := append(append([]concolic.Target{}, bcTargets...), nmTargets...)
 	explorations := make([]*concolic.Exploration, len(allTargets))
+	exKeys := make([]string, len(allTargets))
+	for i, t := range allTargets {
+		exKeys[i] = c.Config.Cache.ExplorationKey(t, c.exploreOptions())
+	}
 	RunUnits(workers, len(allTargets), func(i int) {
 		sp := reg.StartSpan(telemetry.SpanExplore)
 		defer sp.End()
+		if ex, ok := c.Config.Cache.LoadExploration(exKeys[i], allTargets[i]); ok {
+			explorations[i] = ex
+			return
+		}
+		contained := false
 		defer func() {
 			if p := recover(); p != nil {
 				c.panicsContained.Inc()
 				explorations[i] = &concolic.Exploration{Target: allTargets[i]}
+				contained = true
+			}
+			// Contained panics are not cached: the instruction should
+			// re-explore (and re-crash visibly) on the next run.
+			if !contained {
+				c.Config.Cache.StoreExploration(exKeys[i], explorations[i])
 			}
 		}()
 		explorations[i] = explorer.Explore(allTargets[i])
 	})
 	for i, t := range allTargets {
 		result.Explorations[explorationKey(t)] = explorations[i]
+	}
+	// Fingerprint each exploration's semantic content once; test units
+	// derive their cache keys from it, so a unit hit is only possible
+	// when the exploration that drives it is content-identical.
+	fingerprints := make(map[string]string, len(allTargets))
+	if c.Config.Cache != nil {
+		for i, t := range allTargets {
+			if fp, err := concolic.FingerprintExploration(explorations[i]); err == nil {
+				fingerprints[explorationKey(t)] = fp
+			}
+		}
 	}
 	if reg != nil {
 		paths := reg.Counter(telemetry.MetricPathsExplored)
@@ -275,7 +310,13 @@ func (c *Campaign) Run() *CampaignResult {
 		u := units[i]
 		target := targetsByCompiler[u.compiler][u.target]
 		ex := result.Explorations[explorationKey(target)]
-		ir := c.testInstruction(tester, result.Reports[u.compiler].Compiler, target, ex)
+		kind := result.Reports[u.compiler].Compiler
+		unitKey := c.unitCacheKey(fingerprints[explorationKey(target)], kind)
+		ir, cached := c.loadCachedUnit(unitKey, target, ex)
+		if !cached {
+			ir = c.testInstruction(tester, kind, target, ex)
+			c.storeCachedUnit(unitKey, &ir)
+		}
 		result.Reports[u.compiler].Instructions[u.target] = ir
 		unitsTested.Inc()
 		if cb := c.Config.OnInstructionDone; cb != nil {
@@ -340,6 +381,48 @@ func (c *Campaign) exploreOptions() concolic.Options {
 
 func explorationKey(t concolic.Target) string {
 	return fmt.Sprintf("%s/%s", t.Kind, t.Name)
+}
+
+// unitCacheKey derives one test unit's cache key from the exploration
+// fingerprint plus everything else a verdict depends on: the compiler
+// kind, the ISA list, and the full defect switch state (an empty
+// fingerprint disables caching for that unit).
+func (c *Campaign) unitCacheKey(explorationFP string, kind CompilerKind) string {
+	if c.Config.Cache == nil || explorationFP == "" {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("compiler=%d", int(kind))}
+	for _, isa := range c.Config.ISAs {
+		parts = append(parts, fmt.Sprintf("isa=%d", int(isa)))
+	}
+	parts = append(parts, fmt.Sprintf("defects=%+v", c.Config.Defects))
+	return c.Config.Cache.UnitKey(explorationFP, parts...)
+}
+
+// loadCachedUnit fetches one test unit's report from the cache. A stored
+// payload that fails to decode downgrades to a miss (the unit re-tests
+// and overwrites), mirroring the cache's corrupt-entry contract.
+func (c *Campaign) loadCachedUnit(key string, target concolic.Target, ex *concolic.Exploration) (InstructionReport, bool) {
+	payload, ok := c.Config.Cache.LoadBlob("unit", key)
+	if !ok {
+		return InstructionReport{}, false
+	}
+	ir, err := UnmarshalInstructionReport(payload, target, ex)
+	if err != nil {
+		return InstructionReport{}, false
+	}
+	return ir, true
+}
+
+func (c *Campaign) storeCachedUnit(key string, ir *InstructionReport) {
+	if c.Config.Cache == nil || key == "" {
+		return
+	}
+	payload, err := MarshalInstructionReport(ir)
+	if err != nil {
+		return
+	}
+	c.Config.Cache.StoreBlob("unit", key, payload)
 }
 
 // testInstruction runs every curated path of one instruction against one

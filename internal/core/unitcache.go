@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"cogdiff/internal/concolic"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/machine"
+)
+
+// Test-unit results are pure functions of (exploration content, compiler,
+// ISA list, defect switches), so the campaign caches them alongside
+// explorations (internal/excache) keyed by the exploration fingerprint.
+// This file is the serialization half: an InstructionReport round-trips
+// through JSON carrying everything the merge pass and the report tables
+// consume — verdict flags, blamed stage, classification inputs (the
+// interpreter exit kind and the compiled observation) and the recorded
+// test time, so a warm campaign renders byte-identical Table 2/3, cause
+// and Figure 7 output. The symbolic result value inside interp.Exit is
+// deliberately dropped (like concolic's exit serialization): nothing
+// downstream of a verdict reads it.
+
+type unitObservationDTO struct {
+	Kind     int    `json:"kind"`
+	Selector string `json:"selector,omitempty"`
+	NumArgs  int    `json:"numArgs,omitempty"`
+	Result   string `json:"result,omitempty"`
+	// No omitempty on the containers: JSON null round-trips a nil slice
+	// or map and []/{} a non-nil empty one, keeping cached observations
+	// deep-equal to fresh ones.
+	Stack     []string         `json:"stack"`
+	Temps     []string         `json:"temps"`
+	Heap      map[int][]string `json:"heap"`
+	Steps     int              `json:"steps,omitempty"`
+	CodeBytes int              `json:"codeBytes,omitempty"`
+	Detail    string           `json:"detail,omitempty"`
+}
+
+type unitExitDTO struct {
+	Kind     int    `json:"kind"`
+	NextPC   int    `json:"nextPC,omitempty"`
+	Selector string `json:"selector,omitempty"`
+	NumArgs  int    `json:"numArgs,omitempty"`
+	FailCode int    `json:"failCode,omitempty"`
+}
+
+type unitVerdictDTO struct {
+	Compiler int                 `json:"compiler"`
+	ISA      int                 `json:"isa"`
+	Skipped  bool                `json:"skipped,omitempty"`
+	Reason   string              `json:"reason,omitempty"`
+	Differs  bool                `json:"differs,omitempty"`
+	Detail   string              `json:"detail,omitempty"`
+	Cause    string              `json:"cause,omitempty"`
+	Observed *unitObservationDTO `json:"observed,omitempty"`
+	Exit     unitExitDTO         `json:"exit"`
+}
+
+type unitReportDTO struct {
+	Paths       int              `json:"paths"`
+	Curated     int              `json:"curated"`
+	Differences int              `json:"differences"`
+	TestTimeNS  int64            `json:"testTimeNs"`
+	Verdicts    []unitVerdictDTO `json:"verdicts"`
+}
+
+// MarshalInstructionReport serializes one test unit's report for the
+// exploration cache. The target and exploration time are omitted — they
+// are rebound from the live campaign on load.
+func MarshalInstructionReport(ir *InstructionReport) ([]byte, error) {
+	dto := unitReportDTO{
+		Paths:       ir.Paths,
+		Curated:     ir.Curated,
+		Differences: ir.Differences,
+		TestTimeNS:  ir.TestTime.Nanoseconds(),
+	}
+	for _, v := range ir.Verdicts {
+		vd := unitVerdictDTO{
+			Compiler: int(v.Compiler),
+			ISA:      int(v.ISA),
+			Skipped:  v.Skipped,
+			Reason:   v.Reason,
+			Differs:  v.Differs,
+			Detail:   v.Detail,
+			Cause:    v.Cause,
+			Exit: unitExitDTO{
+				Kind: int(v.InterpExit.Kind), NextPC: v.InterpExit.NextPC,
+				Selector: v.InterpExit.Selector, NumArgs: v.InterpExit.NumArgs,
+				FailCode: v.InterpExit.FailCode,
+			},
+		}
+		if o := v.Observed; o != nil {
+			vd.Observed = &unitObservationDTO{
+				Kind: int(o.Kind), Selector: o.Selector, NumArgs: o.NumArgs,
+				Result: o.Result, Stack: o.Stack, Temps: o.Temps, Heap: o.Heap,
+				Steps: o.Steps, CodeBytes: o.CodeBytes, Detail: o.Detail,
+			}
+		}
+		dto.Verdicts = append(dto.Verdicts, vd)
+	}
+	return json.Marshal(dto)
+}
+
+// UnmarshalInstructionReport reconstructs a cached test-unit report,
+// rebinding it to the live target and exploration (for Target identity
+// and the current run's ExploreTime, exactly as testInstruction would
+// record them).
+func UnmarshalInstructionReport(data []byte, target concolic.Target, ex *concolic.Exploration) (InstructionReport, error) {
+	var dto unitReportDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return InstructionReport{}, err
+	}
+	ir := InstructionReport{
+		Target:      target,
+		Paths:       dto.Paths,
+		Curated:     dto.Curated,
+		Differences: dto.Differences,
+		ExploreTime: ex.Duration,
+		TestTime:    time.Duration(dto.TestTimeNS),
+	}
+	for _, vd := range dto.Verdicts {
+		v := PathVerdict{
+			Compiler: CompilerKind(vd.Compiler),
+			ISA:      machine.ISA(vd.ISA),
+			Skipped:  vd.Skipped,
+			Reason:   vd.Reason,
+			Differs:  vd.Differs,
+			Detail:   vd.Detail,
+			Cause:    vd.Cause,
+			InterpExit: interp.Exit{
+				Kind: interp.ExitKind(vd.Exit.Kind), NextPC: vd.Exit.NextPC,
+				Selector: vd.Exit.Selector, NumArgs: vd.Exit.NumArgs,
+				FailCode: vd.Exit.FailCode,
+			},
+		}
+		if o := vd.Observed; o != nil {
+			v.Observed = &CompiledObservation{
+				Kind: CompiledExitKind(o.Kind), Selector: o.Selector, NumArgs: o.NumArgs,
+				Result: o.Result, Stack: o.Stack, Temps: o.Temps, Heap: o.Heap,
+				Steps: o.Steps, CodeBytes: o.CodeBytes, Detail: o.Detail,
+			}
+		}
+		ir.Verdicts = append(ir.Verdicts, v)
+	}
+	return ir, nil
+}

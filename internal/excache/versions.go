@@ -1,0 +1,19 @@
+package excache
+
+import (
+	"cogdiff/internal/interp"
+	"cogdiff/internal/jit"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+	"cogdiff/internal/solver"
+)
+
+// The live semantic version stamps, isolated here so the rest of the
+// package never references layer packages directly and tests can build
+// caches with synthetic Versions to simulate bumps.
+
+func interpVersion() string     { return interp.SemanticsVersion }
+func primitivesVersion() string { return primitives.SemanticsVersion }
+func solverVersion() string     { return solver.Version }
+func jitVersion() string        { return jit.SemanticsVersion }
+func machineVersion() string    { return machine.SemanticsVersion }

@@ -1,0 +1,8 @@
+package interp
+
+// SemanticsVersion stamps the interpreter's observable semantics. Any
+// change to instruction behaviour, exit conditions, frame layout or the
+// path conditions it records must bump this, orphaning all cached
+// explorations derived from the old semantics (internal/excache keys
+// embed it).
+const SemanticsVersion = "interp/1"

@@ -1,0 +1,8 @@
+package jit
+
+// SemanticsVersion stamps the compilers' observable behaviour: the IR,
+// the optimization pass pipeline and the per-compiler code generation.
+// Any change that could alter a compiled observation must bump this,
+// orphaning all cached test-unit verdicts (internal/excache unit keys
+// embed it; exploration entries are unaffected).
+const SemanticsVersion = "jit/1"

@@ -1,0 +1,8 @@
+package machine
+
+// SemanticsVersion stamps the simulated machines' observable behaviour:
+// ISA lowering, encoding and CPU simulation. Any change that could alter
+// a compiled observation must bump this, orphaning all cached test-unit
+// verdicts (internal/excache unit keys embed it; exploration entries are
+// unaffected).
+const SemanticsVersion = "machine/1"

@@ -1,0 +1,7 @@
+package primitives
+
+// SemanticsVersion stamps the primitive table's observable semantics.
+// Adding, removing or changing the behaviour of a primitive must bump
+// this, orphaning all cached explorations derived from the old table
+// (internal/excache keys embed it).
+const SemanticsVersion = "primitives/1"

@@ -25,6 +25,14 @@ const (
 	// Crash containment.
 	MetricPanicsContained = "cogdiff_panics_contained_total"
 
+	// Exploration cache (internal/excache). Corrupt entries also count
+	// as misses, so hits+misses equals total lookups.
+	MetricCacheHits    = "cogdiff_excache_hits_total"
+	MetricCacheMisses  = "cogdiff_excache_misses_total"
+	MetricCacheCorrupt = "cogdiff_excache_corrupt_total"
+	MetricCacheWrites  = "cogdiff_excache_writes_total"
+	MetricCacheEvicted = "cogdiff_excache_evicted_total"
+
 	// JIT pipeline. MetricPassSeconds carries a pass label.
 	MetricPassSeconds = "cogdiff_pass_seconds"
 	MetricPassesRun   = "cogdiff_passes_run_total"
