@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-go cache-smoke fuzz fuzz-smoke blame-smoke metrics-smoke fmt-check golden-update ci
+.PHONY: all build vet test test-short test-race bench bench-go cache-smoke fuzz fuzz-smoke blame-smoke metrics-smoke serve-smoke fmt-check golden-update ci
 
 all: build vet test
 
@@ -38,7 +38,8 @@ bench:
 	rm -rf bench-cache.tmp
 	$(GO) run ./cmd/cogdiff bench-export -cache-dir bench-cache.tmp -out BENCH_campaign.json campaign
 	$(GO) run ./cmd/cogdiff bench-export -out BENCH_fuzz.json fuzz
-	$(GO) run ./cmd/cogdiff bench-export -lint BENCH_campaign.json BENCH_fuzz.json
+	$(GO) run ./cmd/cogdiff bench-export -out BENCH_serve.json serve
+	$(GO) run ./cmd/cogdiff bench-export -lint BENCH_campaign.json BENCH_fuzz.json BENCH_serve.json
 	rm -rf bench-cache.tmp
 
 # The Go-native microbenchmarks (includes the cache=cold/cache=warm
@@ -90,6 +91,31 @@ metrics-smoke:
 	$(GO) run ./cmd/cogdiff metrics-lint metrics-smoke.prom
 	rm -f metrics-smoke.prom
 
+# Service-layer smoke test, observed end to end from the CLI: start a
+# real server, submit a sharded campaign over HTTP, and require the
+# served report byte-identical to the serial local run (-stable is the
+# deterministic report surface both sides print). The scraped /metrics
+# must lint as Prometheus text, and the shared corpus directory must
+# hold the fuzz job's entries.
+serve-smoke:
+	rm -rf serve-smoke.tmp
+	mkdir -p serve-smoke.tmp
+	$(GO) build -o serve-smoke.tmp/cogdiff ./cmd/cogdiff
+	serve-smoke.tmp/cogdiff campaign -workers 1 -stable > serve-smoke.tmp/serial.txt
+	serve-smoke.tmp/cogdiff serve -addr 127.0.0.1:18377 \
+		-cache-dir serve-smoke.tmp/cache -corpus-dir serve-smoke.tmp/corpus \
+		2> serve-smoke.tmp/serve.log & echo $$! > serve-smoke.tmp/serve.pid
+	serve-smoke.tmp/cogdiff submit -addr http://127.0.0.1:18377 \
+		campaign -workers 4 -cache rw > serve-smoke.tmp/served.txt
+	cmp serve-smoke.tmp/serial.txt serve-smoke.tmp/served.txt
+	serve-smoke.tmp/cogdiff submit -addr http://127.0.0.1:18377 \
+		fuzz -budget 500 -shared-corpus > /dev/null
+	ls serve-smoke.tmp/corpus/seq-*.json > /dev/null
+	curl -sf http://127.0.0.1:18377/metrics > serve-smoke.tmp/metrics.prom
+	serve-smoke.tmp/cogdiff metrics-lint serve-smoke.tmp/metrics.prom
+	kill `cat serve-smoke.tmp/serve.pid`
+	rm -rf serve-smoke.tmp
+
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -98,4 +124,4 @@ fmt-check:
 golden-update:
 	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
 
-ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metrics-smoke cache-smoke
+ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metrics-smoke cache-smoke serve-smoke

@@ -44,6 +44,13 @@ type benchRecord struct {
 	ColdNsPerOp int64   `json:"coldNsPerOp,omitempty"`
 	WarmNsPerOp int64   `json:"warmNsPerOp,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
+
+	// Served-job throughput and latency quantiles, present only for
+	// serve records (jobs submitted concurrently over HTTP to an
+	// in-process server; latency measured submit-to-terminal).
+	JobsPerSec  float64 `json:"jobsPerSec,omitempty"`
+	P50NsPerJob int64   `json:"p50NsPerJob,omitempty"`
+	P99NsPerJob int64   `json:"p99NsPerJob,omitempty"`
 }
 
 func runBenchExport(args []string, stdout, stderr io.Writer) int {
@@ -56,6 +63,7 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the JSON record to this file (default stdout)")
 	lint := fs.Bool("lint", false, "validate existing BENCH_*.json files instead of measuring")
 	fuzzBudget := fs.Int("fuzz-budget", 2000, "fuzz mode: execution budget per iteration")
+	serveJobs := fs.Int("serve-jobs", 16, "serve mode: difftest jobs submitted concurrently per iteration")
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "cogdiff:", err)
 		return 1
@@ -94,8 +102,10 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 		rec, err = benchCampaign(*iterations, *workers, *cacheDir, *minSpeedup)
 	case "fuzz":
 		rec, err = benchFuzz(*iterations, *workers, *fuzzBudget)
+	case "serve":
+		rec, err = benchServe(*iterations, *workers, *serveJobs)
 	default:
-		return fail(fmt.Errorf("bench-export %q: want campaign or fuzz", fs.Arg(0)))
+		return fail(fmt.Errorf("bench-export %q: want campaign, fuzz or serve", fs.Arg(0)))
 	}
 	if err != nil {
 		return fail(err)
@@ -141,7 +151,7 @@ func measure(fn func() error) (time.Duration, uint64, error) {
 // run's timings, but the byte-identity contract is checked on the
 // surfaces that hold for every cache state).
 func deterministicSurfaces(s *cogdiff.CampaignSummary) string {
-	return s.Table2 + "\n" + s.Table3 + "\n" + s.Figure5 + "\n" + s.Causes
+	return s.StableReport()
 }
 
 func benchCampaign(iterations, workers int, cacheDir string, minSpeedup float64) (*benchRecord, error) {
@@ -244,8 +254,8 @@ func lintBenchFile(path string) error {
 	if rec.Schema != benchSchema {
 		return fmt.Errorf("%s: schema %q, want %q", path, rec.Schema, benchSchema)
 	}
-	if rec.Name != "campaign" && rec.Name != "fuzz" {
-		return fmt.Errorf("%s: name %q, want campaign or fuzz", path, rec.Name)
+	if rec.Name != "campaign" && rec.Name != "fuzz" && rec.Name != "serve" {
+		return fmt.Errorf("%s: name %q, want campaign, fuzz or serve", path, rec.Name)
 	}
 	if rec.NsPerOp <= 0 {
 		return fmt.Errorf("%s: nsPerOp %d, want > 0", path, rec.NsPerOp)

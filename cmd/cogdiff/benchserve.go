@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cogdiff/internal/server"
+	"cogdiff/internal/server/client"
+)
+
+// benchServe measures the service layer end to end: an in-process
+// server on a loopback listener, jobs difftest specs submitted
+// concurrently over real HTTP per iteration, each followed to its
+// terminal state. Latency is client-observed submit-to-terminal time,
+// so the quantiles include queueing — the number an operator of a
+// shared server actually sees.
+func benchServe(iterations, workers, jobs int) (*benchRecord, error) {
+	if jobs < 1 {
+		return nil, fmt.Errorf("bench-export: -serve-jobs %d: must be >= 1", jobs)
+	}
+	srv, err := server.New(server.Config{Workers: workers, MaxJobs: 4, MaxQueue: jobs * iterations})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	cl := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+	if err := cl.WaitHealthy(ctx, 5*time.Second); err != nil {
+		return nil, err
+	}
+
+	// A spread of cheap single-instruction jobs across the byte-code
+	// compilers, cycled to fill the fleet.
+	specs := []server.DifftestSpec{
+		{Instruction: "primAdd", Compiler: "simple"},
+		{Instruction: "primSubtract", Compiler: "stacktoregister"},
+		{Instruction: "primMultiply", Compiler: "registerallocating"},
+		{Instruction: "primitiveSize", Compiler: "native"},
+	}
+
+	rec := &benchRecord{Name: "serve"}
+	var latencies []time.Duration
+	var totalNS int64
+	totalJobs := 0
+	for i := 0; i < iterations; i++ {
+		lat := make([]time.Duration, jobs)
+		errs := make([]error, jobs)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for jobIdx := 0; jobIdx < jobs; jobIdx++ {
+			wg.Add(1)
+			go func(jobIdx int) {
+				defer wg.Done()
+				spec := specs[jobIdx%len(specs)]
+				jobStart := time.Now()
+				st, err := cl.Submit(ctx, server.JobSpec{Type: server.JobDifftest, Difftest: &spec})
+				if err != nil {
+					errs[jobIdx] = err
+					return
+				}
+				final, err := cl.Wait(ctx, st.ID, 5*time.Millisecond)
+				if err != nil {
+					errs[jobIdx] = err
+					return
+				}
+				if final.State != server.StateDone {
+					errs[jobIdx] = fmt.Errorf("job %s: %s: %s", final.ID, final.State, final.Error)
+					return
+				}
+				lat[jobIdx] = time.Since(jobStart)
+			}(jobIdx)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		latencies = append(latencies, lat...)
+		totalNS += elapsed.Nanoseconds()
+		totalJobs += jobs
+	}
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	rec.JobsPerSec = float64(totalJobs) / (float64(totalNS) / 1e9)
+	rec.P50NsPerJob = latencies[len(latencies)/2].Nanoseconds()
+	rec.P99NsPerJob = latencies[(len(latencies)*99)/100].Nanoseconds()
+	rec.NsPerOp = totalNS / int64(totalJobs)
+	return rec, nil
+}

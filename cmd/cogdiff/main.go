@@ -16,8 +16,15 @@
 //	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
 //	cogdiff fuzz [-seed n] [-budget n]   coverage-guided sequence fuzzing with
 //	                                     difference minimization
-//	cogdiff bench-export campaign|fuzz   measure a campaign or fuzz run and emit a
-//	                                     machine-readable BENCH_*.json record
+//	cogdiff serve [-addr host:port]      run the long-lived differential-testing
+//	                                     server (jobs API, SSE progress, shared
+//	                                     corpus, live /metrics)
+//	cogdiff submit campaign|difftest|fuzz
+//	                                     submit a job to a running server and
+//	                                     print its report
+//	cogdiff bench-export campaign|fuzz|serve
+//	                                     measure a campaign, fuzz or served run and
+//	                                     emit a machine-readable BENCH_*.json record
 //	cogdiff metrics-lint <file>          validate a Prometheus metrics snapshot
 //
 // Campaign commands shard their work over -workers goroutines (default:
@@ -239,6 +246,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		pristine := fs.Bool("pristine", false, "run the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
 		workers := fs.Int("workers", 0, "worker goroutines for the campaign (0 = GOMAXPROCS, 1 = serial)")
+		stable := fs.Bool("stable", false, "print only the deterministic report surfaces (Table 2/3, Figure 5, causes)")
 		progress := fs.Bool("progress", false, "report live progress on stderr")
 		cacheDir, cacheMode := cacheFlags(fs)
 		obs := obsFlags(fs)
@@ -274,7 +282,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		case "fig7":
 			fmt.Fprint(stdout, sum.Figure7)
 		default:
-			fmt.Fprintf(stdout, "campaign completed in %s\n\n", sum.Duration)
+			// The duration goes to stderr with the rest of the progress
+			// chatter: stdout carries only report content, so piped and
+			// byte-compared campaign output never embeds wall-clock data.
+			fmt.Fprintf(stderr, "campaign completed in %s\n", sum.Duration)
+			if *stable {
+				fmt.Fprint(stdout, sum.StableReport())
+				break
+			}
 			fmt.Fprintln(stdout, sum.Table2)
 			fmt.Fprintln(stdout, sum.Table3)
 			fmt.Fprintln(stdout, sum.Figure5)
@@ -283,6 +298,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "Deduplicated causes:")
 			fmt.Fprintln(stdout, sum.Causes)
 		}
+	case "serve":
+		return runServe(args, stdout, stderr)
+	case "submit":
+		return runSubmit(args, stdout, stderr)
 	case "bench-export":
 		return runBenchExport(args, stdout, stderr)
 	case "metrics-lint":
@@ -455,8 +474,12 @@ func usage(w io.Writer) {
   cogdiff difftest [-cache-file cache.json] [-pristine] [-defect-constfold]
                    [-dump-ir stdout|file] <instruction> <compiler>
   cogdiff ir <instruction> <compiler>
-  cogdiff campaign [-pristine] [-defect-constfold] [-workers n] [-progress]
+  cogdiff campaign [-pristine] [-defect-constfold] [-workers n] [-stable] [-progress]
   cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n]
+  cogdiff serve [-addr host:port] [-workers n] [-max-jobs n]
+               [-cache-dir dir] [-cache mode] [-corpus-dir dir]
+  cogdiff submit [-addr url] [-poll dur] [-connect-timeout dur] [-progress]
+               campaign|difftest|fuzz [options] [args]
   cogdiff fuzz [-seed n] [-budget n|30s] [-workers n] [-corpus file.json]
                [-seed-corpus dir] [-minimize] [-emit-tests file_test.go] [-progress]
   cogdiff bench-export [-iterations n] [-workers n] [-cache-dir dir]

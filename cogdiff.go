@@ -21,8 +21,10 @@
 package cogdiff
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"cogdiff/internal/bytecode"
@@ -195,6 +197,19 @@ type InstructionResult struct {
 	Differences []Difference
 }
 
+// Render formats the result exactly as `cogdiff difftest` prints it.
+// The server's difftest jobs return this rendering, so a served result
+// is byte-identical to the local CLI run.
+func (r *InstructionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %d paths, %d curated, %d differences\n",
+		r.Instruction, r.Compiler, r.Paths, r.Curated, len(r.Differences))
+	for _, d := range r.Differences {
+		fmt.Fprintf(&b, "  [%s] %s (%s): %s\n", d.ISA, d.Family, d.Cause, d.Detail)
+	}
+	return b.String()
+}
+
 func compilerKindOf(name string) (core.CompilerKind, error) {
 	switch name {
 	case CompilerNativeMethods:
@@ -300,6 +315,10 @@ func TestInstructionWith(instruction, compiler string, cfg TestConfig) (*Instruc
 
 // CampaignOptions configures a full evaluation run.
 type CampaignOptions struct {
+	// Context, when non-nil, cancels the campaign: RunCampaign returns
+	// ctx.Err() promptly at the next unit boundary, with every worker
+	// goroutine joined and only complete cache entries on disk.
+	Context context.Context
 	// Pristine runs the defect-free VM configuration (sanity baseline)
 	// instead of the production configuration the evaluation reproduces.
 	Pristine bool
@@ -316,6 +335,11 @@ type CampaignOptions struct {
 	// OnInstructionDone, when non-nil, receives a serialized progress
 	// callback after each (compiler, instruction) test unit completes.
 	OnInstructionDone func(compiler, instruction string, done, total int)
+	// OnUnitDone, when non-nil, receives the same serialized callback with
+	// the unit's difference count included. The server's SSE progress
+	// stream is built on it. Both callbacks may be set; each unit fires
+	// both.
+	OnUnitDone func(UnitProgress)
 	// Metrics, when non-nil, collects campaign telemetry (counters,
 	// latency histograms, spans). The registry is a pure observation
 	// sink: all rendered reports are byte-identical with or without it.
@@ -330,6 +354,18 @@ type CampaignOptions struct {
 	// CacheMode selects cache participation: "off", "ro" (read, never
 	// write) or "rw". Empty means "rw" when CacheDir is set.
 	CacheMode string
+}
+
+// UnitProgress is one completed (compiler, instruction) test unit, as
+// delivered to CampaignOptions.OnUnitDone. Done counts completed units
+// in completion order, which varies with scheduling; Differences is the
+// unit's differing-path count, which does not.
+type UnitProgress struct {
+	Compiler    string
+	Instruction string
+	Done        int
+	Total       int
+	Differences int
 }
 
 // CampaignRow mirrors one row of Table 2.
@@ -363,10 +399,22 @@ type CampaignSummary struct {
 	Duration time.Duration
 }
 
+// StableReport concatenates the report surfaces that are pure functions
+// of the campaign configuration: Table 2, Table 3, Figure 5 and the
+// deduplicated cause table. Figures 6/7 embed wall-clock timings and are
+// excluded. This is the byte-comparison surface shared by `cogdiff
+// campaign -stable`, bench-export's cache-soundness check, and the
+// server's campaign jobs — a sharded server run must reproduce a serial
+// CLI run byte for byte on exactly this surface.
+func (s *CampaignSummary) StableReport() string {
+	return s.Table2 + "\n" + s.Table3 + "\n" + s.Figure5 + "\n" + s.Causes
+}
+
 // RunCampaign executes the full evaluation: concolic exploration of every
 // VM instruction followed by differential testing on all four compilers
-// and both ISAs. The only error source is cache misconfiguration (bad
-// mode string, unusable cache directory); a cache-less run cannot fail.
+// and both ISAs. The only error sources are cache misconfiguration (bad
+// mode string, unusable cache directory) and cancellation through
+// Options.Context; an uncancelled cache-less run cannot fail.
 func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
 	start := time.Now()
 	cfg := core.DefaultConfig()
@@ -384,12 +432,30 @@ func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
 		return nil, err
 	}
 	cfg.Cache = cache
-	if opts.OnInstructionDone != nil {
+	if opts.OnInstructionDone != nil || opts.OnUnitDone != nil {
 		cfg.OnInstructionDone = func(ev core.InstructionDone) {
-			opts.OnInstructionDone(ev.Compiler.String(), ev.Instruction, ev.Done, ev.Total)
+			if opts.OnInstructionDone != nil {
+				opts.OnInstructionDone(ev.Compiler.String(), ev.Instruction, ev.Done, ev.Total)
+			}
+			if opts.OnUnitDone != nil {
+				opts.OnUnitDone(UnitProgress{
+					Compiler:    ev.Compiler.String(),
+					Instruction: ev.Instruction,
+					Done:        ev.Done,
+					Total:       ev.Total,
+					Differences: ev.Differences,
+				})
+			}
 		}
 	}
-	res := core.NewCampaign(cfg).Run()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := core.NewCampaign(cfg).RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 
 	out := &CampaignSummary{
 		CausesByFamily: make(map[string]int),

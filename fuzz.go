@@ -1,6 +1,7 @@
 package cogdiff
 
 import (
+	"context"
 	"time"
 
 	"cogdiff/internal/fuzzer"
@@ -11,6 +12,10 @@ import (
 // paper's closing future work: "generate minimal and relevant byte-code
 // sequences for unit testing the JIT compiler").
 type FuzzOptions struct {
+	// Context, when non-nil, cancels the run: Fuzz returns ctx.Err()
+	// promptly at the next batch boundary, with nothing from the
+	// cancelled batch merged and the corpus file untouched.
+	Context context.Context
 	// Seed is the engine RNG seed; the same seed and budget reproduce the
 	// run exactly, for any worker count.
 	Seed int64
@@ -86,7 +91,11 @@ func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
 	if _, err := openCache(opts.CacheDir, opts.CacheMode, opts.Metrics); err != nil {
 		return nil, err
 	}
-	res, err := fuzzer.Run(fuzzer.Options{
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := fuzzer.RunContext(ctx, fuzzer.Options{
 		Seed:       opts.Seed,
 		Budget:     opts.Budget,
 		Duration:   opts.Duration,

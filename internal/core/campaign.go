@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -197,6 +198,15 @@ func (c *Campaign) PrimitiveTargets() []concolic.Target {
 }
 
 // Run executes the campaign, sharding it over Config.Workers goroutines.
+// It is RunContext without a cancellation source; see there for the
+// determinism contract.
+func (c *Campaign) Run() *CampaignResult {
+	res, _ := c.RunContext(context.Background())
+	return res
+}
+
+// RunContext executes the campaign, sharding it over Config.Workers
+// goroutines under ctx.
 //
 // The work splits into independent units — one per instruction for the
 // concolic exploration, one per (compiler, instruction) pair for the
@@ -206,7 +216,13 @@ func (c *Campaign) PrimitiveTargets() []concolic.Target {
 // recorded in a serial post-pass over that canonical order, so reports,
 // verdict ordering and the Table 2/3 rows are byte-identical to a
 // serial run regardless of worker count or completion order.
-func (c *Campaign) Run() *CampaignResult {
+//
+// Cancelling ctx aborts the campaign promptly at the next unit
+// boundary: in-flight units finish, every worker goroutine exits, and
+// RunContext returns (nil, ctx.Err()). Cache writes go through excache's
+// atomic temp+rename, so a cancelled campaign leaves only complete,
+// valid cache entries behind — a rerun reuses them as ordinary hits.
+func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	workers := c.workerCount()
 	reg := c.Config.Metrics
 	explorer := concolic.NewExplorer(c.Prims, c.exploreOptions())
@@ -232,7 +248,7 @@ func (c *Campaign) Run() *CampaignResult {
 	for i, t := range allTargets {
 		exKeys[i] = c.Config.Cache.ExplorationKey(t, c.exploreOptions())
 	}
-	RunUnits(workers, len(allTargets), func(i int) {
+	if err := RunUnitsCtx(ctx, workers, len(allTargets), func(i int) {
 		sp := reg.StartSpan(telemetry.SpanExplore)
 		defer sp.End()
 		if ex, ok := c.Config.Cache.LoadExploration(exKeys[i], allTargets[i]); ok {
@@ -253,7 +269,9 @@ func (c *Campaign) Run() *CampaignResult {
 			}
 		}()
 		explorations[i] = explorer.Explore(allTargets[i])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for i, t := range allTargets {
 		result.Explorations[explorationKey(t)] = explorations[i]
 	}
@@ -304,7 +322,7 @@ func (c *Campaign) Run() *CampaignResult {
 	var progressMu sync.Mutex
 	done := 0
 	unitsTested := reg.Counter(telemetry.MetricUnitsTested)
-	RunUnits(workers, len(units), func(i int) {
+	if err := RunUnitsCtx(ctx, workers, len(units), func(i int) {
 		sp := reg.StartSpan(telemetry.SpanTestUnit)
 		defer sp.End()
 		u := units[i]
@@ -332,7 +350,9 @@ func (c *Campaign) Run() *CampaignResult {
 			})
 			progressMu.Unlock()
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Deterministic merge: attribute causes walking the reports in
 	// canonical (compiler, instruction, path, ISA) order — exactly the
@@ -367,7 +387,7 @@ func (c *Campaign) Run() *CampaignResult {
 		}
 	}
 	mergeSpan.End()
-	return result
+	return result, nil
 }
 
 func (c *Campaign) exploreOptions() concolic.Options {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,28 +21,44 @@ func ResolveWorkers(w int) int {
 
 func (c *Campaign) workerCount() int { return ResolveWorkers(c.Config.Workers) }
 
-// RunUnits executes fn(0..n-1) over a pool of worker goroutines. Units are
-// claimed from a shared atomic counter, so scheduling is work-stealing-ish:
-// a worker that drew a cheap unit immediately claims the next one. With
-// workers <= 1 it degenerates to a plain loop on the calling goroutine —
-// the strictly serial mode the determinism tests compare against.
-//
-// RunUnits establishes a happens-before edge between every fn call and its
-// return (via WaitGroup), so callers may read unit results without further
-// synchronization. Both the campaign engine and the fuzzer shard their
-// work through it.
+// RunUnits executes fn(0..n-1) over a pool of worker goroutines. It is
+// RunUnitsCtx without a cancellation source; see there for the
+// scheduling and memory-model contract.
 func RunUnits(workers, n int, fn func(i int)) {
+	RunUnitsCtx(context.Background(), workers, n, fn)
+}
+
+// RunUnitsCtx executes fn(0..n-1) over a pool of worker goroutines. Units
+// are claimed from a shared atomic counter, so scheduling is
+// work-stealing-ish: a worker that drew a cheap unit immediately claims
+// the next one. With workers <= 1 it degenerates to a plain loop on the
+// calling goroutine — the strictly serial mode the determinism tests
+// compare against.
+//
+// Cancelling ctx stops the pool claiming new units; units already
+// running finish (they are short), every worker goroutine exits, and
+// RunUnitsCtx returns ctx.Err(). The pool never leaks goroutines: all
+// exits funnel through the WaitGroup, cancelled or not.
+//
+// RunUnitsCtx establishes a happens-before edge between every completed
+// fn call and its return (via WaitGroup), so callers may read unit
+// results without further synchronization. The campaign engine, the
+// fuzzer and the server's job runner all shard their work through it.
+func RunUnitsCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -49,7 +66,7 @@ func RunUnits(workers, n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -59,4 +76,5 @@ func RunUnits(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,0 +1,52 @@
+package fuzzer_test
+
+// Cancellation contract of the fuzzing engine: RunContext returns
+// ctx.Err() at the next batch boundary, nothing from the cancelled
+// batch is merged, and the corpus file is left exactly as it was —
+// cancellation never writes a partial corpus.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cogdiff/internal/fuzzer"
+)
+
+func TestRunContextCancelLeavesCorpusUntouched(t *testing.T) {
+	corpus := filepath.Join(t.TempDir(), "corpus.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	opts := fuzzer.Options{
+		Seed:       2022,
+		Budget:     100000,
+		BatchSize:  32,
+		Workers:    2,
+		CorpusPath: corpus,
+		OnProgress: func(done, total, corpusSize, causes int) {
+			// The first merged batch pulls the plug; the run must stop long
+			// before the budget is spent.
+			cancel()
+		},
+	}
+	res, err := fuzzer.RunContext(ctx, opts)
+	if err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a partial result, want nil")
+	}
+	if _, err := os.Stat(corpus); !os.IsNotExist(err) {
+		t.Errorf("cancelled run touched the corpus file: stat err %v, want not-exist", err)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fuzzer.RunContext(ctx, fuzzer.Options{Seed: 1, Budget: 100}); err != context.Canceled {
+		t.Errorf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package fuzzer
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -42,6 +43,10 @@ type Options struct {
 	// SeedDir, when set, loads a `go test fuzz v1` seed directory (the
 	// FuzzSequenceDiff corpus format) as additional seed inputs.
 	SeedDir string
+	// SeedSeqs are additional in-memory seed genomes, appended after the
+	// built-in seeds in the given order. The server's shared corpus store
+	// feeds concurrent fuzz jobs through this field.
+	SeedSeqs []*Seq
 	// EmitTests, when set, writes the reduced differences as a ready-to-run
 	// Go test file.
 	EmitTests string
@@ -102,6 +107,10 @@ type Result struct {
 	CoverageBits int
 	Curve        []CurvePoint
 	Differences  []*Difference
+	// Corpus is the final coverage-increasing corpus in admission order,
+	// so callers (the server's shared corpus store) can drain a run's
+	// findings without going through a file.
+	Corpus []*Seq
 	// Matched lists the seeded-catalog cause IDs rediscovered through
 	// sequences, in catalog order.
 	Matched []string
@@ -314,16 +323,21 @@ func (e *engine) merge(s *Seq, o *execOut, keepAll bool) {
 	}
 }
 
-// runBatch executes tasks in parallel and merges them in order.
-func (e *engine) runBatch(tasks []*Seq, workers int, keepAll bool) {
+// runBatch executes tasks in parallel and merges them in order. A
+// cancelled batch merges nothing: partially executed batches must not
+// leak into the corpus or the difference list.
+func (e *engine) runBatch(ctx context.Context, tasks []*Seq, workers int, keepAll bool) error {
 	sp := e.opts.Metrics.StartSpan(telemetry.SpanFuzzBatch)
 	defer sp.End()
 	e.mBatches.Inc()
 	outs := make([]execOut, len(tasks))
-	core.RunUnits(workers, len(tasks), func(i int) { outs[i] = e.execute(tasks[i]) })
+	if err := core.RunUnitsCtx(ctx, workers, len(tasks), func(i int) { outs[i] = e.execute(tasks[i]) }); err != nil {
+		return err
+	}
 	for i := range outs {
 		e.merge(tasks[i], &outs[i], keepAll)
 	}
+	return nil
 }
 
 // makeTask derives the genome for one execution index: mostly a mutation
@@ -370,8 +384,17 @@ func (e *engine) causeKeys(s *Seq) []string {
 	return keys
 }
 
-// Run executes a fuzzing campaign.
+// Run executes a fuzzing campaign. It is RunContext without a
+// cancellation source.
 func Run(opts Options) (*Result, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext executes a fuzzing campaign under ctx. Cancellation is
+// prompt and clean: the current batch's in-flight executions finish,
+// nothing from the cancelled batch is merged, the corpus file is left
+// untouched, and (nil, ctx.Err()) is returned.
+func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	e := newEngine(opts)
 	budget := opts.Budget
 	if budget <= 0 {
@@ -387,6 +410,7 @@ func Run(opts Options) (*Result, error) {
 	workers := core.ResolveWorkers(opts.Workers)
 
 	seeds := builtinSeeds()
+	seeds = append(seeds, opts.SeedSeqs...)
 	if opts.SeedDir != "" {
 		more, err := LoadGoFuzzSeeds(opts.SeedDir)
 		if err != nil {
@@ -404,7 +428,9 @@ func Run(opts Options) (*Result, error) {
 	if len(seeds) > budget {
 		seeds = seeds[:budget]
 	}
-	e.runBatch(seeds, workers, true)
+	if err := e.runBatch(ctx, seeds, workers, true); err != nil {
+		return nil, err
+	}
 	e.progress(budget)
 
 	start := time.Now()
@@ -420,12 +446,17 @@ func Run(opts Options) (*Result, error) {
 		for i := range tasks {
 			tasks[i] = e.makeTask(int64(e.execs + i))
 		}
-		e.runBatch(tasks, workers, false)
+		if err := e.runBatch(ctx, tasks, workers, false); err != nil {
+			return nil, err
+		}
 		e.progress(budget)
 	}
 
 	if opts.Minimize {
 		for _, d := range e.diffs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			d.Reduced, d.ReduceExecs = Reduce(d.Seq, d.Key(), e.causeKeys)
 		}
 	}
@@ -439,6 +470,7 @@ func Run(opts Options) (*Result, error) {
 		CoverageBits: e.global.Count(),
 		Curve:        e.curve,
 		Differences:  e.diffs,
+		Corpus:       e.corpus,
 	}
 	for _, c := range defects.Catalog() {
 		for _, d := range e.diffs {
