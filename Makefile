@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-go cache-smoke fuzz fuzz-smoke blame-smoke metrics-smoke serve-smoke fmt-check golden-update ci
+.PHONY: all build vet test test-short test-race bench bench-go cache-smoke perf-smoke fuzz fuzz-smoke blame-smoke metrics-smoke serve-smoke fmt-check golden-update ci
 
 all: build vet test
 
@@ -33,11 +33,14 @@ test-race:
 # Perf trajectory: export machine-readable benchmark records for the
 # campaign engine (cold vs warm through the exploration cache) and the
 # fuzzing engine. CI uploads BENCH_*.json as artifacts so the history of
-# every change is comparable.
+# every change is comparable. The -baseline flags carry the committed
+# pre-overhaul baselineNsPerOp forward into the regenerated records, so
+# the perf-smoke gate never silently re-baselines itself.
 bench:
 	rm -rf bench-cache.tmp
-	$(GO) run ./cmd/cogdiff bench-export -cache-dir bench-cache.tmp -out BENCH_campaign.json campaign
-	$(GO) run ./cmd/cogdiff bench-export -out BENCH_fuzz.json fuzz
+	$(GO) run ./cmd/cogdiff bench-export -cache-dir bench-cache.tmp \
+		-baseline BENCH_campaign.json -out BENCH_campaign.json campaign
+	$(GO) run ./cmd/cogdiff bench-export -baseline BENCH_fuzz.json -out BENCH_fuzz.json fuzz
 	$(GO) run ./cmd/cogdiff bench-export -out BENCH_serve.json serve
 	$(GO) run ./cmd/cogdiff bench-export -lint BENCH_campaign.json BENCH_fuzz.json BENCH_serve.json
 	rm -rf bench-cache.tmp
@@ -66,6 +69,22 @@ cache-smoke:
 		-out cache-smoke.tmp/BENCH_campaign.json campaign
 	cache-smoke.tmp/cogdiff bench-export -lint cache-smoke.tmp/BENCH_campaign.json
 	rm -rf cache-smoke.tmp
+
+# Raw-speed gate for the execution-core overhaul: re-measure the serial
+# campaign on this machine and hold it to the acceptance bars against the
+# pre-overhaul baseline carried in the committed BENCH_campaign.json —
+# at least 5x wall-clock speedup and at least an 80% cut in per-path
+# allocations versus the fresh-boot architecture. GOMAXPROCS=1 matches
+# how the baseline was captured, so parallelism can't mask a regression.
+perf-smoke:
+	rm -rf perf-smoke.tmp
+	mkdir -p perf-smoke.tmp
+	$(GO) build -o perf-smoke.tmp/cogdiff ./cmd/cogdiff
+	GOMAXPROCS=1 perf-smoke.tmp/cogdiff bench-export -workers 1 \
+		-baseline BENCH_campaign.json -min-baseline-speedup 5 -min-alloc-reduction 0.8 \
+		-out perf-smoke.tmp/BENCH_campaign.json campaign
+	perf-smoke.tmp/cogdiff bench-export -lint perf-smoke.tmp/BENCH_campaign.json
+	rm -rf perf-smoke.tmp
 
 # Explore random byte-code sequences across all three compilers and both
 # ISAs (30s smoke run; raise -fuzztime for a real session).
@@ -124,4 +143,4 @@ fmt-check:
 golden-update:
 	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
 
-ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metrics-smoke cache-smoke serve-smoke
+ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metrics-smoke cache-smoke perf-smoke serve-smoke

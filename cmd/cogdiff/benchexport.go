@@ -21,7 +21,10 @@ import (
 // turns the measurement into a CI gate (make cache-smoke).
 
 // benchSchema stamps the record layout; bump on field changes.
-const benchSchema = "cogdiff-bench/1"
+// Schema 2 (raw-speed overhaul) adds the compiled-code cache hit rate,
+// the measured per-path allocation split (warm reuse vs fresh boots),
+// and the carried-forward pre-overhaul baseline used by perf-smoke.
+const benchSchema = "cogdiff-bench/2"
 
 // benchRecord is one exported measurement.
 type benchRecord struct {
@@ -39,6 +42,25 @@ type benchRecord struct {
 	AllocsPerOp uint64  `json:"allocsPerOp"`
 	Differences int     `json:"differences"`
 	HitRate     float64 `json:"cacheHitRate"`
+	// CodeCacheHitRate is the in-process compiled-code cache's hit rate
+	// over the measured runs (distinct from the on-disk exploration
+	// cache's cacheHitRate above).
+	CodeCacheHitRate float64 `json:"codeCacheHitRate"`
+
+	// Per-path allocation economics, campaign records only: warm is the
+	// steady-state cost of testing one more path of an explored unit
+	// (pooled environments, warm code cache, shared reference); fresh is
+	// the pre-overhaul boot-and-compile-per-call cost, re-measured on
+	// this machine so the reduction ratio is hardware-honest.
+	PerPathAllocsWarm     float64 `json:"perPathAllocsWarm,omitempty"`
+	PerPathAllocsFresh    float64 `json:"perPathAllocsFresh,omitempty"`
+	PerPathAllocReduction float64 `json:"perPathAllocReduction,omitempty"`
+
+	// BaselineNsPerOp carries the pre-overhaul wall time for this record's
+	// configuration (copied forward from the committed baseline file);
+	// BaselineSpeedup is this measurement against it.
+	BaselineNsPerOp int64   `json:"baselineNsPerOp,omitempty"`
+	BaselineSpeedup float64 `json:"baselineSpeedup,omitempty"`
 
 	// Cold/warm split and speedup, present only for cached campaign runs.
 	ColdNsPerOp int64   `json:"coldNsPerOp,omitempty"`
@@ -60,6 +82,9 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "campaign mode: measure cold vs warm through this cache directory")
 	minSpeedup := fs.Float64("min-speedup", 0, "fail unless warm speedup over cold reaches this factor")
+	baseline := fs.String("baseline", "", "committed BENCH_*.json to gate against (carries the pre-overhaul baselineNsPerOp forward)")
+	minBaselineSpeedup := fs.Float64("min-baseline-speedup", 0, "fail unless this run beats the baseline's pre-overhaul time by this factor (requires -baseline)")
+	minAllocReduction := fs.Float64("min-alloc-reduction", 0, "campaign mode: fail unless warm per-path allocs undercut the fresh-boot measurement by this fraction (0..1)")
 	out := fs.String("out", "", "write the JSON record to this file (default stdout)")
 	lint := fs.Bool("lint", false, "validate existing BENCH_*.json files instead of measuring")
 	fuzzBudget := fs.Int("fuzz-budget", 2000, "fuzz mode: execution budget per iteration")
@@ -110,6 +135,42 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	if rec.Name == "campaign" {
+		// Per-path allocation economics, measured fresh on this machine:
+		// committed ratios from other hardware would gate nothing.
+		warm, fresh := cogdiff.MeasurePerPathAllocs()
+		rec.PerPathAllocsWarm, rec.PerPathAllocsFresh = warm, fresh
+		if fresh > 0 {
+			rec.PerPathAllocReduction = 1 - warm/fresh
+		}
+		if *minAllocReduction > 0 && rec.PerPathAllocReduction < *minAllocReduction {
+			return fail(fmt.Errorf("bench-export: per-path alloc reduction %.1f%% below required %.1f%% (warm %.1f, fresh %.1f allocs/path)",
+				100*rec.PerPathAllocReduction, 100**minAllocReduction, warm, fresh))
+		}
+	}
+	if *minBaselineSpeedup > 0 && *baseline == "" {
+		return fail(fmt.Errorf("bench-export: -min-baseline-speedup requires -baseline"))
+	}
+	if *baseline != "" {
+		base, berr := loadBenchBaseline(*baseline, rec.Name)
+		if berr != nil {
+			return fail(berr)
+		}
+		// The pre-overhaul time rides along from record to record: once
+		// captured it stays the fixed point every future run is gated
+		// against, so the speedup cannot silently re-baseline itself.
+		rec.BaselineNsPerOp = base.BaselineNsPerOp
+		if rec.BaselineNsPerOp == 0 {
+			rec.BaselineNsPerOp = base.NsPerOp
+		}
+		if rec.BaselineNsPerOp > 0 && rec.NsPerOp > 0 {
+			rec.BaselineSpeedup = float64(rec.BaselineNsPerOp) / float64(rec.NsPerOp)
+		}
+		if *minBaselineSpeedup > 0 && rec.BaselineSpeedup < *minBaselineSpeedup {
+			return fail(fmt.Errorf("bench-export: %.2fx over the pre-overhaul baseline, required %.2fx (baseline %s, now %s)",
+				rec.BaselineSpeedup, *minBaselineSpeedup, time.Duration(rec.BaselineNsPerOp), time.Duration(rec.NsPerOp)))
+		}
+	}
 	rec.Schema = benchSchema
 	rec.GoVersion = runtime.Version()
 	rec.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -131,6 +192,26 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "%s: %s written\n", rec.Name, *out)
 	return 0
+}
+
+// loadBenchBaseline reads a committed benchmark record to gate against,
+// insisting it describe the same engine.
+func loadBenchBaseline(path, name string) (*benchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Name != name {
+		return nil, fmt.Errorf("%s: baseline records %q, this run measures %q", path, rec.Name, name)
+	}
+	if rec.NsPerOp <= 0 && rec.BaselineNsPerOp <= 0 {
+		return nil, fmt.Errorf("%s: baseline has no usable nsPerOp", path)
+	}
+	return &rec, nil
 }
 
 // measure runs fn once and returns its wall time and per-process
@@ -195,6 +276,7 @@ func benchCampaign(iterations, workers int, cacheDir string, minSpeedup float64)
 		totalAllocs += allocs
 		rec.Differences = sum.TotalDifferences
 		rec.HitRate = sum.Cache.HitRate()
+		rec.CodeCacheHitRate = sum.CodeCache.HitRate()
 		if cacheDir != "" {
 			if got := deterministicSurfaces(sum); got != baseline {
 				return nil, fmt.Errorf("bench-export: warm campaign report diverged from cold (cache unsound)")
@@ -233,6 +315,7 @@ func benchFuzz(iterations, workers, budget int) (*benchRecord, error) {
 		totalNS += elapsed.Nanoseconds()
 		totalAllocs += allocs
 		rec.Differences = len(sum.Differences)
+		rec.CodeCacheHitRate = sum.CodeCache.HitRate()
 	}
 	rec.NsPerOp = totalNS / int64(iterations)
 	rec.AllocsPerOp = totalAllocs / uint64(iterations)
@@ -265,6 +348,15 @@ func lintBenchFile(path string) error {
 	}
 	if rec.HitRate < 0 || rec.HitRate > 1 {
 		return fmt.Errorf("%s: cacheHitRate %v outside [0, 1]", path, rec.HitRate)
+	}
+	if rec.CodeCacheHitRate < 0 || rec.CodeCacheHitRate > 1 {
+		return fmt.Errorf("%s: codeCacheHitRate %v outside [0, 1]", path, rec.CodeCacheHitRate)
+	}
+	if rec.PerPathAllocReduction < 0 || rec.PerPathAllocReduction > 1 {
+		return fmt.Errorf("%s: perPathAllocReduction %v outside [0, 1]", path, rec.PerPathAllocReduction)
+	}
+	if rec.Name == "campaign" && rec.BaselineNsPerOp <= 0 {
+		return fmt.Errorf("%s: campaign record carries no baselineNsPerOp (perf-smoke would gate nothing)", path)
 	}
 	return nil
 }

@@ -287,10 +287,12 @@ func TestInstructionWith(instruction, compiler string, cfg TestConfig) (*Instruc
 	tester.SetMetrics(cfg.Metrics)
 
 	res := &InstructionResult{Instruction: instruction, Compiler: compiler, Paths: len(ex.Paths) + ex.CuratedOut}
+	run := tester.BeginUnit(target, ex)
+	defer run.Close()
 	for _, p := range ex.Paths {
 		curated := false
 		for _, isa := range []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like} {
-			v := tester.TestPath(target, ex, p, kind, isa)
+			v := run.TestPath(p, kind, isa)
 			if !v.Skipped {
 				curated = true
 			}
@@ -395,8 +397,37 @@ type CampaignSummary struct {
 
 	// Cache reports exploration-cache traffic (all zero when disabled).
 	Cache CacheStats
+	// CodeCache reports the in-process compiled-code cache's hit/miss
+	// totals. Diagnostics only: counts vary with worker scheduling and
+	// excache warmth, the rendered reports never do.
+	CodeCache CodeCacheStats
 
 	Duration time.Duration
+}
+
+// CodeCacheStats mirrors core.CodeCacheStats for the public API surface.
+type CodeCacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 for an idle cache.
+func (s CodeCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// MeasurePerPathAllocs measures the execution core's per-path allocation
+// cost on this machine: warm is the steady state of a batched unit run
+// (pooled environments, warm compiled-code cache, shared interpreter
+// reference), fresh is the same work with every reuse layer disabled —
+// boot-per-execution and compile-per-call. bench-export records both and
+// perf-smoke gates their ratio.
+func MeasurePerPathAllocs() (warm, fresh float64) {
+	return core.MeasurePerPathAllocs(false), core.MeasurePerPathAllocs(true)
 }
 
 // StableReport concatenates the report surfaces that are pure functions
@@ -465,6 +496,7 @@ func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
 		Figure6:        report.Figure6(res),
 		Figure7:        report.Figure7(res),
 		Causes:         report.Causes(res),
+		CodeCache:      CodeCacheStats{Hits: res.CodeCache.Hits, Misses: res.CodeCache.Misses},
 		Duration:       time.Since(start),
 	}
 	for _, r := range res.Reports {

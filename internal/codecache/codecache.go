@@ -1,0 +1,152 @@
+// Package codecache is the in-process compiled-code cache of the
+// execution core. Differential testing compiles the same source body many
+// times: every concolic path of a unit wants the same compiled method,
+// fuzz iterations re-encounter the same sequences, and served campaign
+// shards repeat whole units. The cache keys compiled bodies by full
+// semantic identity — compiler mode and variant, ISA, pass limit, seeded
+// defect configuration, method content, input stack, and the heap
+// watermark at compile start — so a hit is exactly the artifact a fresh
+// compile would have produced.
+//
+// Compilation is not heap-pure: the JIT front-end allocates literal
+// objects in the object memory and bakes their oops (and other heap
+// addresses) into the code as immediates. An entry therefore records the
+// span of heap words the compile appended, and a hit replays those words
+// at the same watermark before reusing the code. Keying on the watermark
+// makes the replay sound: the addresses baked into the cached body are
+// valid if and only if the heap is in the same state it was at compile
+// time, which the arena seal/reset lifecycle guarantees.
+package codecache
+
+import (
+	"sync"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/ir"
+	"cogdiff/internal/jit"
+	"cogdiff/internal/telemetry"
+)
+
+// Entry is one cached compilation.
+type Entry struct {
+	// CM is the compiled method, shared by reference: compiled methods are
+	// immutable once published, and sharing the Program also shares its
+	// pre-decoded dispatch stream across every run.
+	CM *jit.CompiledMethod
+	// IROps is the post-pipeline IR opcode trace the compile emitted
+	// through the OnIR hook, replayed on every hit so IR coverage signals
+	// (the fuzzer's) are identical whether the body was compiled or reused.
+	IROps []ir.Opc
+	// HeapStart and HeapWords describe the compile's heap effect: the
+	// words it appended to the object memory starting at word offset
+	// HeapStart. A hit replays them so baked-in heap addresses stay valid.
+	HeapStart int
+	HeapWords []heap.Word
+}
+
+// Replay re-applies the entry's heap effect to om. It must be called
+// before executing the cached code; an error means the heap is not at the
+// entry's watermark (a keying bug, not a recoverable condition).
+func (e *Entry) Replay(om *heap.ObjectMemory) error {
+	if len(e.HeapWords) == 0 && om.HeapUsed() == e.HeapStart {
+		return nil
+	}
+	return om.ReplayHeapRange(e.HeapStart, e.HeapWords)
+}
+
+// Cache is a bounded, concurrency-safe compiled-code cache. The zero
+// value of *Cache (nil) is a valid always-miss cache, so callers never
+// branch on "caching enabled".
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	max     int
+	hits    int64
+	misses  int64
+
+	hitCtr  *telemetry.Counter
+	missCtr *telemetry.Counter
+}
+
+// DefaultMaxEntries bounds the cache when callers pass max <= 0. Entries
+// are small (a compiled body plus its heap delta); 8192 comfortably
+// covers a full campaign's distinct units times ISAs.
+const DefaultMaxEntries = 8192
+
+// New returns an empty cache holding at most max entries.
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{entries: make(map[string]*Entry), max: max}
+}
+
+// SetMetrics attaches telemetry counters for hits and misses. Metrics are
+// a pure observation sink: at worker counts above one, two workers can
+// race to compile the same key and both count a miss, so counter values
+// may vary by schedule even though reports never do.
+func (c *Cache) SetMetrics(reg *telemetry.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.hitCtr = reg.Counter(telemetry.MetricCodeCacheHits)
+	c.missCtr = reg.Counter(telemetry.MetricCodeCacheMisses)
+}
+
+// Lookup returns the entry for key, or nil on miss (or nil cache). The
+// key is taken as bytes so the hot path's map probe does not allocate a
+// string copy.
+func (c *Cache) Lookup(key []byte) *Entry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	e := c.entries[string(key)]
+	if e != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if e != nil {
+		c.hitCtr.Inc()
+	} else {
+		c.missCtr.Inc()
+	}
+	return e
+}
+
+// Store inserts an entry. When the cache is full it is flushed whole — a
+// deterministic eviction policy (no recency state that could differ
+// between schedules) that in practice never triggers mid-campaign.
+func (c *Cache) Store(key []byte, e *Entry) {
+	if c == nil || e == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, exists := c.entries[string(key)]; !exists && len(c.entries) >= c.max {
+		c.entries = make(map[string]*Entry)
+	}
+	c.entries[string(key)] = e
+	c.mu.Unlock()
+}
+
+// Stats reports cumulative lookup hits and misses.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

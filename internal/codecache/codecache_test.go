@@ -1,0 +1,155 @@
+package codecache
+
+import (
+	"fmt"
+	"testing"
+
+	"cogdiff/internal/heap"
+	"cogdiff/internal/jit"
+	"cogdiff/internal/telemetry"
+)
+
+func TestLookupStoreAndStats(t *testing.T) {
+	c := New(0)
+	key := []byte("k1")
+	if c.Lookup(key) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	e := &Entry{CM: &jit.CompiledMethod{}}
+	c.Store(key, e)
+	if got := c.Lookup(key); got != e {
+		t.Fatalf("lookup returned %v, want stored entry", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1", c.Len())
+	}
+}
+
+func TestKeyIsCopiedOnStore(t *testing.T) {
+	c := New(0)
+	key := []byte("mutable")
+	c.Store(key, &Entry{})
+	key[0] = 'X' // caller reuses its buffer; the cache must not care
+	if c.Lookup([]byte("mutable")) == nil {
+		t.Fatal("stored key aliased the caller's buffer")
+	}
+	if c.Lookup(key) != nil {
+		t.Fatal("mutated buffer matched the stored key")
+	}
+}
+
+func TestEvictionFlushesWhole(t *testing.T) {
+	c := New(2)
+	c.Store([]byte("a"), &Entry{})
+	c.Store([]byte("b"), &Entry{})
+	c.Store([]byte("b"), &Entry{}) // overwrite at capacity must not flush
+	if c.Len() != 2 {
+		t.Fatalf("len %d after overwrite, want 2", c.Len())
+	}
+	c.Store([]byte("c"), &Entry{})
+	if c.Len() != 1 {
+		t.Fatalf("len %d after overflow, want 1 (flush-whole then insert)", c.Len())
+	}
+	if c.Lookup([]byte("a")) != nil || c.Lookup([]byte("b")) != nil {
+		t.Fatal("pre-flush entries survived")
+	}
+	if c.Lookup([]byte("c")) == nil {
+		t.Fatal("post-flush insert lost")
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	if c.Lookup([]byte("k")) != nil {
+		t.Fatal("nil cache hit")
+	}
+	c.Store([]byte("k"), &Entry{}) // must not panic
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil cache stats %d/%d", h, m)
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache non-empty")
+	}
+	c.SetMetrics(telemetry.NewRegistry()) // must not panic
+}
+
+func TestReplayRequiresWatermark(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	om.Seal()
+	start := om.HeapUsed()
+	if _, err := om.NewFloat(9.5); err != nil {
+		t.Fatal(err)
+	}
+	e := &Entry{HeapStart: start, HeapWords: om.HeapRange(start, om.HeapUsed())}
+
+	om.ResetToSeal()
+	if err := e.Replay(om); err != nil {
+		t.Fatalf("replay at watermark: %v", err)
+	}
+	if om.HeapUsed() != start+len(e.HeapWords) {
+		t.Fatalf("replay advanced heap to %d, want %d", om.HeapUsed(), start+len(e.HeapWords))
+	}
+	// Heap no longer at the entry's watermark: replay must refuse.
+	if err := e.Replay(om); err == nil {
+		t.Fatal("replay off watermark succeeded")
+	}
+}
+
+func TestReplayEmptyEffect(t *testing.T) {
+	om := heap.NewBootedObjectMemory()
+	e := &Entry{HeapStart: om.HeapUsed()}
+	if err := e.Replay(om); err != nil {
+		t.Fatalf("empty effect at watermark: %v", err)
+	}
+	if _, err := om.NewFloat(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Replay(om); err == nil {
+		t.Fatal("empty effect off watermark succeeded")
+	}
+}
+
+func TestMetricsCountHitsAndMisses(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(0)
+	c.SetMetrics(reg)
+	c.Store([]byte("k"), &Entry{})
+	c.Lookup([]byte("k"))
+	c.Lookup([]byte("absent"))
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		telemetry.MetricCodeCacheHits:   1,
+		telemetry.MetricCodeCacheMisses: 1,
+	}
+	for name, val := range want {
+		if got := snap.Counters[name]; got != val {
+			t.Errorf("%s = %d, want %d", name, got, val)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := []byte(fmt.Sprintf("k%d", i%32))
+				if c.Lookup(key) == nil {
+					c.Store(key, &Entry{})
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if c.Len() == 0 {
+		t.Fatal("nothing cached after concurrent traffic")
+	}
+}

@@ -52,6 +52,11 @@ type Options struct {
 	// Metrics, when non-nil, counts solver invocations. Exploration
 	// results are unaffected; the counter is a pure sink.
 	Metrics *telemetry.Registry
+	// NoReuse disables the booted-object-memory pool: every concolic
+	// execution boots a fresh heap. Booting is deterministic, so results
+	// are byte-identical either way; the determinism suite flips this to
+	// pin that claim.
+	NoReuse bool
 }
 
 // DefaultOptions returns the standard exploration settings.
@@ -165,12 +170,23 @@ func (e *Explorer) Explore(t Target) *Exploration {
 	return ex
 }
 
-// runOnce performs one concolic execution under a model.
+// runOnce performs one concolic execution under a model. The execution
+// borrows a pooled booted object memory (the result captures frames and
+// path data by value, never the memory itself) and releases it on normal
+// return; a contained panic abandons it to the GC instead.
 func (e *Explorer) runOnce(t Target, u *sym.Universe, model *sym.Model, assumed int) (*PathResult, error) {
-	om := heap.NewBootedObjectMemory()
+	var om *heap.ObjectMemory
+	if e.Opts.NoReuse {
+		om = heap.NewBootedObjectMemory()
+	} else {
+		om = heap.AcquireBooted()
+	}
 	b := NewFrameBuilder(om, u, model)
 	frame, err := b.BuildFrame(t)
 	if err != nil {
+		if !e.Opts.NoReuse {
+			heap.ReleaseBooted(om)
+		}
 		return nil, err
 	}
 	input := frame.Clone()
@@ -182,11 +198,15 @@ func (e *Explorer) runOnce(t Target, u *sym.Universe, model *sym.Model, assumed 
 	ctx.InterpreterDefects = e.Opts.InterpreterDefects
 
 	exit := t.run(ctx, e.Prims)
-	return &PathResult{
+	res := &PathResult{
 		Path:        tr.path,
 		Model:       model,
 		Exit:        exit,
 		InputFrame:  input,
 		OutputFrame: frame.Clone(),
-	}, nil
+	}
+	if !e.Opts.NoReuse {
+		heap.ReleaseBooted(om)
+	}
+	return res, nil
 }

@@ -56,6 +56,11 @@ type Config struct {
 	// the containment boundary. Fault-injection tests use it to raise
 	// genuine heap panics in worker goroutines.
 	faultInject func(target concolic.Target, kind CompilerKind, isa machine.ISA)
+	// noReuse disables every raw-speed reuse layer — pooled execution
+	// environments, pooled exploration heaps, and the compiled-code
+	// cache — so each execution boots and compiles from scratch. The
+	// determinism suite diffs reports against this reference mode.
+	noReuse bool
 }
 
 // InstructionDone is the progress event for one completed test unit.
@@ -130,6 +135,26 @@ type CampaignResult struct {
 	Causes  map[string]*Cause // keyed by instruction+family
 	// Explorations preserves every instruction's exploration (Figure 5/6).
 	Explorations map[string]*concolic.Exploration
+	// CodeCache reports the in-process compiled-code cache's hit/miss
+	// totals for this run. Diagnostics only — counts may vary with worker
+	// scheduling (racing double-misses) and with excache unit hits that
+	// bypass compilation entirely; reports never do.
+	CodeCache CodeCacheStats
+}
+
+// CodeCacheStats is the compiled-code cache activity of one run.
+type CodeCacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 for an idle cache.
+func (s CodeCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // TotalDifferences sums differing paths over all compilers.
@@ -227,6 +252,9 @@ func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	reg := c.Config.Metrics
 	explorer := concolic.NewExplorer(c.Prims, c.exploreOptions())
 	tester := NewTester(c.Prims, c.Config.Defects)
+	if c.Config.noReuse {
+		tester.SetNoReuse()
+	}
 	tester.SetMetrics(reg)
 	c.panicsContained = reg.Counter(telemetry.MetricPanicsContained)
 
@@ -387,6 +415,8 @@ func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 		}
 	}
 	mergeSpan.End()
+	hits, misses := tester.CodeCacheStats()
+	result.CodeCache = CodeCacheStats{Hits: hits, Misses: misses}
 	return result, nil
 }
 
@@ -396,6 +426,7 @@ func (c *Campaign) exploreOptions() concolic.Options {
 		AsFloatSkipsTypeCheck: c.Config.Defects.AsFloatSkipsTypeCheck,
 	}
 	opts.Metrics = c.Config.Metrics
+	opts.NoReuse = c.Config.noReuse
 	return opts
 }
 
@@ -456,11 +487,16 @@ func (c *Campaign) testInstruction(tester *Tester, kind CompilerKind, target con
 		Paths:       len(ex.Paths) + ex.CuratedOut,
 		ExploreTime: ex.Duration,
 	}
+	// Batch the unit: the interpreter reference for each path is computed
+	// once and reused across every (compiler, ISA) pairing, and compiled
+	// bodies are shared through the tester's code cache.
+	run := tester.BeginUnit(target, ex)
+	defer run.Close()
 	for _, path := range ex.Paths {
 		pathCurated := false
 		pathDiffers := false
 		for _, isa := range c.Config.ISAs {
-			v := c.safeTestPath(tester, target, ex, path, kind, isa)
+			v := c.safeTestPath(run, target, path, kind, isa)
 			ir.Verdicts = append(ir.Verdicts, v)
 			if !v.Skipped || v.Reason == "invalid frame (expected failure)" ||
 				v.Reason == "invalid memory access on unsafe byte-code (expected failure)" {
@@ -489,7 +525,7 @@ func (c *Campaign) testInstruction(tester *Tester, kind CompilerKind, target con
 // outcome — so the unit stays in the report and classification still
 // applies. Panics are deterministic functions of the unit's inputs, so
 // containment preserves byte-identical reports at any worker count.
-func (c *Campaign) safeTestPath(tester *Tester, target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) (v PathVerdict) {
+func (c *Campaign) safeTestPath(run *UnitRun, target concolic.Target, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) (v PathVerdict) {
 	defer func() {
 		if p := recover(); p != nil {
 			c.panicsContained.Inc()
@@ -508,7 +544,7 @@ func (c *Campaign) safeTestPath(tester *Tester, target concolic.Target, ex *conc
 	if c.Config.faultInject != nil {
 		c.Config.faultInject(target, kind, isa)
 	}
-	return tester.TestPath(target, ex, path, kind, isa)
+	return run.TestPath(path, kind, isa)
 }
 
 // recordCause classifies a difference and deduplicates it into a cause

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"cogdiff/internal/heap"
@@ -19,6 +20,38 @@ import (
 // maxCanonicalDepth bounds structural descriptions of freshly allocated
 // objects.
 const maxCanonicalDepth = 3
+
+// Pre-rendered forms for the values that dominate canonicalization.
+// Rendering is on the per-path hot path — every execution canonicalizes
+// its result, stack, temps, and input-object bodies — and almost all of
+// those words are small non-negative integers or low input ranks.
+var (
+	smallIntCanon [256]string
+	inputCanon    [64]string
+)
+
+func init() {
+	for i := range smallIntCanon {
+		smallIntCanon[i] = "int:" + strconv.Itoa(i)
+	}
+	for i := range inputCanon {
+		inputCanon[i] = "in:" + strconv.Itoa(i)
+	}
+}
+
+func intCanonical(v int64) string {
+	if v >= 0 && v < int64(len(smallIntCanon)) {
+		return smallIntCanon[v]
+	}
+	return "int:" + strconv.FormatInt(v, 10)
+}
+
+func inputCanonical(rep int) string {
+	if rep >= 0 && rep < len(inputCanon) {
+		return inputCanon[rep]
+	}
+	return "in:" + strconv.Itoa(rep)
+}
 
 // Canonicalize renders a VM value in an object-memory-independent form so
 // outputs of two executions on different heaps can be compared: immediates
@@ -31,7 +64,7 @@ func Canonicalize(om *heap.ObjectMemory, w heap.Word, inputs map[heap.Word]int) 
 func canonical(om *heap.ObjectMemory, w heap.Word, inputs map[heap.Word]int, depth int) string {
 	switch {
 	case heap.IsSmallInt(w):
-		return fmt.Sprintf("int:%d", heap.SmallIntValue(w))
+		return intCanonical(heap.SmallIntValue(w))
 	case w == om.NilObj:
 		return "nil"
 	case w == om.TrueObj:
@@ -42,21 +75,21 @@ func canonical(om *heap.ObjectMemory, w heap.Word, inputs map[heap.Word]int, dep
 		return "null"
 	}
 	if rep, ok := inputs[w]; ok {
-		return fmt.Sprintf("in:%d", rep)
+		return inputCanonical(rep)
 	}
 	if cd := om.ClassByOop(w); cd != nil {
 		return "class:" + cd.Name
 	}
 	ci := om.ClassIndexOf(w)
 	if ci == heap.ClassIndexNone {
-		return fmt.Sprintf("badref:%#x", uint64(w))
+		return "badref:0x" + strconv.FormatUint(uint64(w), 16)
 	}
 	if ci == heap.ClassIndexFloat {
 		f, err := om.FloatValueOf(w)
 		if err != nil {
 			return "badfloat"
 		}
-		return fmt.Sprintf("float:%x", f)
+		return "float:" + strconv.FormatFloat(f, 'x', -1, 64)
 	}
 	slots := om.SlotCountOf(w)
 	if depth <= 0 {
@@ -98,7 +131,7 @@ func HeapEffects(om *heap.ObjectMemory, inputs map[heap.Word]int) map[int][]stri
 				continue
 			}
 			if om.FormatOf(w) == heap.FormatBytes || om.FormatOf(w) == heap.FormatWords {
-				body[i] = fmt.Sprintf("raw:%d", sw)
+				body[i] = "raw:" + strconv.FormatInt(int64(sw), 10)
 			} else {
 				body[i] = Canonicalize(om, sw, inputs)
 			}

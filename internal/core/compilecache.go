@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/codecache"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/ir"
+	"cogdiff/internal/jit"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/primitives"
+)
+
+// Compile-mode tags for the compiled-code cache key: single-instruction
+// bodies, whole-method (sequence) bodies, and native-method templates
+// share one cache but can never collide.
+const (
+	modeInstruction byte = 'I'
+	modeMethod      byte = 'M'
+	modeNative      byte = 'N'
+)
+
+func appendInt(b []byte, v int64) []byte { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendInt(b, int64(len(s)))
+	return append(b, s...)
+}
+
+// bytecodeKey is the content key for a front-end compile: compiler mode,
+// variant, ISA, pass-pipeline prefix, seeded defects, the method's full
+// content (name-independent), the concrete input stack baked into the
+// body, and the heap watermark the compile starts from (which validates
+// the heap addresses baked into the code — see package codecache).
+func (t *Tester) bytecodeKey(mode byte, variant jit.Variant, isa machine.ISA, passLimit int, m *bytecode.Method, inputStack []heap.Word, heapStart int) []byte {
+	// Exact-size the buffer: key building runs once per path execution,
+	// so append growth here shows up directly in per-path allocation
+	// counts.
+	size := 2 + 8 + 8 + (8 + len(t.defectsFP)) + 8 + 8 + (8 + len(m.Code)) + 8 + 8 + 8*len(inputStack) + 8
+	for _, lit := range m.Literals {
+		size += 1 + 8 + 8 + 8 + len(lit.Str)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, mode, byte(variant))
+	b = appendInt(b, int64(isa))
+	b = appendInt(b, int64(passLimit))
+	b = appendString(b, t.defectsFP)
+	b = appendInt(b, int64(m.NumArgs))
+	b = appendInt(b, int64(m.NumTemps))
+	b = appendString(b, string(m.Code))
+	b = appendInt(b, int64(len(m.Literals)))
+	for _, lit := range m.Literals {
+		b = append(b, byte(lit.Kind))
+		b = appendInt(b, lit.Int)
+		b = appendInt(b, int64(math.Float64bits(lit.Float)))
+		b = appendString(b, lit.Str)
+	}
+	b = appendInt(b, int64(len(inputStack)))
+	for _, w := range inputStack {
+		b = appendInt(b, int64(w))
+	}
+	b = appendInt(b, int64(heapStart))
+	return b
+}
+
+// nativeKey is the content key for a native-method template compile.
+// Templates are selected by primitive index and parameterized only by
+// ISA and the seeded defect switches.
+func (t *Tester) nativeKey(primIndex int, isa machine.ISA, heapStart int) []byte {
+	b := make([]byte, 0, 1+8+8+(8+len(t.defectsFP))+8)
+	b = append(b, modeNative)
+	b = appendInt(b, int64(primIndex))
+	b = appendInt(b, int64(isa))
+	b = appendString(b, t.defectsFP)
+	b = appendInt(b, int64(heapStart))
+	return b
+}
+
+// compileCached resolves key against the compiled-code cache. On a hit it
+// replays the entry's heap effect and IR trace, making the hit
+// observationally identical to recompiling. On a miss it runs compile
+// with an IR recorder threaded through and stores the result plus the
+// heap words the compile appended.
+func (t *Tester) compileCached(om *heap.ObjectMemory, key []byte, onIR func(ir.Opc), compile func(record func(ir.Opc)) (*jit.CompiledMethod, error)) (*jit.CompiledMethod, error) {
+	if e := t.cache.Lookup(key); e != nil {
+		if err := e.Replay(om); err != nil {
+			return nil, err
+		}
+		if onIR != nil {
+			for _, op := range e.IROps {
+				onIR(op)
+			}
+		}
+		return e.CM, nil
+	}
+	heapStart := om.HeapUsed()
+	var irops []ir.Opc
+	record := func(op ir.Opc) {
+		irops = append(irops, op)
+		if onIR != nil {
+			onIR(op)
+		}
+	}
+	cm, err := compile(record)
+	if err != nil {
+		return nil, err
+	}
+	t.cache.Store(key, &codecache.Entry{CM: cm, IROps: irops, HeapStart: heapStart, HeapWords: om.HeapRange(heapStart, om.HeapUsed())})
+	return cm, nil
+}
+
+// compileBytecode compiles a method body (single-instruction or whole
+// method, per mode) through the compiled-code cache. With caching
+// disabled it compiles directly; either way onIR observes the
+// post-pipeline IR stream.
+func (t *Tester) compileBytecode(om *heap.ObjectMemory, mode byte, variant jit.Variant, isa machine.ISA, passLimit int, method *bytecode.Method, inputStack []heap.Word, onIR func(ir.Opc)) (*jit.CompiledMethod, error) {
+	build := func(irHook func(ir.Opc)) (*jit.CompiledMethod, error) {
+		cogit := jit.NewCogit(variant, isa, om, t.Defects)
+		cogit.PassLimit = passLimit
+		cogit.Metrics = t.passMetrics
+		cogit.OnIR = irHook
+		if mode == modeMethod {
+			return cogit.CompileMethod(method, nil)
+		}
+		return cogit.CompileBytecode(method, inputStack)
+	}
+	if t.cache == nil {
+		return build(onIR)
+	}
+	key := t.bytecodeKey(mode, variant, isa, passLimit, method, inputStack, om.HeapUsed())
+	return t.compileCached(om, key, onIR, build)
+}
+
+// compileNative compiles a native-method template through the cache.
+func (t *Tester) compileNative(om *heap.ObjectMemory, prim *primitives.Primitive, isa machine.ISA) (*jit.CompiledMethod, error) {
+	build := func(func(ir.Opc)) (*jit.CompiledMethod, error) {
+		nc := jit.NewNativeMethodCompiler(isa, om, t.Defects)
+		nc.Metrics = t.passMetrics
+		return nc.CompileNativeMethod(prim)
+	}
+	if t.cache == nil {
+		return build(nil)
+	}
+	key := t.nativeKey(prim.Index, isa, om.HeapUsed())
+	return t.compileCached(om, key, nil, build)
+}

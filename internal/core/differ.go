@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cogdiff/internal/bytecode"
+	"cogdiff/internal/codecache"
 	"cogdiff/internal/concolic"
 	"cogdiff/internal/defects"
 	"cogdiff/internal/heap"
@@ -27,12 +28,29 @@ type Tester struct {
 	// Telemetry handles, resolved once by SetMetrics so the per-path
 	// hot loop touches only atomics. All nil (no-op) by default.
 	passMetrics *jit.PassMetrics
+
+	// cache shares compiled bodies across paths, units and workers; nil
+	// disables it (every execution recompiles). defectsFP is the seeded
+	// defect configuration rendered once for cache keys.
+	cache     *codecache.Cache
+	defectsFP string
+
+	// noReuse switches off the execution-environment pool (and, via a nil
+	// cache, compiled-code sharing): every execution boots fresh state.
+	// The determinism suite uses it to pin that pooling cannot change a
+	// single report byte.
+	noReuse bool
 }
 
 // NewTester builds a tester with the given native-method table and seeded
 // defect state.
 func NewTester(prims *primitives.Table, sw defects.Switches) *Tester {
-	return &Tester{Prims: prims, Defects: sw}
+	return &Tester{
+		Prims:     prims,
+		Defects:   sw,
+		cache:     codecache.New(0),
+		defectsFP: fmt.Sprintf("%+v", sw),
+	}
 }
 
 // SetMetrics attaches a telemetry registry, resolving the instrument
@@ -41,16 +59,29 @@ func NewTester(prims *primitives.Table, sw defects.Switches) *Tester {
 // workers. A nil registry leaves the tester un-instrumented.
 func (t *Tester) SetMetrics(reg *telemetry.Registry) {
 	t.passMetrics = jit.NewPassMetrics(reg, t.Defects)
+	t.cache.SetMetrics(reg)
+}
+
+// CodeCacheStats reports the compiled-code cache's cumulative hits and
+// misses (zero when caching is disabled).
+func (t *Tester) CodeCacheStats() (hits, misses int64) { return t.cache.Stats() }
+
+// SetNoReuse flips the tester to its reuse-free reference behaviour:
+// no pooled environments, no compiled-code cache.
+func (t *Tester) SetNoReuse() {
+	t.noReuse = true
+	t.cache = nil
 }
 
 // interpreterReference re-executes the interpreter concretely for a path
-// on a fresh object memory and returns its exit, frame and input map.
-func (t *Tester) interpreterReference(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult) (interp.Exit, *interp.Frame, *heap.ObjectMemory, map[heap.Word]int, error) {
-	om := heap.NewBootedObjectMemory()
+// on the env's (freshly reset) object memory and returns its exit, frame
+// and input map.
+func (t *Tester) interpreterReference(env *execEnv, target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult) (interp.Exit, *interp.Frame, map[heap.Word]int, error) {
+	om := env.om
 	b := concolic.NewFrameBuilder(om, ex.Universe, path.Model)
 	frame, err := b.BuildFrame(target)
 	if err != nil {
-		return interp.Exit{}, nil, nil, nil, err
+		return interp.Exit{}, nil, nil, err
 	}
 	ctx := interp.NewCtx(om, frame, target.Method)
 	ctx.Primitives = t.Prims
@@ -61,12 +92,81 @@ func (t *Tester) interpreterReference(target concolic.Target, ex *concolic.Explo
 	} else {
 		exit = interp.RunPrimitive(ctx, t.Prims, target.PrimIndex)
 	}
-	return exit, frame, om, b.InputObjects(), nil
+	return exit, frame, b.InputObjects(), nil
 }
 
-// TestPath runs one concolic path against one compiler on one ISA and
-// compares the observable behaviour (Fig. 1 steps 2-4).
-func (t *Tester) TestPath(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) PathVerdict {
+// UnitRun batches the paths of one unit (target × exploration): the
+// interpreter reference for a path is computed once and reused for every
+// (compiler, ISA) pairing, and compiled bodies are shared through the
+// tester's code cache. Call Close when the unit is done to release the
+// held environment. A UnitRun is not safe for concurrent use; units are
+// the parallelism grain, so each worker drives its own.
+type UnitRun struct {
+	t      *Tester
+	target concolic.Target
+	ex     *concolic.Exploration
+
+	// Cached interpreter reference for the path most recently tested.
+	// Paths arrive path-major (all compilers × ISAs of a path together),
+	// so one slot suffices. refEnv owns the reference object memory and
+	// is retired when the path changes.
+	refPath   *concolic.PathResult
+	refEnv    *execEnv
+	refExit   interp.Exit
+	refFrame  *interp.Frame
+	refInputs map[heap.Word]int
+	refErr    error
+}
+
+// BeginUnit starts a batched run over one unit's paths.
+func (t *Tester) BeginUnit(target concolic.Target, ex *concolic.Exploration) *UnitRun {
+	return &UnitRun{t: t, target: target, ex: ex}
+}
+
+// Close releases the unit's held execution environment.
+func (u *UnitRun) Close() {
+	if u.refEnv != nil {
+		u.t.putEnv(u.refEnv)
+		u.refEnv = nil
+	}
+	u.refPath = nil
+}
+
+// reference returns the interpreter reference for path, computing it on
+// the first request and replaying the cached result for subsequent
+// (compiler, ISA) pairings of the same path.
+func (u *UnitRun) reference(path *concolic.PathResult) (interp.Exit, *interp.Frame, *heap.ObjectMemory, map[heap.Word]int, error) {
+	if u.refPath == path {
+		var om *heap.ObjectMemory
+		if u.refEnv != nil {
+			om = u.refEnv.om
+		}
+		return u.refExit, u.refFrame, om, u.refInputs, u.refErr
+	}
+	if u.refEnv != nil {
+		u.t.putEnv(u.refEnv)
+		u.refEnv = nil
+	}
+	u.refPath = nil
+	env := u.t.getEnv()
+	// A contained panic below abandons env (never pooled again) and
+	// leaves the slot empty, so the next call recomputes deterministically.
+	exit, frame, inputs, err := u.t.interpreterReference(env, u.target, u.ex, path)
+	u.refPath = path
+	u.refExit, u.refFrame, u.refInputs, u.refErr = exit, frame, inputs, err
+	if err != nil {
+		u.t.putEnv(env)
+		return exit, frame, nil, inputs, err
+	}
+	u.refEnv = env
+	return exit, frame, env.om, inputs, err
+}
+
+// TestPath runs one concolic path against one compiler on one ISA within
+// a unit batch (Fig. 1 steps 2-4), reusing the per-path interpreter
+// reference and the shared compiled body.
+func (u *UnitRun) TestPath(path *concolic.PathResult, kind CompilerKind, isa machine.ISA) PathVerdict {
+	t, target := u.t, u.target
 	v := PathVerdict{Compiler: kind, ISA: isa}
 
 	// Expected failures of the test runner (§3.4): invalid frames always,
@@ -89,13 +189,13 @@ func (t *Tester) TestPath(target concolic.Target, ex *concolic.Exploration, path
 		return v
 	}
 
-	interpExit, interpFrame, interpOM, interpInputs, err := t.interpreterReference(target, ex, path)
+	interpExit, interpFrame, interpOM, interpInputs, err := u.reference(path)
 	if err != nil {
 		v.Skipped, v.Reason = true, "input construction failed: "+err.Error()
 		return v
 	}
 
-	obs, err := t.runCompiled(target, ex, path, kind, isa, -1)
+	obs, err := t.runCompiled(target, u.ex, path, kind, isa, -1)
 	if err != nil {
 		if errors.Is(err, jit.ErrNotCompilable) {
 			v.Skipped, v.Reason = true, "not compilable: "+err.Error()
@@ -111,9 +211,19 @@ func (t *Tester) TestPath(target concolic.Target, ex *concolic.Exploration, path
 	v.Differs = differs
 	v.Detail = detail
 	if differs {
-		v.Cause = t.blamePath(target, ex, path, kind, isa, interpExit, interpFrame, interpOM, interpInputs)
+		v.Cause = t.blamePath(target, u.ex, path, kind, isa, interpExit, interpFrame, interpOM, interpInputs)
 	}
 	return v
+}
+
+// TestPath runs one concolic path against one compiler on one ISA and
+// compares the observable behaviour. It is the single-shot form of a
+// UnitRun; callers testing several paths or pairings of one unit should
+// batch through BeginUnit instead.
+func (t *Tester) TestPath(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) PathVerdict {
+	u := t.BeginUnit(target, ex)
+	defer u.Close()
+	return u.TestPath(path, kind, isa)
 }
 
 // blamePath attributes a differing path verdict to a compilation stage by
@@ -145,20 +255,21 @@ func (t *Tester) blamePath(target concolic.Target, ex *concolic.Exploration, pat
 }
 
 // runCompiled compiles the instruction for a path and executes it on the
-// simulated machine, extracting the observable behaviour.
+// simulated machine, extracting the observable behaviour. The execution
+// runs on a pooled environment; the returned observation holds only
+// rendered values, so the environment is released before returning. A
+// contained panic abandons the environment instead.
 func (t *Tester) runCompiled(target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA, passLimit int) (*CompiledObservation, error) {
-	om := heap.NewBootedObjectMemory()
+	env := t.getEnv()
+	om, cpu := env.om, env.cpu
 	b := concolic.NewFrameBuilder(om, ex.Universe, path.Model)
 	frame, err := b.BuildFrame(target)
 	if err != nil {
+		t.putEnv(env)
 		return nil, err
 	}
 	inputs := b.InputObjects()
 
-	cpu, err := machine.New(om)
-	if err != nil {
-		return nil, err
-	}
 	if t.Defects.SimulationMissingAccessors {
 		cpu.SimDefects.MissingSetters = map[machine.Reg]bool{
 			machine.ExtraReg: true,
@@ -166,10 +277,14 @@ func (t *Tester) runCompiled(target concolic.Target, ex *concolic.Exploration, p
 		}
 	}
 
+	var obs *CompiledObservation
 	if kind == NativeMethodCompilerKind {
-		return t.runCompiledNative(target, om, cpu, frame, inputs, isa)
+		obs, err = t.runCompiledNative(target, om, cpu, frame, inputs, isa)
+	} else {
+		obs, err = t.runCompiledBytecode(target, om, cpu, frame, inputs, kind, isa, passLimit)
 	}
-	return t.runCompiledBytecode(target, om, cpu, frame, inputs, kind, isa, passLimit)
+	t.putEnv(env)
+	return obs, err
 }
 
 func variantOf(kind CompilerKind) jit.Variant {
@@ -184,14 +299,11 @@ func variantOf(kind CompilerKind) jit.Variant {
 }
 
 func (t *Tester) runCompiledBytecode(target concolic.Target, om *heap.ObjectMemory, cpu *machine.CPU, frame *interp.Frame, inputs map[heap.Word]int, kind CompilerKind, isa machine.ISA, passLimit int) (*CompiledObservation, error) {
-	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
-	cogit.PassLimit = passLimit
-	cogit.Metrics = t.passMetrics
 	inputStack := make([]heap.Word, frame.Size())
 	for i, v := range frame.Stack {
 		inputStack[i] = v.W
 	}
-	cm, err := cogit.CompileBytecode(target.Method, inputStack)
+	cm, err := t.compileBytecode(om, modeInstruction, variantOf(kind), isa, passLimit, target.Method, inputStack, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -287,9 +399,7 @@ func (t *Tester) runCompiledNative(target concolic.Target, om *heap.ObjectMemory
 	if prim == nil {
 		return nil, fmt.Errorf("%w: unknown primitive %d", jit.ErrNotCompilable, target.PrimIndex)
 	}
-	nc := jit.NewNativeMethodCompiler(isa, om, t.Defects)
-	nc.Metrics = t.passMetrics
-	cm, err := nc.CompileNativeMethod(prim)
+	cm, err := t.compileNative(om, prim, isa)
 	if err != nil {
 		return nil, err
 	}

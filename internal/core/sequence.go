@@ -235,7 +235,15 @@ func buildSequenceFrame(om *heap.ObjectMemory, method *bytecode.Method, in Seque
 // boundary. The hooks, when non-nil, observe every executed byte-code and
 // the exit kind.
 func (t *Tester) InterpSequence(method *bytecode.Method, in SequenceInput, h *SequenceHooks) (*SequenceOutcome, error) {
-	om := heap.NewBootedObjectMemory()
+	env := t.getEnv()
+	out, err := t.interpSequenceIn(env.om, method, in, h)
+	// Reached only on a normal return: a contained panic above abandons
+	// the env so dirty state can never re-enter the pool.
+	t.putEnv(env)
+	return out, err
+}
+
+func (t *Tester) interpSequenceIn(om *heap.ObjectMemory, method *bytecode.Method, in SequenceInput, h *SequenceHooks) (*SequenceOutcome, error) {
 	frame, err := buildSequenceFrame(om, method, in)
 	if err != nil {
 		return nil, err
@@ -299,26 +307,29 @@ func (t *Tester) compiledSequenceLimited(method *bytecode.Method, in SequenceInp
 	if kind == NativeMethodCompilerKind {
 		return nil, fmt.Errorf("core: sequence testing applies to byte-code compilers")
 	}
-	om := heap.NewBootedObjectMemory()
+	env := t.getEnv()
+	out, err := t.compiledSequenceIn(env, method, in, kind, isa, h, passLimit)
+	t.putEnv(env)
+	return out, err
+}
+
+func (t *Tester) compiledSequenceIn(env *execEnv, method *bytecode.Method, in SequenceInput, kind CompilerKind, isa machine.ISA, h *SequenceHooks, passLimit int) (*SequenceOutcome, error) {
+	om, cpu := env.om, env.cpu
 	frame, err := buildSequenceFrame(om, method, in)
 	if err != nil {
 		return nil, err
 	}
-	cogit := jit.NewCogit(variantOf(kind), isa, om, t.Defects)
-	cogit.PassLimit = passLimit
-	cogit.Metrics = t.passMetrics
-	if h != nil {
-		cogit.OnIR = h.EmitIR
+	// Whole-method compilation takes no input stack, so the cache key
+	// omits it: the compiled body depends only on the method content and
+	// the heap watermark (which the frame build above just determined).
+	var onIR func(ir.Opc)
+	if h != nil && h.EmitIR != nil {
+		onIR = h.EmitIR
 	}
-	cm, err := cogit.CompileMethod(method, nil)
+	cm, err := t.compileBytecode(om, modeMethod, variantOf(kind), isa, passLimit, method, nil, onIR)
 	if err != nil {
 		return nil, err
 	}
-	cpu, err := machine.New(om)
-	if err != nil {
-		return nil, err
-	}
-	cpu.Reset()
 	if h != nil {
 		cpu.BlockHook = h.Block
 	}

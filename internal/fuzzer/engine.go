@@ -63,6 +63,10 @@ type Options struct {
 	// inside the containment boundary. Fault-injection tests use it to
 	// raise genuine heap panics in worker goroutines.
 	faultInject func(s *Seq)
+	// noReuse disables pooled execution environments and the compiled-code
+	// cache: every sequence execution boots and compiles from scratch.
+	// The determinism suite diffs reports against this reference mode.
+	noReuse bool
 }
 
 // CurvePoint is one sample of the coverage growth curve, recorded
@@ -114,6 +118,9 @@ type Result struct {
 	// Matched lists the seeded-catalog cause IDs rediscovered through
 	// sequences, in catalog order.
 	Matched []string
+	// CodeCache reports compiled-code cache activity (diagnostics only;
+	// results are byte-identical with the cache on or off).
+	CodeCache core.CodeCacheStats
 }
 
 type diffObs struct {
@@ -152,6 +159,16 @@ type engine struct {
 	mPanics     *telemetry.Counter
 }
 
+// newFuzzTester builds the engine's shared tester, honouring the
+// reuse-free reference mode.
+func newFuzzTester(opts Options, sw defects.Switches) *core.Tester {
+	t := core.NewTester(primitives.NewTable(), sw)
+	if opts.noReuse {
+		t.SetNoReuse()
+	}
+	return t
+}
+
 func newEngine(opts Options) *engine {
 	sw := defects.ProductionVM()
 	if opts.Defects != nil {
@@ -159,7 +176,7 @@ func newEngine(opts Options) *engine {
 	}
 	e := &engine{
 		opts:      opts,
-		tester:    core.NewTester(primitives.NewTable(), sw),
+		tester:    newFuzzTester(opts, sw),
 		compilers: []core.CompilerKind{core.SimpleBytecodeCompiler, core.StackToRegisterCompiler, core.RegisterAllocatingCompiler},
 		isas:      []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like},
 		corpusKey: make(map[string]bool),
@@ -472,6 +489,8 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		Differences:  e.diffs,
 		Corpus:       e.corpus,
 	}
+	hits, misses := e.tester.CodeCacheStats()
+	res.CodeCache = core.CodeCacheStats{Hits: hits, Misses: misses}
 	for _, c := range defects.Catalog() {
 		for _, d := range e.diffs {
 			if d.Instrument == c.Instrument && d.Family == c.Family {

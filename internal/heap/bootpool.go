@@ -1,0 +1,34 @@
+package heap
+
+import "sync"
+
+// bootPool recycles booted object memories across executions. Booting is
+// deterministic but expensive — zeroing the 64K-word heap region alone
+// dominated campaign profiles — so engines that need "a fresh boot" per
+// execution acquire a sealed one here and get an O(words touched) reset
+// instead. The pool seals each memory at boot; AcquireBooted rewinds to
+// that seal, so an acquired memory is indistinguishable from a fresh
+// NewBootedObjectMemory result (identical contents, identical allocation
+// addresses).
+var bootPool = sync.Pool{New: func() any {
+	om := NewBootedObjectMemory()
+	om.Seal()
+	return om
+}}
+
+// AcquireBooted returns a booted object memory rewound to its boot state.
+func AcquireBooted() *ObjectMemory {
+	om := bootPool.Get().(*ObjectMemory)
+	om.ResetToSeal()
+	return om
+}
+
+// ReleaseBooted returns a memory obtained from AcquireBooted. Callers
+// must not release a memory whose execution panicked mid-flight —
+// abandoning it to the GC is the containment contract — and must not use
+// it after release.
+func ReleaseBooted(om *ObjectMemory) {
+	if om != nil {
+		bootPool.Put(om)
+	}
+}

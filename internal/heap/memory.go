@@ -42,6 +42,24 @@ type Region struct {
 	Size     int // in words
 	Writable bool
 	words    []Word
+
+	// Arena-reuse state: sealed holds a snapshot of words taken by Seal,
+	// and [dirtyLo, dirtyHi) is the index span written since the last
+	// Seal/ResetToSeal. ResetToSeal restores only the dirty span, so a
+	// reset costs O(words actually touched) instead of O(region size).
+	sealed  []Word
+	dirtyLo int
+	dirtyHi int
+}
+
+// touch widens the dirty span to include index idx.
+func (r *Region) touch(idx int) {
+	if idx < r.dirtyLo {
+		r.dirtyLo = idx
+	}
+	if idx >= r.dirtyHi {
+		r.dirtyHi = idx + 1
+	}
 }
 
 // End returns the first address past the region.
@@ -51,8 +69,16 @@ func (r *Region) End() Word { return r.Base + Word(r.Size) }
 // Addresses are word indices (one Word per address unit), which keeps the
 // simulated ISA simple while preserving realistic fault behaviour:
 // unmapped or misprotected accesses return a *Fault.
+//
+// A Memory is not safe for concurrent use: the region-lookup cache and
+// the dirty-span bookkeeping assume one goroutine at a time, which is the
+// execution model of every engine (each worker owns its environment).
 type Memory struct {
 	regions []*Region
+	// last caches the most recently hit region: accesses cluster heavily
+	// (runs of stack traffic, runs of heap traffic), so the common case
+	// skips the linear region scan entirely.
+	last *Region
 }
 
 // NewMemory returns an empty memory with no mapped regions.
@@ -69,15 +95,19 @@ func (m *Memory) Map(name string, base Word, size int, writable bool) (*Region, 
 			return nil, fmt.Errorf("memory: region %q [%#x,%#x) overlaps %q", name, uint64(base), uint64(end), r.Name)
 		}
 	}
-	r := &Region{Name: name, Base: base, Size: size, Writable: writable, words: make([]Word, size)}
+	r := &Region{Name: name, Base: base, Size: size, Writable: writable, words: make([]Word, size), dirtyLo: size}
 	m.regions = append(m.regions, r)
 	return r, nil
 }
 
 // RegionAt returns the region containing addr, or nil.
 func (m *Memory) RegionAt(addr Word) *Region {
+	if r := m.last; r != nil && addr >= r.Base && addr < r.End() {
+		return r
+	}
 	for _, r := range m.regions {
 		if addr >= r.Base && addr < r.End() {
+			m.last = r
 			return r
 		}
 	}
@@ -99,8 +129,37 @@ func (m *Memory) Write(addr, w Word) error {
 	if r == nil || !r.Writable {
 		return &Fault{Kind: AccessWrite, Addr: addr}
 	}
-	r.words[addr-r.Base] = w
+	idx := int(addr - r.Base)
+	r.words[idx] = w
+	r.touch(idx)
 	return nil
+}
+
+// Seal snapshots every region's current contents as the reset point for
+// ResetToSeal and clears the dirty spans. Engines call it once, right
+// after booting an execution environment; from then on every write is
+// tracked and ResetToSeal restores exactly the sealed state.
+func (m *Memory) Seal() {
+	for _, r := range m.regions {
+		if r.sealed == nil {
+			r.sealed = make([]Word, r.Size)
+		}
+		copy(r.sealed, r.words)
+		r.dirtyLo, r.dirtyHi = r.Size, 0
+	}
+}
+
+// ResetToSeal restores every sealed region to its Seal-time contents by
+// copying back only the words written since — the arena-reuse fast path.
+// Unsealed regions (Seal never called) are left untouched.
+func (m *Memory) ResetToSeal() {
+	for _, r := range m.regions {
+		if r.sealed == nil || r.dirtyHi <= r.dirtyLo {
+			continue
+		}
+		copy(r.words[r.dirtyLo:r.dirtyHi], r.sealed[r.dirtyLo:r.dirtyHi])
+		r.dirtyLo, r.dirtyHi = r.Size, 0
+	}
 }
 
 // MustRead is Read for addresses the caller guarantees are mapped
@@ -144,6 +203,9 @@ func (m *Memory) Restore(snap map[string][]Word) error {
 			return fmt.Errorf("memory: snapshot size mismatch for region %q", r.Name)
 		}
 		copy(r.words, saved)
+		// A bulk restore may rewrite anything; widen the dirty span to the
+		// whole region so a later ResetToSeal stays exact.
+		r.dirtyLo, r.dirtyHi = 0, r.Size
 	}
 	return nil
 }

@@ -81,6 +81,11 @@ type ObjectMemory struct {
 	NilObj   Word
 	TrueObj  Word
 	FalseObj Word
+
+	// Seal/ResetToSeal state for arena reuse: the allocation pointer and
+	// class-table length to rewind to.
+	sealedNext    Word
+	sealedClasses int
 }
 
 // Default heap placement inside the flat memory. The machine's code and
@@ -271,6 +276,64 @@ func (om *ObjectMemory) MustAllocate(classIndex int, format Format, slots int) W
 
 // HeapUsed reports the number of heap words consumed so far.
 func (om *ObjectMemory) HeapUsed() int { return int(om.next - om.heap.Base) }
+
+// Seal marks the current state — memory contents, allocation pointer,
+// class table — as the reset point for ResetToSeal. Engines seal a
+// freshly booted environment once and then reuse it across executions:
+// because boot is deterministic, a reset environment is observationally
+// identical to a brand-new one (same addresses, same contents), which is
+// what keeps reports byte-identical with arenas on or off.
+func (om *ObjectMemory) Seal() {
+	om.Mem.Seal()
+	om.sealedNext = om.next
+	om.sealedClasses = len(om.classes)
+}
+
+// ResetToSeal rewinds the object memory to its Seal-time state: every
+// word written since (heap, class table, any other mapped region) is
+// restored, the allocation pointer rewinds, and classes defined since the
+// seal are forgotten. Calling it without a prior Seal is a no-op.
+func (om *ObjectMemory) ResetToSeal() {
+	if om.sealedNext == 0 {
+		return
+	}
+	om.Mem.ResetToSeal()
+	om.next = om.sealedNext
+	for i := om.sealedClasses; i < len(om.classes); i++ {
+		delete(om.classesByOop, om.classes[i].Oop)
+	}
+	om.classes = om.classes[:om.sealedClasses]
+}
+
+// HeapRange copies the raw heap words in [from, to) heap offsets (as
+// reported by HeapUsed). The compiled-code cache records the words a
+// compilation allocated this way, so a cache hit can replay them.
+func (om *ObjectMemory) HeapRange(from, to int) []Word {
+	out := make([]Word, to-from)
+	copy(out, om.heap.words[from:to])
+	return out
+}
+
+// ReplayHeapRange re-applies a recorded allocation range at heap offset
+// `from`, bumping the allocation pointer past it. The caller guarantees
+// the current HeapUsed equals from (the compiled-code cache keys on it),
+// so the replayed objects land at the addresses the cached code embeds.
+func (om *ObjectMemory) ReplayHeapRange(from int, words []Word) error {
+	if om.HeapUsed() != from {
+		return fmt.Errorf("heap: replay at offset %d but %d words are in use", from, om.HeapUsed())
+	}
+	if from+len(words) > om.heap.Size {
+		return fmt.Errorf("heap: replay of %d words overflows the heap", len(words))
+	}
+	base := int(om.next - om.heap.Base)
+	copy(om.heap.words[base:base+len(words)], words)
+	om.heap.touch(base)
+	if len(words) > 0 {
+		om.heap.touch(base + len(words) - 1)
+	}
+	om.next += Word(len(words))
+	return nil
+}
 
 // header reads and unpacks an object header.
 func (om *ObjectMemory) header(oop Word) (classIndex int, format Format, slots int, err error) {

@@ -1,6 +1,9 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Assembler builds machine programs with symbolic labels. Backends emit
 // through it; Finish resolves label references to absolute code addresses.
@@ -84,13 +87,16 @@ func (a *Assembler) Call(addr int64) *Assembler { return a.Emit(Instr{Op: OpcCal
 func (a *Assembler) Ret() *Assembler            { return a.Emit(Instr{Op: OpcRet}) }
 func (a *Assembler) Brk(id int64) *Assembler    { return a.Emit(Instr{Op: OpcBrk, Imm: id}) }
 
-// Finish resolves labels and returns the program.
+// Finish resolves labels and returns the program. The builder's slice is
+// handed off to the program rather than copied — the assembler is done
+// with it, and cloning every assembled body was a measurable share of the
+// compile path's allocations. The assembler must not be reused after.
 func (a *Assembler) Finish() (*Program, error) {
 	if len(a.errs) > 0 {
 		return nil, a.errs[0]
 	}
-	out := make([]Instr, len(a.instrs))
-	copy(out, a.instrs)
+	out := a.instrs
+	a.instrs = nil
 	for idx, label := range a.fixups {
 		addr, ok := a.labels[label]
 		if !ok {
@@ -105,6 +111,32 @@ func (a *Assembler) Finish() (*Program, error) {
 type Program struct {
 	Base   int64
 	Instrs []Instr
+
+	// decoded is the pre-decoded dispatch stream built lazily by stream():
+	// one handler+instruction pair per slot, so CPU.Run dispatches without
+	// re-decoding the opcode every step. Programs are immutable once
+	// published, which makes the once-guarded build safe to share across
+	// runs and (via the compiled-code cache) across units and workers.
+	decodeOnce sync.Once
+	decoded    []decodedInstr
+}
+
+// decodedInstr pairs an instruction with its resolved step handler.
+type decodedInstr struct {
+	fn  stepFn
+	ins Instr
+}
+
+// stream returns the pre-decoded dispatch stream, building it on first use.
+func (p *Program) stream() []decodedInstr {
+	p.decodeOnce.Do(func() {
+		d := make([]decodedInstr, len(p.Instrs))
+		for i, ins := range p.Instrs {
+			d[i] = decodedInstr{fn: stepFor(ins.Op), ins: ins}
+		}
+		p.decoded = d
+	})
+	return p.decoded
 }
 
 // At returns the instruction at an absolute address.

@@ -166,17 +166,56 @@ func (c *CPU) fault(err error, destination Reg, isLoad bool) *Stop {
 	return &Stop{Kind: StopFault, Fault: err, Steps: c.Steps}
 }
 
-// Run executes until a stop condition or the step limit.
+// Run executes until a stop condition or the step limit. Dispatch runs
+// over the program's pre-decoded instruction stream: each stream entry
+// pairs the instruction with its handler, so the per-step cost is one
+// bounds check plus one indirect call (no per-step opcode decode). The
+// stream is built once per Program and shared by every run of it — the
+// compiled-code cache makes that amortization count across paths.
 func (c *CPU) Run(maxSteps int) *Stop {
+	if c.Prog == nil {
+		return &Stop{Kind: StopFault, Fault: errors.New("machine: no program installed"), Steps: c.Steps}
+	}
+	stream := c.Prog.stream()
+	base := c.Prog.Base
+	if c.BlockHook != nil {
+		return c.runHooked(stream, base, maxSteps)
+	}
 	for c.Steps < maxSteps {
-		prev := c.PC
-		stop := c.Step()
-		if stop != nil {
+		idx := c.PC - base
+		if idx < 0 || idx >= int64(len(stream)) {
+			return &Stop{Kind: StopFault, Fault: &heap.Fault{Kind: heap.AccessExecute, Addr: heap.Word(c.PC)}, Steps: c.Steps}
+		}
+		d := &stream[idx]
+		c.Steps++
+		c.PC++
+		if stop := d.fn(c, &d.ins); stop != nil {
 			stop.Steps = c.Steps
 			return stop
 		}
-		if c.BlockHook != nil && c.PC != prev+1 {
-			c.BlockHook(c.PC - c.Prog.Base)
+	}
+	return &Stop{Kind: StopStepLimit, Steps: c.Steps}
+}
+
+// runHooked is Run with the block-coverage hook observed after every
+// taken control-flow transfer; split out so the unhooked hot loop pays
+// nothing for the feature.
+func (c *CPU) runHooked(stream []decodedInstr, base int64, maxSteps int) *Stop {
+	for c.Steps < maxSteps {
+		idx := c.PC - base
+		if idx < 0 || idx >= int64(len(stream)) {
+			return &Stop{Kind: StopFault, Fault: &heap.Fault{Kind: heap.AccessExecute, Addr: heap.Word(c.PC)}, Steps: c.Steps}
+		}
+		d := &stream[idx]
+		c.Steps++
+		c.PC++
+		prev := base + idx
+		if stop := d.fn(c, &d.ins); stop != nil {
+			stop.Steps = c.Steps
+			return stop
+		}
+		if c.PC != prev+1 {
+			c.BlockHook(c.PC - base)
 		}
 	}
 	return &Stop{Kind: StopStepLimit, Steps: c.Steps}
@@ -196,202 +235,444 @@ func (c *CPU) Step() *Stop {
 	}
 	c.Steps++
 	c.PC++
+	return stepFor(ins.Op)(c, &ins)
+}
 
-	switch ins.Op {
-	case OpcNop:
-	case OpcMovR:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1]
-	case OpcMovI:
-		c.Regs[ins.Rd] = heap.Word(ins.Imm)
-	case OpcLoad:
-		w, err := c.Mem.Read(c.Regs[ins.Rs1] + heap.Word(ins.Imm))
-		if err != nil {
-			return c.fault(err, ins.Rd, true)
+// stepFn executes one pre-decoded instruction. The PC has already been
+// advanced past it; a non-nil result stops the run.
+type stepFn func(c *CPU, ins *Instr) *Stop
+
+// stepTable maps opcodes to handlers; stepIllegal covers the holes.
+var stepTable [NumOpcs]stepFn
+
+// stepFor resolves the handler for an opcode, including out-of-range ones.
+func stepFor(op Opc) stepFn {
+	if op < NumOpcs {
+		if fn := stepTable[op]; fn != nil {
+			return fn
 		}
-		c.Regs[ins.Rd] = w
-	case OpcStore:
-		if err := c.Mem.Write(c.Regs[ins.Rs1]+heap.Word(ins.Imm), c.Regs[ins.Rs2]); err != nil {
-			return c.fault(err, ins.Rs2, false)
-		}
-	case OpcLoadX:
-		w, err := c.Mem.Read(c.Regs[ins.Rs1] + c.Regs[ins.Rs2])
-		if err != nil {
-			return c.fault(err, ins.Rd, true)
-		}
-		c.Regs[ins.Rd] = w
-	case OpcStoreX:
-		if err := c.Mem.Write(c.Regs[ins.Rs1]+c.Regs[ins.Rs2], c.Regs[ins.Rd]); err != nil {
-			return c.fault(err, ins.Rd, false)
-		}
-	case OpcPush:
-		if err := c.push(c.Regs[ins.Rs1]); err != nil {
-			return c.fault(err, ins.Rs1, false)
-		}
-	case OpcPop:
-		w, err := c.pop()
-		if err != nil {
-			return c.fault(err, ins.Rd, true)
-		}
-		c.Regs[ins.Rd] = w
-	case OpcAdd:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] + c.Regs[ins.Rs2]
-	case OpcSub:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] - c.Regs[ins.Rs2]
-	case OpcMul:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] * c.Regs[ins.Rs2]
-	case OpcDiv, OpcMod:
-		d := int64(c.Regs[ins.Rs2])
-		if d == 0 {
-			return c.fault(errors.New("machine: integer division by zero"), ins.Rd, false)
-		}
-		if ins.Op == OpcDiv {
-			c.Regs[ins.Rd] = heap.Word(int64(c.Regs[ins.Rs1]) / d)
-		} else {
-			c.Regs[ins.Rd] = heap.Word(int64(c.Regs[ins.Rs1]) % d)
-		}
-	case OpcAnd:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] & c.Regs[ins.Rs2]
-	case OpcOr:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] | c.Regs[ins.Rs2]
-	case OpcXor:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] ^ c.Regs[ins.Rs2]
-	case OpcShl:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] << uint(c.Regs[ins.Rs2]&63)
-	case OpcShr:
-		c.Regs[ins.Rd] = heap.Word(uint64(c.Regs[ins.Rs1]) >> uint(c.Regs[ins.Rs2]&63))
-	case OpcSar:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] >> uint(c.Regs[ins.Rs2]&63)
-	case OpcAddI:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] + heap.Word(ins.Imm)
-	case OpcSubI:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] - heap.Word(ins.Imm)
-	case OpcAndI:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] & heap.Word(ins.Imm)
-	case OpcOrI:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] | heap.Word(ins.Imm)
-	case OpcShlI:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] << uint(ins.Imm&63)
-	case OpcSarI:
-		c.Regs[ins.Rd] = c.Regs[ins.Rs1] >> uint(ins.Imm&63)
-	case OpcCmp:
-		c.cmp = compareWords(int64(c.Regs[ins.Rs1]), int64(c.Regs[ins.Rs2]))
-	case OpcCmpI:
-		c.cmp = compareWords(int64(c.Regs[ins.Rs1]), ins.Imm)
-	case OpcFCmp:
-		a, b := float(c.Regs[ins.Rs1]), float(c.Regs[ins.Rs2])
-		switch {
-		case math.IsNaN(a) || math.IsNaN(b):
-			c.cmp = 2 // unordered: only != holds
-		case a < b:
-			c.cmp = -1
-		case a > b:
-			c.cmp = 1
-		default:
-			c.cmp = 0
-		}
-	case OpcJmp:
-		c.PC = ins.Imm
-	case OpcJeq:
-		if c.cmp == 0 {
-			c.PC = ins.Imm
-		}
-	case OpcJne:
-		if c.cmp != 0 {
-			c.PC = ins.Imm
-		}
-	case OpcJlt:
-		if c.cmp == -1 {
-			c.PC = ins.Imm
-		}
-	case OpcJle:
-		if c.cmp == -1 || c.cmp == 0 {
-			c.PC = ins.Imm
-		}
-	case OpcJgt:
-		if c.cmp == 1 {
-			c.PC = ins.Imm
-		}
-	case OpcJge:
-		if c.cmp == 1 || c.cmp == 0 {
-			c.PC = ins.Imm
-		}
-	case OpcCall, OpcCallR:
-		target := ins.Imm
-		if ins.Op == OpcCallR {
-			target = int64(c.Regs[ins.Rs1])
-		}
-		if err := c.push(heap.Word(c.PC)); err != nil {
-			return c.fault(err, SP, false)
-		}
-		if target < CodeBase {
-			// Runtime trampolines live below the code zone.
-			return &Stop{Kind: StopTrampoline, TrampolineAddr: target}
-		}
-		c.PC = target
-	case OpcRet:
-		addr, err := c.pop()
-		if err != nil {
-			return c.fault(err, SP, true)
-		}
-		if int64(addr) == SentinelReturn {
-			return &Stop{Kind: StopReturned}
-		}
-		c.PC = int64(addr)
-	case OpcBrk:
-		return &Stop{Kind: StopBreakpoint, BreakID: ins.Imm}
-	case OpcHlt:
-		return &Stop{Kind: StopHalt}
-	case OpcFAdd:
-		c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) + float(c.Regs[ins.Rs2]))
-	case OpcFSub:
-		c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) - float(c.Regs[ins.Rs2]))
-	case OpcFMul:
-		c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) * float(c.Regs[ins.Rs2]))
-	case OpcFDiv:
-		c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) / float(c.Regs[ins.Rs2]))
-	case OpcI2F:
-		c.Regs[ins.Rd] = bits(float64(int64(c.Regs[ins.Rs1])))
-	case OpcF2I:
-		f := float(c.Regs[ins.Rs1])
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return c.fault(errors.New("machine: float-to-int of non-finite value"), ins.Rd, false)
-		}
-		c.Regs[ins.Rd] = heap.Word(int64(f))
-	case OpcFSqrt:
-		c.Regs[ins.Rd] = bits(math.Sqrt(float(c.Regs[ins.Rs1])))
-	case OpcFSin:
-		c.Regs[ins.Rd] = bits(math.Sin(float(c.Regs[ins.Rs1])))
-	case OpcFAtan:
-		c.Regs[ins.Rd] = bits(math.Atan(float(c.Regs[ins.Rs1])))
-	case OpcFLog:
-		c.Regs[ins.Rd] = bits(math.Log(float(c.Regs[ins.Rs1])))
-	case OpcFExp:
-		c.Regs[ins.Rd] = bits(math.Exp(float(c.Regs[ins.Rs1])))
-	case OpcF64To32:
-		c.Regs[ins.Rd] = bits(float64(float32(float(c.Regs[ins.Rs1]))))
-	case OpcF32To64:
-		c.Regs[ins.Rd] = bits(float64(math.Float32frombits(uint32(c.Regs[ins.Rs1]))))
-	case OpcAllocFloat:
-		oop, err := c.OM.NewFloat(float(c.Regs[ins.Rs1]))
-		if err != nil {
-			return c.fault(err, ins.Rd, false)
-		}
-		c.Regs[ins.Rd] = oop
-	case OpcAlloc:
-		classIdx := int(c.Regs[ins.Rs1])
-		cd := c.OM.ClassAt(classIdx)
-		if cd == nil {
-			return c.fault(fmt.Errorf("machine: allocation of unknown class %d", classIdx), ins.Rd, false)
-		}
-		oop, err := c.OM.Allocate(classIdx, cd.InstanceFormat, int(c.Regs[ins.Rs2]))
-		if err != nil {
-			return c.fault(err, ins.Rd, false)
-		}
-		c.Regs[ins.Rd] = oop
-	default:
-		return &Stop{Kind: StopFault, Fault: fmt.Errorf("machine: illegal instruction %v at %#x", ins.Op, uint64(c.PC-1))}
+	}
+	return stepIllegal
+}
+
+func init() {
+	for op, fn := range map[Opc]stepFn{
+		OpcNop:        stepNop,
+		OpcMovR:       stepMovR,
+		OpcMovI:       stepMovI,
+		OpcLoad:       stepLoad,
+		OpcStore:      stepStore,
+		OpcLoadX:      stepLoadX,
+		OpcStoreX:     stepStoreX,
+		OpcPush:       stepPush,
+		OpcPop:        stepPop,
+		OpcAdd:        stepAdd,
+		OpcSub:        stepSub,
+		OpcMul:        stepMul,
+		OpcDiv:        stepDiv,
+		OpcMod:        stepMod,
+		OpcAnd:        stepAnd,
+		OpcOr:         stepOr,
+		OpcXor:        stepXor,
+		OpcShl:        stepShl,
+		OpcShr:        stepShr,
+		OpcSar:        stepSar,
+		OpcAddI:       stepAddI,
+		OpcSubI:       stepSubI,
+		OpcAndI:       stepAndI,
+		OpcOrI:        stepOrI,
+		OpcShlI:       stepShlI,
+		OpcSarI:       stepSarI,
+		OpcCmp:        stepCmp,
+		OpcCmpI:       stepCmpI,
+		OpcFCmp:       stepFCmp,
+		OpcJmp:        stepJmp,
+		OpcJeq:        stepJeq,
+		OpcJne:        stepJne,
+		OpcJlt:        stepJlt,
+		OpcJle:        stepJle,
+		OpcJgt:        stepJgt,
+		OpcJge:        stepJge,
+		OpcCall:       stepCall,
+		OpcCallR:      stepCallR,
+		OpcRet:        stepRet,
+		OpcBrk:        stepBrk,
+		OpcHlt:        stepHlt,
+		OpcFAdd:       stepFAdd,
+		OpcFSub:       stepFSub,
+		OpcFMul:       stepFMul,
+		OpcFDiv:       stepFDiv,
+		OpcI2F:        stepI2F,
+		OpcF2I:        stepF2I,
+		OpcFSqrt:      stepFSqrt,
+		OpcFSin:       stepFSin,
+		OpcFAtan:      stepFAtan,
+		OpcFLog:       stepFLog,
+		OpcFExp:       stepFExp,
+		OpcF64To32:    stepF64To32,
+		OpcF32To64:    stepF32To64,
+		OpcAllocFloat: stepAllocFloat,
+		OpcAlloc:      stepAlloc,
+	} {
+		stepTable[op] = fn
+	}
+}
+
+func stepNop(c *CPU, ins *Instr) *Stop { return nil }
+
+func stepMovR(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1]
+	return nil
+}
+
+func stepMovI(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = heap.Word(ins.Imm)
+	return nil
+}
+
+func stepLoad(c *CPU, ins *Instr) *Stop {
+	w, err := c.Mem.Read(c.Regs[ins.Rs1] + heap.Word(ins.Imm))
+	if err != nil {
+		return c.fault(err, ins.Rd, true)
+	}
+	c.Regs[ins.Rd] = w
+	return nil
+}
+
+func stepStore(c *CPU, ins *Instr) *Stop {
+	if err := c.Mem.Write(c.Regs[ins.Rs1]+heap.Word(ins.Imm), c.Regs[ins.Rs2]); err != nil {
+		return c.fault(err, ins.Rs2, false)
 	}
 	return nil
+}
+
+func stepLoadX(c *CPU, ins *Instr) *Stop {
+	w, err := c.Mem.Read(c.Regs[ins.Rs1] + c.Regs[ins.Rs2])
+	if err != nil {
+		return c.fault(err, ins.Rd, true)
+	}
+	c.Regs[ins.Rd] = w
+	return nil
+}
+
+func stepStoreX(c *CPU, ins *Instr) *Stop {
+	if err := c.Mem.Write(c.Regs[ins.Rs1]+c.Regs[ins.Rs2], c.Regs[ins.Rd]); err != nil {
+		return c.fault(err, ins.Rd, false)
+	}
+	return nil
+}
+
+func stepPush(c *CPU, ins *Instr) *Stop {
+	if err := c.push(c.Regs[ins.Rs1]); err != nil {
+		return c.fault(err, ins.Rs1, false)
+	}
+	return nil
+}
+
+func stepPop(c *CPU, ins *Instr) *Stop {
+	w, err := c.pop()
+	if err != nil {
+		return c.fault(err, ins.Rd, true)
+	}
+	c.Regs[ins.Rd] = w
+	return nil
+}
+
+func stepAdd(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] + c.Regs[ins.Rs2]
+	return nil
+}
+
+func stepSub(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] - c.Regs[ins.Rs2]
+	return nil
+}
+
+func stepMul(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] * c.Regs[ins.Rs2]
+	return nil
+}
+
+func stepDiv(c *CPU, ins *Instr) *Stop {
+	d := int64(c.Regs[ins.Rs2])
+	if d == 0 {
+		return c.fault(errors.New("machine: integer division by zero"), ins.Rd, false)
+	}
+	c.Regs[ins.Rd] = heap.Word(int64(c.Regs[ins.Rs1]) / d)
+	return nil
+}
+
+func stepMod(c *CPU, ins *Instr) *Stop {
+	d := int64(c.Regs[ins.Rs2])
+	if d == 0 {
+		return c.fault(errors.New("machine: integer division by zero"), ins.Rd, false)
+	}
+	c.Regs[ins.Rd] = heap.Word(int64(c.Regs[ins.Rs1]) % d)
+	return nil
+}
+
+func stepAnd(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] & c.Regs[ins.Rs2]
+	return nil
+}
+
+func stepOr(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] | c.Regs[ins.Rs2]
+	return nil
+}
+
+func stepXor(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] ^ c.Regs[ins.Rs2]
+	return nil
+}
+
+func stepShl(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] << uint(c.Regs[ins.Rs2]&63)
+	return nil
+}
+
+func stepShr(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = heap.Word(uint64(c.Regs[ins.Rs1]) >> uint(c.Regs[ins.Rs2]&63))
+	return nil
+}
+
+func stepSar(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] >> uint(c.Regs[ins.Rs2]&63)
+	return nil
+}
+
+func stepAddI(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] + heap.Word(ins.Imm)
+	return nil
+}
+
+func stepSubI(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] - heap.Word(ins.Imm)
+	return nil
+}
+
+func stepAndI(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] & heap.Word(ins.Imm)
+	return nil
+}
+
+func stepOrI(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] | heap.Word(ins.Imm)
+	return nil
+}
+
+func stepShlI(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] << uint(ins.Imm&63)
+	return nil
+}
+
+func stepSarI(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = c.Regs[ins.Rs1] >> uint(ins.Imm&63)
+	return nil
+}
+
+func stepCmp(c *CPU, ins *Instr) *Stop {
+	c.cmp = compareWords(int64(c.Regs[ins.Rs1]), int64(c.Regs[ins.Rs2]))
+	return nil
+}
+
+func stepCmpI(c *CPU, ins *Instr) *Stop {
+	c.cmp = compareWords(int64(c.Regs[ins.Rs1]), ins.Imm)
+	return nil
+}
+
+func stepFCmp(c *CPU, ins *Instr) *Stop {
+	a, b := float(c.Regs[ins.Rs1]), float(c.Regs[ins.Rs2])
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		c.cmp = 2 // unordered: only != holds
+	case a < b:
+		c.cmp = -1
+	case a > b:
+		c.cmp = 1
+	default:
+		c.cmp = 0
+	}
+	return nil
+}
+
+func stepJmp(c *CPU, ins *Instr) *Stop {
+	c.PC = ins.Imm
+	return nil
+}
+
+func stepJeq(c *CPU, ins *Instr) *Stop {
+	if c.cmp == 0 {
+		c.PC = ins.Imm
+	}
+	return nil
+}
+
+func stepJne(c *CPU, ins *Instr) *Stop {
+	if c.cmp != 0 {
+		c.PC = ins.Imm
+	}
+	return nil
+}
+
+func stepJlt(c *CPU, ins *Instr) *Stop {
+	if c.cmp == -1 {
+		c.PC = ins.Imm
+	}
+	return nil
+}
+
+func stepJle(c *CPU, ins *Instr) *Stop {
+	if c.cmp == -1 || c.cmp == 0 {
+		c.PC = ins.Imm
+	}
+	return nil
+}
+
+func stepJgt(c *CPU, ins *Instr) *Stop {
+	if c.cmp == 1 {
+		c.PC = ins.Imm
+	}
+	return nil
+}
+
+func stepJge(c *CPU, ins *Instr) *Stop {
+	if c.cmp == 1 || c.cmp == 0 {
+		c.PC = ins.Imm
+	}
+	return nil
+}
+
+func (c *CPU) callTo(target int64) *Stop {
+	if err := c.push(heap.Word(c.PC)); err != nil {
+		return c.fault(err, SP, false)
+	}
+	if target < CodeBase {
+		// Runtime trampolines live below the code zone.
+		return &Stop{Kind: StopTrampoline, TrampolineAddr: target}
+	}
+	c.PC = target
+	return nil
+}
+
+func stepCall(c *CPU, ins *Instr) *Stop { return c.callTo(ins.Imm) }
+
+func stepCallR(c *CPU, ins *Instr) *Stop { return c.callTo(int64(c.Regs[ins.Rs1])) }
+
+func stepRet(c *CPU, ins *Instr) *Stop {
+	addr, err := c.pop()
+	if err != nil {
+		return c.fault(err, SP, true)
+	}
+	if int64(addr) == SentinelReturn {
+		return &Stop{Kind: StopReturned}
+	}
+	c.PC = int64(addr)
+	return nil
+}
+
+func stepBrk(c *CPU, ins *Instr) *Stop {
+	return &Stop{Kind: StopBreakpoint, BreakID: ins.Imm}
+}
+
+func stepHlt(c *CPU, ins *Instr) *Stop {
+	return &Stop{Kind: StopHalt}
+}
+
+func stepFAdd(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) + float(c.Regs[ins.Rs2]))
+	return nil
+}
+
+func stepFSub(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) - float(c.Regs[ins.Rs2]))
+	return nil
+}
+
+func stepFMul(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) * float(c.Regs[ins.Rs2]))
+	return nil
+}
+
+func stepFDiv(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(float(c.Regs[ins.Rs1]) / float(c.Regs[ins.Rs2]))
+	return nil
+}
+
+func stepI2F(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(float64(int64(c.Regs[ins.Rs1])))
+	return nil
+}
+
+func stepF2I(c *CPU, ins *Instr) *Stop {
+	f := float(c.Regs[ins.Rs1])
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return c.fault(errors.New("machine: float-to-int of non-finite value"), ins.Rd, false)
+	}
+	c.Regs[ins.Rd] = heap.Word(int64(f))
+	return nil
+}
+
+func stepFSqrt(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(math.Sqrt(float(c.Regs[ins.Rs1])))
+	return nil
+}
+
+func stepFSin(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(math.Sin(float(c.Regs[ins.Rs1])))
+	return nil
+}
+
+func stepFAtan(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(math.Atan(float(c.Regs[ins.Rs1])))
+	return nil
+}
+
+func stepFLog(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(math.Log(float(c.Regs[ins.Rs1])))
+	return nil
+}
+
+func stepFExp(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(math.Exp(float(c.Regs[ins.Rs1])))
+	return nil
+}
+
+func stepF64To32(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(float64(float32(float(c.Regs[ins.Rs1]))))
+	return nil
+}
+
+func stepF32To64(c *CPU, ins *Instr) *Stop {
+	c.Regs[ins.Rd] = bits(float64(math.Float32frombits(uint32(c.Regs[ins.Rs1]))))
+	return nil
+}
+
+func stepAllocFloat(c *CPU, ins *Instr) *Stop {
+	oop, err := c.OM.NewFloat(float(c.Regs[ins.Rs1]))
+	if err != nil {
+		return c.fault(err, ins.Rd, false)
+	}
+	c.Regs[ins.Rd] = oop
+	return nil
+}
+
+func stepAlloc(c *CPU, ins *Instr) *Stop {
+	classIdx := int(c.Regs[ins.Rs1])
+	cd := c.OM.ClassAt(classIdx)
+	if cd == nil {
+		return c.fault(fmt.Errorf("machine: allocation of unknown class %d", classIdx), ins.Rd, false)
+	}
+	oop, err := c.OM.Allocate(classIdx, cd.InstanceFormat, int(c.Regs[ins.Rs2]))
+	if err != nil {
+		return c.fault(err, ins.Rd, false)
+	}
+	c.Regs[ins.Rd] = oop
+	return nil
+}
+
+func stepIllegal(c *CPU, ins *Instr) *Stop {
+	return &Stop{Kind: StopFault, Fault: fmt.Errorf("machine: illegal instruction %v at %#x", ins.Op, uint64(c.PC-1))}
 }
 
 func compareWords(a, b int64) int {
@@ -409,6 +690,12 @@ func compareWords(a, b int64) int {
 // stack this way.
 func (c *CPU) StackSlice(limit heap.Word) ([]heap.Word, error) {
 	var out []heap.Word
+	// Pre-size for the common case; a corrupt SP far below the limit
+	// falls back to append growth so a bad register can't force a huge
+	// allocation before the first read faults.
+	if n := limit - c.Regs[SP]; n > 0 && n <= 1<<16 {
+		out = make([]heap.Word, 0, n)
+	}
 	for addr := c.Regs[SP]; addr < limit; addr++ {
 		w, err := c.Mem.Read(addr)
 		if err != nil {

@@ -33,6 +33,12 @@ const (
 	MetricCacheWrites  = "cogdiff_excache_writes_total"
 	MetricCacheEvicted = "cogdiff_excache_evicted_total"
 
+	// In-process compiled-code cache (internal/codecache). Counts may be
+	// schedule-dependent at workers > 1 (racing double-misses); reports
+	// are not.
+	MetricCodeCacheHits   = "cogdiff_codecache_hits_total"
+	MetricCodeCacheMisses = "cogdiff_codecache_misses_total"
+
 	// JIT pipeline. MetricPassSeconds carries a pass label.
 	MetricPassSeconds = "cogdiff_pass_seconds"
 	MetricPassesRun   = "cogdiff_passes_run_total"
