@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-go cache-smoke perf-smoke fuzz fuzz-smoke blame-smoke metrics-smoke serve-smoke fmt-check golden-update ci
+.PHONY: all build vet test test-short test-race bench bench-go cache-smoke perf-smoke fuzz fuzz-smoke blame-smoke metacompile-smoke metrics-smoke serve-smoke fmt-check golden-update ci
 
 all: build vet test
 
@@ -66,7 +66,7 @@ cache-smoke:
 	cmp cache-smoke.tmp/off.txt cache-smoke.tmp/warm1.txt
 	cmp cache-smoke.tmp/off.txt cache-smoke.tmp/warm4.txt
 	cache-smoke.tmp/cogdiff bench-export -min-speedup 3 -cache-dir cache-smoke.tmp/bench-cache \
-		-out cache-smoke.tmp/BENCH_campaign.json campaign
+		-baseline BENCH_campaign.json -out cache-smoke.tmp/BENCH_campaign.json campaign
 	cache-smoke.tmp/cogdiff bench-export -lint cache-smoke.tmp/BENCH_campaign.json
 	rm -rf cache-smoke.tmp
 
@@ -82,6 +82,7 @@ perf-smoke:
 	$(GO) build -o perf-smoke.tmp/cogdiff ./cmd/cogdiff
 	GOMAXPROCS=1 perf-smoke.tmp/cogdiff bench-export -workers 1 \
 		-baseline BENCH_campaign.json -min-baseline-speedup 5 -min-alloc-reduction 0.8 \
+		-min-codecache-hitrate 0.2 \
 		-out perf-smoke.tmp/BENCH_campaign.json campaign
 	perf-smoke.tmp/cogdiff bench-export -lint perf-smoke.tmp/BENCH_campaign.json
 	rm -rf perf-smoke.tmp
@@ -101,6 +102,24 @@ fuzz-smoke:
 # constant-folding defect must name the guilty pass in its cause table.
 blame-smoke:
 	$(GO) run ./cmd/cogdiff campaign -defect-constfold -workers 0 | grep -q "pass:constfold"
+
+# Fifth-compiler smoke test, observed end to end from the CLI: the
+# meta-compiled front-end joins the campaign via -compilers +metajit and
+# the stable report must be byte-identical across worker counts; on the
+# pristine VM it must agree with the interpreter (zero differences on a
+# reference instruction); and the meta-compiler guard-sign defect must
+# surface as front-end blame.
+metacompile-smoke:
+	rm -rf metacompile-smoke.tmp
+	mkdir -p metacompile-smoke.tmp
+	$(GO) build -o metacompile-smoke.tmp/cogdiff ./cmd/cogdiff
+	metacompile-smoke.tmp/cogdiff difftest -pristine primAdd metajit | grep -q " 0 differences"
+	metacompile-smoke.tmp/cogdiff campaign -compilers +metajit -workers 1 -stable > metacompile-smoke.tmp/w1.txt
+	metacompile-smoke.tmp/cogdiff campaign -compilers +metajit -workers 4 -stable > metacompile-smoke.tmp/w4.txt
+	cmp metacompile-smoke.tmp/w1.txt metacompile-smoke.tmp/w4.txt
+	grep -q "Meta-compiled BC Compiler" metacompile-smoke.tmp/w1.txt
+	metacompile-smoke.tmp/cogdiff difftest -pristine -defect-metajit-guard primLessThan metajit | grep -q "front-end"
+	rm -rf metacompile-smoke.tmp
 
 # Telemetry smoke test: a small campaign writes a Prometheus metrics
 # snapshot, which metrics-lint must validate (the exposition-format
@@ -143,4 +162,4 @@ fmt-check:
 golden-update:
 	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
 
-ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metrics-smoke cache-smoke perf-smoke serve-smoke
+ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metacompile-smoke metrics-smoke cache-smoke perf-smoke serve-smoke

@@ -24,7 +24,10 @@ import (
 // Schema 2 (raw-speed overhaul) adds the compiled-code cache hit rate,
 // the measured per-path allocation split (warm reuse vs fresh boots),
 // and the carried-forward pre-overhaul baseline used by perf-smoke.
-const benchSchema = "cogdiff-bench/2"
+// Schema 3 (fifth compiler) adds per-compiler tested-unit counts to
+// campaign records, so the perf history distinguishes a four-compiler
+// run from a five-compiler one.
+const benchSchema = "cogdiff-bench/3"
 
 // benchRecord is one exported measurement.
 type benchRecord struct {
@@ -46,6 +49,11 @@ type benchRecord struct {
 	// over the measured runs (distinct from the on-disk exploration
 	// cache's cacheHitRate above).
 	CodeCacheHitRate float64 `json:"codeCacheHitRate"`
+
+	// CompilerUnits maps each compiler in the measured campaign to its
+	// tested-instruction count, so a record documents which compiler set
+	// produced its numbers. Campaign records only.
+	CompilerUnits map[string]int `json:"compilerUnits,omitempty"`
 
 	// Per-path allocation economics, campaign records only: warm is the
 	// steady-state cost of testing one more path of an explored unit
@@ -85,6 +93,7 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 	baseline := fs.String("baseline", "", "committed BENCH_*.json to gate against (carries the pre-overhaul baselineNsPerOp forward)")
 	minBaselineSpeedup := fs.Float64("min-baseline-speedup", 0, "fail unless this run beats the baseline's pre-overhaul time by this factor (requires -baseline)")
 	minAllocReduction := fs.Float64("min-alloc-reduction", 0, "campaign mode: fail unless warm per-path allocs undercut the fresh-boot measurement by this fraction (0..1)")
+	minCodeCacheHitRate := fs.Float64("min-codecache-hitrate", 0, "fail unless the in-process compiled-code cache's hit rate reaches this fraction (0..1)")
 	out := fs.String("out", "", "write the JSON record to this file (default stdout)")
 	lint := fs.Bool("lint", false, "validate existing BENCH_*.json files instead of measuring")
 	fuzzBudget := fs.Int("fuzz-budget", 2000, "fuzz mode: execution budget per iteration")
@@ -147,6 +156,13 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 			return fail(fmt.Errorf("bench-export: per-path alloc reduction %.1f%% below required %.1f%% (warm %.1f, fresh %.1f allocs/path)",
 				100*rec.PerPathAllocReduction, 100**minAllocReduction, warm, fresh))
 		}
+	}
+	if *minCodeCacheHitRate > 0 && rec.CodeCacheHitRate < *minCodeCacheHitRate {
+		// The generational code cache must keep hot entries resident; the
+		// old flush-whole eviction zeroed the warm hit rate of long runs,
+		// which this gate pins against regressing.
+		return fail(fmt.Errorf("bench-export: code-cache hit rate %.1f%% below required %.1f%%",
+			100*rec.CodeCacheHitRate, 100**minCodeCacheHitRate))
 	}
 	if *minBaselineSpeedup > 0 && *baseline == "" {
 		return fail(fmt.Errorf("bench-export: -min-baseline-speedup requires -baseline"))
@@ -277,6 +293,10 @@ func benchCampaign(iterations, workers int, cacheDir string, minSpeedup float64)
 		rec.Differences = sum.TotalDifferences
 		rec.HitRate = sum.Cache.HitRate()
 		rec.CodeCacheHitRate = sum.CodeCache.HitRate()
+		rec.CompilerUnits = make(map[string]int, len(sum.Rows))
+		for _, row := range sum.Rows {
+			rec.CompilerUnits[row.Compiler] = row.Instructions
+		}
 		if cacheDir != "" {
 			if got := deterministicSurfaces(sum); got != baseline {
 				return nil, fmt.Errorf("bench-export: warm campaign report diverged from cold (cache unsound)")
@@ -357,6 +377,9 @@ func lintBenchFile(path string) error {
 	}
 	if rec.Name == "campaign" && rec.BaselineNsPerOp <= 0 {
 		return fmt.Errorf("%s: campaign record carries no baselineNsPerOp (perf-smoke would gate nothing)", path)
+	}
+	if rec.Name == "campaign" && len(rec.CompilerUnits) == 0 {
+		return fmt.Errorf("%s: campaign record names no compilerUnits (schema 3 records which compiler set was measured)", path)
 	}
 	return nil
 }

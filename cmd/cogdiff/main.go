@@ -7,11 +7,13 @@
 //	cogdiff explore <instruction>        concolically explore one instruction (Table 1 format)
 //	cogdiff difftest <instruction> <compiler>
 //	                                     differentially test one instruction
-//	                                     (compilers: native, simple, stacktoregister, registerallocating)
+//	                                     (compilers: native, simple, stacktoregister,
+//	                                     registerallocating, metajit)
 //	cogdiff ir <instruction> <compiler>  dump every compilation stage: front-end IR,
 //	                                     the IR after each pass, both lowered programs
-//	cogdiff campaign [-pristine] [-defect-constfold] [-workers n] [-progress]
+//	cogdiff campaign [-pristine] [-defect-constfold] [-compilers spec] [-workers n] [-progress]
 //	                                     run the full evaluation and print every table and figure
+//	                                     (-compilers +metajit adds the meta-compiled front-end)
 //	cogdiff table1                       reproduce Table 1 (primAdd byte-code)
 //	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
 //	cogdiff fuzz [-seed n] [-budget n]   coverage-guided sequence fuzzing with
@@ -125,6 +127,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cacheFile := fs.String("cache-file", "", "reuse one cached exploration (JSON written by explore -o)")
 		pristine := fs.Bool("pristine", false, "test the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
+		defectMetaGuard := fs.Bool("defect-metajit-guard", false, "enable the meta-compiler guard-sign defect (metajit only)")
 		dumpIR := fs.String("dump-ir", "", "also dump every compilation stage: 'stdout' or a file path")
 		cacheDir, cacheMode := cacheFlags(fs)
 		obs := obsFlags(fs)
@@ -141,8 +144,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				usage(stderr)
 				return 2
 			}
-			if *pristine || *defectConstfold {
-				return fail(fmt.Errorf("-pristine and -defect-constfold do not apply to cached explorations"))
+			if *pristine || *defectConstfold || *defectMetaGuard {
+				return fail(fmt.Errorf("-pristine and defect flags do not apply to cached explorations"))
 			}
 			data, rerr := os.ReadFile(*cacheFile)
 			if rerr != nil {
@@ -155,7 +158,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			cfg := cogdiff.TestConfig{
-				Pristine: *pristine, ConstFoldSignError: *defectConstfold, Metrics: obs.reg,
+				Pristine: *pristine, ConstFoldSignError: *defectConstfold,
+				MetaJITGuardSignError: *defectMetaGuard, Metrics: obs.reg,
 				CacheDir: *cacheDir, CacheMode: *cacheMode,
 			}
 			res, err = cogdiff.TestInstructionWith(fs.Arg(0), fs.Arg(1), cfg)
@@ -191,6 +195,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fs.SetOutput(stderr)
 		seed := fs.Int64("seed", 2022, "engine RNG seed; same seed + budget reproduce the run exactly")
 		workers := fs.Int("workers", 0, "worker goroutines per batch (0 = GOMAXPROCS, 1 = serial)")
+		compilersSpec := fs.String("compilers", "", "compiler set: exact list like simple,metajit or additions like +metajit (default: the three byte-code compilers)")
 		budget := fs.String("budget", "1000", "execution budget: an iteration count or a duration like 30s")
 		corpus := fs.String("corpus", "", "JSON corpus file to load before and persist after the run")
 		seedCorpus := fs.String("seed-corpus", "", "`go test fuzz v1` seed directory (FuzzSequenceDiff corpus)")
@@ -205,9 +210,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if err := validateWorkers(*workers); err != nil {
 			return fail(err)
 		}
+		fuzzCompilers, err := cogdiff.ParseSequenceCompilerSpec(*compilersSpec)
+		if err != nil {
+			return fail(err)
+		}
 		opts := cogdiff.FuzzOptions{
 			Seed:          *seed,
 			Workers:       *workers,
+			Compilers:     fuzzCompilers,
 			Minimize:      *minimize,
 			CorpusPath:    *corpus,
 			SeedCorpusDir: *seedCorpus,
@@ -245,6 +255,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fs.SetOutput(stderr)
 		pristine := fs.Bool("pristine", false, "run the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
+		defectMetaGuard := fs.Bool("defect-metajit-guard", false, "enable the meta-compiler guard-sign defect (metajit only)")
+		compilersSpec := fs.String("compilers", "", "compiler set: exact list like simple,metajit or additions like +metajit (default: the paper's four)")
 		workers := fs.Int("workers", 0, "worker goroutines for the campaign (0 = GOMAXPROCS, 1 = serial)")
 		stable := fs.Bool("stable", false, "print only the deterministic report surfaces (Table 2/3, Figure 5, causes)")
 		progress := fs.Bool("progress", false, "report live progress on stderr")
@@ -256,11 +268,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if err := validateWorkers(*workers); err != nil {
 			return fail(err)
 		}
+		compilers, err := cogdiff.ParseCompilerSpec(*compilersSpec)
+		if err != nil {
+			return fail(err)
+		}
 		if err := obs.start(*progress, stderr, renderCampaignProgress); err != nil {
 			return fail(err)
 		}
 		opts := cogdiff.CampaignOptions{
-			Pristine: *pristine, ConstFoldSignError: *defectConstfold, Workers: *workers, Metrics: obs.reg,
+			Pristine: *pristine, ConstFoldSignError: *defectConstfold,
+			MetaJITGuardSignError: *defectMetaGuard, Compilers: compilers,
+			Workers: *workers, Metrics: obs.reg,
 			CacheDir: *cacheDir, CacheMode: *cacheMode,
 		}
 		sum, err := cogdiff.RunCampaign(opts)
@@ -439,14 +457,15 @@ func cacheFlags(fs *flag.FlagSet) (dir, mode *string) {
 }
 
 func renderCampaignProgress(s telemetry.Snapshot) string {
-	return fmt.Sprintf("paths %d, units tested %d, differences %d, panics contained %d, cache-stats hits %d misses %d corrupt %d",
+	return fmt.Sprintf("paths %d, units tested %d, differences %d, panics contained %d, cache-stats hits %d misses %d corrupt %d fingerprint-errors %d",
 		counterTotal(s, telemetry.MetricPathsExplored),
 		counterTotal(s, telemetry.MetricUnitsTested),
 		counterTotal(s, telemetry.MetricDifferences),
 		counterTotal(s, telemetry.MetricPanicsContained),
 		counterTotal(s, telemetry.MetricCacheHits),
 		counterTotal(s, telemetry.MetricCacheMisses),
-		counterTotal(s, telemetry.MetricCacheCorrupt))
+		counterTotal(s, telemetry.MetricCacheCorrupt),
+		counterTotal(s, telemetry.MetricUnitCacheFingerprintErrors))
 }
 
 func renderFuzzProgress(s telemetry.Snapshot) string {
@@ -472,16 +491,18 @@ func usage(w io.Writer) {
   cogdiff instructions
   cogdiff explore [-o cache.json] <instruction>
   cogdiff difftest [-cache-file cache.json] [-pristine] [-defect-constfold]
-                   [-dump-ir stdout|file] <instruction> <compiler>
+                   [-defect-metajit-guard] [-dump-ir stdout|file] <instruction> <compiler>
   cogdiff ir <instruction> <compiler>
-  cogdiff campaign [-pristine] [-defect-constfold] [-workers n] [-stable] [-progress]
-  cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n]
+  cogdiff campaign [-pristine] [-defect-constfold] [-defect-metajit-guard]
+               [-compilers spec] [-workers n] [-stable] [-progress]
+  cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n] [-compilers spec]
   cogdiff serve [-addr host:port] [-workers n] [-max-jobs n]
                [-cache-dir dir] [-cache mode] [-corpus-dir dir]
   cogdiff submit [-addr url] [-poll dur] [-connect-timeout dur] [-progress]
                campaign|difftest|fuzz [options] [args]
-  cogdiff fuzz [-seed n] [-budget n|30s] [-workers n] [-corpus file.json]
-               [-seed-corpus dir] [-minimize] [-emit-tests file_test.go] [-progress]
+  cogdiff fuzz [-seed n] [-budget n|30s] [-workers n] [-compilers spec]
+               [-corpus file.json] [-seed-corpus dir] [-minimize]
+               [-emit-tests file_test.go] [-progress]
   cogdiff bench-export [-iterations n] [-workers n] [-cache-dir dir]
                [-min-speedup x] [-out file.json] campaign|fuzz
   cogdiff bench-export -lint file.json...
@@ -490,6 +511,11 @@ func usage(w io.Writer) {
 exploration cache (campaign, table*/fig*, difftest, fuzz):
   -cache-dir dir        persistent exploration-cache directory
   -cache mode           off, ro or rw (default rw when -cache-dir is set)
+
+compiler sets (campaign, table*/fig*, fuzz):
+  -compilers spec       comma-separated compiler names for an exact set, or
+                        +name additions to the default set; "+metajit" adds
+                        the meta-compiled front-end to the default compilers
 
 observability (campaign, table*/fig*, difftest, fuzz):
   -metrics file         write a metrics snapshot after the run

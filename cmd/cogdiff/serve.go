@@ -164,6 +164,8 @@ func parseSubmitSpec(kind string, args []string, stderr io.Writer) (*server.JobS
 		fs.SetOutput(stderr)
 		pristine := fs.Bool("pristine", false, "run the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
+		defectMetaGuard := fs.Bool("defect-metajit-guard", false, "enable the meta-compiler guard-sign defect (metajit only)")
+		compilers := fs.String("compilers", "", "compiler set: exact list like simple,metajit or additions like +metajit")
 		workers := fs.Int("workers", 0, "worker goroutines for the campaign (0 = the server's default)")
 		cache := fs.String("cache", "", "override the server's cache mode for this job: off, ro or rw")
 		if err := fs.Parse(args); err != nil {
@@ -173,16 +175,19 @@ func parseSubmitSpec(kind string, args []string, stderr io.Writer) (*server.JobS
 			return fail(err)
 		}
 		return &server.JobSpec{Type: server.JobCampaign, Campaign: &server.CampaignSpec{
-			Pristine:           *pristine,
-			ConstFoldSignError: *defectConstfold,
-			Workers:            *workers,
-			Cache:              *cache,
+			Pristine:              *pristine,
+			ConstFoldSignError:    *defectConstfold,
+			MetaJITGuardSignError: *defectMetaGuard,
+			Compilers:             *compilers,
+			Workers:               *workers,
+			Cache:                 *cache,
 		}}, 0
 	case "difftest":
 		fs := flag.NewFlagSet("submit difftest", flag.ContinueOnError)
 		fs.SetOutput(stderr)
 		pristine := fs.Bool("pristine", false, "test the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
+		defectMetaGuard := fs.Bool("defect-metajit-guard", false, "enable the meta-compiler guard-sign defect (metajit only)")
 		if err := fs.Parse(args); err != nil {
 			return nil, 2
 		}
@@ -190,10 +195,11 @@ func parseSubmitSpec(kind string, args []string, stderr io.Writer) (*server.JobS
 			return fail(fmt.Errorf("submit difftest needs <instruction> <compiler>"))
 		}
 		return &server.JobSpec{Type: server.JobDifftest, Difftest: &server.DifftestSpec{
-			Instruction:        fs.Arg(0),
-			Compiler:           fs.Arg(1),
-			Pristine:           *pristine,
-			ConstFoldSignError: *defectConstfold,
+			Instruction:           fs.Arg(0),
+			Compiler:              fs.Arg(1),
+			Pristine:              *pristine,
+			ConstFoldSignError:    *defectConstfold,
+			MetaJITGuardSignError: *defectMetaGuard,
 		}}, 0
 	case "fuzz":
 		fs := flag.NewFlagSet("submit fuzz", flag.ContinueOnError)
@@ -201,6 +207,7 @@ func parseSubmitSpec(kind string, args []string, stderr io.Writer) (*server.JobS
 		seed := fs.Int64("seed", 2022, "engine RNG seed")
 		budget := fs.Int("budget", 1000, "execution budget (iterations)")
 		workers := fs.Int("workers", 0, "worker goroutines per batch (0 = the server's default)")
+		compilers := fs.String("compilers", "", "compiler set: exact list like simple,metajit or additions like +metajit")
 		minimize := fs.Bool("minimize", true, "reduce every difference to a 1-minimal sequence")
 		shared := fs.Bool("shared-corpus", false, "seed from and merge back into the server's shared corpus")
 		if err := fs.Parse(args); err != nil {
@@ -216,6 +223,7 @@ func parseSubmitSpec(kind string, args []string, stderr io.Writer) (*server.JobS
 			Seed:         *seed,
 			Budget:       *budget,
 			Workers:      *workers,
+			Compilers:    *compilers,
 			Minimize:     *minimize,
 			SharedCorpus: *shared,
 		}}, 0

@@ -78,7 +78,114 @@ const (
 	CompilerSimple             = "simple"
 	CompilerStackToRegister    = "stacktoregister"
 	CompilerRegisterAllocating = "registerallocating"
+	CompilerMetaJIT            = "metajit"
 )
+
+// DefaultCompilers is the campaign's default compiler set: the four the
+// paper evaluates. The meta-compiled front-end (CompilerMetaJIT) is
+// opt-in — select it with "+metajit" or an explicit list.
+func DefaultCompilers() []string {
+	return []string{CompilerNativeMethods, CompilerSimple, CompilerStackToRegister, CompilerRegisterAllocating}
+}
+
+// SequenceCompilers is the default compiler set for sequence fuzzing:
+// the three hand-written byte-code compilers. Native-method templates do
+// not compile sequences, and the meta-compiled front-end is opt-in.
+func SequenceCompilers() []string {
+	return []string{CompilerSimple, CompilerStackToRegister, CompilerRegisterAllocating}
+}
+
+// ParseCompilerSpec turns a user-facing compiler-set spec into a list of
+// canonical compiler names. The spec is a comma-separated list of
+// compiler names; a name prefixed with "+" extends the default set
+// instead of replacing it, so "+metajit" means the default four plus the
+// meta-compiled front-end while "simple,metajit" is exactly those two.
+// Mixing "+" and plain names is rejected — the spec is either an exact
+// set or a set of additions. An empty spec yields the default set.
+func ParseCompilerSpec(spec string) ([]string, error) {
+	return parseCompilerSpecWith(DefaultCompilers(), spec)
+}
+
+// ParseSequenceCompilerSpec is ParseCompilerSpec with sequence-fuzzing
+// defaults: "+" additions extend SequenceCompilers(), and the native
+// compiler is rejected (it has no whole-method mode).
+func ParseSequenceCompilerSpec(spec string) ([]string, error) {
+	names, err := parseCompilerSpecWith(SequenceCompilers(), spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if name == CompilerNativeMethods {
+			return nil, fmt.Errorf("cogdiff: the %s compiler does not compile sequences", CompilerNativeMethods)
+		}
+	}
+	return names, nil
+}
+
+func parseCompilerSpecWith(defaults []string, spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return append([]string(nil), defaults...), nil
+	}
+	var exact, added []string
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		add := strings.HasPrefix(name, "+")
+		if add {
+			name = name[1:]
+		}
+		if _, err := compilerKindOf(name); err != nil {
+			return nil, err
+		}
+		if add {
+			added = append(added, name)
+		} else {
+			exact = append(exact, name)
+		}
+	}
+	if len(exact) > 0 && len(added) > 0 {
+		return nil, fmt.Errorf("cogdiff: compiler spec %q mixes additions (+name) with an exact list", spec)
+	}
+	out := exact
+	if len(added) > 0 {
+		out = append(append([]string(nil), defaults...), added...)
+	}
+	if len(out) == 0 {
+		return append([]string(nil), defaults...), nil
+	}
+	// Dedup, keeping first occurrence so "+metajit,+metajit" is harmless.
+	seen := make(map[string]bool, len(out))
+	deduped := out[:0]
+	for _, name := range out {
+		if !seen[name] {
+			seen[name] = true
+			deduped = append(deduped, name)
+		}
+	}
+	return deduped, nil
+}
+
+// CompilerKindsFor resolves canonical compiler names (the output of
+// ParseCompilerSpec / ParseSequenceCompilerSpec) to core compiler kinds.
+// The server uses it to hand a resolved set to the internal fuzz engine.
+func CompilerKindsFor(names []string) ([]core.CompilerKind, error) {
+	return compilerKindsOf(names)
+}
+
+// compilerKindsOf resolves a canonical name list to core kinds.
+func compilerKindsOf(names []string) ([]core.CompilerKind, error) {
+	kinds := make([]core.CompilerKind, 0, len(names))
+	for _, name := range names {
+		k, err := compilerKindOf(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
 
 // Path is one discovered execution path of an instruction.
 type Path struct {
@@ -220,6 +327,8 @@ func compilerKindOf(name string) (core.CompilerKind, error) {
 		return core.StackToRegisterCompiler, nil
 	case CompilerRegisterAllocating:
 		return core.RegisterAllocatingCompiler, nil
+	case CompilerMetaJIT:
+		return core.MetaJITCompiler, nil
 	}
 	return 0, fmt.Errorf("cogdiff: unknown compiler %q", name)
 }
@@ -232,6 +341,11 @@ type TestConfig struct {
 	// ConstFoldSignError enables the pass-targeted defect: the constant
 	// folder of the byte-code pipelines folds subtraction as addition.
 	ConstFoldSignError bool
+	// MetaJITGuardSignError enables the meta-compiler-targeted defect:
+	// the derived front-end emits guard comparisons with the wrong sign
+	// (< instead of <=), breaking guard-chain exclusivity on boundary
+	// inputs. Only the metajit compiler is affected.
+	MetaJITGuardSignError bool
 	// Metrics, when non-nil, collects exploration and pass-pipeline
 	// telemetry for the test. Pure observation sink: results are
 	// identical with or without it.
@@ -249,6 +363,7 @@ func (c TestConfig) switches() defects.Switches {
 		sw = defects.Pristine()
 	}
 	sw.ConstFoldSignError = c.ConstFoldSignError
+	sw.MetaJITGuardSignError = c.MetaJITGuardSignError
 	return sw
 }
 
@@ -327,6 +442,14 @@ type CampaignOptions struct {
 	// ConstFoldSignError additionally enables the pass-targeted defect in
 	// the constant folder, so the campaign exercises pass-level blame.
 	ConstFoldSignError bool
+	// MetaJITGuardSignError additionally enables the meta-compiler
+	// defect (wrong guard comparison sign in the derived front-end).
+	// Only meaningful when the compiler set includes "metajit".
+	MetaJITGuardSignError bool
+	// Compilers selects the compiler set by canonical name (see
+	// ParseCompilerSpec for the user-facing spec syntax). Empty means
+	// DefaultCompilers() — the paper's four.
+	Compilers []string
 	// MaxIterations bounds the concolic exploration per instruction
 	// (0 = default).
 	MaxIterations int
@@ -397,6 +520,9 @@ type CampaignSummary struct {
 
 	// Cache reports exploration-cache traffic (all zero when disabled).
 	Cache CacheStats
+	// FingerprintErrors counts exploration fingerprints that failed to
+	// compute; the affected units ran uncached (correct but slower).
+	FingerprintErrors int
 	// CodeCache reports the in-process compiled-code cache's hit/miss
 	// totals. Diagnostics only: counts vary with worker scheduling and
 	// excache warmth, the rendered reports never do.
@@ -453,6 +579,14 @@ func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
 		cfg.Defects = defects.Pristine()
 	}
 	cfg.Defects.ConstFoldSignError = opts.ConstFoldSignError
+	cfg.Defects.MetaJITGuardSignError = opts.MetaJITGuardSignError
+	if len(opts.Compilers) > 0 {
+		kinds, err := compilerKindsOf(opts.Compilers)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Compilers = kinds
+	}
 	if opts.MaxIterations > 0 {
 		cfg.Explore.MaxIterations = opts.MaxIterations
 	}
@@ -515,6 +649,7 @@ func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
 	}
 	out.TotalCauses = len(res.Causes)
 	out.Cache = cacheStatsOf(cache)
+	out.FingerprintErrors = res.FingerprintErrors
 	return out, nil
 }
 

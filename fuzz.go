@@ -2,8 +2,10 @@ package cogdiff
 
 import (
 	"context"
+	"fmt"
 	"time"
 
+	"cogdiff/internal/core"
 	"cogdiff/internal/fuzzer"
 	"cogdiff/internal/telemetry"
 )
@@ -27,6 +29,12 @@ type FuzzOptions struct {
 	// Workers shards each batch over this many goroutines (0 = GOMAXPROCS,
 	// 1 = serial). Reports are byte-identical for any worker count.
 	Workers int
+	// Compilers selects the compiler set by canonical name (empty =
+	// SequenceCompilers(), the three hand-written byte-code compilers).
+	// Adding "metajit" also runs the meta-compiled front-end; sequences
+	// it declines (witness-baking families) skip that pair
+	// deterministically. The native compiler is rejected here.
+	Compilers []string
 	// Minimize reduces every difference to a 1-minimal sequence.
 	Minimize bool
 	// CorpusPath, when set, loads the JSON corpus before the run and
@@ -95,6 +103,18 @@ func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
 	if _, err := openCache(opts.CacheDir, opts.CacheMode, opts.Metrics); err != nil {
 		return nil, err
 	}
+	var kinds []core.CompilerKind
+	if len(opts.Compilers) > 0 {
+		for _, name := range opts.Compilers {
+			if name == CompilerNativeMethods {
+				return nil, fmt.Errorf("cogdiff: the %s compiler does not compile sequences", CompilerNativeMethods)
+			}
+		}
+		var err error
+		if kinds, err = compilerKindsOf(opts.Compilers); err != nil {
+			return nil, err
+		}
+	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -104,6 +124,7 @@ func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
 		Budget:     opts.Budget,
 		Duration:   opts.Duration,
 		Workers:    opts.Workers,
+		Compilers:  kinds,
 		Minimize:   opts.Minimize,
 		CorpusPath: opts.CorpusPath,
 		SeedDir:    opts.SeedCorpusDir,

@@ -57,12 +57,23 @@ func (e *Entry) Replay(om *heap.ObjectMemory) error {
 // Cache is a bounded, concurrency-safe compiled-code cache. The zero
 // value of *Cache (nil) is a valid always-miss cache, so callers never
 // branch on "caching enabled".
+//
+// Capacity is enforced generationally: entries insert into the young
+// generation, and when it reaches half the configured capacity it
+// becomes the old generation (whose previous contents are dropped). A
+// hit in the old generation promotes the entry back into young, so
+// anything referenced within the last half-capacity of insertions
+// survives an overflow. This replaces the original whole-cache flush at
+// capacity, which zeroed the hit rate exactly when the cache was most
+// valuable — long fuzz sessions and served campaigns that live past the
+// entry bound.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*Entry
-	max     int
-	hits    int64
-	misses  int64
+	mu     sync.Mutex
+	young  map[string]*Entry
+	old    map[string]*Entry
+	half   int // per-generation capacity (max/2)
+	hits   int64
+	misses int64
 
 	hitCtr  *telemetry.Counter
 	missCtr *telemetry.Counter
@@ -78,7 +89,15 @@ func New(max int) *Cache {
 	if max <= 0 {
 		max = DefaultMaxEntries
 	}
-	return &Cache{entries: make(map[string]*Entry), max: max}
+	half := max / 2
+	if half < 1 {
+		half = 1
+	}
+	return &Cache{
+		young: make(map[string]*Entry),
+		old:   make(map[string]*Entry),
+		half:  half,
+	}
 }
 
 // SetMetrics attaches telemetry counters for hits and misses. Metrics are
@@ -95,13 +114,20 @@ func (c *Cache) SetMetrics(reg *telemetry.Registry) {
 
 // Lookup returns the entry for key, or nil on miss (or nil cache). The
 // key is taken as bytes so the hot path's map probe does not allocate a
-// string copy.
+// string copy. A hit in the old generation promotes the entry into the
+// young generation.
 func (c *Cache) Lookup(key []byte) *Entry {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
-	e := c.entries[string(key)]
+	e := c.young[string(key)]
+	if e == nil {
+		if e = c.old[string(key)]; e != nil {
+			delete(c.old, string(key))
+			c.insertYoung(string(key), e)
+		}
+	}
 	if e != nil {
 		c.hits++
 	} else {
@@ -116,19 +142,35 @@ func (c *Cache) Lookup(key []byte) *Entry {
 	return e
 }
 
-// Store inserts an entry. When the cache is full it is flushed whole — a
-// deterministic eviction policy (no recency state that could differ
-// between schedules) that in practice never triggers mid-campaign.
+// Store inserts an entry into the young generation (promoting a key that
+// lives in the old one). Eviction is a pure function of the insertion
+// sequence — no recency clocks or random sampling — so a serial run's
+// cache behaviour is reproducible.
 func (c *Cache) Store(key []byte, e *Entry) {
 	if c == nil || e == nil {
 		return
 	}
 	c.mu.Lock()
-	if _, exists := c.entries[string(key)]; !exists && len(c.entries) >= c.max {
-		c.entries = make(map[string]*Entry)
+	k := string(key)
+	if _, inYoung := c.young[k]; inYoung {
+		c.young[k] = e
+	} else {
+		delete(c.old, k)
+		c.insertYoung(k, e)
 	}
-	c.entries[string(key)] = e
 	c.mu.Unlock()
+}
+
+// insertYoung adds one entry to the young generation, rotating the
+// generations when young is full: old's contents are dropped, young
+// becomes old, and the new entry starts the next young generation.
+// Callers hold c.mu.
+func (c *Cache) insertYoung(k string, e *Entry) {
+	if len(c.young) >= c.half {
+		c.old = c.young
+		c.young = make(map[string]*Entry, c.half)
+	}
+	c.young[k] = e
 }
 
 // Stats reports cumulative lookup hits and misses.
@@ -141,12 +183,12 @@ func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
-// Len reports the current entry count.
+// Len reports the current entry count across both generations.
 func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return len(c.young) + len(c.old)
 }

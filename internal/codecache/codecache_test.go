@@ -42,23 +42,73 @@ func TestKeyIsCopiedOnStore(t *testing.T) {
 	}
 }
 
-func TestEvictionFlushesWhole(t *testing.T) {
+func TestGenerationalEviction(t *testing.T) {
+	c := New(4) // two generations of 2
+	c.Store([]byte("a"), &Entry{})
+	c.Store([]byte("b"), &Entry{})
+	c.Store([]byte("c"), &Entry{}) // rotates: old={a,b}, young={c}
+	if c.Len() != 3 {
+		t.Fatalf("len %d after rotation, want 3", c.Len())
+	}
+	if c.Lookup([]byte("a")) == nil { // hit in old promotes a into young
+		t.Fatal("old-generation entry lost at rotation")
+	}
+	c.Store([]byte("d"), &Entry{}) // rotates: old={c,a}, young={d} — drops b
+	if c.Lookup([]byte("b")) != nil {
+		t.Fatal("unreferenced old entry survived two rotations")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if c.Lookup([]byte(k)) == nil {
+			t.Fatalf("entry %q lost; generational eviction must keep recent/promoted keys", k)
+		}
+	}
+}
+
+// TestHotEntrySurvivesColdStream is the regression test for the original
+// flush-whole eviction: a continuously referenced entry must survive an
+// unbounded stream of cold insertions. Under flush-at-capacity the hot
+// entry was dropped every max insertions, zeroing the warm hit rate of
+// long fuzz and serve sessions.
+func TestHotEntrySurvivesColdStream(t *testing.T) {
+	c := New(8)
+	hot := []byte("hot")
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if c.Lookup(hot) == nil {
+			misses++
+			c.Store(hot, &Entry{})
+		}
+		c.Store([]byte(fmt.Sprintf("cold%d", i)), &Entry{})
+	}
+	if misses != 1 {
+		t.Fatalf("hot entry missed %d times, want 1 (evicted by cold stream)", misses)
+	}
+}
+
+// TestCapacityBound pins that the generations never exceed the configured
+// bound.
+func TestCapacityBound(t *testing.T) {
+	c := New(6)
+	for i := 0; i < 1000; i++ {
+		c.Store([]byte(fmt.Sprintf("k%d", i)), &Entry{})
+		if c.Len() > 6 {
+			t.Fatalf("len %d exceeds capacity 6 after %d inserts", c.Len(), i+1)
+		}
+	}
+}
+
+// TestOverwriteDoesNotRotate pins that re-storing an existing key at
+// capacity replaces in place instead of evicting.
+func TestOverwriteDoesNotRotate(t *testing.T) {
 	c := New(2)
 	c.Store([]byte("a"), &Entry{})
 	c.Store([]byte("b"), &Entry{})
-	c.Store([]byte("b"), &Entry{}) // overwrite at capacity must not flush
+	c.Store([]byte("b"), &Entry{})
 	if c.Len() != 2 {
 		t.Fatalf("len %d after overwrite, want 2", c.Len())
 	}
-	c.Store([]byte("c"), &Entry{})
-	if c.Len() != 1 {
-		t.Fatalf("len %d after overflow, want 1 (flush-whole then insert)", c.Len())
-	}
-	if c.Lookup([]byte("a")) != nil || c.Lookup([]byte("b")) != nil {
-		t.Fatal("pre-flush entries survived")
-	}
-	if c.Lookup([]byte("c")) == nil {
-		t.Fatal("post-flush insert lost")
+	if c.Lookup([]byte("a")) == nil || c.Lookup([]byte("b")) == nil {
+		t.Fatal("overwrite evicted a live entry")
 	}
 }
 

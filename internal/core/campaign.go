@@ -12,6 +12,7 @@ import (
 	"cogdiff/internal/excache"
 	"cogdiff/internal/interp"
 	"cogdiff/internal/machine"
+	"cogdiff/internal/metacompile"
 	"cogdiff/internal/primitives"
 	"cogdiff/internal/telemetry"
 )
@@ -56,6 +57,10 @@ type Config struct {
 	// the containment boundary. Fault-injection tests use it to raise
 	// genuine heap panics in worker goroutines.
 	faultInject func(target concolic.Target, kind CompilerKind, isa machine.ISA)
+	// poisonExploration, when non-nil, mutates each exploration after the
+	// explore step and before unit fingerprinting. Fingerprint-error tests
+	// inject unmarshalable content (a NaN in a witness model) through it.
+	poisonExploration func(target concolic.Target, ex *concolic.Exploration)
 	// noReuse disables every raw-speed reuse layer — pooled execution
 	// environments, pooled exploration heaps, and the compiled-code
 	// cache — so each execution boots and compiles from scratch. The
@@ -140,6 +145,11 @@ type CampaignResult struct {
 	// scheduling (racing double-misses) and with excache unit hits that
 	// bypass compilation entirely; reports never do.
 	CodeCache CodeCacheStats
+	// FingerprintErrors counts explorations whose unit-cache fingerprint
+	// failed to compute. Each such instruction ran every test unit
+	// uncached — correct but slow, so the count must surface rather than
+	// disappear.
+	FingerprintErrors int
 }
 
 // CodeCacheStats is the compiled-code cache activity of one run.
@@ -301,17 +311,27 @@ func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 		return nil, err
 	}
 	for i, t := range allTargets {
+		if c.Config.poisonExploration != nil {
+			c.Config.poisonExploration(t, explorations[i])
+		}
 		result.Explorations[explorationKey(t)] = explorations[i]
 	}
 	// Fingerprint each exploration's semantic content once; test units
 	// derive their cache keys from it, so a unit hit is only possible
-	// when the exploration that drives it is content-identical.
+	// when the exploration that drives it is content-identical. A
+	// fingerprint failure downgrades the instruction's units to uncached
+	// runs — correct but slow — and is counted, never swallowed.
 	fingerprints := make(map[string]string, len(allTargets))
 	if c.Config.Cache != nil {
+		fpErrors := reg.Counter(telemetry.MetricUnitCacheFingerprintErrors)
 		for i, t := range allTargets {
-			if fp, err := concolic.FingerprintExploration(explorations[i]); err == nil {
-				fingerprints[explorationKey(t)] = fp
+			fp, err := concolic.FingerprintExploration(explorations[i])
+			if err != nil {
+				fpErrors.Inc()
+				result.FingerprintErrors++
+				continue
 			}
+			fingerprints[explorationKey(t)] = fp
 		}
 	}
 	if reg != nil {
@@ -443,6 +463,12 @@ func (c *Campaign) unitCacheKey(explorationFP string, kind CompilerKind) string 
 		return ""
 	}
 	parts := []string{fmt.Sprintf("compiler=%d", int(kind))}
+	if kind == MetaJITCompiler {
+		// The derived front-end's verdicts additionally depend on the
+		// generator's translation scheme: fold its semantics version in so
+		// a regenerated compiler cannot reuse stale unit results.
+		parts = append(parts, "semantics="+metacompile.SemanticsVersion)
+	}
 	for _, isa := range c.Config.ISAs {
 		parts = append(parts, fmt.Sprintf("isa=%d", int(isa)))
 	}

@@ -10,6 +10,7 @@ import (
 	"cogdiff/internal/ir"
 	"cogdiff/internal/jit"
 	"cogdiff/internal/machine"
+	"cogdiff/internal/metacompile"
 	"cogdiff/internal/primitives"
 )
 
@@ -38,7 +39,14 @@ func (t *Tester) bytecodeKey(mode byte, variant jit.Variant, isa machine.ISA, pa
 	// Exact-size the buffer: key building runs once per path execution,
 	// so append growth here shows up directly in per-path allocation
 	// counts.
-	size := 2 + 8 + 8 + (8 + len(t.defectsFP)) + 8 + 8 + (8 + len(m.Code)) + 8 + 8 + 8*len(inputStack) + 8
+	// The derived front-end's body additionally depends on the generator's
+	// translation scheme: fold its semantics version into the defect slot
+	// so regenerating from a changed scheme cannot reuse stale bodies.
+	defectsFP := t.defectsFP
+	if variant == jit.MetaJITCogit {
+		defectsFP = metacompile.SemanticsVersion + "|" + defectsFP
+	}
+	size := 2 + 8 + 8 + (8 + len(defectsFP)) + 8 + 8 + (8 + len(m.Code)) + 8 + 8 + 8*len(inputStack) + 8
 	for _, lit := range m.Literals {
 		size += 1 + 8 + 8 + 8 + len(lit.Str)
 	}
@@ -46,7 +54,7 @@ func (t *Tester) bytecodeKey(mode byte, variant jit.Variant, isa machine.ISA, pa
 	b = append(b, mode, byte(variant))
 	b = appendInt(b, int64(isa))
 	b = appendInt(b, int64(passLimit))
-	b = appendString(b, t.defectsFP)
+	b = appendString(b, defectsFP)
 	b = appendInt(b, int64(m.NumArgs))
 	b = appendInt(b, int64(m.NumTemps))
 	b = appendString(b, string(m.Code))
@@ -117,6 +125,16 @@ func (t *Tester) compileCached(om *heap.ObjectMemory, key []byte, onIR func(ir.O
 // post-pipeline IR stream.
 func (t *Tester) compileBytecode(om *heap.ObjectMemory, mode byte, variant jit.Variant, isa machine.ISA, passLimit int, method *bytecode.Method, inputStack []heap.Word, onIR func(ir.Opc)) (*jit.CompiledMethod, error) {
 	build := func(irHook func(ir.Opc)) (*jit.CompiledMethod, error) {
+		if variant == jit.MetaJITCogit {
+			mc := metacompile.NewCompiler(isa, om, t.Defects)
+			mc.PassLimit = passLimit
+			mc.Metrics = t.passMetrics
+			mc.OnIR = irHook
+			if mode == modeMethod {
+				return mc.CompileMethod(method, nil)
+			}
+			return mc.CompileBytecode(method, inputStack)
+		}
 		cogit := jit.NewCogit(variant, isa, om, t.Defects)
 		cogit.PassLimit = passLimit
 		cogit.Metrics = t.passMetrics

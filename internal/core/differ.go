@@ -12,6 +12,7 @@ import (
 	"cogdiff/internal/interp"
 	"cogdiff/internal/jit"
 	"cogdiff/internal/machine"
+	"cogdiff/internal/metacompile"
 	"cogdiff/internal/primitives"
 	"cogdiff/internal/telemetry"
 )
@@ -188,6 +189,15 @@ func (u *UnitRun) TestPath(path *concolic.PathResult, kind CompilerKind, isa mac
 		v.Skipped, v.Reason = true, "compiler does not apply to this instruction kind"
 		return v
 	}
+	if kind == MetaJITCompiler {
+		// The derived compiler's guard chain only contains paths the
+		// generator's plan supports; consult the plan up front so the
+		// skip is deterministic and named, instead of a deopt breakpoint.
+		if ok, reason := metacompile.PlanFor(target.Method).PathSupported(path.Path.Signature()); !ok {
+			v.Skipped, v.Reason = true, "not compilable: metacompile: "+reason
+			return v
+		}
+	}
 
 	interpExit, interpFrame, interpOM, interpInputs, err := u.reference(path)
 	if err != nil {
@@ -293,6 +303,8 @@ func variantOf(kind CompilerKind) jit.Variant {
 		return jit.SimpleStackBasedCogit
 	case RegisterAllocatingCompiler:
 		return jit.RegisterAllocatingCogit
+	case MetaJITCompiler:
+		return jit.MetaJITCogit
 	default:
 		return jit.StackToRegisterCogit
 	}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cogdiff/internal/bytecode"
+	"cogdiff/internal/concolic"
+	"cogdiff/internal/defects"
+)
+
+// TestMetaJITSimpleOpsAgree smoke-tests the derived front-end on trivially
+// faithful instructions: zero differences on both ISAs.
+func TestMetaJITSimpleOpsAgree(t *testing.T) {
+	for _, op := range []bytecode.Op{
+		bytecode.OpPushConstantTrue, bytecode.OpPushConstantNil,
+		bytecode.OpPushConstantOne, bytecode.OpPushReceiver,
+		bytecode.OpDuplicateTop, bytecode.OpPopStackTop, bytecode.OpNop,
+	} {
+		ex, vs := testHarness(t, concolic.BytecodeTarget(op), MetaJITCompiler, defects.ProductionVM())
+		requireNoDiffs(t, "metajit/"+bytecode.Describe(op).Mnemonic, ex, vs)
+	}
+}
+
+// TestMetaJITWholeCatalogParity is the tentpole's correctness gate: on a
+// pristine VM, the compiler derived from the interpreter must agree with
+// the interpreter on every supported path of every byte-code, both ISAs —
+// zero differences, and every skip carries an explicit reason.
+func TestMetaJITWholeCatalogParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-catalog parity skipped in -short mode")
+	}
+	for _, op := range bytecode.AllOpcodes() {
+		d := bytecode.Describe(op)
+		if d.Family == bytecode.FamCallPrimitive {
+			continue
+		}
+		op := op
+		t.Run(d.Mnemonic, func(t *testing.T) {
+			t.Parallel()
+			ex, vs := testHarness(t, concolic.BytecodeTarget(op), MetaJITCompiler, defects.Switches{})
+			supported := 0
+			for i, v := range vs {
+				if v.Differs {
+					t.Errorf("path %d (%s) differs on %v: %s",
+						i/2, ex.Paths[i/2].Exit, v.ISA, v.Detail)
+				}
+				if v.Skipped {
+					if v.Reason == "" {
+						t.Errorf("path %d skipped without a reason", i/2)
+					}
+					continue
+				}
+				supported++
+			}
+			if len(ex.Paths) > 0 && supported == 0 {
+				t.Logf("note: no path of %s is metajit-supported", d.Mnemonic)
+			}
+		})
+	}
+}
+
+// TestMetaJITGuardSignErrorBlamedFrontEnd seeds the generator-targeted
+// defect: strict less-than guards lowered as less-or-equal break the guard
+// chain's exclusivity, so a boundary input executes the wrong path block.
+// The resulting differences must exist and must all be blamed "front-end"
+// — the defect lives in the derived front-end, before any IR pass runs.
+func TestMetaJITGuardSignErrorBlamedFrontEnd(t *testing.T) {
+	sw := defects.Switches{MetaJITGuardSignError: true}
+	ex, vs := testHarness(t, concolic.BytecodeTarget(bytecode.OpPrimLessThan), MetaJITCompiler, sw)
+	_ = ex
+	diffs := 0
+	for _, v := range vs {
+		if !v.Differs {
+			continue
+		}
+		diffs++
+		if v.Cause != "front-end" {
+			t.Errorf("difference blamed %q, want \"front-end\" (%s)", v.Cause, v.Detail)
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("MetaJITGuardSignError produced no differences on primLessThan")
+	}
+
+	// The same instruction on the pristine generator shows none.
+	_, clean := testHarness(t, concolic.BytecodeTarget(bytecode.OpPrimLessThan), MetaJITCompiler, defects.Switches{})
+	if n := countDiffs(clean); n != 0 {
+		t.Fatalf("pristine metajit differs %d times on primLessThan", n)
+	}
+}
+
+// TestMetaJITSkipReasonsAreDeterministic pins that unsupported paths skip
+// with a stable "not compilable: metacompile:" reason rather than failing
+// at compile time inside the unit.
+func TestMetaJITSkipReasonsAreDeterministic(t *testing.T) {
+	ex, vs := testHarness(t, concolic.BytecodeTarget(bytecode.OpCallPrimitive), MetaJITCompiler, defects.Switches{})
+	_ = ex
+	for _, v := range vs {
+		if v.Differs {
+			t.Fatalf("callPrimitive must skip, not differ: %s", v.Detail)
+		}
+		if v.Skipped && strings.Contains(v.Reason, "metacompile") &&
+			!strings.HasPrefix(v.Reason, "not compilable: metacompile: ") {
+			t.Errorf("unexpected skip reason shape: %q", v.Reason)
+		}
+	}
+}

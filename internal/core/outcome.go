@@ -15,6 +15,11 @@ const (
 	SimpleBytecodeCompiler
 	StackToRegisterCompiler
 	RegisterAllocatingCompiler
+	// MetaJITCompiler is the fifth compiler: a front-end derived from the
+	// interpreter by meta-compilation (internal/metacompile) rather than
+	// hand-written templates. Campaigns opt in explicitly; it is not part
+	// of the default four of Table 2.
+	MetaJITCompiler
 
 	NumCompilerKinds
 )
@@ -29,6 +34,8 @@ func (k CompilerKind) String() string {
 		return "Stack-to-Register BC Compiler"
 	case RegisterAllocatingCompiler:
 		return "Linear-Scan Allocator BC Compiler"
+	case MetaJITCompiler:
+		return "Meta-compiled BC Compiler"
 	}
 	return fmt.Sprintf("CompilerKind(%d)", int(k))
 }

@@ -80,6 +80,15 @@ type Switches struct {
 	// explicitly to exercise pass-level difference blame, which must
 	// attribute the resulting differences to "pass:constfold".
 	ConstFoldSignError bool
+
+	// MetaJITGuardSignError is a generator-targeted defect: the
+	// meta-compiled front-end (internal/metacompile) lowers strict
+	// less-than path-condition guards as less-or-equal, so boundary
+	// inputs take the wrong recorded path. It is not part of the
+	// production-VM catalog; campaigns enable it explicitly to exercise
+	// front-end blame on the derived compiler, which must attribute the
+	// resulting differences to "front-end".
+	MetaJITGuardSignError bool
 }
 
 // ProductionVM returns the defect state of the evaluated VM: everything

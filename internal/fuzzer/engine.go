@@ -2,6 +2,7 @@ package fuzzer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"cogdiff/internal/defects"
 	"cogdiff/internal/interp"
 	"cogdiff/internal/ir"
+	"cogdiff/internal/jit"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
 	"cogdiff/internal/telemetry"
@@ -52,6 +54,12 @@ type Options struct {
 	EmitTests string
 	// Defects selects the VM defect state (nil = ProductionVM).
 	Defects *defects.Switches
+	// Compilers overrides the compiler set (nil = the three hand-written
+	// byte-code compilers). The meta-compiled front-end (MetaJITCompiler)
+	// is opt-in here: a sequence it cannot compile (a family whose
+	// lowering would bake witness facts) skips that (compiler, ISA) pair
+	// deterministically instead of discarding the genome.
+	Compilers []core.CompilerKind
 	// OnProgress, when non-nil, receives a serialized callback after every
 	// merged batch.
 	OnProgress func(done, total, corpusSize, causes int)
@@ -174,10 +182,14 @@ func newEngine(opts Options) *engine {
 	if opts.Defects != nil {
 		sw = *opts.Defects
 	}
+	compilers := opts.Compilers
+	if len(compilers) == 0 {
+		compilers = []core.CompilerKind{core.SimpleBytecodeCompiler, core.StackToRegisterCompiler, core.RegisterAllocatingCompiler}
+	}
 	e := &engine{
 		opts:      opts,
 		tester:    newFuzzTester(opts, sw),
-		compilers: []core.CompilerKind{core.SimpleBytecodeCompiler, core.StackToRegisterCompiler, core.RegisterAllocatingCompiler},
+		compilers: compilers,
 		isas:      []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like},
 		corpusKey: make(map[string]bool),
 		diffIdx:   make(map[string]int),
@@ -278,6 +290,13 @@ func (e *engine) execute(s *Seq) (out execOut) {
 				Block:        func(off int64) { cov.Set(blockBit(ci, ii, off)) },
 				CompiledStop: func(k machine.StopKind) { cov.Set(covStopBase + uint32(ci)*16 + uint32(k)%16) },
 			})
+			if errors.Is(err, jit.ErrNotCompilable) {
+				// The pair declines the sequence (the meta-compiled
+				// front-end rejects witness-baking families in whole-method
+				// mode). A deterministic function of the genome, so skipping
+				// the pair keeps reports byte-identical at any worker count.
+				continue
+			}
 			if err != nil {
 				out.invalid = true
 				return out
@@ -388,6 +407,9 @@ func (e *engine) causeKeys(s *Seq) []string {
 	for _, kind := range e.compilers {
 		for _, isa := range e.isas {
 			cOut, err := e.tester.CompiledSequence(m, in, kind, isa, nil)
+			if errors.Is(err, jit.ErrNotCompilable) {
+				continue
+			}
 			if err != nil {
 				return nil
 			}

@@ -1,0 +1,80 @@
+package jit
+
+import (
+	"time"
+
+	"cogdiff/internal/defects"
+	"cogdiff/internal/ir"
+	"cogdiff/internal/machine"
+)
+
+// Backend is the shared tail of every byte-code compilation: validate the
+// front-end's IR, run the variant's (possibly truncated) pass pipeline,
+// report post-pipeline opcodes to the coverage hook, and lower plus encode
+// to machine code. It exists so front-ends outside this package (the
+// meta-compiled front-end of internal/metacompile) flow through exactly
+// the same pipeline, blame truncation, and telemetry as the hand-written
+// Cogits.
+type Backend struct {
+	Variant   Variant
+	ISA       machine.ISA
+	Defects   defects.Switches
+	PassLimit int
+	Metrics   *PassMetrics
+	OnIR      func(ir.Opc)
+	OnStage   func(stage string, fn *ir.Fn)
+	// Pool is the physical register pool lowering assigns to virtual
+	// registers.
+	Pool []machine.Reg
+}
+
+// Finish compiles the built IR down to a CompiledMethod.
+func (bk *Backend) Finish(b *ir.Builder, selectors []Selector, numTemps int) (*CompiledMethod, error) {
+	fn, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if bk.OnStage != nil {
+		bk.OnStage("front-end", fn)
+	}
+	passes := PipelineFor(bk.Variant, bk.Defects)
+	limit := bk.PassLimit
+	if limit < 0 || limit > len(passes) {
+		limit = len(passes)
+	}
+	for _, p := range passes[:limit] {
+		if bk.Metrics != nil {
+			t0 := time.Now()
+			fn = p.Run(fn)
+			bk.Metrics.observePass(p.Name, time.Since(t0))
+		} else {
+			fn = p.Run(fn)
+		}
+		if bk.OnStage != nil {
+			bk.OnStage(p.Name, fn)
+		}
+	}
+	if bk.OnIR != nil {
+		for _, ins := range fn.Instrs {
+			if ins.Op != ir.OpcLabel {
+				bk.OnIR(ins.Op)
+			}
+		}
+	}
+	prog, err := machine.Lower(fn, bk.ISA, machine.CodeBase, bk.Pool)
+	if err != nil {
+		return nil, err
+	}
+	code, err := machine.Encode(prog, bk.ISA)
+	if err != nil {
+		return nil, err
+	}
+	bk.Metrics.unitCompiled()
+	return &CompiledMethod{
+		Prog:      prog,
+		Code:      code,
+		ISA:       bk.ISA,
+		Selectors: selectors,
+		NumTemps:  numTemps,
+	}, nil
+}

@@ -2,7 +2,6 @@ package jit
 
 import (
 	"fmt"
-	"time"
 
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/defects"
@@ -323,55 +322,20 @@ func (c *Cogit) pool() []machine.Reg {
 	return []machine.Reg{machine.TempReg, machine.ExtraReg, machine.R1}
 }
 
-// finish runs the three-layer tail of compilation: validate the
-// front-end's IR, run the (possibly truncated) pass pipeline, report the
-// post-pipeline opcodes to the coverage hook, and lower to machine code.
+// finish runs the three-layer tail of compilation through the shared
+// Backend: validate the front-end's IR, run the (possibly truncated) pass
+// pipeline, report the post-pipeline opcodes to the coverage hook, and
+// lower to machine code.
 func (c *Cogit) finish() (*CompiledMethod, error) {
-	fn, err := c.b.Finish()
-	if err != nil {
-		return nil, err
-	}
-	if c.OnStage != nil {
-		c.OnStage("front-end", fn)
-	}
-	passes := PipelineFor(c.Variant, c.Defects)
-	limit := c.PassLimit
-	if limit < 0 || limit > len(passes) {
-		limit = len(passes)
-	}
-	for _, p := range passes[:limit] {
-		if c.Metrics != nil {
-			t0 := time.Now()
-			fn = p.Run(fn)
-			c.Metrics.observePass(p.Name, time.Since(t0))
-		} else {
-			fn = p.Run(fn)
-		}
-		if c.OnStage != nil {
-			c.OnStage(p.Name, fn)
-		}
-	}
-	if c.OnIR != nil {
-		for _, ins := range fn.Instrs {
-			if ins.Op != ir.OpcLabel {
-				c.OnIR(ins.Op)
-			}
-		}
-	}
-	prog, err := machine.Lower(fn, c.ISA, machine.CodeBase, c.pool())
-	if err != nil {
-		return nil, err
-	}
-	code, err := machine.Encode(prog, c.ISA)
-	if err != nil {
-		return nil, err
-	}
-	c.Metrics.unitCompiled()
-	return &CompiledMethod{
-		Prog:      prog,
-		Code:      code,
+	bk := &Backend{
+		Variant:   c.Variant,
 		ISA:       c.ISA,
-		Selectors: c.selectors,
-		NumTemps:  c.numTemps,
-	}, nil
+		Defects:   c.Defects,
+		PassLimit: c.PassLimit,
+		Metrics:   c.Metrics,
+		OnIR:      c.OnIR,
+		OnStage:   c.OnStage,
+		Pool:      c.pool(),
+	}
+	return bk.Finish(c.b, c.selectors, c.numTemps)
 }

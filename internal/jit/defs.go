@@ -29,6 +29,10 @@ const (
 	// RegisterAllocatingCogit extends StackToRegisterCogit with a linear
 	// register allocator over a wider register pool.
 	RegisterAllocatingCogit
+	// MetaJITCogit is the machine-derived front-end: its guard chains and
+	// straight-line effects are generated from the interpreter's concolic
+	// path trees by internal/metacompile rather than hand-written.
+	MetaJITCogit
 )
 
 func (v Variant) String() string {
@@ -39,6 +43,8 @@ func (v Variant) String() string {
 		return "StackToRegisterCogit"
 	case RegisterAllocatingCogit:
 		return "RegisterAllocatingCogit"
+	case MetaJITCogit:
+		return "MetaJITCogit"
 	}
 	return fmt.Sprintf("Variant(%d)", int(v))
 }
@@ -56,6 +62,10 @@ const (
 	// BrkNotImplemented marks native methods without a compiler template
 	// (§5.3 missing functionality).
 	BrkNotImplemented = 4
+	// BrkMetaDeopt is the meta-compiled front-end's deoptimization stub:
+	// execution reached the end of a guard chain without any recorded path
+	// matching the runtime input.
+	BrkMetaDeopt = 5
 )
 
 // Selector describes one send site of a compiled method; its slice index

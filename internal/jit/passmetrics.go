@@ -31,7 +31,7 @@ func NewPassMetrics(reg *telemetry.Registry, sw defects.Switches) *PassMetrics {
 		passes:   reg.Counter(telemetry.MetricPassesRun),
 		perPass:  make(map[string]*telemetry.Histogram),
 	}
-	for _, v := range []Variant{SimpleStackBasedCogit, StackToRegisterCogit, RegisterAllocatingCogit} {
+	for _, v := range []Variant{SimpleStackBasedCogit, StackToRegisterCogit, RegisterAllocatingCogit, MetaJITCogit} {
 		for _, p := range PipelineFor(v, sw) {
 			if _, ok := m.perPass[p.Name]; !ok {
 				m.perPass[p.Name] = reg.LabeledHistogram(

@@ -19,6 +19,7 @@ var pipelineTable = map[Variant][]func(defects.Switches) ir.Pass{
 	SimpleStackBasedCogit:   standardPasses,
 	StackToRegisterCogit:    standardPasses,
 	RegisterAllocatingCogit: standardPasses,
+	MetaJITCogit:            standardPasses,
 }
 
 var standardPasses = []func(defects.Switches) ir.Pass{

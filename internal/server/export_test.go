@@ -1,0 +1,15 @@
+package server
+
+// SetUnitGateForTest installs a hook that runs inside every campaign
+// unit-completed callback. The campaign serializes those callbacks, and a
+// worker blocks inside its unit until its callback returns — so a gate
+// that parks the first call holds the job mid-run deterministically: the
+// remaining workers finish at most one unit each and then queue behind
+// the serialized callback, and the campaign cannot complete until the
+// gate releases. The cancellation test uses this to land a cancel
+// mid-run without racing campaign completion.
+func (s *Server) SetUnitGateForTest(gate func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unitGate = gate
+}

@@ -56,7 +56,14 @@ type JobSpec struct {
 type CampaignSpec struct {
 	Pristine           bool `json:"pristine,omitempty"`
 	ConstFoldSignError bool `json:"defectConstfold,omitempty"`
-	MaxIterations      int  `json:"maxIterations,omitempty"`
+	// MetaJITGuardSignError enables the meta-compiler guard-sign defect
+	// (only the metajit compiler is affected).
+	MetaJITGuardSignError bool `json:"defectMetajitGuard,omitempty"`
+	// Compilers selects the compiler set with the CLI -compilers spec
+	// syntax: an exact list like "simple,metajit" or additions like
+	// "+metajit" (empty = the paper's four).
+	Compilers     string `json:"compilers,omitempty"`
+	MaxIterations int    `json:"maxIterations,omitempty"`
 	// Workers shards the campaign (0 = the server's default).
 	Workers int `json:"workers,omitempty"`
 	// Cache overrides the server's cache mode for this job: off, ro or
@@ -66,18 +73,23 @@ type CampaignSpec struct {
 
 // DifftestSpec configures a single-instruction differential test job.
 type DifftestSpec struct {
-	Instruction        string `json:"instruction"`
-	Compiler           string `json:"compiler"`
-	Pristine           bool   `json:"pristine,omitempty"`
-	ConstFoldSignError bool   `json:"defectConstfold,omitempty"`
+	Instruction           string `json:"instruction"`
+	Compiler              string `json:"compiler"`
+	Pristine              bool   `json:"pristine,omitempty"`
+	ConstFoldSignError    bool   `json:"defectConstfold,omitempty"`
+	MetaJITGuardSignError bool   `json:"defectMetajitGuard,omitempty"`
 }
 
 // FuzzSpec configures a coverage-guided fuzzing job.
 type FuzzSpec struct {
-	Seed     int64 `json:"seed"`
-	Budget   int   `json:"budget,omitempty"`
-	Workers  int   `json:"workers,omitempty"`
-	Minimize bool  `json:"minimize,omitempty"`
+	Seed    int64 `json:"seed"`
+	Budget  int   `json:"budget,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+	// Compilers selects the compiler set with the CLI -compilers spec
+	// syntax (empty = the three byte-code compilers; "+metajit" adds the
+	// meta-compiled front-end; native is rejected).
+	Compilers string `json:"compilers,omitempty"`
+	Minimize  bool   `json:"minimize,omitempty"`
 	// SharedCorpus seeds the run from the server's corpus store and
 	// merges the run's coverage-increasing corpus back afterwards, so
 	// concurrent fuzz clients feed and drain one corpus.
@@ -97,6 +109,9 @@ func (spec *JobSpec) Validate(srv *Config) error {
 		}
 		if c.MaxIterations < 0 {
 			return fmt.Errorf("campaign.maxIterations %d: must be >= 0", c.MaxIterations)
+		}
+		if _, err := cogdiff.ParseCompilerSpec(c.Compilers); err != nil {
+			return fmt.Errorf("campaign.compilers: %w", err)
 		}
 		mode, err := excache.ParseMode(c.Cache)
 		if err != nil {
@@ -120,6 +135,9 @@ func (spec *JobSpec) Validate(srv *Config) error {
 		}
 		if f.Workers < 0 {
 			return fmt.Errorf("fuzz.workers %d: must be >= 0", f.Workers)
+		}
+		if _, err := cogdiff.ParseSequenceCompilerSpec(f.Compilers); err != nil {
+			return fmt.Errorf("fuzz.compilers: %w", err)
 		}
 	case "":
 		return fmt.Errorf("job spec missing type (campaign, difftest or fuzz)")
@@ -315,17 +333,26 @@ func (s *Server) runCampaign(ctx context.Context, j *job) (string, int, *CacheSt
 	if workers == 0 {
 		workers = s.cfg.Workers
 	}
+	compilers, err := cogdiff.ParseCompilerSpec(spec.Compilers)
+	if err != nil {
+		return "", 0, nil, err
+	}
 	dir, mode := s.cacheModeFor(spec.Cache)
 	opts := cogdiff.CampaignOptions{
-		Context:            ctx,
-		Pristine:           spec.Pristine,
-		ConstFoldSignError: spec.ConstFoldSignError,
-		MaxIterations:      spec.MaxIterations,
-		Workers:            workers,
-		Metrics:            s.reg,
-		CacheDir:           dir,
-		CacheMode:          mode,
+		Context:               ctx,
+		Pristine:              spec.Pristine,
+		ConstFoldSignError:    spec.ConstFoldSignError,
+		MetaJITGuardSignError: spec.MetaJITGuardSignError,
+		Compilers:             compilers,
+		MaxIterations:         spec.MaxIterations,
+		Workers:               workers,
+		Metrics:               s.reg,
+		CacheDir:              dir,
+		CacheMode:             mode,
 		OnUnitDone: func(ev cogdiff.UnitProgress) {
+			if gate := s.testUnitGate(); gate != nil {
+				gate()
+			}
 			j.publish(Event{Type: EventUnitCompleted, Compiler: ev.Compiler,
 				Instruction: ev.Instruction, Done: ev.Done, Total: ev.Total,
 				Differences: ev.Differences})
@@ -353,11 +380,12 @@ func (s *Server) runDifftest(ctx context.Context, j *job) (string, int, error) {
 	spec := j.spec.Difftest
 	dir, mode := s.cacheModeFor("")
 	res, err := cogdiff.TestInstructionWith(spec.Instruction, spec.Compiler, cogdiff.TestConfig{
-		Pristine:           spec.Pristine,
-		ConstFoldSignError: spec.ConstFoldSignError,
-		Metrics:            s.reg,
-		CacheDir:           dir,
-		CacheMode:          mode,
+		Pristine:              spec.Pristine,
+		ConstFoldSignError:    spec.ConstFoldSignError,
+		MetaJITGuardSignError: spec.MetaJITGuardSignError,
+		Metrics:               s.reg,
+		CacheDir:              dir,
+		CacheMode:             mode,
 	})
 	if err != nil {
 		return "", 0, err
@@ -371,12 +399,21 @@ func (s *Server) runFuzz(ctx context.Context, j *job) (string, int, error) {
 	if workers == 0 {
 		workers = s.cfg.Workers
 	}
+	names, err := cogdiff.ParseSequenceCompilerSpec(spec.Compilers)
+	if err != nil {
+		return "", 0, err
+	}
+	kinds, err := cogdiff.CompilerKindsFor(names)
+	if err != nil {
+		return "", 0, err
+	}
 	opts := fuzzer.Options{
-		Seed:     spec.Seed,
-		Budget:   spec.Budget,
-		Workers:  workers,
-		Minimize: spec.Minimize,
-		Metrics:  s.reg,
+		Seed:      spec.Seed,
+		Budget:    spec.Budget,
+		Workers:   workers,
+		Compilers: kinds,
+		Minimize:  spec.Minimize,
+		Metrics:   s.reg,
 		OnProgress: func(done, total, corpusSize, causes int) {
 			j.publish(Event{Type: EventProgress, Done: done, Total: total,
 				Corpus: corpusSize, Differences: causes})

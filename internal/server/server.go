@@ -80,6 +80,11 @@ type Server struct {
 	jobs   map[string]*job
 	order  []string // submission order, for GET /v1/jobs
 	nextID int
+	// unitGate, when non-nil, runs inside every campaign unit-completed
+	// callback (serialized, job mid-run). Test-only (export_test.go): the
+	// cancellation test parks a job at its first unit boundary so a cancel
+	// deterministically lands mid-run, however fast the campaign is.
+	unitGate func()
 
 	mRunning *telemetry.Gauge
 	mQueued  *telemetry.Gauge
@@ -181,6 +186,15 @@ func (s *Server) enqueue(j *job) error {
 		s.finish(j, StateFailed, "job queue full")
 		return fmt.Errorf("job queue full (%d waiting)", cap(s.queue))
 	}
+}
+
+// testUnitGate reads the test-only unit gate under the server mutex (the
+// setter in export_test.go writes under the same mutex, so gated jobs are
+// race-free under -race).
+func (s *Server) testUnitGate() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unitGate
 }
 
 // lookup returns a job by ID.

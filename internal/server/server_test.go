@@ -116,6 +116,13 @@ func TestServedCampaignByteIdentical(t *testing.T) {
 // campaign mid-run and checks (1) the job lands in canceled, and (2) a
 // rerun through the same cache directory still reproduces the serial
 // baseline — the cancelled run left only complete cache entries.
+//
+// The cancel lands deterministically: the server's test-only unit gate
+// parks the job inside its first unit-completed callback (the campaign
+// cannot finish while the gate holds, because unit callbacks are
+// serialized and each worker blocks in its unit until its callback
+// returns), the cancel is issued against the parked job, and only then
+// does the gate release. No retries, no completion race.
 func TestCancelledCampaignLeavesCacheSound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full campaigns skipped in -short mode")
@@ -126,55 +133,40 @@ func TestCancelledCampaignLeavesCacheSound(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	// Since the execution-core overhaul a full campaign can finish in
-	// tens of milliseconds, so a cancel issued after the first unit
-	// event may lose the race against completion. Each attempt gets a
-	// fresh server and cache directory (a completed attempt would fully
-	// populate the cache and trivialize the rerun check); we retry until
-	// a cancel lands mid-run.
-	var cl *client.Client
-	canceled := false
-	for attempt := 0; attempt < 5 && !canceled; attempt++ {
-		_, cl = startServer(t, server.Config{CacheDir: t.TempDir(), MaxJobs: 1})
-		st, err := cl.Submit(ctx, server.JobSpec{Type: server.JobCampaign,
-			Campaign: &server.CampaignSpec{Workers: 4, Cache: "rw"}})
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Wait for the first unit to complete (the job is mid-run),
-		// then cancel.
-		deadline := time.Now().Add(10 * time.Second)
-		for {
-			cur, err := cl.Job(ctx, st.ID)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if cur.Events > 0 || cur.State.Terminal() {
-				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatal("campaign produced no events within 10s")
-			}
-			time.Sleep(time.Millisecond)
-		}
-		if _, err := cl.Cancel(ctx, st.ID); err != nil {
-			t.Fatal(err)
-		}
-		final, err := cl.Wait(ctx, st.ID, time.Millisecond)
-		if err != nil {
-			t.Fatal(err)
-		}
-		switch final.State {
-		case server.StateCanceled:
-			canceled = true
-		case server.StateDone:
-			t.Logf("attempt %d: campaign finished before the cancel landed; retrying", attempt)
-		default:
-			t.Fatalf("cancelled job state %s, want canceled", final.State)
-		}
+	srv, cl := startServer(t, server.Config{CacheDir: t.TempDir(), MaxJobs: 1})
+	gateEntered := make(chan struct{})
+	gateRelease := make(chan struct{})
+	var once sync.Once
+	srv.SetUnitGateForTest(func() {
+		once.Do(func() {
+			close(gateEntered)
+			<-gateRelease
+		})
+	})
+
+	st, err := cl.Submit(ctx, server.JobSpec{Type: server.JobCampaign,
+		Campaign: &server.CampaignSpec{Workers: 4, Cache: "rw"}})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !canceled {
-		t.Skip("campaign completes faster than a cancel round-trip on this machine; mid-run cancellation not observable")
+	select {
+	case <-gateEntered:
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign never reached its first unit boundary")
+	}
+	// The job is parked mid-run. Cancel it — the job context is cancelled
+	// before Cancel returns — then let the campaign continue into the
+	// cancelled context, which aborts it at the next unit boundary.
+	if _, err := cl.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(gateRelease)
+	final, err := cl.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateCanceled {
+		t.Fatalf("cancelled job state %s, want canceled", final.State)
 	}
 
 	rerun := submitAndWait(t, cl, server.JobSpec{Type: server.JobCampaign,

@@ -39,6 +39,10 @@ const (
 	MetricCodeCacheHits   = "cogdiff_codecache_hits_total"
 	MetricCodeCacheMisses = "cogdiff_codecache_misses_total"
 
+	// Unit-cache keying. A fingerprint error means the affected test units
+	// run uncached (correct but slow) — it must be visible, not silent.
+	MetricUnitCacheFingerprintErrors = "cogdiff_unitcache_fingerprint_errors_total"
+
 	// JIT pipeline. MetricPassSeconds carries a pass label.
 	MetricPassSeconds = "cogdiff_pass_seconds"
 	MetricPassesRun   = "cogdiff_passes_run_total"
