@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-go cache-smoke perf-smoke fuzz fuzz-smoke blame-smoke metacompile-smoke metrics-smoke serve-smoke fmt-check golden-update ci
+.PHONY: all build vet lint test test-short test-race bench bench-go cache-smoke perf-smoke fuzz fuzz-smoke blame-smoke metacompile-smoke metrics-smoke serve-smoke verify-smoke fmt-check golden-update ci
 
 all: build vet test
 
@@ -17,6 +17,18 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-invariant linters: build the cogdiff-lint analyzer driver and run
+# it over every package through `go vet -vettool`, so the determinism,
+# semantics-version and telemetry-naming rules gate exactly like the
+# stock vet checks. `go run ./cmd/cogdiff-lint` (no arguments) is the
+# standalone equivalent.
+lint:
+	rm -rf lint.tmp
+	mkdir -p lint.tmp
+	$(GO) build -o lint.tmp/cogdiff-lint ./cmd/cogdiff-lint
+	$(GO) vet -vettool=lint.tmp/cogdiff-lint ./...
+	rm -rf lint.tmp
 
 test:
 	$(GO) test ./...
@@ -154,6 +166,33 @@ serve-smoke:
 	kill `cat serve-smoke.tmp/serve.pid`
 	rm -rf serve-smoke.tmp
 
+# Static-verification smoke test, observed end to end from the CLI:
+# the compile-only sweep must verify the whole catalog clean at 1 and 4
+# workers with byte-identical reports, the seeded stack-leak defect must
+# be rejected statically with blame on the guilty pass, the campaign
+# report must be byte-identical with the verifier on and off (the
+# verifier observes, never shapes), and the verifier's self-timed share
+# of campaign wall time must stay under 5% (-workers 1, where the
+# telemetry sum equals the wall-time share).
+verify-smoke:
+	rm -rf verify-smoke.tmp
+	mkdir -p verify-smoke.tmp
+	$(GO) build -o verify-smoke.tmp/cogdiff ./cmd/cogdiff
+	verify-smoke.tmp/cogdiff verify-ir -workers 1 > verify-smoke.tmp/v1.txt
+	verify-smoke.tmp/cogdiff verify-ir -workers 4 > verify-smoke.tmp/v4.txt
+	cmp verify-smoke.tmp/v1.txt verify-smoke.tmp/v4.txt
+	grep -q "0 violations" verify-smoke.tmp/v1.txt
+	! verify-smoke.tmp/cogdiff verify-ir -defect-verify-stackleak -compilers simple \
+		> verify-smoke.tmp/defect.txt 2>&1
+	grep -q "ir-verify:stack-balance after pass:peephole" verify-smoke.tmp/defect.txt
+	verify-smoke.tmp/cogdiff campaign -workers 1 -stable > verify-smoke.tmp/on.txt
+	verify-smoke.tmp/cogdiff campaign -workers 1 -stable -no-verify > verify-smoke.tmp/off.txt
+	cmp verify-smoke.tmp/on.txt verify-smoke.tmp/off.txt
+	verify-smoke.tmp/cogdiff bench-export -iterations 8 -workers 1 -max-verifier-share 0.05 \
+		-baseline BENCH_campaign.json -out verify-smoke.tmp/BENCH_campaign.json campaign
+	verify-smoke.tmp/cogdiff bench-export -lint verify-smoke.tmp/BENCH_campaign.json
+	rm -rf verify-smoke.tmp
+
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -162,4 +201,4 @@ fmt-check:
 golden-update:
 	$(GO) test ./cmd/cogdiff/ -run TestGolden -update
 
-ci: build vet fmt-check test test-race fuzz-smoke blame-smoke metacompile-smoke metrics-smoke cache-smoke perf-smoke serve-smoke
+ci: build vet lint fmt-check test test-race fuzz-smoke blame-smoke metacompile-smoke metrics-smoke cache-smoke perf-smoke serve-smoke verify-smoke

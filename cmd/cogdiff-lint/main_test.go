@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStandaloneCleanModule runs the standalone driver over this module
+// exactly as `make lint` does and requires a clean exit: the repository
+// must satisfy its own invariants.
+func TestStandaloneCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint is seconds of work; skipped in -short")
+	}
+	if code := run(nil); code != 0 {
+		t.Fatalf("cogdiff-lint on this module exited %d, want 0 (diagnostics on stderr)", code)
+	}
+}
+
+// TestUnitcheckerHandshake pins the two go-vet handshake replies the go
+// command parses before trusting a vet tool.
+func TestUnitcheckerHandshake(t *testing.T) {
+	if code := run([]string{"-flags"}); code != 0 {
+		t.Fatalf("-flags exited %d, want 0", code)
+	}
+	if code := run([]string{"-V=full"}); code != 0 {
+		t.Fatalf("-V=full exited %d, want 0", code)
+	}
+}
+
+// TestFindModule resolves the enclosing module from a package subdir.
+func TestFindModule(t *testing.T) {
+	root, path, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "cogdiff" {
+		t.Errorf("module path = %q, want cogdiff", path)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("module root %s has no go.mod: %v", root, err)
+	}
+}

@@ -1,0 +1,162 @@
+package main
+
+// The `go vet -vettool` unitchecker protocol, implemented against the
+// standard library only. The go command drives a vet tool like this:
+//
+//  1. `tool -V=full` — a stable version line, hashed into the action
+//     cache key. We hash the executable itself so rebuilding the tool
+//     invalidates cached vet results.
+//  2. `tool -flags` — a JSON description of the tool's flags; we expose
+//     none, so the answer is the empty list.
+//  3. `tool <unit>.cfg` — once per package. The cfg JSON names the
+//     unit's Go files, its import map, and the export data produced by
+//     the surrounding build. The tool must write its facts file to
+//     VetxOutput (ours is empty: these analyzers are local) and report
+//     diagnostics on stderr as `file:line:col: message`, exiting
+//     nonzero if any fired.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"cogdiff/internal/analyzers"
+)
+
+// vetConfig mirrors the fields of the go command's vet config JSON that
+// this tool consumes. Unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers the -V=full handshake with a line keyed to the
+// executable's content hash.
+func printVersion() int {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("cogdiff-lint version devel buildID=%x\n", h.Sum(nil)[:12])
+	return 0
+}
+
+// runUnit checks one package unit described by a vet cfg file.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cogdiff-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cogdiff-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command requires the facts file to exist even when empty;
+	// writing it first keeps every exit path below valid.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "cogdiff-lint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: the go command wants facts, and these
+		// analyzers produce none.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Export-data importer over the build's package files, with the
+	// import map applied first (vendoring, test variants).
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return base.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tconf := types.Config{Importer: imp}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	pass := &analyzers.Pass{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		ImportPath: cfg.ImportPath,
+	}
+	diags := analyzers.RunAll(pass)
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		// go vet surfaces stderr verbatim; the file:line:col prefix lets
+		// editors and CI annotate the exact site.
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

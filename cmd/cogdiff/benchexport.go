@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cogdiff"
+	"cogdiff/internal/telemetry"
 )
 
 // bench-export measures one engine end to end and emits a machine-
@@ -27,7 +28,12 @@ import (
 // Schema 3 (fifth compiler) adds per-compiler tested-unit counts to
 // campaign records, so the perf history distinguishes a four-compiler
 // run from a five-compiler one.
-const benchSchema = "cogdiff-bench/3"
+// Schema 4 (static IR verification) adds the verifier's cost and
+// verdict to campaign records: verifierNsShare is the fraction of
+// campaign wall time spent in the static verifier (its own telemetry
+// histogram over the measured iterations' wall time), and
+// verifierViolations counts static rejections (zero on a sound tree).
+const benchSchema = "cogdiff-bench/4"
 
 // benchRecord is one exported measurement.
 type benchRecord struct {
@@ -64,6 +70,19 @@ type benchRecord struct {
 	PerPathAllocsFresh    float64 `json:"perPathAllocsFresh,omitempty"`
 	PerPathAllocReduction float64 `json:"perPathAllocReduction,omitempty"`
 
+	// Verifier economics, campaign records only: the static IR
+	// verifier's share of campaign wall time (its self-timed telemetry
+	// histogram over the measured wall time — subtracting two noisy
+	// wall clocks could not support a few-percent gate) and the total
+	// violations it raised across the measured iterations. The
+	// histogram sums across workers, so the share is a CPU share:
+	// gate it at -workers 1, where it equals the wall-time share.
+	// Cached campaign records carry the cold run's violation count and
+	// no share — the measured warm iterations replay compiles from the
+	// exploration cache, so the verifier never runs in them.
+	VerifierNsShare    float64 `json:"verifierNsShare,omitempty"`
+	VerifierViolations int64   `json:"verifierViolations,omitempty"`
+
 	// BaselineNsPerOp carries the pre-overhaul wall time for this record's
 	// configuration (copied forward from the committed baseline file);
 	// BaselineSpeedup is this measurement against it.
@@ -94,6 +113,7 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 	minBaselineSpeedup := fs.Float64("min-baseline-speedup", 0, "fail unless this run beats the baseline's pre-overhaul time by this factor (requires -baseline)")
 	minAllocReduction := fs.Float64("min-alloc-reduction", 0, "campaign mode: fail unless warm per-path allocs undercut the fresh-boot measurement by this fraction (0..1)")
 	minCodeCacheHitRate := fs.Float64("min-codecache-hitrate", 0, "fail unless the in-process compiled-code cache's hit rate reaches this fraction (0..1)")
+	maxVerifierShare := fs.Float64("max-verifier-share", 0, "campaign mode: fail if the static IR verifier's share of wall time exceeds this fraction (0..1)")
 	out := fs.String("out", "", "write the JSON record to this file (default stdout)")
 	lint := fs.Bool("lint", false, "validate existing BENCH_*.json files instead of measuring")
 	fuzzBudget := fs.Int("fuzz-budget", 2000, "fuzz mode: execution budget per iteration")
@@ -133,7 +153,7 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 	var err error
 	switch fs.Arg(0) {
 	case "campaign":
-		rec, err = benchCampaign(*iterations, *workers, *cacheDir, *minSpeedup)
+		rec, err = benchCampaign(*iterations, *workers, *cacheDir, *minSpeedup, *maxVerifierShare)
 	case "fuzz":
 		rec, err = benchFuzz(*iterations, *workers, *fuzzBudget)
 	case "serve":
@@ -190,7 +210,7 @@ func runBenchExport(args []string, stdout, stderr io.Writer) int {
 	rec.Schema = benchSchema
 	rec.GoVersion = runtime.Version()
 	rec.GOMAXPROCS = runtime.GOMAXPROCS(0)
-	rec.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	rec.Timestamp = time.Now().UTC().Format(time.RFC3339) //cogdiff:allow-nondeterminism benchmark timing is the measurement itself
 	rec.Iterations = *iterations
 	rec.Workers = *workers
 
@@ -235,9 +255,9 @@ func loadBenchBaseline(path, name string) (*benchRecord, error) {
 func measure(fn func() error) (time.Duration, uint64, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := time.Now() //cogdiff:allow-nondeterminism benchmark timing is the measurement itself
 	err := fn()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //cogdiff:allow-nondeterminism benchmark timing is the measurement itself
 	runtime.ReadMemStats(&after)
 	return elapsed, after.Mallocs - before.Mallocs, err
 }
@@ -251,14 +271,20 @@ func deterministicSurfaces(s *cogdiff.CampaignSummary) string {
 	return s.StableReport()
 }
 
-func benchCampaign(iterations, workers int, cacheDir string, minSpeedup float64) (*benchRecord, error) {
+func benchCampaign(iterations, workers int, cacheDir string, minSpeedup, maxVerifierShare float64) (*benchRecord, error) {
 	rec := &benchRecord{Name: "campaign"}
 	opts := cogdiff.CampaignOptions{Workers: workers}
 
 	var baseline string
 	var coldNS int64
+	var verifierViolations int64
 	if cacheDir != "" {
-		// Cold run: populate the cache from nothing.
+		// Cold run: populate the cache from nothing. The warm iterations
+		// replay compiles from the cache, so the cold run is where the
+		// verifier actually sees the catalog — its violation count (zero
+		// on a sound tree) rides into the record from here.
+		coldReg := telemetry.NewRegistry()
+		opts.Metrics = coldReg
 		opts.CacheDir = cacheDir
 		opts.CacheMode = "rw"
 		var cold *cogdiff.CampaignSummary
@@ -273,12 +299,24 @@ func benchCampaign(iterations, workers int, cacheDir string, minSpeedup float64)
 		coldNS = elapsed.Nanoseconds()
 		rec.ColdNsPerOp = coldNS
 		baseline = deterministicSurfaces(cold)
+		verifierViolations += coldReg.Counter(telemetry.MetricIRVerifyViolations).Value()
 	}
 
-	// Measured iterations: warm when caching, plain otherwise.
+	// Measured iterations: warm when caching, plain otherwise. Uncached
+	// iterations each get a fresh registry so the verifier's self-timed
+	// cost and violation count accumulate over exactly the measured
+	// work; warm iterations replay compiles from the cache — the
+	// verifier never runs — so they stay registry-free and the cold/warm
+	// speedup is not diluted by telemetry overhead.
 	var totalNS int64
 	var totalAllocs uint64
+	var verifierSeconds float64
 	for i := 0; i < iterations; i++ {
+		var reg *telemetry.Registry
+		if cacheDir == "" {
+			reg = telemetry.NewRegistry()
+		}
+		opts.Metrics = reg
 		var sum *cogdiff.CampaignSummary
 		elapsed, allocs, err := measure(func() error {
 			var rerr error
@@ -290,6 +328,10 @@ func benchCampaign(iterations, workers int, cacheDir string, minSpeedup float64)
 		}
 		totalNS += elapsed.Nanoseconds()
 		totalAllocs += allocs
+		if reg != nil {
+			verifierSeconds += reg.Histogram(telemetry.MetricIRVerifySeconds, telemetry.DurationBuckets).Sum()
+			verifierViolations += reg.Counter(telemetry.MetricIRVerifyViolations).Value()
+		}
 		rec.Differences = sum.TotalDifferences
 		rec.HitRate = sum.Cache.HitRate()
 		rec.CodeCacheHitRate = sum.CodeCache.HitRate()
@@ -305,6 +347,18 @@ func benchCampaign(iterations, workers int, cacheDir string, minSpeedup float64)
 	}
 	rec.NsPerOp = totalNS / int64(iterations)
 	rec.AllocsPerOp = totalAllocs / uint64(iterations)
+	// The verifier's share comes from its own telemetry histogram, not a
+	// wall-clock on/off subtraction: two noisy wall times differenced
+	// cannot support a few-percent threshold, the verifier's self-timed
+	// total can.
+	if totalNS > 0 {
+		rec.VerifierNsShare = verifierSeconds / (float64(totalNS) / 1e9)
+	}
+	rec.VerifierViolations = verifierViolations
+	if maxVerifierShare > 0 && rec.VerifierNsShare > maxVerifierShare {
+		return nil, fmt.Errorf("bench-export: verifier share %.2f%% of campaign wall time exceeds the %.2f%% budget",
+			100*rec.VerifierNsShare, 100*maxVerifierShare)
+	}
 	if cacheDir != "" {
 		rec.WarmNsPerOp = rec.NsPerOp
 		if rec.WarmNsPerOp > 0 {
@@ -380,6 +434,15 @@ func lintBenchFile(path string) error {
 	}
 	if rec.Name == "campaign" && len(rec.CompilerUnits) == 0 {
 		return fmt.Errorf("%s: campaign record names no compilerUnits (schema 3 records which compiler set was measured)", path)
+	}
+	if rec.VerifierNsShare < 0 || rec.VerifierNsShare > 1 {
+		return fmt.Errorf("%s: verifierNsShare %v outside [0, 1]", path, rec.VerifierNsShare)
+	}
+	if rec.VerifierViolations < 0 {
+		return fmt.Errorf("%s: verifierViolations %d, want >= 0", path, rec.VerifierViolations)
+	}
+	if rec.Name == "campaign" && rec.VerifierViolations != 0 {
+		return fmt.Errorf("%s: campaign record reports %d verifier violations on the shipped catalog (want 0)", path, rec.VerifierViolations)
 	}
 	return nil
 }

@@ -14,6 +14,11 @@
 //	cogdiff campaign [-pristine] [-defect-constfold] [-compilers spec] [-workers n] [-progress]
 //	                                     run the full evaluation and print every table and figure
 //	                                     (-compilers +metajit adds the meta-compiled front-end)
+//	cogdiff verify-ir [-compilers spec] [-workers n]
+//	                                     statically verify the whole catalog: compile
+//	                                     every (path, compiler, ISA) unit with the IR
+//	                                     verifier on, execute nothing; exit 1 on any
+//	                                     violation
 //	cogdiff table1                       reproduce Table 1 (primAdd byte-code)
 //	cogdiff table2|table3|fig5|fig6|fig7 run the campaign and print one artifact
 //	cogdiff fuzz [-seed n] [-budget n]   coverage-guided sequence fuzzing with
@@ -128,6 +133,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		pristine := fs.Bool("pristine", false, "test the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
 		defectMetaGuard := fs.Bool("defect-metajit-guard", false, "enable the meta-compiler guard-sign defect (metajit only)")
+		defectStackLeak := fs.Bool("defect-verify-stackleak", false, "enable the verifier-targeted defect: peephole drops a pop, caught statically")
+		noVerify := fs.Bool("no-verify", false, "disable the static IR verifier (on by default)")
 		dumpIR := fs.String("dump-ir", "", "also dump every compilation stage: 'stdout' or a file path")
 		cacheDir, cacheMode := cacheFlags(fs)
 		obs := obsFlags(fs)
@@ -144,7 +151,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				usage(stderr)
 				return 2
 			}
-			if *pristine || *defectConstfold || *defectMetaGuard {
+			if *pristine || *defectConstfold || *defectMetaGuard || *defectStackLeak {
 				return fail(fmt.Errorf("-pristine and defect flags do not apply to cached explorations"))
 			}
 			data, rerr := os.ReadFile(*cacheFile)
@@ -160,6 +167,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			cfg := cogdiff.TestConfig{
 				Pristine: *pristine, ConstFoldSignError: *defectConstfold,
 				MetaJITGuardSignError: *defectMetaGuard, Metrics: obs.reg,
+				VerifyStackLeak: *defectStackLeak, NoVerify: *noVerify,
 				CacheDir: *cacheDir, CacheMode: *cacheMode,
 			}
 			res, err = cogdiff.TestInstructionWith(fs.Arg(0), fs.Arg(1), cfg)
@@ -256,6 +264,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		pristine := fs.Bool("pristine", false, "run the defect-free VM configuration")
 		defectConstfold := fs.Bool("defect-constfold", false, "enable the pass-targeted constant-folding defect")
 		defectMetaGuard := fs.Bool("defect-metajit-guard", false, "enable the meta-compiler guard-sign defect (metajit only)")
+		defectStackLeak := fs.Bool("defect-verify-stackleak", false, "enable the verifier-targeted defect: peephole drops a pop, caught statically")
+		noVerify := fs.Bool("no-verify", false, "disable the static IR verifier (on by default)")
 		compilersSpec := fs.String("compilers", "", "compiler set: exact list like simple,metajit or additions like +metajit (default: the paper's four)")
 		workers := fs.Int("workers", 0, "worker goroutines for the campaign (0 = GOMAXPROCS, 1 = serial)")
 		stable := fs.Bool("stable", false, "print only the deterministic report surfaces (Table 2/3, Figure 5, causes)")
@@ -278,6 +288,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		opts := cogdiff.CampaignOptions{
 			Pristine: *pristine, ConstFoldSignError: *defectConstfold,
 			MetaJITGuardSignError: *defectMetaGuard, Compilers: compilers,
+			VerifyStackLeak: *defectStackLeak, NoVerify: *noVerify,
 			Workers: *workers, Metrics: obs.reg,
 			CacheDir: *cacheDir, CacheMode: *cacheMode,
 		}
@@ -315,6 +326,51 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, sum.Figure7)
 			fmt.Fprintln(stdout, "Deduplicated causes:")
 			fmt.Fprintln(stdout, sum.Causes)
+		}
+	case "verify-ir":
+		fs := flag.NewFlagSet("verify-ir", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		pristine := fs.Bool("pristine", false, "sweep the defect-free VM configuration")
+		defectConstfold := fs.Bool("defect-constfold", false, "seed the pass-targeted constant-folding defect")
+		defectMetaGuard := fs.Bool("defect-metajit-guard", false, "seed the meta-compiler guard-sign defect (metajit only)")
+		defectStackLeak := fs.Bool("defect-verify-stackleak", false, "seed the verifier-targeted defect: peephole drops a pop")
+		compilersSpec := fs.String("compilers", "", "compiler set to sweep (default: all five)")
+		workers := fs.Int("workers", 0, "worker goroutines for the sweep (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir, cacheMode := cacheFlags(fs)
+		obs := obsFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
+		if err := validateWorkers(*workers); err != nil {
+			return fail(err)
+		}
+		var compilers []string
+		if *compilersSpec != "" {
+			var err error
+			if compilers, err = cogdiff.ParseCompilerSpec(*compilersSpec); err != nil {
+				return fail(err)
+			}
+		}
+		if err := obs.start(false, stderr, nil); err != nil {
+			return fail(err)
+		}
+		sum, err := cogdiff.VerifyIR(cogdiff.VerifyIROptions{
+			Pristine: *pristine, ConstFoldSignError: *defectConstfold,
+			MetaJITGuardSignError: *defectMetaGuard, VerifyStackLeak: *defectStackLeak,
+			Compilers: compilers, Workers: *workers, Metrics: obs.reg,
+			CacheDir: *cacheDir, CacheMode: *cacheMode,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if err := obs.finish(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "verify-ir completed in %s\n", sum.Duration)
+		fmt.Fprint(stdout, sum.Report)
+		// The sweep is a gate: a dirty catalog fails the invocation.
+		if sum.Violations > 0 {
+			return 1
 		}
 	case "serve":
 		return runServe(args, stdout, stderr)
@@ -494,7 +550,11 @@ func usage(w io.Writer) {
                    [-defect-metajit-guard] [-dump-ir stdout|file] <instruction> <compiler>
   cogdiff ir <instruction> <compiler>
   cogdiff campaign [-pristine] [-defect-constfold] [-defect-metajit-guard]
+               [-defect-verify-stackleak] [-no-verify]
                [-compilers spec] [-workers n] [-stable] [-progress]
+  cogdiff verify-ir [-pristine] [-defect-verify-stackleak] [-compilers spec]
+               [-workers n]    (statically verify the catalog, execute nothing;
+               exits 1 on any violation)
   cogdiff table1|table2|table3|fig5|fig6|fig7 [-workers n] [-compilers spec]
   cogdiff serve [-addr host:port] [-workers n] [-max-jobs n]
                [-cache-dir dir] [-cache mode] [-corpus-dir dir]

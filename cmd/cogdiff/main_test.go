@@ -77,6 +77,42 @@ func TestGoldenFuzzReport(t *testing.T) {
 	checkGolden(t, "fuzz.golden", runCLI(t, append(args, "-workers", "4")...))
 }
 
+// TestGoldenVerifyIR pins the compile-only verification sweep: the whole
+// catalog, all five compilers, both ISAs, zero violations — and the
+// report byte-identical at every worker count.
+func TestGoldenVerifyIR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full verify-ir sweep skipped in -short mode")
+	}
+	checkGolden(t, "verifyir.golden", runCLI(t, "verify-ir", "-workers", "1"))
+	checkGolden(t, "verifyir.golden", runCLI(t, "verify-ir", "-workers", "4"))
+}
+
+// TestGoldenVerifyIRStackLeak pins the verifier-targeted seeded defect
+// being caught statically: the sweep exits 1 (it is a gate) and every
+// violation carries the exact pass-level blame string.
+func TestGoldenVerifyIRStackLeak(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"verify-ir", "-defect-verify-stackleak", "-compilers", "simple", "-workers", "4"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("cogdiff %v exited %d, want 1 (violations gate the run); stderr: %s", args, code, stderr.String())
+	}
+	out := stdout.String()
+	if !bytes.Contains([]byte(out), []byte("ir-verify:stack-balance after pass:peephole")) {
+		t.Fatalf("sweep output missing the static blame string:\n%s", out)
+	}
+	checkGolden(t, "verifyir_stackleak.golden", out)
+}
+
+// TestGoldenDifftestStackLeak pins the static verdict surface of the
+// differential tester: with the seeded stack leak, difftest reports the
+// difference with verifier blame — established without executing the
+// broken code.
+func TestGoldenDifftestStackLeak(t *testing.T) {
+	checkGolden(t, "difftest_stackleak.golden",
+		runCLI(t, "difftest", "-defect-verify-stackleak", "primAdd", "simple"))
+}
+
 func TestFuzzEmitTests(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "fuzz_regress_test.go")

@@ -88,6 +88,13 @@ func DefaultCompilers() []string {
 	return []string{CompilerNativeMethods, CompilerSimple, CompilerStackToRegister, CompilerRegisterAllocating}
 }
 
+// AllCompilers is every compiler the framework builds: the paper's four
+// plus the derived meta-compiled front-end. The verify-ir sweep defaults
+// to it — static verification is cheap enough to cover the whole set.
+func AllCompilers() []string {
+	return append(DefaultCompilers(), CompilerMetaJIT)
+}
+
 // SequenceCompilers is the default compiler set for sequence fuzzing:
 // the three hand-written byte-code compilers. Native-method templates do
 // not compile sequences, and the meta-compiled front-end is opt-in.
@@ -346,6 +353,15 @@ type TestConfig struct {
 	// (< instead of <=), breaking guard-chain exclusivity on boundary
 	// inputs. Only the metajit compiler is affected.
 	MetaJITGuardSignError bool
+	// VerifyStackLeak enables the verifier-targeted defect: the peephole
+	// pass deletes the first stack pop it sees. The static IR verifier
+	// catches it before execution and blames
+	// "ir-verify:stack-balance after pass:peephole".
+	VerifyStackLeak bool
+	// NoVerify disables the static IR verifier inside every compiler.
+	// Verification is on by default; results on a verifier-clean
+	// configuration are byte-identical either way.
+	NoVerify bool
 	// Metrics, when non-nil, collects exploration and pass-pipeline
 	// telemetry for the test. Pure observation sink: results are
 	// identical with or without it.
@@ -364,6 +380,7 @@ func (c TestConfig) switches() defects.Switches {
 	}
 	sw.ConstFoldSignError = c.ConstFoldSignError
 	sw.MetaJITGuardSignError = c.MetaJITGuardSignError
+	sw.VerifyStackLeak = c.VerifyStackLeak
 	return sw
 }
 
@@ -399,6 +416,9 @@ func TestInstructionWith(instruction, compiler string, cfg TestConfig) (*Instruc
 		cache.StoreExploration(exKey, ex)
 	}
 	tester := core.NewTester(prims, sw)
+	if cfg.NoVerify {
+		tester.SetNoVerify()
+	}
 	tester.SetMetrics(cfg.Metrics)
 
 	res := &InstructionResult{Instruction: instruction, Compiler: compiler, Paths: len(ex.Paths) + ex.CuratedOut}
@@ -446,6 +466,15 @@ type CampaignOptions struct {
 	// defect (wrong guard comparison sign in the derived front-end).
 	// Only meaningful when the compiler set includes "metajit".
 	MetaJITGuardSignError bool
+	// VerifyStackLeak additionally enables the verifier-targeted defect:
+	// the peephole pass deletes the first stack pop, which the static IR
+	// verifier rejects — and blames — before execution.
+	VerifyStackLeak bool
+	// NoVerify disables the static IR verifier inside every compiler.
+	// On a verifier-clean configuration every rendered report is
+	// byte-identical either way; the knob exists to measure overhead and
+	// to pin that identity in tests.
+	NoVerify bool
 	// Compilers selects the compiler set by canonical name (see
 	// ParseCompilerSpec for the user-facing spec syntax). Empty means
 	// DefaultCompilers() — the paper's four.
@@ -573,13 +602,15 @@ func (s *CampaignSummary) StableReport() string {
 // mode string, unusable cache directory) and cancellation through
 // Options.Context; an uncancelled cache-less run cannot fail.
 func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
-	start := time.Now()
+	start := time.Now() //cogdiff:allow-nondeterminism duration is summary metadata, never report-table content
 	cfg := core.DefaultConfig()
 	if opts.Pristine {
 		cfg.Defects = defects.Pristine()
 	}
 	cfg.Defects.ConstFoldSignError = opts.ConstFoldSignError
 	cfg.Defects.MetaJITGuardSignError = opts.MetaJITGuardSignError
+	cfg.Defects.VerifyStackLeak = opts.VerifyStackLeak
+	cfg.NoVerify = opts.NoVerify
 	if len(opts.Compilers) > 0 {
 		kinds, err := compilerKindsOf(opts.Compilers)
 		if err != nil {
@@ -631,7 +662,7 @@ func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
 		Figure7:        report.Figure7(res),
 		Causes:         report.Causes(res),
 		CodeCache:      CodeCacheStats{Hits: res.CodeCache.Hits, Misses: res.CodeCache.Misses},
-		Duration:       time.Since(start),
+		Duration:       time.Since(start), //cogdiff:allow-nondeterminism duration is summary metadata, never report-table content
 	}
 	for _, r := range res.Reports {
 		p, c, d := r.Totals()
@@ -651,6 +682,105 @@ func RunCampaign(opts CampaignOptions) (*CampaignSummary, error) {
 	out.Cache = cacheStatsOf(cache)
 	out.FingerprintErrors = res.FingerprintErrors
 	return out, nil
+}
+
+// VerifyIROptions configures a compile-only static verification sweep.
+type VerifyIROptions struct {
+	// Context, when non-nil, cancels the sweep at the next unit boundary.
+	Context context.Context
+	// Pristine sweeps the defect-free VM instead of the production
+	// defect state. Both are verifier-clean: the seeded semantic defects
+	// change behaviour, not IR well-formedness.
+	Pristine bool
+	// ConstFoldSignError / MetaJITGuardSignError / VerifyStackLeak seed
+	// the corresponding defects (see CampaignOptions). Only
+	// VerifyStackLeak is structural — it is the defect the verifier
+	// exists to catch statically.
+	ConstFoldSignError    bool
+	MetaJITGuardSignError bool
+	VerifyStackLeak       bool
+	// Compilers selects the swept compiler set by canonical name.
+	// Empty means AllCompilers() — static verification is cheap enough
+	// to cover all five.
+	Compilers []string
+	// MaxIterations bounds the concolic exploration per instruction
+	// (0 = default).
+	MaxIterations int
+	// Workers shards the sweep (0 = GOMAXPROCS). The rendered report is
+	// byte-identical at any worker count.
+	Workers int
+	// Metrics, when non-nil, collects exploration and verifier telemetry.
+	Metrics *telemetry.Registry
+	// CacheDir/CacheMode share the exploration cache with ordinary
+	// campaigns: a sweep after a campaign re-explores nothing.
+	CacheDir  string
+	CacheMode string
+}
+
+// VerifyIRSummary is the outcome of a compile-only verification sweep.
+type VerifyIRSummary struct {
+	// Report is the deterministic rendering: per-compiler totals followed
+	// by every violation with its blame string.
+	Report string
+	// Compiled counts (path, compiler, ISA) units that compiled and
+	// verified cleanly; Skipped the expected non-compilable paths;
+	// Violations the static rejections.
+	Compiled   int
+	Skipped    int
+	Violations int
+	Duration   time.Duration
+}
+
+// VerifyIR statically verifies the whole instruction catalog without
+// executing anything: every explored path of every instruction is
+// compiled by every selected compiler on both ISAs with the IR verifier
+// on — front-end output and every pass prefix checked — and the code is
+// discarded. A pristine or production catalog reports zero violations;
+// a seeded structural defect (VerifyStackLeak) is caught and blamed
+// here, before a single instruction of the broken code could run.
+func VerifyIR(opts VerifyIROptions) (*VerifyIRSummary, error) {
+	start := time.Now() //cogdiff:allow-nondeterminism duration is summary metadata, never report-table content
+	cfg := core.DefaultConfig()
+	if opts.Pristine {
+		cfg.Defects = defects.Pristine()
+	}
+	cfg.Defects.ConstFoldSignError = opts.ConstFoldSignError
+	cfg.Defects.MetaJITGuardSignError = opts.MetaJITGuardSignError
+	cfg.Defects.VerifyStackLeak = opts.VerifyStackLeak
+	names := opts.Compilers
+	if len(names) == 0 {
+		names = AllCompilers()
+	}
+	kinds, err := compilerKindsOf(names)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Compilers = kinds
+	if opts.MaxIterations > 0 {
+		cfg.Explore.MaxIterations = opts.MaxIterations
+	}
+	cfg.Workers = opts.Workers
+	cfg.Metrics = opts.Metrics
+	cache, err := openCache(opts.CacheDir, opts.CacheMode, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Cache = cache
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := core.NewCampaign(cfg).VerifyIR(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &VerifyIRSummary{
+		Report:     res.Render(),
+		Compiled:   res.Compiled,
+		Skipped:    res.Skipped,
+		Violations: res.Violations,
+		Duration:   time.Since(start), //cogdiff:allow-nondeterminism duration is summary metadata, never report-table content
+	}, nil
 }
 
 // DumpIR renders every compilation stage of one instruction for one

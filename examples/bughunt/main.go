@@ -54,7 +54,7 @@ func main() {
 	}
 	fmt.Printf("pristine differences: %d (all from the byte-code tiers' missing\n", clean.TotalDifferences)
 	fmt.Println("float-inlining, the inherent optimisation differences)")
-	for fam, n := range clean.CausesByFamily {
-		fmt.Printf("  %-35s %d\n", fam, n)
+	for _, fam := range cogdiff.SortedFamilies(clean.CausesByFamily) {
+		fmt.Printf("  %-35s %d\n", fam, clean.CausesByFamily[fam])
 	}
 }

@@ -1,0 +1,184 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks module packages from source so the analyzers can
+// run without export data or any tooling beyond the standard library.
+// Module-internal imports resolve recursively through the loader itself
+// (memoized); standard-library imports go through the stdlib source
+// importer, so every package — ours or std — shares one *token.FileSet
+// and one identity per import path.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset   *token.FileSet
+	std    types.Importer
+	pkgs   map[string]*types.Package
+	passes map[string]*Pass
+}
+
+// NewLoader builds a loader rooted at the module directory. modulePath
+// is the module's import path ("cogdiff").
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*types.Package),
+		passes:     make(map[string]*Pass),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer: module packages load from source,
+// everything else delegates to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pass, err := l.LoadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		return pass.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadPackage parses and type-checks the module package with the given
+// import path, returning a ready-to-analyze Pass. Results are memoized.
+func (l *Loader) LoadPackage(importPath string) (*Pass, error) {
+	if pass, ok := l.passes[importPath]; ok {
+		return pass, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	var names []string
+	names = append(names, bp.GoFiles...)
+	sort.Strings(names)
+
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pass, err := l.Check(importPath, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pass.Pkg
+	l.passes[importPath] = pass
+	return pass, nil
+}
+
+// Check type-checks already parsed files as one package and wraps the
+// result in a Pass. It is the shared back half of LoadPackage, exposed
+// so tests can check synthetic file sets under a chosen import path.
+func (l *Loader) Check(importPath string, files []*ast.File) (*Pass, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Pass{
+		Fset:       l.fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		ImportPath: importPath,
+	}, nil
+}
+
+// ModulePackages walks the module tree and returns the import path of
+// every directory holding buildable Go files, sorted.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return fs.SkipDir
+		}
+		has, err := hasGoFiles(p)
+		if err != nil {
+			return err
+		}
+		if !has {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.ModulePath)
+		} else {
+			paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go file.
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

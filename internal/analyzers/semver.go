@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+)
+
+// Semver enforces the semantic-version-stamp convention behind the
+// persistent caches. Packages whose semantics are folded into cache
+// keys (the interpreter, the primitive catalog, the solver, the JIT
+// pipeline, the machine model and the meta-compiler) must each declare
+// a `SemanticsVersion` string constant whose value has the `name/N`
+// shape, so a semantic change has exactly one audited bump site and
+// stale cache entries orphan instead of resurfacing. An exported
+// `Version` constant carrying a stamp-shaped value is flagged too: the
+// uniform name is what makes `grep SemanticsVersion` an exhaustive
+// audit.
+var Semver = &Analyzer{
+	Name: "semver",
+	Doc:  "cache-keyed packages declare a well-formed SemanticsVersion stamp",
+	Run:  runSemver,
+}
+
+// semverPackages are the import paths whose semantics feed persistent
+// cache keys (see internal/excache/versions.go).
+var semverPackages = map[string]bool{
+	"cogdiff/internal/interp":      true,
+	"cogdiff/internal/primitives":  true,
+	"cogdiff/internal/solver":      true,
+	"cogdiff/internal/jit":         true,
+	"cogdiff/internal/machine":     true,
+	"cogdiff/internal/metacompile": true,
+}
+
+// stampPattern is the required stamp shape: a lowercase component name,
+// a slash, a monotonically bumped integer.
+var stampPattern = regexp.MustCompile(`^[a-z0-9-]+/[0-9]+$`)
+
+func runSemver(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	var stampPos token.Pos = token.NoPos
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					switch name.Name {
+					case "SemanticsVersion":
+						stampPos = name.Pos()
+						if val, ok := constStringValue(p, name); ok && !stampPattern.MatchString(val) {
+							out = append(out, p.diag("semver", name.Pos(),
+								"SemanticsVersion %q does not match name/N (e.g. %q)", val, "interp/1"))
+						}
+					case "Version":
+						if !p.isTestFile(name.Pos()) && name.IsExported() {
+							if val, ok := constStringValue(p, name); ok && stampPattern.MatchString(val) {
+								out = append(out, p.diag("semver", name.Pos(),
+									"version stamp %q is named Version: name it SemanticsVersion so stamp audits stay exhaustive", val))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if semverPackages[p.ImportPath] && stampPos == token.NoPos {
+		pos := token.NoPos
+		if len(p.Files) > 0 {
+			pos = p.Files[0].Name.Pos()
+		}
+		out = append(out, p.diag("semver", pos,
+			"package %s feeds persistent cache keys but declares no SemanticsVersion constant", p.ImportPath))
+	}
+	return out
+}
+
+// constStringValue folds a constant identifier to its string value.
+func constStringValue(p *Pass, id *ast.Ident) (string, bool) {
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		return "", false
+	}
+	c, ok := obj.(interface{ Val() constant.Value })
+	if !ok {
+		return "", false
+	}
+	v := c.Val()
+	if v == nil || v.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(v), true
+}

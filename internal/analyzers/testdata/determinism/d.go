@@ -1,0 +1,52 @@
+// Package determinism is analyzer test input: every construct the
+// determinism analyzer must flag, waive, or ignore.
+package determinism
+
+import (
+	"fmt"
+	"math/rand" // want "use a seeded, explicitly threaded source"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "call to time.Now: wall-clock reads are nondeterministic"
+	return time.Since(start) // want "call to time.Since: wall-clock reads are nondeterministic"
+}
+
+func waived() time.Time {
+	//cogdiff:allow-nondeterminism trace timestamps never reach a report
+	return time.Now()
+}
+
+func waivedSameLine() time.Time {
+	return time.Now() //cogdiff:allow-nondeterminism trace timestamps never reach a report
+}
+
+func waiverWithoutReason() time.Time {
+	//cogdiff:allow-nondeterminism
+	return time.Now() // want "allow-nondeterminism directive without a reason"
+}
+
+func emittingMapRange(m map[string]int) {
+	for k, v := range m { // want "map range emits output in iteration order"
+		fmt.Println(k, v)
+	}
+}
+
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // ordered downstream by the caller's sort: not flagged
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRange(xs []int) {
+	for _, x := range xs { // slices iterate in order: not flagged
+		fmt.Println(x)
+	}
+}
+
+func seeded() int {
+	return rand.Intn(10)
+}

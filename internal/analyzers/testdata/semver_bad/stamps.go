@@ -1,0 +1,14 @@
+// Package stamps is analyzer test input for the semver stamp rules.
+package stamps
+
+// A malformed stamp value: uppercase and no /N suffix.
+const SemanticsVersion = "Interp/One" // want "does not match name/N"
+
+// A well-shaped stamp hiding under the wrong name.
+const Version = "solver/1" // want "is named Version: name it SemanticsVersion"
+
+// Not a stamp at all: ignored.
+const Greeting = "hello"
+
+// Unexported version constants are free to exist.
+const version = "solver/9"

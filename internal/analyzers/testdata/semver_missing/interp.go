@@ -1,0 +1,7 @@
+// Package interp is analyzer test input: type-checked under the import
+// path cogdiff/internal/interp — a cache-keyed package — but declaring
+// no SemanticsVersion stamp.
+package interp // want "declares no SemanticsVersion constant"
+
+// Step is a stand-in for the package's real semantics.
+func Step() int { return 1 }

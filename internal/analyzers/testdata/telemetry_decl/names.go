@@ -1,0 +1,13 @@
+// Package telemetry is analyzer test input: type-checked under the
+// telemetry package's import path so the declaration-side metric name
+// rule applies.
+package telemetry
+
+const (
+	MetricGoodCounter = "cogdiff_campaign_runs_total"
+	MetricBadCase     = "Cogdiff_Campaign_Runs" // want "does not match cogdiff_"
+	MetricBadPrefix   = "campaign_runs_total"   // want "does not match cogdiff_"
+
+	// Non-Metric constants are out of scope.
+	SpanExplore = "explore"
+)

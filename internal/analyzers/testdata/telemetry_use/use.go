@@ -1,0 +1,19 @@
+// Package use is analyzer test input: registration call sites against
+// the real telemetry Registry, checked by constant-folding the name
+// argument.
+package use
+
+import "cogdiff/internal/telemetry"
+
+const localName = "cogdiff_local_checks_total"
+
+func register(r *telemetry.Registry, dynamic string) {
+	r.Counter("cogdiff_campaign_runs_total")
+	r.Counter(localName)
+	r.Counter("cogdiff_campaign_runs")        // want "must end in"
+	r.LabeledCounter("bad_name_total", "isa") // want "does not match cogdiff_"
+	r.Histogram("cogdiff_compile_seconds", nil)
+	r.Histogram("cogdiff_compile_time", nil) // want "must end in"
+	r.Gauge("cogdiff_active_workers")
+	r.Counter(dynamic) // dynamic names cannot be folded: not flagged
+}

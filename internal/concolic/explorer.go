@@ -104,7 +104,7 @@ func signatureOf(cs []sym.Constraint) string {
 // concolic loop of §2.3, except it never stops at errors — every exit
 // condition is a first-class result.
 func (e *Explorer) Explore(t Target) *Exploration {
-	start := time.Now()
+	start := time.Now() //cogdiff:allow-nondeterminism exploration timing feeds telemetry histograms only
 	u := sym.NewUniverse()
 	ex := &Exploration{Target: t, Universe: u}
 
@@ -166,7 +166,7 @@ func (e *Explorer) Explore(t Target) *Exploration {
 			}
 		}
 	}
-	ex.Duration = time.Since(start)
+	ex.Duration = time.Since(start) //cogdiff:allow-nondeterminism exploration timing feeds telemetry histograms only
 	return ex
 }
 

@@ -66,6 +66,11 @@ type Config struct {
 	// cache — so each execution boots and compiles from scratch. The
 	// determinism suite diffs reports against this reference mode.
 	noReuse bool
+	// NoVerify disables the static IR verifier inside every compiler the
+	// campaign constructs. Verification is on by default; on a clean
+	// catalog reports are byte-identical either way, and the knob exists
+	// to measure overhead and to pin that identity.
+	NoVerify bool
 }
 
 // InstructionDone is the progress event for one completed test unit.
@@ -264,6 +269,9 @@ func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	tester := NewTester(c.Prims, c.Config.Defects)
 	if c.Config.noReuse {
 		tester.SetNoReuse()
+	}
+	if c.Config.NoVerify {
+		tester.SetNoVerify()
 	}
 	tester.SetMetrics(reg)
 	c.panicsContained = reg.Counter(telemetry.MetricPanicsContained)
@@ -473,6 +481,10 @@ func (c *Campaign) unitCacheKey(explorationFP string, kind CompilerKind) string 
 		parts = append(parts, fmt.Sprintf("isa=%d", int(isa)))
 	}
 	parts = append(parts, fmt.Sprintf("defects=%+v", c.Config.Defects))
+	// Verdicts depend on whether the static verifier ran: a defective
+	// pipeline yields a verifier-reject verdict with it on and a dynamic
+	// one with it off, and the exploration cache persists across runs.
+	parts = append(parts, fmt.Sprintf("verify=%t", !c.Config.NoVerify))
 	return c.Config.Cache.UnitKey(explorationFP, parts...)
 }
 
@@ -507,7 +519,7 @@ func (c *Campaign) storeCachedUnit(key string, ir *InstructionReport) {
 // any number of instances may run concurrently; cause attribution happens
 // in Run's serial merge pass.
 func (c *Campaign) testInstruction(tester *Tester, kind CompilerKind, target concolic.Target, ex *concolic.Exploration) InstructionReport {
-	start := time.Now()
+	start := time.Now() //cogdiff:allow-nondeterminism campaign timing feeds telemetry histograms only
 	ir := InstructionReport{
 		Target:      target,
 		Paths:       len(ex.Paths) + ex.CuratedOut,
@@ -539,7 +551,7 @@ func (c *Campaign) testInstruction(tester *Tester, kind CompilerKind, target con
 			ir.Differences++
 		}
 	}
-	ir.TestTime = time.Since(start)
+	ir.TestTime = time.Since(start) //cogdiff:allow-nondeterminism campaign timing feeds telemetry histograms only
 	return ir
 }
 

@@ -34,6 +34,14 @@ func Classify(target concolic.Target, prims *primitives.Table, iExit interp.Exit
 		return defects.SimulationError
 	case CompiledCrash, CompiledRunaway:
 		return defects.MissingCompiledTypeCheck
+	case CompiledVerifierReject:
+		// The static verifier rejected the unit before execution. A pass
+		// that broke an invariant is an optimization defect; a front-end
+		// emitting malformed IR is a behavioral one.
+		if strings.Contains(obs.Detail, "after pass:") {
+			return defects.OptimizationDifference
+		}
+		return defects.BehavioralDifference
 	}
 
 	if target.Kind == concolic.TargetNativeMethod {
@@ -91,6 +99,11 @@ func ClassifySequence(v *SequenceVerdict) (instrument string, fam defects.Family
 		return instrument, defects.MissingFunctionality
 	case cErr && strings.Contains(c.Kind, "simulation"):
 		return instrument, defects.SimulationError
+	case cErr && strings.Contains(c.Kind, "verifier reject"):
+		if strings.Contains(c.Kind, "after pass:") {
+			return instrument, defects.OptimizationDifference
+		}
+		return instrument, defects.BehavioralDifference
 	case !iErr && cErr:
 		// Compiled code crashes where the interpreter degrades gracefully.
 		return instrument, defects.MissingCompiledTypeCheck

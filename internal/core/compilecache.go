@@ -130,6 +130,7 @@ func (t *Tester) compileBytecode(om *heap.ObjectMemory, mode byte, variant jit.V
 			mc.PassLimit = passLimit
 			mc.Metrics = t.passMetrics
 			mc.OnIR = irHook
+			mc.NoVerify = t.noVerify
 			if mode == modeMethod {
 				return mc.CompileMethod(method, nil)
 			}
@@ -139,6 +140,7 @@ func (t *Tester) compileBytecode(om *heap.ObjectMemory, mode byte, variant jit.V
 		cogit.PassLimit = passLimit
 		cogit.Metrics = t.passMetrics
 		cogit.OnIR = irHook
+		cogit.NoVerify = t.noVerify
 		if mode == modeMethod {
 			return cogit.CompileMethod(method, nil)
 		}
@@ -156,6 +158,7 @@ func (t *Tester) compileNative(om *heap.ObjectMemory, prim *primitives.Primitive
 	build := func(func(ir.Opc)) (*jit.CompiledMethod, error) {
 		nc := jit.NewNativeMethodCompiler(isa, om, t.Defects)
 		nc.Metrics = t.passMetrics
+		nc.NoVerify = t.noVerify
 		return nc.CompileNativeMethod(prim)
 	}
 	if t.cache == nil {

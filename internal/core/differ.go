@@ -10,6 +10,7 @@ import (
 	"cogdiff/internal/defects"
 	"cogdiff/internal/heap"
 	"cogdiff/internal/interp"
+	"cogdiff/internal/irverify"
 	"cogdiff/internal/jit"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/metacompile"
@@ -41,6 +42,12 @@ type Tester struct {
 	// The determinism suite uses it to pin that pooling cannot change a
 	// single report byte.
 	noReuse bool
+
+	// noVerify disables the static IR verifier inside every compiler this
+	// tester constructs. Verification is on by default; the byte-identity
+	// suite flips this to pin that the verifier cannot change a report
+	// byte on a clean catalog.
+	noVerify bool
 }
 
 // NewTester builds a tester with the given native-method table and seeded
@@ -73,6 +80,10 @@ func (t *Tester) SetNoReuse() {
 	t.noReuse = true
 	t.cache = nil
 }
+
+// SetNoVerify disables the static IR verifier for every compilation this
+// tester performs.
+func (t *Tester) SetNoVerify() { t.noVerify = true }
 
 // interpreterReference re-executes the interpreter concretely for a path
 // on the env's (freshly reset) object memory and returns its exit, frame
@@ -207,6 +218,18 @@ func (u *UnitRun) TestPath(path *concolic.PathResult, kind CompilerKind, isa mac
 
 	obs, err := t.runCompiled(target, u.ex, path, kind, isa, -1)
 	if err != nil {
+		var verr *irverify.Error
+		if errors.As(err, &verr) {
+			// Static verdict: the verifier rejected the compiled unit, so
+			// the difference is established — and blamed — without
+			// executing a single instruction of it.
+			v.Differs = true
+			v.Cause = verr.Blame()
+			v.Detail = "static IR verification failed: " + verr.Error()
+			v.Observed = &CompiledObservation{Kind: CompiledVerifierReject, Detail: verr.Error()}
+			v.InterpExit = interpExit
+			return v
+		}
 		if errors.Is(err, jit.ErrNotCompilable) {
 			v.Skipped, v.Reason = true, "not compilable: "+err.Error()
 			return v

@@ -58,6 +58,11 @@ const (
 	CompiledCrash // segmentation fault / machine trap
 	CompiledSimulationError
 	CompiledRunaway
+	// CompiledVerifierReject is a static outcome: the IR verifier rejected
+	// the compiled unit before execution, so no machine state was ever
+	// observed. The verdict's Cause carries the statically-attributed
+	// blame (`ir-verify:<rule> after <stage>`).
+	CompiledVerifierReject
 )
 
 func (k CompiledExitKind) String() string {
@@ -82,6 +87,8 @@ func (k CompiledExitKind) String() string {
 		return "simulationError"
 	case CompiledRunaway:
 		return "runaway"
+	case CompiledVerifierReject:
+		return "verifierReject"
 	}
 	return fmt.Sprintf("CompiledExitKind(%d)", int(k))
 }

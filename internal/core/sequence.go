@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/heap"
 	"cogdiff/internal/interp"
 	"cogdiff/internal/ir"
+	"cogdiff/internal/irverify"
 	"cogdiff/internal/jit"
 	"cogdiff/internal/machine"
 )
@@ -148,6 +150,19 @@ func (t *Tester) TestSequenceObserved(method *bytecode.Method, in SequenceInput,
 	}
 	cOut, err := t.CompiledSequence(method, in, kind, isa, h)
 	if err != nil {
+		var verr *irverify.Error
+		if errors.As(err, &verr) {
+			// Static verdict: the verifier rejected the whole-method body,
+			// so the difference is established — and blamed — without
+			// executing it.
+			return &SequenceVerdict{
+				Differs:  true,
+				Cause:    verr.Blame(),
+				Detail:   "static IR verification failed: " + verr.Error(),
+				Interp:   *iOut,
+				Compiled: SequenceOutcome{Kind: "error: verifier reject: " + verr.Error()},
+			}, nil
+		}
 		return nil, err
 	}
 	v := CompareSequenceOutcomes(iOut, cOut)

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"cogdiff/internal/concolic"
+	"cogdiff/internal/heap"
+	"cogdiff/internal/interp"
+	"cogdiff/internal/irverify"
+	"cogdiff/internal/jit"
+	"cogdiff/internal/machine"
+	"cogdiff/internal/metacompile"
+	"cogdiff/internal/telemetry"
+)
+
+// VerifyViolation is one static rejection from the compile-only sweep:
+// the IR verifier refused a (path, ISA) unit before a single instruction
+// of it could have executed.
+type VerifyViolation struct {
+	ISA   machine.ISA
+	Path  int // index into the instruction's explored paths
+	Blame string
+	// Detail is the verifier's full rendering: first violation, rule,
+	// instruction index and the stage it was caught after.
+	Detail string
+}
+
+// VerifyRow is the sweep outcome for one (compiler, instruction) unit.
+type VerifyRow struct {
+	Compiler    CompilerKind
+	Instruction string
+	// Compiled counts (path, ISA) compiles that passed verification,
+	// Skipped the expected failures (invalid frames, not-compilable
+	// paths) that never reached the verifier.
+	Compiled   int
+	Skipped    int
+	Violations []VerifyViolation
+}
+
+// VerifySweepResult aggregates a whole-catalog compile-only verification
+// sweep: every instruction, every configured compiler, both ISAs,
+// front-end plus every pass prefix verified — nothing executed.
+type VerifySweepResult struct {
+	Rows       []VerifyRow // canonical (compiler, instruction) order
+	Compiled   int
+	Skipped    int
+	Violations int
+}
+
+// Render formats the sweep deterministically: per-compiler totals, then
+// every violation with its blame string. Byte-identical at any worker
+// count.
+func (r *VerifySweepResult) Render() string {
+	var b strings.Builder
+	type agg struct{ instrs, compiled, skipped, violations int }
+	perCompiler := make(map[CompilerKind]*agg)
+	var order []CompilerKind
+	for _, row := range r.Rows {
+		a := perCompiler[row.Compiler]
+		if a == nil {
+			a = &agg{}
+			perCompiler[row.Compiler] = a
+			order = append(order, row.Compiler)
+		}
+		a.instrs++
+		a.compiled += row.Compiled
+		a.skipped += row.Skipped
+		a.violations += len(row.Violations)
+	}
+	fmt.Fprintf(&b, "ir-verify: %d units compiled cleanly, %d skipped, %d violations\n",
+		r.Compiled, r.Skipped, r.Violations)
+	for _, kind := range order {
+		a := perCompiler[kind]
+		fmt.Fprintf(&b, "  %-32s %3d instructions, %5d compiles verified, %4d skipped, %d violations\n",
+			kind, a.instrs, a.compiled, a.skipped, a.violations)
+	}
+	for _, row := range r.Rows {
+		for _, v := range row.Violations {
+			fmt.Fprintf(&b, "  VIOLATION %s %s path %d [%s]: %s\n    %s\n",
+				row.Compiler, row.Instruction, v.Path, v.ISA, v.Blame, v.Detail)
+		}
+	}
+	return b.String()
+}
+
+// VerifyIR runs the compile-only verification sweep over the campaign's
+// instruction catalog: it concolically explores every instruction
+// (sharing the exploration cache with ordinary campaigns), then compiles
+// every (path, compiler, ISA) unit with the static verifier on and
+// discards the code without executing it. The result is the proof
+// obligation behind `cogdiff verify-ir`: a pristine catalog reports zero
+// violations, and a seeded pass defect is caught — and blamed — here,
+// statically.
+//
+// Work shards over Config.Workers goroutines; rows land in slots indexed
+// by configuration order, so the rendered report is byte-identical to a
+// serial sweep.
+func (c *Campaign) VerifyIR(ctx context.Context) (*VerifySweepResult, error) {
+	workers := c.workerCount()
+	reg := c.Config.Metrics
+	explorer := concolic.NewExplorer(c.Prims, c.exploreOptions())
+	tester := NewTester(c.Prims, c.Config.Defects)
+	tester.SetMetrics(reg)
+	c.panicsContained = reg.Counter(telemetry.MetricPanicsContained)
+
+	// Step 1: explore every instruction, sharing cache entries with
+	// RunContext (same keys, same options).
+	bcTargets := c.BytecodeTargets()
+	nmTargets := c.PrimitiveTargets()
+	allTargets := append(append([]concolic.Target{}, bcTargets...), nmTargets...)
+	explorations := make([]*concolic.Exploration, len(allTargets))
+	exKeys := make([]string, len(allTargets))
+	for i, t := range allTargets {
+		exKeys[i] = c.Config.Cache.ExplorationKey(t, c.exploreOptions())
+	}
+	if err := RunUnitsCtx(ctx, workers, len(allTargets), func(i int) {
+		if ex, ok := c.Config.Cache.LoadExploration(exKeys[i], allTargets[i]); ok {
+			explorations[i] = ex
+			return
+		}
+		contained := false
+		defer func() {
+			if p := recover(); p != nil {
+				c.panicsContained.Inc()
+				explorations[i] = &concolic.Exploration{Target: allTargets[i]}
+				contained = true
+			}
+			if !contained {
+				c.Config.Cache.StoreExploration(exKeys[i], explorations[i])
+			}
+		}()
+		explorations[i] = explorer.Explore(allTargets[i])
+	}); err != nil {
+		return nil, err
+	}
+	exByTarget := make(map[string]*concolic.Exploration, len(allTargets))
+	for i, t := range allTargets {
+		exByTarget[explorationKey(t)] = explorations[i]
+	}
+
+	// Step 2: one compile-only unit per (compiler, instruction).
+	type verifyUnit struct {
+		kind   CompilerKind
+		target concolic.Target
+	}
+	var units []verifyUnit
+	for _, kind := range c.Config.Compilers {
+		targets := bcTargets
+		if kind == NativeMethodCompilerKind {
+			targets = nmTargets
+		}
+		for _, t := range targets {
+			units = append(units, verifyUnit{kind: kind, target: t})
+		}
+	}
+	rows := make([]VerifyRow, len(units))
+	if err := RunUnitsCtx(ctx, workers, len(units), func(i int) {
+		u := units[i]
+		rows[i] = c.verifyInstruction(tester, u.kind, u.target, exByTarget[explorationKey(u.target)])
+	}); err != nil {
+		return nil, err
+	}
+
+	// Step 3: serial merge in canonical order.
+	res := &VerifySweepResult{Rows: rows}
+	for i := range rows {
+		res.Compiled += rows[i].Compiled
+		res.Skipped += rows[i].Skipped
+		res.Violations += len(rows[i].Violations)
+	}
+	return res, nil
+}
+
+// verifyInstruction compiles every (path, ISA) unit of one instruction
+// under one compiler with the verifier on, recording violations and
+// expected skips. Nothing executes.
+func (c *Campaign) verifyInstruction(t *Tester, kind CompilerKind, target concolic.Target, ex *concolic.Exploration) VerifyRow {
+	row := VerifyRow{Compiler: kind, Instruction: target.Name}
+	if ex == nil {
+		return row
+	}
+	isas := []machine.ISA{machine.ISAAmd64Like, machine.ISAArm32Like}
+	if kind == NativeMethodCompilerKind {
+		// Native templates are path-independent: one compile per ISA
+		// covers the instruction.
+		prim := t.Prims.Lookup(target.PrimIndex)
+		if prim == nil {
+			row.Skipped += len(isas)
+			return row
+		}
+		for _, isa := range isas {
+			env := t.getEnv()
+			_, err := t.compileNative(env.om, prim, isa)
+			t.putEnv(env)
+			c.recordVerifyOutcome(&row, -1, isa, err)
+		}
+		return row
+	}
+	for pi, path := range ex.Paths {
+		if skip := verifySkipReason(target, path, kind); skip != "" {
+			row.Skipped++
+			continue
+		}
+		for _, isa := range isas {
+			row.recordOutcome(pi, isa, c.safeVerifyCompile(t, target, ex, path, kind, isa))
+		}
+	}
+	return row
+}
+
+// verifySkipReason mirrors UnitRun.TestPath's expected-failure filter for
+// the compile-only sweep: paths the test runner would never compile are
+// not verification targets either.
+func verifySkipReason(target concolic.Target, path *concolic.PathResult, kind CompilerKind) string {
+	switch path.Exit.Kind {
+	case interp.ExitInvalidFrame:
+		return "invalid frame (expected failure)"
+	case interp.ExitInvalidMemoryAccess:
+		if target.Kind == concolic.TargetBytecode {
+			return "invalid memory access on unsafe byte-code (expected failure)"
+		}
+	case interp.ExitUnsupported:
+		return "unsupported instruction"
+	}
+	if kind == MetaJITCompiler {
+		if ok, reason := metacompile.PlanFor(target.Method).PathSupported(path.Path.Signature()); !ok {
+			return "not compilable: metacompile: " + reason
+		}
+	}
+	return ""
+}
+
+// safeVerifyCompile compiles one (path, ISA) unit with panic containment;
+// a contained panic reports as a compile error, never as a clean unit.
+func (c *Campaign) safeVerifyCompile(t *Tester, target concolic.Target, ex *concolic.Exploration, path *concolic.PathResult, kind CompilerKind, isa machine.ISA) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.panicsContained.Inc()
+			err = fmt.Errorf("panic contained: %v", p)
+		}
+	}()
+	env := t.getEnv()
+	defer t.putEnv(env)
+	b := concolic.NewFrameBuilder(env.om, ex.Universe, path.Model)
+	frame, ferr := b.BuildFrame(target)
+	if ferr != nil {
+		return fmt.Errorf("input construction failed: %w", ferr)
+	}
+	stack := make([]heap.Word, frame.Size())
+	for i, v := range frame.Stack {
+		stack[i] = v.W
+	}
+	_, cerr := t.compileBytecode(env.om, modeInstruction, variantOf(kind), isa, -1, target.Method, stack, nil)
+	return cerr
+}
+
+// recordOutcome classifies one compile result into the row's counters.
+func (row *VerifyRow) recordOutcome(path int, isa machine.ISA, err error) {
+	var verr *irverify.Error
+	switch {
+	case err == nil:
+		row.Compiled++
+	case errors.As(err, &verr):
+		row.Violations = append(row.Violations, VerifyViolation{
+			ISA: isa, Path: path, Blame: verr.Blame(), Detail: verr.Error(),
+		})
+	case errors.Is(err, jit.ErrNotCompilable):
+		row.Skipped++
+	default:
+		row.Skipped++
+	}
+}
+
+// recordVerifyOutcome is recordOutcome behind the campaign receiver, for
+// call sites that already hold one.
+func (c *Campaign) recordVerifyOutcome(row *VerifyRow, path int, isa machine.ISA, err error) {
+	row.recordOutcome(path, isa, err)
+}

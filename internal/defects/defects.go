@@ -81,6 +81,15 @@ type Switches struct {
 	// attribute the resulting differences to "pass:constfold".
 	ConstFoldSignError bool
 
+	// VerifyStackLeak is a pass-targeted defect aimed at the *static*
+	// verification tier: the peephole pass of the byte-code pipelines
+	// deletes the first pop it encounters, leaking one stack slot. It is
+	// not part of the production-VM catalog; campaigns enable it
+	// explicitly to exercise static pass blame — the IR verifier must
+	// reject every affected unit with
+	// "ir-verify:stack-balance after pass:peephole" before execution.
+	VerifyStackLeak bool
+
 	// MetaJITGuardSignError is a generator-targeted defect: the
 	// meta-compiled front-end (internal/metacompile) lowers strict
 	// less-than path-condition guards as less-or-equal, so boundary

@@ -14,6 +14,6 @@ import (
 
 func interpVersion() string     { return interp.SemanticsVersion }
 func primitivesVersion() string { return primitives.SemanticsVersion }
-func solverVersion() string     { return solver.Version }
+func solverVersion() string     { return solver.SemanticsVersion }
 func jitVersion() string        { return jit.SemanticsVersion }
 func machineVersion() string    { return machine.SemanticsVersion }

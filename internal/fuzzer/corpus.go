@@ -3,7 +3,7 @@ package fuzzer
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
+	"math/rand" //cogdiff:allow-nondeterminism fuzzer RNG is explicitly seeded; runs replay from the seed
 	"os"
 	"path/filepath"
 	"strings"

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand" //cogdiff:allow-nondeterminism fuzzer RNG is explicitly seeded; runs replay from the seed
 	"os"
 	"time"
 
@@ -472,9 +472,9 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	}
 	e.progress(budget)
 
-	start := time.Now()
+	start := time.Now() //cogdiff:allow-nondeterminism wall-clock fuzz budget; findings replay deterministically
 	for e.execs < budget {
-		if opts.Duration > 0 && time.Since(start) >= opts.Duration {
+		if opts.Duration > 0 && time.Since(start) >= opts.Duration { //cogdiff:allow-nondeterminism wall-clock fuzz budget; findings replay deterministically
 			break
 		}
 		n := batch

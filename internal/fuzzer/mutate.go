@@ -2,7 +2,7 @@ package fuzzer
 
 import (
 	"math"
-	"math/rand"
+	"math/rand" //cogdiff:allow-nondeterminism fuzzer RNG is explicitly seeded; runs replay from the seed
 
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/heap"

@@ -1,7 +1,7 @@
 package fuzzer
 
 import (
-	"math/rand"
+	"math/rand" //cogdiff:allow-nondeterminism fuzzer RNG is explicitly seeded; runs replay from the seed
 
 	"cogdiff/internal/bytecode"
 	"cogdiff/internal/heap"

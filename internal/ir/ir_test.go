@@ -183,7 +183,7 @@ func TestPeephole(t *testing.T) {
 	b.Jump(OpcJmp, "next")         // jump to next label: deleted
 	b.Label("next")
 	b.Ret()
-	out := Peephole().Run(mustFinish(t, b))
+	out := Peephole(false).Run(mustFinish(t, b))
 	if len(out.Instrs) != 3 {
 		t.Fatalf("got %d instructions, want andi + label + ret:\n%s", len(out.Instrs), out)
 	}
@@ -202,7 +202,7 @@ func TestPassesArePure(t *testing.T) {
 	b.Ret()
 	fn := mustFinish(t, b)
 	before := fn.String()
-	for _, p := range []Pass{ConstFold(false), DeadPushPop(), Peephole()} {
+	for _, p := range []Pass{ConstFold(false), DeadPushPop(), Peephole(false)} {
 		p.Run(fn)
 		if fn.String() != before {
 			t.Fatalf("pass %s mutated its input", p.Name)

@@ -184,12 +184,22 @@ func DeadPushPop() Pass {
 // Peephole deletes local no-ops: self-moves, identity immediate
 // arithmetic writing back to its own source, and jumps to the
 // immediately following label.
-func Peephole() Pass {
+//
+// dropPop is the seeded pass-targeted defect (-defect-verify-stackleak):
+// the pass additionally deletes the first pop it encounters, leaking one
+// stack slot. Unlike the dynamic defects this one is meant to be caught
+// statically — the dropped pop shifts every exit's abstract stack depth,
+// which the IR verifier's pass-effect check rejects before execution.
+func Peephole(dropPop bool) Pass {
 	return Pass{Name: "peephole", Run: func(f *Fn) *Fn {
 		out := f.Clone()
 		next := out.Instrs[:0:0]
+		dropped := false
 		for i, ins := range out.Instrs {
 			switch {
+			case dropPop && !dropped && ins.Op == OpcPop:
+				dropped = true
+				continue
 			case ins.Op == OpcMovR && ins.Rd == ins.Rs1:
 				continue
 			case isIdentityBinI(ins):

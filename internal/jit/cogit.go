@@ -39,6 +39,10 @@ type Cogit struct {
 	// compiled units through pre-resolved telemetry handles.
 	Metrics *PassMetrics
 
+	// NoVerify disables the static IR verifier the Backend runs after
+	// the front-end and every pass prefix. Verification is on by default.
+	NoVerify bool
+
 	// per-compilation state
 	b           *ir.Builder
 	ss          []ssEntry
@@ -336,6 +340,7 @@ func (c *Cogit) finish() (*CompiledMethod, error) {
 		OnIR:      c.OnIR,
 		OnStage:   c.OnStage,
 		Pool:      c.pool(),
+		NoVerify:  c.NoVerify,
 	}
 	return bk.Finish(c.b, c.selectors, c.numTemps)
 }

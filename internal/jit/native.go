@@ -2,10 +2,12 @@ package jit
 
 import (
 	"fmt"
+	"time"
 
 	"cogdiff/internal/defects"
 	"cogdiff/internal/heap"
 	"cogdiff/internal/ir"
+	"cogdiff/internal/irverify"
 	"cogdiff/internal/machine"
 	"cogdiff/internal/primitives"
 )
@@ -28,6 +30,11 @@ type NativeMethodCompiler struct {
 	// Metrics, when non-nil, counts compiled units. Native methods run
 	// no passes, so no pass timing applies.
 	Metrics *PassMetrics
+
+	// NoVerify disables the static IR verifier over the template output.
+	// Native methods run no passes, so only the well-formedness and
+	// stack-balance rules apply, after the single "front-end" stage.
+	NoVerify bool
 
 	b   *ir.Builder
 	seq int
@@ -76,6 +83,19 @@ func (n *NativeMethodCompiler) finish() (*CompiledMethod, error) {
 	}
 	if n.OnStage != nil {
 		n.OnStage("front-end", fn)
+	}
+	if !n.NoVerify {
+		var t0 time.Time
+		if n.Metrics != nil {
+			t0 = time.Now() //cogdiff:allow-nondeterminism compile timing feeds telemetry histograms only
+		}
+		vs := (irverify.Options{}).Verify(fn)
+		if n.Metrics != nil {
+			n.Metrics.observeVerify(time.Since(t0), len(vs)) //cogdiff:allow-nondeterminism compile timing feeds telemetry histograms only
+		}
+		if len(vs) > 0 {
+			return nil, &irverify.Error{Stage: "front-end", Violations: vs}
+		}
 	}
 	prog, err := machine.Lower(fn, n.ISA, machine.CodeBase, nil)
 	if err != nil {

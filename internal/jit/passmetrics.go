@@ -13,9 +13,12 @@ import (
 // the owning Tester is given a registry, and shared read-only by every
 // Cogit instance afterwards.
 type PassMetrics struct {
-	compiled *telemetry.Counter
-	passes   *telemetry.Counter
-	perPass  map[string]*telemetry.Histogram
+	compiled         *telemetry.Counter
+	passes           *telemetry.Counter
+	perPass          map[string]*telemetry.Histogram
+	verifyRuns       *telemetry.Counter
+	verifyViolations *telemetry.Counter
+	verifySeconds    *telemetry.Histogram
 }
 
 // NewPassMetrics resolves the pipeline instruments against reg: a
@@ -27,9 +30,12 @@ func NewPassMetrics(reg *telemetry.Registry, sw defects.Switches) *PassMetrics {
 		return nil
 	}
 	m := &PassMetrics{
-		compiled: reg.Counter(telemetry.MetricUnitsCompiled),
-		passes:   reg.Counter(telemetry.MetricPassesRun),
-		perPass:  make(map[string]*telemetry.Histogram),
+		compiled:         reg.Counter(telemetry.MetricUnitsCompiled),
+		passes:           reg.Counter(telemetry.MetricPassesRun),
+		perPass:          make(map[string]*telemetry.Histogram),
+		verifyRuns:       reg.Counter(telemetry.MetricIRVerifyRuns),
+		verifyViolations: reg.Counter(telemetry.MetricIRVerifyViolations),
+		verifySeconds:    reg.Histogram(telemetry.MetricIRVerifySeconds, telemetry.DurationBuckets),
 	}
 	for _, v := range []Variant{SimpleStackBasedCogit, StackToRegisterCogit, RegisterAllocatingCogit, MetaJITCogit} {
 		for _, p := range PipelineFor(v, sw) {
@@ -48,6 +54,17 @@ func (m *PassMetrics) unitCompiled() {
 		return
 	}
 	m.compiled.Inc()
+}
+
+// observeVerify records one static-verifier run over a stage's output
+// and the violations it found. No-op on nil.
+func (m *PassMetrics) observeVerify(d time.Duration, violations int) {
+	if m == nil {
+		return
+	}
+	m.verifyRuns.Inc()
+	m.verifyViolations.Add(int64(violations))
+	m.verifySeconds.ObserveDuration(d)
 }
 
 // observePass records one pass execution. No-op on nil.

@@ -25,7 +25,7 @@ var pipelineTable = map[Variant][]func(defects.Switches) ir.Pass{
 var standardPasses = []func(defects.Switches) ir.Pass{
 	func(defects.Switches) ir.Pass { return ir.DeadPushPop() },
 	func(sw defects.Switches) ir.Pass { return ir.ConstFold(sw.ConstFoldSignError) },
-	func(defects.Switches) ir.Pass { return ir.Peephole() },
+	func(sw defects.Switches) ir.Pass { return ir.Peephole(sw.VerifyStackLeak) },
 }
 
 // PipelineFor instantiates the variant's registered pass pipeline under

@@ -63,6 +63,11 @@ type Compiler struct {
 	Metrics   *jit.PassMetrics
 	OnIR      func(ir.Opc)
 	OnStage   func(stage string, fn *ir.Fn)
+
+	// NoVerify disables the Backend's static IR verifier. When on (the
+	// default) the verifier additionally demands a reachable deopt stub:
+	// generated guard chains must always be able to bail out.
+	NoVerify bool
 }
 
 // NewCompiler builds a meta-compiled front-end over om.
@@ -84,7 +89,9 @@ func (c *Compiler) finish(l *lowerer) (*jit.CompiledMethod, error) {
 		OnStage:   c.OnStage,
 		// The generated front-end works on physical registers only; the
 		// pool exists for lowering's virtual-register contract.
-		Pool: []machine.Reg{machine.TempReg, machine.ExtraReg, machine.R1},
+		Pool:         []machine.Reg{machine.TempReg, machine.ExtraReg, machine.R1},
+		NoVerify:     c.NoVerify,
+		RequireDeopt: true,
 	}
 	return bk.Finish(l.b, l.selectors, l.numTemps)
 }

@@ -88,9 +88,9 @@ func (c *Client) Health(ctx context.Context) error {
 // WaitHealthy polls /healthz until it answers or the timeout elapses —
 // the handshake `cogdiff submit` performs against a just-started server.
 func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //cogdiff:allow-nondeterminism client deadline bookkeeping, not report content
 	var last error
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) { //cogdiff:allow-nondeterminism client deadline bookkeeping, not report content
 		if last = c.Health(ctx); last == nil {
 			return nil
 		}

@@ -195,7 +195,7 @@ func newJob(spec JobSpec) *job {
 		status: JobStatus{
 			Type:    spec.Type,
 			State:   StateQueued,
-			Created: time.Now().UnixMilli(),
+			Created: time.Now().UnixMilli(), //cogdiff:allow-nondeterminism job timestamps are operational metadata, not report content
 		},
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -246,7 +246,7 @@ func (s *Server) finish(j *job, state State, errMsg string) {
 	}
 	j.status.State = state
 	j.status.Error = errMsg
-	j.status.Finished = time.Now().UnixMilli()
+	j.status.Finished = time.Now().UnixMilli() //cogdiff:allow-nondeterminism job timestamps are operational metadata, not report content
 	started := j.status.Started
 	jtype := j.status.Type
 	diffs := j.status.Differences
@@ -259,7 +259,7 @@ func (s *Server) finish(j *job, state State, errMsg string) {
 	if started > 0 {
 		s.reg.LabeledHistogram(telemetry.MetricServerJobSeconds, telemetry.DurationBuckets,
 			"type", string(jtype)).
-			Observe(float64(time.Now().UnixMilli()-started) / 1000)
+			Observe(float64(time.Now().UnixMilli()-started) / 1000) //cogdiff:allow-nondeterminism job timestamps are operational metadata, not report content
 	}
 }
 
@@ -274,7 +274,7 @@ func (s *Server) runJob(j *job) {
 	defer cancel()
 	j.cancel = cancel
 	j.status.State = StateRunning
-	j.status.Started = time.Now().UnixMilli()
+	j.status.Started = time.Now().UnixMilli() //cogdiff:allow-nondeterminism job timestamps are operational metadata, not report content
 	j.mu.Unlock()
 
 	s.mRunning.Add(1)

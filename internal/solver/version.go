@@ -1,7 +1,7 @@
 package solver
 
-// Version stamps the solver's model-construction behaviour. Explored
+// SemanticsVersion stamps the solver's model-construction behaviour. Explored
 // path sets depend on which witnesses the solver picks, so any change to
 // witness selection, normalization or satisfiability must bump this,
 // orphaning all cached explorations (internal/excache keys embed it).
-const Version = "solver/1"
+const SemanticsVersion = "solver/1"

@@ -47,6 +47,13 @@ const (
 	MetricPassSeconds = "cogdiff_pass_seconds"
 	MetricPassesRun   = "cogdiff_passes_run_total"
 
+	// Static IR verification (internal/irverify). Runs count one per
+	// verified stage (front-end or pass prefix); violations count rule
+	// hits, which reject the unit without executing it.
+	MetricIRVerifyRuns       = "cogdiff_irverify_runs_total"
+	MetricIRVerifyViolations = "cogdiff_irverify_violations_total"
+	MetricIRVerifySeconds    = "cogdiff_irverify_seconds"
+
 	// Fuzzing.
 	MetricFuzzExecs            = "cogdiff_fuzz_execs_total"
 	MetricFuzzDiscarded        = "cogdiff_fuzz_discarded_total"

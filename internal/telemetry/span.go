@@ -84,7 +84,7 @@ func (r *Registry) StartSpan(phase string) Span {
 	}
 	return Span{
 		phase: phase,
-		start: time.Now(),
+		start: time.Now(), //cogdiff:allow-nondeterminism span timing is telemetry by definition
 		hist:  r.LabeledHistogram("cogdiff_span_seconds", DurationBuckets, "phase", phase),
 		trace: r.trace,
 	}
@@ -95,7 +95,7 @@ func (s Span) End() {
 	if s.hist == nil && s.trace == nil {
 		return
 	}
-	d := time.Since(s.start)
+	d := time.Since(s.start) //cogdiff:allow-nondeterminism span timing is telemetry by definition
 	s.hist.ObserveDuration(d)
 	s.trace.Append(Event{Phase: s.phase, Start: s.start, Dur: d})
 }
